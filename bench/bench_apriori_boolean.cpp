@@ -1,0 +1,86 @@
+// Boolean Apriori ([AS94] substrate) throughput on synthetic basket data,
+// plus hash-tree shape sensitivity.
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "index/hash_tree.h"
+#include "common/random.h"
+#include "mining/apriori.h"
+#include "mining/rulegen.h"
+#include "mining/basket_gen.h"
+
+namespace qarm {
+namespace {
+
+void BM_AprioriMine(benchmark::State& state) {
+  BasketConfig config;
+  config.num_transactions = static_cast<size_t>(state.range(0));
+  config.num_items = 500;
+  config.avg_transaction_size = 10;
+  config.num_patterns = 50;
+  auto txns = MakeBasketData(config);
+  AprioriOptions options;
+  options.minsup = 0.01;
+  for (auto _ : state) {
+    auto frequent = AprioriMine(txns, options);
+    benchmark::DoNotOptimize(frequent);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AprioriMine)->Arg(2000)->Arg(10000)->Arg(50000);
+
+void BM_HashTreeSubsetSearch(benchmark::State& state) {
+  // Insert many 3-itemsets, then probe with transactions of 15 items.
+  const size_t leaf_capacity = static_cast<size_t>(state.range(0));
+  HashTree tree(leaf_capacity, 32);
+  Rng rng(3);
+  for (int32_t i = 0; i < 5000; ++i) {
+    std::set<int32_t> s;
+    while (s.size() < 3) {
+      s.insert(static_cast<int32_t>(rng.UniformInt(0, 299)));
+    }
+    tree.Insert(std::vector<int32_t>(s.begin(), s.end()), i);
+  }
+  std::vector<std::vector<int32_t>> txns;
+  for (int t = 0; t < 200; ++t) {
+    std::set<int32_t> s;
+    while (s.size() < 15) {
+      s.insert(static_cast<int32_t>(rng.UniformInt(0, 299)));
+    }
+    txns.emplace_back(s.begin(), s.end());
+  }
+  size_t hits = 0;
+  for (auto _ : state) {
+    for (const auto& txn : txns) {
+      tree.ForEachSubset(txn, [&hits](int32_t) { ++hits; });
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(txns.size()));
+}
+BENCHMARK(BM_HashTreeSubsetSearch)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RuleGeneration(benchmark::State& state) {
+  BasketConfig config;
+  config.num_transactions = 10000;
+  config.num_items = 200;
+  config.num_patterns = 20;
+  config.pattern_probability = 0.7;
+  auto txns = MakeBasketData(config);
+  AprioriOptions options;
+  options.minsup = 0.02;
+  auto frequent = AprioriMine(txns, options);
+  for (auto _ : state) {
+    auto rules = GenerateRules(frequent, txns.size(), 0.5);
+    benchmark::DoNotOptimize(rules);
+  }
+}
+BENCHMARK(BM_RuleGeneration);
+
+}  // namespace
+}  // namespace qarm
+
+BENCHMARK_MAIN();

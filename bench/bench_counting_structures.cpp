@@ -1,0 +1,112 @@
+// Counting-structure microbenchmarks (Section 5.2 ablation): the
+// n-dimensional array (with and without the prefix-sum collection
+// optimization) vs the R*-tree, across dimensionalities and rectangle
+// counts. Reports per-pass cost: processing all points plus collecting all
+// rectangle counts.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "index/rect_counter.h"
+
+namespace qarm {
+namespace {
+
+struct Workload {
+  std::vector<int32_t> dims;
+  std::vector<IntRect> rects;
+  std::vector<std::vector<int32_t>> points;
+};
+
+Workload MakeWorkload(size_t num_dims, int32_t domain, size_t num_rects,
+                      size_t num_points) {
+  Rng rng(99);
+  Workload w;
+  w.dims.assign(num_dims, domain);
+  for (size_t i = 0; i < num_rects; ++i) {
+    IntRect rect;
+    for (size_t d = 0; d < num_dims; ++d) {
+      int32_t a = static_cast<int32_t>(rng.UniformInt(0, domain - 1));
+      int32_t b = static_cast<int32_t>(rng.UniformInt(0, domain - 1));
+      rect.lo.push_back(std::min(a, b));
+      rect.hi.push_back(std::max(a, b));
+    }
+    w.rects.push_back(std::move(rect));
+  }
+  for (size_t i = 0; i < num_points; ++i) {
+    std::vector<int32_t> p;
+    for (size_t d = 0; d < num_dims; ++d) {
+      p.push_back(static_cast<int32_t>(rng.UniformInt(0, domain - 1)));
+    }
+    w.points.push_back(std::move(p));
+  }
+  return w;
+}
+
+template <typename MakeCounter>
+void RunPass(benchmark::State& state, const Workload& w,
+             const MakeCounter& make_counter) {
+  for (auto _ : state) {
+    auto counter = make_counter();
+    for (const auto& p : w.points) counter->ProcessPoint(p.data());
+    counter->Finalize();
+    std::vector<uint64_t> counts;
+    counter->Collect(&counts);
+    benchmark::DoNotOptimize(counts);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(w.points.size()));
+}
+
+void BM_ArrayPrefix(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<size_t>(state.range(0)), 32,
+                            static_cast<size_t>(state.range(1)), 20000);
+  RunPass(state, w, [&] {
+    return std::make_unique<ArrayRectangleCounter>(w.dims, w.rects, true);
+  });
+}
+BENCHMARK(BM_ArrayPrefix)
+    ->Args({1, 1000})
+    ->Args({2, 1000})
+    ->Args({2, 10000})
+    ->Args({3, 1000});
+
+void BM_ArraySweep(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<size_t>(state.range(0)), 32,
+                            static_cast<size_t>(state.range(1)), 20000);
+  RunPass(state, w, [&] {
+    return std::make_unique<ArrayRectangleCounter>(w.dims, w.rects, false);
+  });
+}
+BENCHMARK(BM_ArraySweep)
+    ->Args({1, 1000})
+    ->Args({2, 1000})
+    ->Args({2, 10000})
+    ->Args({3, 1000});
+
+void BM_RStarTree(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<size_t>(state.range(0)), 32,
+                            static_cast<size_t>(state.range(1)), 20000);
+  RunPass(state, w, [&] {
+    return std::make_unique<RTreeRectangleCounter>(w.dims.size(), w.rects);
+  });
+}
+BENCHMARK(BM_RStarTree)
+    ->Args({1, 1000})
+    ->Args({2, 1000})
+    ->Args({2, 10000})
+    ->Args({3, 1000});
+
+// The heuristic's decision point: high dimensionality with a big domain,
+// where the dense grid would be enormous.
+void BM_TreeHighDim(benchmark::State& state) {
+  Workload w = MakeWorkload(5, 50, 2000, 20000);
+  RunPass(state, w, [&] {
+    return std::make_unique<RTreeRectangleCounter>(w.dims.size(), w.rects);
+  });
+}
+BENCHMARK(BM_TreeHighDim);
+
+}  // namespace
+}  // namespace qarm
+
+BENCHMARK_MAIN();

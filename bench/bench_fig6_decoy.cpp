@@ -1,0 +1,98 @@
+// Figure 6 reproduction: the "greater-than-expected-value" interest example.
+//
+// Generates the Whole/Decoy/Boring/Interesting landscape (joint support of
+// (x=v, y=yes) flat at ~1% with an 11% spike at x=5), prints the measured
+// supports for the paper's four named intervals, and reports which of the
+// mined x-range => y=yes rules survive the final interest measure at
+// R = 1.5 and R = 2.
+//
+//   $ ./bench_fig6_decoy [--records=N] [--seed=S]
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/miner.h"
+#include "core/rules.h"
+#include "table/datagen.h"
+
+int main(int argc, char** argv) {
+  using namespace qarm;
+  const size_t records = bench::FlagU64(argc, argv, "records", 200000);
+  const uint64_t seed = bench::FlagU64(argc, argv, "seed", 7);
+
+  Table data = MakeDecoyTable(records, seed);
+  std::printf("Figure 6 landscape (%zu records):\n", records);
+
+  // Measured joint supports for the paper's named intervals.
+  struct Named {
+    const char* name;
+    int64_t lo, hi;
+  };
+  const Named named[] = {{"Whole  x:1..10", 1, 10},
+                         {"Decoy  x:3..5", 3, 5},
+                         {"Boring x:3..4", 3, 4},
+                         {"Interesting x:5", 5, 5}};
+  for (const Named& n : named) {
+    size_t joint = 0;
+    for (size_t r = 0; r < data.num_rows(); ++r) {
+      int64_t x = data.Get(r, 0).as_int64();
+      if (x >= n.lo && x <= n.hi && data.Get(r, 1).as_string() == "yes") {
+        ++joint;
+      }
+    }
+    double avg = 100.0 * static_cast<double>(joint) /
+                 static_cast<double>(data.num_rows()) /
+                 static_cast<double>(n.hi - n.lo + 1);
+    std::printf("  %-18s joint support %5.2f%%  (avg per value %5.2f%%)\n",
+                n.name,
+                100.0 * static_cast<double>(joint) /
+                    static_cast<double>(data.num_rows()),
+                avg);
+  }
+
+  for (double level : {1.5, 2.0}) {
+    MinerOptions options;
+    options.minsup = 0.02;
+    options.minconf = 0.0;
+    // x spans only 10 values: leave range combination uncapped so the wide
+    // generalizations (the ancestors the interest measure compares against)
+    // exist. With a tight cap, maximal-width ranges have no ancestors and
+    // are interesting by definition.
+    options.max_support = 1.0;
+    options.partial_completeness = 2.0;
+    options.interest_level = level;
+    options.interest_item_prune = false;  // keep decoys in play
+    QuantitativeRuleMiner miner(options);
+    Result<MiningResult> result = miner.Mine(data);
+    if (!result.ok()) {
+      std::fprintf(stderr, "mining failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nInterest level %.1f — interesting x-range => <y: yes> rules:\n",
+                level);
+    size_t interesting = 0, pruned = 0;
+    for (const QuantRule& rule : result->rules) {
+      if (rule.consequent.size() != 1 || rule.consequent[0].attr != 1 ||
+          rule.antecedent.size() != 1 || rule.antecedent[0].attr != 0) {
+        continue;
+      }
+      if (result->mapped.attribute(1).DecodeRange(
+              rule.consequent[0].lo, rule.consequent[0].hi) != "yes") {
+        continue;
+      }
+      if (rule.interesting) {
+        ++interesting;
+        std::printf("  %s\n", RuleToString(rule, result->mapped).c_str());
+      } else {
+        ++pruned;
+      }
+    }
+    std::printf("  (%zu interesting, %zu pruned)\n", interesting, pruned);
+  }
+
+  std::printf(
+      "\nExpected shape (paper): only ranges pinned to the x=5 spike are\n"
+      "interesting; 'Decoy'-style ranges that merely contain the spike are\n"
+      "rejected by the specialization-difference test.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 8 reproduction: "Interest Measure".
+//
+// The paper plots the fraction of rules identified as interesting as the
+// interest level rises from 0 (no interest measure) to 2, for four
+// (minsup, minconf) configurations: (30%,50%), (20%,25%), (10%,50%),
+// (10%,25%). The fraction decreases monotonically in the interest level.
+//
+//   $ ./bench_fig8_interest [--records=N] [--seed=S] [--k=K]
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/apriori_quant.h"
+#include "core/interest.h"
+#include "core/miner.h"
+#include "core/rules.h"
+#include "partition/mapper.h"
+#include "table/datagen.h"
+
+int main(int argc, char** argv) {
+  using namespace qarm;
+  const size_t records = bench::FlagU64(argc, argv, "records", 50000);
+  const uint64_t seed = bench::FlagU64(argc, argv, "seed", 42);
+  // The four (minsup, minconf) configurations share one partitioning so
+  // that only the interest level varies: 20 equi-depth base intervals per
+  // attribute (a 5% grain, fine enough for the narrow [30%, 40%] window of
+  // the strictest configuration). Equation 2 maps this back to a per-minsup
+  // partial completeness level of 1 + 0.2/minsup with n' = 2.
+  const size_t intervals = bench::FlagU64(argc, argv, "intervals", 20);
+
+  std::printf(
+      "Figure 8: %% of rules found interesting vs interest level\n"
+      "dataset: financial, %zu records (seed %llu); maxsup 40%%, %zu base "
+      "intervals\n\n",
+      records, static_cast<unsigned long long>(seed), intervals);
+
+  Table data = MakeFinancialDataset(records, seed);
+
+  struct Config {
+    double minsup;
+    double minconf;
+  };
+  const Config configs[] = {
+      {0.30, 0.50}, {0.20, 0.25}, {0.10, 0.50}, {0.10, 0.25}};
+  const double levels[] = {0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0};
+
+  std::vector<int> widths = {20, 8};
+  std::vector<std::string> header = {"config (sup,conf)", "rules"};
+  for (double level : levels) {
+    header.push_back(StrFormat("@%.2f", level));
+    widths.push_back(7);
+  }
+  bench::PrintRow(header, widths);
+  bench::PrintSeparator(widths);
+
+  for (const Config& config : configs) {
+    MinerOptions options;
+    options.minsup = config.minsup;
+    options.minconf = config.minconf;
+    options.max_support = 0.40;
+    options.num_intervals_override = intervals;
+
+    MapOptions map_options;
+    map_options.num_intervals_override = intervals;
+    map_options.minsup = options.minsup;
+    auto mapped = MapTable(data, map_options);
+    if (!mapped.ok()) continue;
+
+    ItemCatalog catalog = ItemCatalog::Build(*mapped, options);
+    FrequentItemsetResult frequent =
+        MineFrequentItemsets(*mapped, catalog, options);
+    std::vector<QuantRule> rules = GenerateQuantRules(
+        frequent.itemsets, catalog, mapped->num_rows(), options.minconf);
+
+    std::vector<std::string> cells = {
+        StrFormat("%.0f%% sup, %.0f%% conf", config.minsup * 100,
+                  config.minconf * 100),
+        StrFormat("%zu", rules.size())};
+    for (double level : levels) {
+      InterestEvaluator evaluator(&catalog, &frequent.itemsets, level,
+                                  InterestMode::kSupportOrConfidence);
+      evaluator.EvaluateRules(&rules);
+      size_t interesting = 0;
+      for (const QuantRule& r : rules) {
+        if (r.interesting) ++interesting;
+      }
+      double pct = rules.empty() ? 0.0
+                                 : 100.0 * static_cast<double>(interesting) /
+                                       static_cast<double>(rules.size());
+      cells.push_back(StrFormat("%.1f", pct));
+    }
+    bench::PrintRow(cells, widths);
+  }
+
+  std::printf(
+      "\nExpected shape (paper): the percentage of rules identified as\n"
+      "interesting decreases as the interest level increases; at level 0\n"
+      "every rule is interesting.\n");
+  return 0;
+}

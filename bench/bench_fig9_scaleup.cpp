@@ -1,0 +1,87 @@
+// Figure 9 reproduction: "Scale-up: Number of records".
+//
+// The paper plots relative execution time as the record count grows 10x
+// (50k -> 500k), for minimum supports of 30%, 20% and 10%, normalized to
+// the 50k time. The algorithm scales near-linearly: candidate generation is
+// record-count independent, support counting is proportional to records.
+//
+//   $ ./bench_fig9_scaleup [--base=N] [--seed=S] [--k=K]
+//
+// --base sets the smallest record count (default 50000, the paper's);
+// points at 1x, 2x, 4x, 6x, 8x, 10x of the base are measured.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "core/miner.h"
+#include "table/datagen.h"
+
+int main(int argc, char** argv) {
+  using namespace qarm;
+  const size_t base = bench::FlagU64(argc, argv, "base", 50000);
+  const uint64_t seed = bench::FlagU64(argc, argv, "seed", 42);
+  // The paper's n' refinement (end of Section 3.2): no rule in this
+  // dataset has more than 3 quantitative attributes, so Equation 2 may
+  // use n' = 3 instead of n = 5, reducing the interval count (and
+  // runtime) without weakening the partial-completeness guarantee for
+  // the rules that actually occur. Set --nprime=5 for the strict bound.
+  const size_t nprime = bench::FlagU64(argc, argv, "nprime", 3);
+  const double k = bench::FlagDouble(argc, argv, "k", 3.0);
+
+  std::printf(
+      "Figure 9: relative execution time vs number of records\n"
+      "dataset: financial (seed %llu); minconf 25%%, maxsup 40%%, partial "
+      "completeness %.1f; base %zu records\n\n",
+      static_cast<unsigned long long>(seed), k, base);
+
+  const size_t multipliers[] = {1, 2, 4, 6, 8, 10};
+  const double minsups[] = {0.30, 0.20, 0.10};
+
+  // Generate the largest dataset once; prefixes give the smaller points
+  // (records are i.i.d., so a prefix is an unbiased sample).
+  Table full = MakeFinancialDataset(base * 10, seed);
+
+  std::vector<int> widths = {10, 26, 26, 26};
+  bench::PrintRow({"records", "30% sup (s, rel)", "20% sup (s, rel)",
+                   "10% sup (s, rel)"},
+                  widths);
+  bench::PrintSeparator(widths);
+
+  double base_seconds[3] = {0, 0, 0};
+  for (size_t mult : multipliers) {
+    size_t records = base * mult;
+    Table data = full.Head(records);
+    std::vector<std::string> cells = {StrFormat("%zu", records)};
+    for (size_t i = 0; i < 3; ++i) {
+      MinerOptions options;
+      options.minsup = minsups[i];
+      options.minconf = 0.25;
+      options.max_support = 0.40;
+      options.partial_completeness = k;
+      options.max_quantitative_per_rule = nprime;
+      QuantitativeRuleMiner miner(options);
+      Timer timer;
+      Result<MiningResult> result = miner.Mine(data);
+      double seconds = timer.ElapsedSeconds();
+      if (!result.ok()) {
+        cells.push_back("error");
+        continue;
+      }
+      if (mult == 1) base_seconds[i] = seconds;
+      cells.push_back(StrFormat("%.2fs  (%.2fx)", seconds,
+                                base_seconds[i] > 0
+                                    ? seconds / base_seconds[i]
+                                    : 1.0));
+    }
+    bench::PrintRow(cells, widths);
+  }
+
+  std::printf(
+      "\nExpected shape (paper): near-linear scale-up — the relative time\n"
+      "at 10x the records stays close to 10x once support counting (linear\n"
+      "in records) dominates. At low minimum supports the record-\n"
+      "independent candidate-generation/collection work is the bigger\n"
+      "term, so relative time stays flat (better than linear) until the\n"
+      "record count grows past it.\n");
+  return 0;
+}

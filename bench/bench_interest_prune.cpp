@@ -1,0 +1,77 @@
+// Lemma 5 ablation: candidate pruning via the interest level.
+//
+// With an interest level R, any quantitative item whose support exceeds 1/R
+// can never be R-interesting on support, so it is deleted after pass 1 and
+// never enters candidate generation. This bench measures the frequent-item
+// count, per-pass candidate counts, and total time with the prune on vs off.
+//
+//   $ ./bench_interest_prune [--records=N] [--seed=S]
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/miner.h"
+#include "table/datagen.h"
+
+int main(int argc, char** argv) {
+  using namespace qarm;
+  const size_t records = bench::FlagU64(argc, argv, "records", 50000);
+  const uint64_t seed = bench::FlagU64(argc, argv, "seed", 11);
+
+  Table data = MakeFinancialDataset(records, seed);
+  // A high maxsup leaves wide-support items in play, giving Lemma 5
+  // something to prune at moderate interest levels.
+  std::printf(
+      "Lemma 5 interest-prune ablation (%zu records; minsup 20%%, maxsup "
+      "70%%, minconf 50%%)\n\n",
+      records);
+
+  std::vector<int> widths = {10, 8, 12, 10, 14, 12, 14, 10};
+  bench::PrintRow({"prune", "R", "items", "pruned", "C2", "rules",
+                   "interesting", "time ms"},
+                  widths);
+  bench::PrintSeparator(widths);
+
+  for (double r : {1.5, 2.0, 3.0}) {
+    for (bool prune : {false, true}) {
+      MinerOptions options;
+      options.minsup = 0.20;
+      options.minconf = 0.50;
+      options.max_support = 0.70;
+      options.partial_completeness = 3.0;
+      options.max_quantitative_per_rule = 2;  // n' refinement, see DESIGN.md
+      options.interest_level = r;
+      // Lemma 5 reasons about expected *support*; the paper applies the
+      // prune when the user asks for support-and-confidence interest.
+      options.interest_mode = InterestMode::kSupportAndConfidence;
+      options.interest_item_prune = prune;
+      QuantitativeRuleMiner miner(options);
+      Result<MiningResult> result = miner.Mine(data);
+      if (!result.ok()) {
+        std::fprintf(stderr, "failed: %s\n",
+                     result.status().ToString().c_str());
+        continue;
+      }
+      size_t c2 = result->stats.passes.size() > 1
+                      ? result->stats.passes[1].num_candidates
+                      : 0;
+      bench::PrintRow({prune ? "on" : "off", StrFormat("%.1f", r),
+                       StrFormat("%zu", result->stats.num_frequent_items),
+                       StrFormat("%zu",
+                                 result->stats.items_pruned_by_interest),
+                       StrFormat("%zu", c2),
+                       StrFormat("%zu", result->stats.num_rules),
+                       StrFormat("%zu", result->stats.num_interesting_rules),
+                       StrFormat("%.0f", result->stats.total_seconds * 1e3)},
+                      widths);
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: with the prune on, items with support > 1/R\n"
+      "disappear, shrinking the candidate sets and the runtime, more so at\n"
+      "higher interest levels. Lemma 5 guarantees pruned items could never\n"
+      "be R-interesting on support; the interesting-rule count can still\n"
+      "shift because pruning wide items also removes ancestors that other\n"
+      "rules were judged against.\n");
+  return 0;
+}

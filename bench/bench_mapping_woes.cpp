@@ -1,0 +1,162 @@
+// Section 1.1 reproduction: the "MinSup" / "MinConf" mapping woes.
+//
+// Compares the naive map-to-boolean bridge (Figure 2: one boolean item per
+// <attribute, interval>, no range combination) against the paper's
+// algorithm, at two partitioning granularities:
+//   - fine partitioning: boolean items lack support ("MinSup" problem);
+//   - coarse partitioning: rules lose confidence ("MinConf" problem).
+// The quantitative miner escapes both by combining adjacent intervals.
+//
+//   $ ./bench_mapping_woes [--records=N] [--seed=S]
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/miner.h"
+#include "core/rules.h"
+#include "mining/bridge.h"
+#include "partition/mapper.h"
+#include "table/datagen.h"
+
+namespace {
+
+using namespace qarm;
+
+// Counts bridge rules that conclude a y-range inside the implanted
+// consequent, and reports the best confidence among them.
+struct Outcome {
+  size_t rules = 0;
+  double best_confidence = 0.0;
+};
+
+Outcome ScanBridge(const BridgeResult& bridge, const MappedTable& mapped) {
+  BooleanEncoding encoding(mapped);
+  Outcome out;
+  for (const BooleanRule& rule : bridge.rules) {
+    bool concludes_y = false;
+    for (int32_t item : rule.consequent) {
+      if (encoding.AttrOf(item) == 1) concludes_y = true;
+    }
+    bool from_x = false;
+    for (int32_t item : rule.antecedent) {
+      if (encoding.AttrOf(item) == 0) from_x = true;
+    }
+    if (concludes_y && from_x) {
+      ++out.rules;
+      out.best_confidence = std::max(out.best_confidence, rule.confidence);
+    }
+  }
+  return out;
+}
+
+Outcome ScanQuant(const MiningResult& result) {
+  Outcome out;
+  for (const QuantRule& rule : result.rules) {
+    bool concludes_y = false, from_x = false;
+    for (const RangeItem& item : rule.consequent) {
+      if (item.attr == 1) concludes_y = true;
+    }
+    for (const RangeItem& item : rule.antecedent) {
+      if (item.attr == 0) from_x = true;
+    }
+    if (concludes_y && from_x) {
+      ++out.rules;
+      out.best_confidence = std::max(out.best_confidence, rule.confidence);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t records = bench::FlagU64(argc, argv, "records", 20000);
+  const uint64_t seed = bench::FlagU64(argc, argv, "seed", 3);
+
+  // x uniform over a wide domain; y concentrated when x is in a narrow band
+  // that spans several fine intervals but only part of a coarse one.
+  SyntheticConfig config;
+  SyntheticAttribute x;
+  x.name = "x";
+  x.dist = SyntheticDist::kUniform;
+  x.param0 = 0;
+  x.param1 = 999;
+  SyntheticAttribute y = x;
+  y.name = "y";
+  config.attributes = {x, y};
+  ImplantedRule dep;
+  dep.antecedent_attr = 0;
+  dep.ante_lo = 200;
+  dep.ante_hi = 449;  // 25% of x-mass
+  dep.consequent_attr = 1;
+  dep.cons_lo = 800;
+  dep.cons_hi = 999;
+  dep.probability = 0.9;
+  config.rules.push_back(dep);
+  Table data = GenerateSynthetic(config, records, seed);
+
+  const double minsup = 0.15, minconf = 0.6;
+  std::printf(
+      "Section 1.1 mapping woes (%zu records; implanted rule: x in 200..449 "
+      "=> y in 800..999 @90%%)\n"
+      "thresholds: minsup %.0f%%, minconf %.0f%%\n\n",
+      records, minsup * 100, minconf * 100);
+
+  std::vector<int> widths = {34, 12, 16};
+  bench::PrintRow({"approach", "x=>y rules", "best confidence"}, widths);
+  bench::PrintSeparator(widths);
+
+  // Fine partitioning: 50 intervals of ~2% support each.
+  {
+    MapOptions map_options;
+    map_options.num_intervals_override = 50;
+    map_options.minsup = minsup;
+    auto mapped = MapTable(data, map_options);
+    BridgeResult bridge = MineViaBooleanBridge(*mapped, minsup, minconf);
+    Outcome out = ScanBridge(bridge, *mapped);
+    bench::PrintRow({"boolean bridge, 50 intervals",
+                     StrFormat("%zu", out.rules),
+                     StrFormat("%.1f%%", out.best_confidence * 100)},
+                    widths);
+  }
+
+  // Coarse partitioning: 2 intervals.
+  {
+    MapOptions map_options;
+    map_options.num_intervals_override = 2;
+    map_options.minsup = minsup;
+    auto mapped = MapTable(data, map_options);
+    BridgeResult bridge = MineViaBooleanBridge(*mapped, minsup, minconf);
+    Outcome out = ScanBridge(bridge, *mapped);
+    bench::PrintRow({"boolean bridge, 2 intervals",
+                     StrFormat("%zu", out.rules),
+                     StrFormat("%.1f%%", out.best_confidence * 100)},
+                    widths);
+  }
+
+  // The paper's algorithm: fine partitioning + range combination.
+  {
+    MinerOptions options;
+    options.minsup = minsup;
+    options.minconf = minconf;
+    options.max_support = 0.45;
+    options.num_intervals_override = 50;
+    QuantitativeRuleMiner miner(options);
+    auto result = miner.Mine(data);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    Outcome out = ScanQuant(*result);
+    bench::PrintRow({"quantitative miner, 50 intervals",
+                     StrFormat("%zu", out.rules),
+                     StrFormat("%.1f%%", out.best_confidence * 100)},
+                    widths);
+  }
+
+  std::printf(
+      "\nExpected shape: the fine-grained bridge finds no x=>y rule (items\n"
+      "lack minimum support); the coarse bridge finds rules but with\n"
+      "diluted confidence; the quantitative miner recovers the implanted\n"
+      "rule at high confidence.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Partitioning ablation (Section 3 / Section 7): equi-depth vs equi-width
+// base intervals on skewed data.
+//
+// Lemma 4 says equi-depth minimizes the partial completeness level for a
+// given interval count. On skewed (log-normal) data, equi-width packs most
+// records into a few intervals, so its realized partial completeness — and
+// therefore the information lost — blows up. This bench quantifies both,
+// plus the downstream effect on frequent items and rules.
+//
+//   $ ./bench_partitioning [--records=N] [--seed=S]
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/miner.h"
+#include "table/datagen.h"
+
+int main(int argc, char** argv) {
+  using namespace qarm;
+  const size_t records = bench::FlagU64(argc, argv, "records", 50000);
+  const uint64_t seed = bench::FlagU64(argc, argv, "seed", 5);
+
+  Table data = MakeFinancialDataset(records, seed);
+  std::printf(
+      "Partitioning ablation on skewed data (%zu records, log-normal "
+      "incomes)\nminsup 20%%, minconf 25%%, maxsup 40%%\n\n",
+      records);
+
+  std::vector<int> widths = {12, 6, 14, 14, 10, 14};
+  bench::PrintRow({"method", "K", "achieved K", "freq items", "rules",
+                   "time (ms)"},
+                  widths);
+  bench::PrintSeparator(widths);
+
+  for (double k : {1.5, 2.0, 3.0}) {
+    for (PartitionMethod method :
+         {PartitionMethod::kEquiDepth, PartitionMethod::kEquiWidth,
+          PartitionMethod::kKMeans}) {
+      MinerOptions options;
+      options.minsup = 0.20;
+      options.minconf = 0.25;
+      options.max_support = 0.40;
+      options.partial_completeness = k;
+      options.partition_method = method;
+      options.max_quantitative_per_rule = 3;  // n' refinement, see DESIGN.md
+      QuantitativeRuleMiner miner(options);
+      Result<MiningResult> result = miner.Mine(data);
+      if (!result.ok()) {
+        std::fprintf(stderr, "failed: %s\n",
+                     result.status().ToString().c_str());
+        continue;
+      }
+      bench::PrintRow(
+          {method == PartitionMethod::kEquiDepth
+               ? "equi-depth"
+               : (method == PartitionMethod::kEquiWidth ? "equi-width"
+                                                        : "kmeans"),
+           StrFormat("%.1f", k),
+           StrFormat("%.2f", result->stats.achieved_partial_completeness),
+           StrFormat("%zu", result->stats.num_frequent_items),
+           StrFormat("%zu", result->stats.num_rules),
+           StrFormat("%.0f", result->stats.total_seconds * 1e3)},
+          widths);
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: for the same interval budget, equi-width's\n"
+      "achieved partial completeness is far above the requested K on\n"
+      "skewed attributes (its densest interval carries most of the mass),\n"
+      "confirming Lemma 4's optimality of equi-depth.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the figure-reproduction benches: flag parsing and
+// aligned table printing.
+#ifndef QARM_BENCH_BENCH_UTIL_H_
+#define QARM_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace qarm {
+namespace bench {
+
+// Parses "--name=value" flags; returns fallback when absent.
+inline uint64_t FlagU64(int argc, char** argv, const char* name,
+                        uint64_t fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+inline double FlagDouble(int argc, char** argv, const char* name,
+                         double fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtod(argv[i] + prefix.size(), nullptr);
+    }
+  }
+  return fallback;
+}
+
+// Prints a row of cells padded to the given widths.
+inline void PrintRow(const std::vector<std::string>& cells,
+                     const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%-*s", widths[i] + 2, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline void PrintSeparator(const std::vector<int>& widths) {
+  for (int w : widths) {
+    for (int i = 0; i < w; ++i) std::printf("-");
+    std::printf("  ");
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace qarm
+
+#endif  // QARM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,70 @@
+// The Figure 6 "decoy" scenario: why the interest measure must examine
+// specializations, not just generalizations.
+//
+//   $ ./interest_decoy [num_records]
+//
+// Generates data where the joint support of (x=v, y=yes) is flat at 1%
+// except a spike of 11% at x=5, mines rules with and without the interest
+// measure, and shows that only the spike survives.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/miner.h"
+#include "core/rules.h"
+#include "table/datagen.h"
+
+int main(int argc, char** argv) {
+  using namespace qarm;
+
+  size_t num_records =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
+  Table data = MakeDecoyTable(num_records, /*seed=*/7);
+
+  MinerOptions options;
+  options.minsup = 0.02;
+  options.minconf = 0.0;  // the paper allows dropping minconf with interest
+  // Uncapped range combination: on a 10-value domain the wide ancestor
+  // ranges must exist for the interest comparison (see bench_fig6_decoy).
+  options.max_support = 1.0;
+  options.num_intervals_override = 0;  // x has only 10 values: no partition
+  options.partial_completeness = 2.0;
+  options.interest_level = 1.5;
+  options.interest_item_prune = false;  // keep decoy ranges in play
+
+  QuantitativeRuleMiner miner(options);
+  Result<MiningResult> result = miner.Mine(data);
+  if (!result.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  size_t interesting = 0, boring = 0;
+  std::printf("Rules concluding <y: yes>:\n");
+  for (const QuantRule& rule : result->rules) {
+    // Focus on x-range => y=yes rules for the demonstration.
+    if (rule.consequent.size() != 1 || rule.consequent[0].attr != 1) continue;
+    if (result->mapped.attribute(1).DecodeRange(
+            rule.consequent[0].lo, rule.consequent[0].hi) != "yes") {
+      continue;
+    }
+    if (rule.interesting) {
+      ++interesting;
+      std::printf("  [INTERESTING] %s\n",
+                  RuleToString(rule, result->mapped).c_str());
+    } else {
+      ++boring;
+      if (boring <= 10) {
+        std::printf("  [pruned]      %s\n",
+                    RuleToString(rule, result->mapped).c_str());
+      }
+    }
+  }
+  std::printf(
+      "\n%zu interesting, %zu pruned. The 'Decoy' ranges like <x: 3..5> beat\n"
+      "their raw expectation but fail the specialization-difference test\n"
+      "(subtracting <x: 5> leaves a boring remainder), so only the spike\n"
+      "survives.\n",
+      interesting, boring);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Explores the partial-completeness machinery of Section 3: how the desired
+// level K sets the number of base intervals (Equation 2), what level the
+// realized equi-depth partitioning achieves (Equation 1), and how the
+// frequent-item count and information loss trade off.
+//
+//   $ ./partition_explorer [num_records]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/frequent_items.h"
+#include "core/miner.h"
+#include "partition/partial_completeness.h"
+#include "table/datagen.h"
+
+int main(int argc, char** argv) {
+  using namespace qarm;
+
+  size_t num_records = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  Table data = MakeFinancialDataset(num_records, /*seed=*/1);
+  const double minsup = 0.20;
+  const size_t n_quant = data.schema().num_quantitative();
+
+  std::printf(
+      "Partial completeness exploration (%zu records, minsup %.0f%%, "
+      "%zu quantitative attributes)\n\n",
+      num_records, minsup * 100, n_quant);
+  std::printf("%-6s %-10s %-12s %-16s %-14s\n", "K", "intervals",
+              "freq items", "achieved K", "mining ms");
+
+  for (double k : {1.5, 2.0, 2.5, 3.0, 4.0, 5.0}) {
+    size_t intervals = IntervalsForPartialCompleteness(k, n_quant, minsup);
+
+    MinerOptions options;
+    options.minsup = minsup;
+    options.minconf = 0.5;
+    options.max_support = 0.4;
+    options.partial_completeness = k;
+    QuantitativeRuleMiner miner(options);
+    Result<MiningResult> result = miner.Mine(data);
+    if (!result.ok()) {
+      std::fprintf(stderr, "K=%.1f failed: %s\n", k,
+                   result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-6.1f %-10zu %-12zu %-16.2f %-14.0f\n", k, intervals,
+                result->stats.num_frequent_items,
+                result->stats.achieved_partial_completeness,
+                result->stats.total_seconds * 1e3);
+  }
+
+  std::printf(
+      "\nLower K preserves more information (more, finer intervals) at the\n"
+      "cost of more frequent items and a longer run — the Section 3\n"
+      "trade-off. Equi-depth partitioning keeps the achieved K at or below\n"
+      "the request (Lemma 4), modulo single-value mass points.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace qarm {
+namespace {
+
+LogLevel g_min_level = LogLevel::kInfo;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level = level; }
+LogLevel GetLogLevel() { return g_min_level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  (void)file;
+  (void)line;
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < g_min_level) return;
+  std::fprintf(stderr, "[%s] %s\n", LevelTag(level_), stream_.str().c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace internal
+}  // namespace qarm

@@ -1,0 +1,46 @@
+// Minimal leveled logging to stderr. Log lines carry a level tag and are
+// flushed immediately so benchmark/test output interleaves predictably.
+#ifndef QARM_COMMON_LOGGING_H_
+#define QARM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace qarm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Sets the minimum level that is actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace qarm
+
+#define QARM_LOG(level)                                               \
+  ::qarm::internal::LogMessage(::qarm::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+#endif  // QARM_COMMON_LOGGING_H_

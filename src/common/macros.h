@@ -1,0 +1,48 @@
+// Core invariant-checking macros. QARM uses Status/Result for recoverable
+// errors (see common/status.h) and these macros for programmer errors:
+// a failed check aborts the process with a diagnostic.
+#ifndef QARM_COMMON_MACROS_H_
+#define QARM_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a message when `cond` is false. Enabled in all build types:
+// mining results silently corrupted by an unchecked invariant are worse than
+// the cost of a branch.
+#define QARM_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "QARM_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                       \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+// Binary comparison checks that print both operand expressions.
+#define QARM_CHECK_OP(a, op, b)                                               \
+  do {                                                                        \
+    if (!((a)op(b))) {                                                        \
+      std::fprintf(stderr, "QARM_CHECK failed: %s %s %s at %s:%d\n", #a, #op, \
+                   #b, __FILE__, __LINE__);                                   \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define QARM_CHECK_EQ(a, b) QARM_CHECK_OP(a, ==, b)
+#define QARM_CHECK_NE(a, b) QARM_CHECK_OP(a, !=, b)
+#define QARM_CHECK_LT(a, b) QARM_CHECK_OP(a, <, b)
+#define QARM_CHECK_LE(a, b) QARM_CHECK_OP(a, <=, b)
+#define QARM_CHECK_GT(a, b) QARM_CHECK_OP(a, >, b)
+#define QARM_CHECK_GE(a, b) QARM_CHECK_OP(a, >=, b)
+
+// Debug-only check; compiles away in NDEBUG builds. Use on hot paths.
+#ifdef NDEBUG
+#define QARM_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define QARM_DCHECK(cond) QARM_CHECK(cond)
+#endif
+
+#endif  // QARM_COMMON_MACROS_H_

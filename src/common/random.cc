@@ -1,0 +1,98 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace qarm {
+
+namespace {
+constexpr uint64_t kPcgMultiplier = 6364136223846793005ULL;
+constexpr uint64_t kPcgIncrement = 1442695040888963407ULL;
+}  // namespace
+
+Rng::Rng(uint64_t seed) : state_(seed + kPcgIncrement) { NextU32(); }
+
+uint32_t Rng::NextU32() {
+  uint64_t old = state_;
+  state_ = old * kPcgMultiplier + kPcgIncrement;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  QARM_CHECK_LE(lo, hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t draw;
+  do {
+    draw = NextU64();
+  } while (draw >= limit);
+  return lo + static_cast<int64_t>(draw % range);
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller transform.
+  double u1;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 0.0);
+  double u2 = UniformDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+ZipfDistribution::ZipfDistribution(size_t n, double theta) {
+  QARM_CHECK_GT(n, 0u);
+  QARM_CHECK_GE(theta, 0.0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+}
+
+size_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace qarm

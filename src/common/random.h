@@ -1,0 +1,80 @@
+// Deterministic pseudo-random generation for data synthesis and tests.
+// A small PCG-style engine plus the distributions the data generators need
+// (uniform, normal, log-normal, Zipf). All draws are reproducible from the
+// seed, independent of the standard library implementation.
+#ifndef QARM_COMMON_RANDOM_H_
+#define QARM_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace qarm {
+
+// PCG-XSH-RR 64/32 pseudo-random engine. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  // Uniform 32-bit draw.
+  uint32_t NextU32();
+
+  // Uniform 64-bit draw.
+  uint64_t NextU64();
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // Standard normal draw (Box-Muller).
+  double Normal();
+
+  // Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  // Log-normal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  // Bernoulli draw with probability p of returning true.
+  bool Bernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+// Zipf-distributed integers over {0, ..., n-1} with exponent `theta`
+// (theta = 0 is uniform; larger theta is more skewed). Draws in O(log n)
+// via binary search over the precomputed CDF.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double theta);
+
+  // Draws one Zipf value in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace qarm
+
+#endif  // QARM_COMMON_RANDOM_H_

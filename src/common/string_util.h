@@ -1,0 +1,30 @@
+// Small string helpers used by CSV I/O and rule formatting.
+#ifndef QARM_COMMON_STRING_UTIL_H_
+#define QARM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qarm {
+
+// Splits `input` on `delim`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// Formats a double with up to `precision` significant decimals, trimming
+// trailing zeros ("2.50" -> "2.5", "3.00" -> "3").
+std::string FormatDouble(double value, int precision = 6);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace qarm
+
+#endif  // QARM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by the scale-up benchmarks.
+#ifndef QARM_COMMON_TIMER_H_
+#define QARM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace qarm {
+
+// Starts timing at construction; ElapsedSeconds() reads without stopping.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  // Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  // Seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qarm
+
+#endif  // QARM_COMMON_TIMER_H_

@@ -1,0 +1,72 @@
+#include "core/apriori_quant.h"
+
+#include <cmath>
+
+#include "common/timer.h"
+#include "core/candidate_gen.h"
+
+namespace qarm {
+
+FrequentItemsetResult MineFrequentItemsets(const MappedTable& table,
+                                           const ItemCatalog& catalog,
+                                           const MinerOptions& options) {
+  FrequentItemsetResult result;
+  const size_t num_rows = table.num_rows();
+  uint64_t min_count = static_cast<uint64_t>(
+      std::ceil(options.minsup * static_cast<double>(num_rows) - 1e-9));
+  if (min_count == 0) min_count = 1;
+
+  // L1: the frequent items themselves (their supports are known from the
+  // catalog's marginals; no counting pass is needed).
+  Timer timer;
+  ItemsetSet frequent(1);
+  {
+    PassStats pass;
+    pass.k = 1;
+    pass.num_candidates = catalog.num_items();
+    for (size_t i = 0; i < catalog.num_items(); ++i) {
+      const int32_t id = static_cast<int32_t>(i);
+      const uint64_t count = catalog.item_count(id);
+      // Items were already generated with support >= minsup.
+      result.itemsets.push_back(FrequentItemset{{id}, count});
+      frequent.AppendVector({id});
+    }
+    pass.num_frequent = frequent.size();
+    pass.seconds = timer.ElapsedSeconds();
+    result.passes.push_back(pass);
+  }
+
+  size_t k = 2;
+  while (!frequent.empty() &&
+         (options.max_itemset_size == 0 || k <= options.max_itemset_size)) {
+    timer.Reset();
+    PassStats pass;
+    pass.k = k;
+    ItemsetSet candidates = GenerateCandidates(catalog, frequent);
+    pass.num_candidates = candidates.size();
+    if (candidates.empty()) {
+      pass.seconds = timer.ElapsedSeconds();
+      result.passes.push_back(pass);
+      break;
+    }
+    std::vector<uint32_t> counts =
+        CountSupports(table, catalog, candidates, options, &pass.counting);
+
+    ItemsetSet next(k);
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (counts[c] >= min_count) {
+        result.itemsets.push_back(
+            FrequentItemset{candidates.itemset_vector(c), counts[c]});
+        next.Append(candidates.itemset(c));
+      }
+    }
+    pass.num_frequent = next.size();
+    pass.seconds = timer.ElapsedSeconds();
+    result.passes.push_back(pass);
+    frequent = std::move(next);
+    ++k;
+  }
+  return result;
+}
+
+}  // namespace qarm

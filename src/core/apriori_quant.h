@@ -1,0 +1,45 @@
+// The level-wise frequent-itemset driver (Section 5): L_1 from the item
+// catalog, then candidate generation + one counting pass per level until no
+// frequent itemsets remain.
+#ifndef QARM_CORE_APRIORI_QUANT_H_
+#define QARM_CORE_APRIORI_QUANT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/frequent_items.h"
+#include "core/options.h"
+#include "core/support_counting.h"
+#include "mining/apriori.h"
+#include "partition/mapped_table.h"
+
+namespace qarm {
+
+// Per-pass observability.
+struct PassStats {
+  size_t k = 0;
+  size_t num_candidates = 0;
+  size_t num_frequent = 0;
+  CountingStats counting;
+  double seconds = 0.0;
+};
+
+// All frequent itemsets over item ids, plus the per-pass stats.
+struct FrequentItemsetResult {
+  // Every frequent itemset of every size; `items` holds *item ids* into the
+  // catalog (reusing the boolean FrequentItemset container so rule
+  // generation is shared with the [AS94] implementation).
+  std::vector<FrequentItemset> itemsets;
+  std::vector<PassStats> passes;
+};
+
+// Runs the level-wise algorithm. `catalog` must have been built from
+// `table` with the same options.
+FrequentItemsetResult MineFrequentItemsets(const MappedTable& table,
+                                           const ItemCatalog& catalog,
+                                           const MinerOptions& options);
+
+}  // namespace qarm
+
+#endif  // QARM_CORE_APRIORI_QUANT_H_

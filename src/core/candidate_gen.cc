@@ -1,0 +1,95 @@
+#include "core/candidate_gen.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace qarm {
+
+bool ItemsetSet::Contains(const int32_t* ids) const {
+  if (k_ == 0) return false;
+  size_t lo = 0, hi = size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    const int32_t* candidate = itemset(mid);
+    int cmp = 0;
+    for (size_t i = 0; i < k_; ++i) {
+      if (candidate[i] != ids[i]) {
+        cmp = candidate[i] < ids[i] ? -1 : 1;
+        break;
+      }
+    }
+    if (cmp == 0) return true;
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return false;
+}
+
+ItemsetSet GenerateCandidates(const ItemCatalog& catalog,
+                              const ItemsetSet& frequent) {
+  const size_t k_minus_1 = frequent.k();
+  ItemsetSet candidates(k_minus_1 + 1);
+  if (frequent.empty()) return candidates;
+
+  auto attr_of = [&catalog](int32_t id) { return catalog.item(id).attr; };
+
+  // Join phase: runs sharing the first k-2 ids are contiguous because the
+  // set is lexicographically sorted.
+  const size_t prefix_len = k_minus_1 - 1;
+  size_t run_start = 0;
+  const size_t n = frequent.size();
+  std::vector<int32_t> scratch(k_minus_1 + 1);
+  while (run_start < n) {
+    size_t run_end = run_start + 1;
+    const int32_t* base = frequent.itemset(run_start);
+    while (run_end < n &&
+           std::equal(base, base + prefix_len, frequent.itemset(run_end))) {
+      ++run_end;
+    }
+    for (size_t i = run_start; i < run_end; ++i) {
+      const int32_t last_i = frequent.itemset(i)[k_minus_1 - 1];
+      const int32_t attr_i = attr_of(last_i);
+      for (size_t j = i + 1; j < run_end; ++j) {
+        const int32_t last_j = frequent.itemset(j)[k_minus_1 - 1];
+        // Item ids are sorted by attribute, so within the run attributes are
+        // non-decreasing; all partners after the first attribute change
+        // qualify.
+        if (attr_of(last_j) == attr_i) continue;
+        std::copy(frequent.itemset(i), frequent.itemset(i) + k_minus_1,
+                  scratch.begin());
+        scratch[k_minus_1] = last_j;
+        candidates.Append(scratch.data());
+      }
+    }
+    run_start = run_end;
+  }
+
+  // Prune phase (k >= 3): every (k-1)-subset must be frequent. Dropping the
+  // last or second-to-last item reproduces the two join parents, so only
+  // subsets skipping an earlier position need checking.
+  if (k_minus_1 >= 2) {
+    ItemsetSet pruned(k_minus_1 + 1);
+    std::vector<int32_t> subset(k_minus_1);
+    const size_t k = k_minus_1 + 1;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      const int32_t* ids = candidates.itemset(c);
+      bool keep = true;
+      for (size_t skip = 0; keep && skip + 2 < k; ++skip) {
+        size_t out = 0;
+        for (size_t i = 0; i < k; ++i) {
+          if (i != skip) subset[out++] = ids[i];
+        }
+        keep = frequent.Contains(subset.data());
+      }
+      if (keep) pruned.Append(ids);
+    }
+    return pruned;
+  }
+  return candidates;
+}
+
+}  // namespace qarm

@@ -1,0 +1,53 @@
+// Candidate generation for quantitative itemsets (Section 5.1): join L_{k-1}
+// with itself on the first k-2 items with the *attributes* of the last two
+// items differing (an itemset holds at most one item per attribute), then
+// prune candidates with an infrequent (k-1)-subset. The Lemma 5 interest
+// prune happens earlier, at item level (ItemCatalog).
+#ifndef QARM_CORE_CANDIDATE_GEN_H_
+#define QARM_CORE_CANDIDATE_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/frequent_items.h"
+
+namespace qarm {
+
+// A set of k-itemsets over item ids, stored flat (k consecutive ids per
+// itemset) to keep large candidate sets compact.
+class ItemsetSet {
+ public:
+  explicit ItemsetSet(size_t k) : k_(k) {}
+
+  size_t k() const { return k_; }
+  size_t size() const { return k_ == 0 ? 0 : flat_.size() / k_; }
+  bool empty() const { return flat_.empty(); }
+
+  const int32_t* itemset(size_t i) const { return &flat_[i * k_]; }
+  std::vector<int32_t> itemset_vector(size_t i) const {
+    return std::vector<int32_t>(itemset(i), itemset(i) + k_);
+  }
+
+  void Append(const int32_t* ids) { flat_.insert(flat_.end(), ids, ids + k_); }
+  void AppendVector(const std::vector<int32_t>& ids) { Append(ids.data()); }
+  void Reserve(size_t n) { flat_.reserve(n * k_); }
+
+  // Lexicographic binary search; requires the set to be sorted (itemsets
+  // are generated in lexicographic order by construction).
+  bool Contains(const int32_t* ids) const;
+
+ private:
+  size_t k_;
+  std::vector<int32_t> flat_;
+};
+
+// apriori-gen over quantitative items: returns C_k from L_{k-1}.
+// `frequent` must be lexicographically sorted by item id; item ids are
+// sorted by (attribute, lo, hi), so itemsets are attribute-sorted.
+ItemsetSet GenerateCandidates(const ItemCatalog& catalog,
+                              const ItemsetSet& frequent);
+
+}  // namespace qarm
+
+#endif  // QARM_CORE_CANDIDATE_GEN_H_

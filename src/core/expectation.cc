@@ -1,0 +1,37 @@
+#include "core/expectation.h"
+
+#include "common/macros.h"
+
+namespace qarm {
+namespace {
+
+// Π_i Pr(z_i) / Pr(ẑ_i) over paired itemsets.
+double MarginalRatio(const RangeItemset& z, const RangeItemset& z_hat,
+                     const ItemCatalog& catalog) {
+  QARM_CHECK_EQ(z.size(), z_hat.size());
+  double ratio = 1.0;
+  for (size_t i = 0; i < z.size(); ++i) {
+    QARM_CHECK_EQ(z[i].attr, z_hat[i].attr);
+    QARM_DCHECK(z_hat[i].Generalizes(z[i]));
+    double numer = catalog.RangeSupport(z[i].attr, z[i].lo, z[i].hi);
+    double denom =
+        catalog.RangeSupport(z_hat[i].attr, z_hat[i].lo, z_hat[i].hi);
+    if (denom <= 0.0) return 0.0;  // empty generalization: no expectation
+    ratio *= numer / denom;
+  }
+  return ratio;
+}
+
+}  // namespace
+
+double ExpectedSupport(const RangeItemset& z, const RangeItemset& z_hat,
+                       double sup_z_hat, const ItemCatalog& catalog) {
+  return MarginalRatio(z, z_hat, catalog) * sup_z_hat;
+}
+
+double ExpectedConfidence(const RangeItemset& y, const RangeItemset& y_hat,
+                          double conf_hat, const ItemCatalog& catalog) {
+  return MarginalRatio(y, y_hat, catalog) * conf_hat;
+}
+
+}  // namespace qarm

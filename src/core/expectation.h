@@ -1,0 +1,29 @@
+// The Section 4 expected-value formulas. For Z with generalization Ẑ:
+//
+//   E_Ẑ[Pr(Z)]   = Π_i Pr(z_i)/Pr(ẑ_i) × Pr(Ẑ)
+//   E_Ŷ|X̂[Pr(Y|X)] = Π_i Pr(y_i)/Pr(ŷ_i) × Pr(Ŷ|X̂)
+//
+// where the per-item probabilities are single-attribute marginals, served by
+// the item catalog's prefix sums.
+#ifndef QARM_CORE_EXPECTATION_H_
+#define QARM_CORE_EXPECTATION_H_
+
+#include "core/frequent_items.h"
+#include "core/item.h"
+
+namespace qarm {
+
+// Expected support of `z` given its generalization `z_hat` with support
+// `sup_z_hat` (fractions). Requires attributes(z) == attributes(z_hat) and
+// each range of z contained in z_hat's.
+double ExpectedSupport(const RangeItemset& z, const RangeItemset& z_hat,
+                       double sup_z_hat, const ItemCatalog& catalog);
+
+// Expected confidence of a rule with consequent `y`, given the ancestor
+// rule's consequent `y_hat` and confidence `conf_hat`.
+double ExpectedConfidence(const RangeItemset& y, const RangeItemset& y_hat,
+                          double conf_hat, const ItemCatalog& catalog);
+
+}  // namespace qarm
+
+#endif  // QARM_CORE_EXPECTATION_H_

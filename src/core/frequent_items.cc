@@ -1,0 +1,174 @@
+#include "core/frequent_items.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace qarm {
+
+ItemCatalog ItemCatalog::Build(const MappedTable& table,
+                               const MinerOptions& options) {
+  ItemCatalog catalog;
+  const size_t num_attrs = table.num_attributes();
+  const size_t num_rows = table.num_rows();
+  catalog.num_records_ = num_rows;
+
+  // Per-attribute value counts in one scan.
+  catalog.value_counts_.resize(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    catalog.value_counts_[a].assign(table.attribute(a).domain_size(), 0);
+  }
+  for (size_t r = 0; r < num_rows; ++r) {
+    const int32_t* row = table.row(r);
+    for (size_t a = 0; a < num_attrs; ++a) {
+      if (row[a] == kMissingValue) continue;
+      ++catalog.value_counts_[a][static_cast<size_t>(row[a])];
+    }
+  }
+  catalog.prefix_counts_.resize(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    const auto& counts = catalog.value_counts_[a];
+    auto& prefix = catalog.prefix_counts_[a];
+    prefix.resize(counts.size());
+    uint64_t sum = 0;
+    for (size_t v = 0; v < counts.size(); ++v) {
+      sum += counts[v];
+      prefix[v] = sum;
+    }
+  }
+
+  uint64_t min_count = static_cast<uint64_t>(
+      std::ceil(options.minsup * static_cast<double>(num_rows) - 1e-9));
+  if (min_count == 0) min_count = 1;
+  const double max_support =
+      options.max_support <= 0.0 ? 1.0 : options.max_support;
+  const uint64_t max_count = static_cast<uint64_t>(
+      std::floor(max_support * static_cast<double>(num_rows) + 1e-9));
+
+  // Lemma 5 cutoff: quantitative items with support > 1/R are pruned.
+  const bool prune =
+      options.interest_level > 1.0 && options.interest_item_prune;
+  const double prune_cutoff =
+      prune ? static_cast<double>(num_rows) / options.interest_level : 0.0;
+
+  for (size_t a = 0; a < num_attrs; ++a) {
+    const MappedAttribute& attr = table.attribute(a);
+    const auto& counts = catalog.value_counts_[a];
+    const int32_t domain = static_cast<int32_t>(counts.size());
+
+    if (attr.kind == AttributeKind::kCategorical) {
+      // Leaf values, plus interior taxonomy nodes (Section 1.1: a taxonomy
+      // implicitly combines categorical values). Multi-leaf nodes observe
+      // the max-support cap like quantitative ranges do.
+      std::vector<RangeItem> candidates;
+      for (int32_t v = 0; v < domain; ++v) {
+        candidates.push_back(RangeItem{static_cast<int32_t>(a), v, v});
+      }
+      for (const Taxonomy::NodeRange& node : attr.taxonomy_ranges) {
+        if (node.lo < node.hi) {
+          candidates.push_back(
+              RangeItem{static_cast<int32_t>(a), node.lo, node.hi});
+        }
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+      for (const RangeItem& item : candidates) {
+        uint64_t sum = 0;
+        for (int32_t v = item.lo; v <= item.hi; ++v) {
+          sum += counts[static_cast<size_t>(v)];
+        }
+        if (sum < min_count) continue;
+        if (item.lo < item.hi && sum > max_count) continue;
+        catalog.items_.push_back(item);
+        catalog.item_counts_.push_back(sum);
+      }
+      continue;
+    }
+
+    // Quantitative: every range [l..u] of adjacent values whose combined
+    // support reaches minsup without exceeding max-support; a single value
+    // above max-support is still considered (Section 1.2).
+    for (int32_t l = 0; l < domain; ++l) {
+      uint64_t cum = 0;
+      for (int32_t u = l; u < domain; ++u) {
+        cum += counts[static_cast<size_t>(u)];
+        if (u > l && cum > max_count) break;
+        if (cum >= min_count) {
+          bool pruned =
+              prune && static_cast<double>(cum) > prune_cutoff;
+          if (!pruned) {
+            catalog.items_.push_back(
+                RangeItem{static_cast<int32_t>(a), l, u});
+            catalog.item_counts_.push_back(cum);
+          } else {
+            ++catalog.items_pruned_by_interest_;
+          }
+        }
+        if (cum > max_count) break;  // single value exceeded the cap
+      }
+    }
+  }
+
+  // Items were generated in (attr, lo, hi) order already; verify in debug.
+  for (size_t i = 1; i < catalog.items_.size(); ++i) {
+    QARM_DCHECK(catalog.items_[i - 1] < catalog.items_[i]);
+  }
+
+  // Categorical value -> item id lookup. Taxonomized (ranged) categorical
+  // attributes are excluded: their items are ranges, counted as rectangle
+  // dimensions rather than via the hash tree.
+  catalog.categorical_item_ids_.resize(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    if (table.attribute(a).kind == AttributeKind::kCategorical &&
+        !table.attribute(a).ranged()) {
+      catalog.categorical_item_ids_[a].assign(
+          table.attribute(a).domain_size(), -1);
+    }
+  }
+  for (size_t i = 0; i < catalog.items_.size(); ++i) {
+    const RangeItem& item = catalog.items_[i];
+    const size_t a = static_cast<size_t>(item.attr);
+    if (table.attribute(a).kind == AttributeKind::kCategorical &&
+        !table.attribute(a).ranged()) {
+      catalog.categorical_item_ids_[a][static_cast<size_t>(item.lo)] =
+          static_cast<int32_t>(i);
+    }
+  }
+  return catalog;
+}
+
+RangeItemset ItemCatalog::Decode(const std::vector<int32_t>& ids) const {
+  RangeItemset itemset;
+  itemset.reserve(ids.size());
+  for (int32_t id : ids) itemset.push_back(item(id));
+  return itemset;
+}
+
+int32_t ItemCatalog::CategoricalItemId(size_t attr, int32_t value) const {
+  const auto& lookup = categorical_item_ids_[attr];
+  QARM_DCHECK(!lookup.empty());
+  QARM_DCHECK(value >= 0 && static_cast<size_t>(value) < lookup.size());
+  return lookup[static_cast<size_t>(value)];
+}
+
+uint64_t ItemCatalog::RangeCount(int32_t attr, int32_t lo, int32_t hi) const {
+  const auto& prefix = prefix_counts_[static_cast<size_t>(attr)];
+  if (prefix.empty()) return 0;
+  int32_t max_value = static_cast<int32_t>(prefix.size()) - 1;
+  if (lo < 0) lo = 0;
+  if (hi > max_value) hi = max_value;
+  if (lo > hi) return 0;
+  uint64_t upper = prefix[static_cast<size_t>(hi)];
+  uint64_t lower = lo == 0 ? 0 : prefix[static_cast<size_t>(lo) - 1];
+  return upper - lower;
+}
+
+double ItemCatalog::RangeSupport(int32_t attr, int32_t lo, int32_t hi) const {
+  if (num_records_ == 0) return 0.0;
+  return static_cast<double>(RangeCount(attr, lo, hi)) /
+         static_cast<double>(num_records_);
+}
+
+}  // namespace qarm

@@ -1,0 +1,77 @@
+// Pass 1 of the mining algorithm (step 3 of Section 2.1): find the support
+// of every attribute value, combine adjacent quantitative values/intervals
+// into ranges while their joint support stays within max-support, and emit
+// the frequent items. Also applies the Lemma 5 interest prune (quantitative
+// items with support above 1/R can never be R-interesting on support).
+#ifndef QARM_CORE_FREQUENT_ITEMS_H_
+#define QARM_CORE_FREQUENT_ITEMS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/item.h"
+#include "core/options.h"
+#include "partition/mapped_table.h"
+
+namespace qarm {
+
+// Immutable catalog of the frequent items plus the per-attribute marginal
+// value counts (the marginals also serve the Section 4 expected-value
+// formulas).
+class ItemCatalog {
+ public:
+  // Builds the catalog in one scan of `table`.
+  static ItemCatalog Build(const MappedTable& table,
+                           const MinerOptions& options);
+
+  size_t num_items() const { return items_.size(); }
+  const RangeItem& item(int32_t id) const {
+    return items_[static_cast<size_t>(id)];
+  }
+  uint64_t item_count(int32_t id) const {
+    return item_counts_[static_cast<size_t>(id)];
+  }
+  size_t num_records() const { return num_records_; }
+
+  // Converts an itemset of item ids into explicit ranges.
+  RangeItemset Decode(const std::vector<int32_t>& ids) const;
+
+  // Item id of the categorical item <attr, value, value>, or -1 when that
+  // value is not a frequent item.
+  int32_t CategoricalItemId(size_t attr, int32_t value) const;
+
+  // Marginal support count / fraction of an arbitrary range of `attr`
+  // (mapped domain, clipped).
+  uint64_t RangeCount(int32_t attr, int32_t lo, int32_t hi) const;
+  double RangeSupport(int32_t attr, int32_t lo, int32_t hi) const;
+
+  // Raw per-value counts of one attribute (partial-completeness reporting).
+  const std::vector<uint64_t>& value_counts(size_t attr) const {
+    return value_counts_[attr];
+  }
+
+  // Number of quantitative items dropped by the Lemma 5 prune.
+  size_t items_pruned_by_interest() const {
+    return items_pruned_by_interest_;
+  }
+
+ private:
+  ItemCatalog() = default;
+
+  std::vector<RangeItem> items_;        // sorted by (attr, lo, hi)
+  std::vector<uint64_t> item_counts_;   // parallel to items_
+  size_t num_records_ = 0;
+  size_t items_pruned_by_interest_ = 0;
+
+  // Per attribute: per-value counts and inclusive prefix sums.
+  std::vector<std::vector<uint64_t>> value_counts_;
+  std::vector<std::vector<uint64_t>> prefix_counts_;
+
+  // Per categorical attribute: value -> item id (-1 if not frequent).
+  std::vector<std::vector<int32_t>> categorical_item_ids_;
+};
+
+}  // namespace qarm
+
+#endif  // QARM_CORE_FREQUENT_ITEMS_H_

@@ -1,0 +1,203 @@
+#include "core/interest.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/macros.h"
+#include "core/expectation.h"
+
+namespace qarm {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+size_t InterestEvaluator::KeyHash::operator()(
+    const std::vector<int32_t>& v) const {
+  uint64_t h = 1469598103934665603ULL;
+  for (int32_t x : v) {
+    h ^= static_cast<uint32_t>(x);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+std::vector<int32_t> InterestEvaluator::WildcardKey(const RangeItemset& items,
+                                                    size_t wildcard) {
+  std::vector<int32_t> key;
+  key.reserve(1 + items.size() * 3);
+  key.push_back(static_cast<int32_t>(wildcard));
+  for (size_t i = 0; i < items.size(); ++i) {
+    key.push_back(items[i].attr);
+    if (i == wildcard) {
+      key.push_back(-1);
+      key.push_back(-1);
+    } else {
+      key.push_back(items[i].lo);
+      key.push_back(items[i].hi);
+    }
+  }
+  return key;
+}
+
+InterestEvaluator::InterestEvaluator(
+    const ItemCatalog* catalog, const std::vector<FrequentItemset>* frequent,
+    double interest_level, InterestMode mode)
+    : catalog_(catalog),
+      level_(interest_level),
+      mode_(mode),
+      num_records_(catalog->num_records()) {
+  if (level_ <= 0.0) return;  // evaluator is a no-op: skip indexing
+  decoded_.reserve(frequent->size());
+  for (const FrequentItemset& f : *frequent) {
+    DecodedItemset d;
+    d.items = catalog_->Decode(f.items);
+    d.count = f.count;
+    decoded_.push_back(std::move(d));
+  }
+  for (size_t i = 0; i < decoded_.size(); ++i) {
+    const RangeItemset& items = decoded_[i].items;
+    for (size_t p = 0; p < items.size(); ++p) {
+      by_wildcard_[WildcardKey(items, p)].push_back(i);
+    }
+  }
+}
+
+bool InterestEvaluator::IsItemsetRInteresting(const RangeItemset& z,
+                                              uint64_t z_count,
+                                              const RangeItemset& z_hat,
+                                              uint64_t z_hat_count) const {
+  const double n = static_cast<double>(num_records_);
+  const double sup_z = static_cast<double>(z_count) / n;
+  const double sup_z_hat = static_cast<double>(z_hat_count) / n;
+
+  if (sup_z + kEps < level_ * ExpectedSupport(z, z_hat, sup_z_hat, *catalog_)) {
+    return false;
+  }
+
+  // Specialization-difference test: frequent specializations of z whose
+  // difference is a box differ from z in exactly one position, so the
+  // wildcard index yields all candidates in O(|z|) lookups.
+  RangeItemset difference;
+  for (size_t p = 0; p < z.size(); ++p) {
+    auto it = by_wildcard_.find(WildcardKey(z, p));
+    if (it == by_wildcard_.end()) continue;
+    for (size_t index : it->second) {
+      const DecodedItemset& spec = decoded_[index];
+      if (!BoxDifference(z, spec.items, &difference)) continue;
+      QARM_CHECK_GE(z_count, spec.count);
+      const double sup_diff = static_cast<double>(z_count - spec.count) / n;
+      const double expected =
+          ExpectedSupport(difference, z_hat, sup_z_hat, *catalog_);
+      if (sup_diff + kEps < level_ * expected) return false;
+    }
+  }
+  return true;
+}
+
+bool InterestEvaluator::IsRuleRInterestingWrt(const QuantRule& rule,
+                                              const QuantRule& ancestor) const {
+  const double expected_support = ExpectedSupport(
+      rule.UnionItemset(), ancestor.UnionItemset(), ancestor.support,
+      *catalog_);
+  const double expected_confidence = ExpectedConfidence(
+      rule.consequent, ancestor.consequent, ancestor.confidence, *catalog_);
+  const bool support_ok = rule.support + kEps >= level_ * expected_support;
+  const bool confidence_ok =
+      rule.confidence + kEps >= level_ * expected_confidence;
+  const bool rule_ok = mode_ == InterestMode::kSupportOrConfidence
+                           ? (support_ok || confidence_ok)
+                           : (support_ok && confidence_ok);
+  if (!rule_ok) return false;
+  return IsItemsetRInteresting(rule.UnionItemset(), rule.count,
+                               ancestor.UnionItemset(), ancestor.count);
+}
+
+void InterestEvaluator::EvaluateRules(std::vector<QuantRule>* rules) const {
+  if (level_ <= 0.0) {
+    for (QuantRule& rule : *rules) rule.interesting = true;
+    return;
+  }
+
+  // Group rules by (antecedent attributes, consequent attributes): ancestors
+  // must match the attribute split exactly.
+  std::map<std::vector<int32_t>, std::vector<size_t>> groups;
+  for (size_t i = 0; i < rules->size(); ++i) {
+    std::vector<int32_t> key = AttributesOf((*rules)[i].antecedent);
+    key.push_back(-1);
+    const std::vector<int32_t> cons = AttributesOf((*rules)[i].consequent);
+    key.insert(key.end(), cons.begin(), cons.end());
+    groups[std::move(key)].push_back(i);
+  }
+
+  auto rule_generalizes = [](const QuantRule& a, const QuantRule& b) {
+    // a is a strict generalization of b (as a rule).
+    if (!IsGeneralization(a.antecedent, b.antecedent)) return false;
+    if (!IsGeneralization(a.consequent, b.consequent)) return false;
+    return a.antecedent != b.antecedent || a.consequent != b.consequent;
+  };
+
+  // Total covered volume (product of range widths, both sides): a strict
+  // generalization always has strictly larger volume, so descending volume
+  // is a topological order over the generalization DAG.
+  auto volume = [](const QuantRule& rule) {
+    double v = 1.0;
+    for (const RangeItem& item : rule.antecedent) {
+      v *= static_cast<double>(item.Width());
+    }
+    for (const RangeItem& item : rule.consequent) {
+      v *= static_cast<double>(item.Width());
+    }
+    return v;
+  };
+
+  for (const auto& [key, members] : groups) {
+    std::vector<size_t> order = members;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return volume((*rules)[a]) > volume((*rules)[b]);
+    });
+
+    // Only the *interesting* ancestors processed so far matter: a rule with
+    // no ancestors is interesting by definition, and a rule whose ancestors
+    // are all uninteresting passes vacuously (its close interesting
+    // ancestor set is empty). So uninteresting rules never need indexing.
+    std::vector<size_t> interesting_so_far;  // global indices, volume desc
+    std::vector<size_t> ancestors;           // scratch
+    for (size_t index : order) {
+      QuantRule& rule = (*rules)[index];
+      ancestors.clear();
+      for (size_t candidate : interesting_so_far) {
+        if (rule_generalizes((*rules)[candidate], rule)) {
+          ancestors.push_back(candidate);
+        }
+      }
+      bool interesting = true;
+      if (!ancestors.empty()) {
+        // Close = most specialized: drop any ancestor that strictly
+        // generalizes another interesting ancestor. `ancestors` is in
+        // descending-volume order, so scan pairs once.
+        for (size_t i = 0; i < ancestors.size() && interesting; ++i) {
+          bool has_closer = false;
+          for (size_t j = 0; j < ancestors.size(); ++j) {
+            if (i == j) continue;
+            if (rule_generalizes((*rules)[ancestors[i]],
+                                 (*rules)[ancestors[j]])) {
+              has_closer = true;
+              break;
+            }
+          }
+          if (has_closer) continue;  // not a close ancestor
+          if (!IsRuleRInterestingWrt(rule, (*rules)[ancestors[i]])) {
+            interesting = false;
+          }
+        }
+      }
+      rule.interesting = interesting;
+      if (interesting) interesting_so_far.push_back(index);
+    }
+  }
+}
+
+}  // namespace qarm

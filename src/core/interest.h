@@ -1,0 +1,86 @@
+// The final "greater-than-expected-value" interest measure of Section 4.
+//
+// A rule is interesting if it has no ancestors (generalizations) in the
+// output, or if it is R-interesting with respect to each of its close
+// ancestors among its interesting ancestors. R-interestingness of a rule
+// w.r.t. an ancestor requires the support (and/or confidence, per the user's
+// mode) to be at least R times the expectation derived from the ancestor,
+// AND the combined itemset X ∪ Y to be R-interesting — which in turn checks
+// every frequent specialization: subtracting the specialization must leave a
+// difference that still beats R times its expected support (this is what
+// rejects the "Decoy" interval of Figure 6).
+#ifndef QARM_CORE_INTEREST_H_
+#define QARM_CORE_INTEREST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/frequent_items.h"
+#include "core/item.h"
+#include "core/options.h"
+#include "core/rules.h"
+#include "mining/apriori.h"
+
+namespace qarm {
+
+// Evaluates interest flags over a set of rules. The evaluator indexes the
+// frequent itemsets (for the specialization-difference test) and uses the
+// catalog's marginals for expected values.
+class InterestEvaluator {
+ public:
+  // `catalog` and `frequent` must outlive the evaluator. `frequent` holds
+  // item-id itemsets as produced by MineFrequentItemsets.
+  InterestEvaluator(const ItemCatalog* catalog,
+                    const std::vector<FrequentItemset>* frequent,
+                    double interest_level, InterestMode mode);
+
+  // Sets rule.interesting on every rule: most-general rules first, each rule
+  // tested against its close ancestors among the already-interesting ones.
+  void EvaluateRules(std::vector<QuantRule>* rules) const;
+
+  // The final itemset measure (exposed for tests): support(z) must be at
+  // least R times the expected support based on ẑ, and for every frequent
+  // specialization z' of z whose difference z - z' is a box, the difference
+  // must also be R-interesting w.r.t. ẑ.
+  bool IsItemsetRInteresting(const RangeItemset& z, uint64_t z_count,
+                             const RangeItemset& z_hat,
+                             uint64_t z_hat_count) const;
+
+  // Rule-level R-interestingness w.r.t. one ancestor (exposed for tests).
+  bool IsRuleRInterestingWrt(const QuantRule& rule,
+                             const QuantRule& ancestor) const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::vector<int32_t>& v) const;
+  };
+
+  // Serializes an itemset with the range at position `wildcard` masked out;
+  // two itemsets share a key iff they are identical except at that position.
+  static std::vector<int32_t> WildcardKey(const RangeItemset& items,
+                                          size_t wildcard);
+
+  const ItemCatalog* catalog_;
+  double level_;
+  InterestMode mode_;
+  size_t num_records_;
+
+  struct DecodedItemset {
+    RangeItemset items;
+    uint64_t count;
+  };
+  std::vector<DecodedItemset> decoded_;
+  // For each frequent itemset and each item position, an entry keyed by the
+  // itemset-with-that-position-wildcarded. The specialization-difference
+  // test only involves specializations differing in exactly one attribute
+  // (otherwise the difference is not a box), so this index answers it in
+  // O(items) lookups.
+  std::unordered_map<std::vector<int32_t>, std::vector<size_t>, KeyHash>
+      by_wildcard_;
+};
+
+}  // namespace qarm
+
+#endif  // QARM_CORE_INTEREST_H_

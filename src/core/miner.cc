@@ -1,0 +1,150 @@
+#include "core/miner.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/interest.h"
+#include "partition/partial_completeness.h"
+
+namespace qarm {
+
+std::vector<QuantRule> MiningResult::InterestingRules() const {
+  std::vector<QuantRule> out;
+  for (const QuantRule& rule : rules) {
+    if (rule.interesting) out.push_back(rule);
+  }
+  return out;
+}
+
+QuantitativeRuleMiner::QuantitativeRuleMiner(const MinerOptions& options)
+    : options_(options) {}
+
+Status QuantitativeRuleMiner::ValidateOptions() const {
+  if (options_.minsup <= 0.0 || options_.minsup > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("minsup must be in (0,1], got %g", options_.minsup));
+  }
+  if (options_.minconf < 0.0 || options_.minconf > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("minconf must be in [0,1], got %g", options_.minconf));
+  }
+  if (options_.max_support > 0.0 && options_.max_support < options_.minsup) {
+    return Status::InvalidArgument(StrFormat(
+        "max_support (%g) must be at least minsup (%g)",
+        options_.max_support, options_.minsup));
+  }
+  if (options_.num_intervals_override == 0 &&
+      options_.partial_completeness <= 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("partial completeness must be > 1, got %g",
+                  options_.partial_completeness));
+  }
+  if (options_.interest_level < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("interest level must be >= 0, got %g",
+                  options_.interest_level));
+  }
+  return Status::OK();
+}
+
+Result<MiningResult> QuantitativeRuleMiner::Mine(const Table& table) const {
+  QARM_RETURN_NOT_OK(ValidateOptions());
+  Timer timer;
+  MapOptions map_options;
+  map_options.partial_completeness = options_.partial_completeness;
+  map_options.minsup = options_.minsup;
+  map_options.method = options_.partition_method;
+  map_options.num_intervals_override = options_.num_intervals_override;
+  map_options.max_quantitative_per_rule = options_.max_quantitative_per_rule;
+  map_options.taxonomies = options_.taxonomies;
+  QARM_ASSIGN_OR_RETURN(MappedTable mapped, MapTable(table, map_options));
+  double map_seconds = timer.ElapsedSeconds();
+  MiningResult result = MineMapped(std::move(mapped));
+  result.stats.map_seconds = map_seconds;
+  result.stats.total_seconds += map_seconds;
+  return result;
+}
+
+MiningResult QuantitativeRuleMiner::MineMapped(MappedTable mapped) const {
+  Timer total_timer;
+  Timer timer;
+  MiningResult result(std::move(mapped));
+  const MappedTable& table = result.mapped;
+  result.stats.num_records = table.num_rows();
+
+  // Step 3a: frequent items.
+  ItemCatalog catalog = ItemCatalog::Build(table, options_);
+  result.stats.num_frequent_items = catalog.num_items();
+  result.stats.items_pruned_by_interest = catalog.items_pruned_by_interest();
+  result.stats.pass1_seconds = timer.ElapsedSeconds();
+
+  // Achieved partial completeness (Equation 1) from the realized partitions.
+  {
+    size_t n_quant = options_.max_quantitative_per_rule > 0
+                         ? options_.max_quantitative_per_rule
+                         : table.num_quantitative();
+    double max_support = 0.0;
+    for (size_t a = 0; a < table.num_attributes(); ++a) {
+      const MappedAttribute& attr = table.attribute(a);
+      if (attr.kind != AttributeKind::kQuantitative || !attr.partitioned) {
+        continue;
+      }
+      const std::vector<uint64_t>& counts = catalog.value_counts(a);
+      std::vector<size_t> size_counts(counts.begin(), counts.end());
+      max_support = std::max(
+          max_support, MaxMultiValueIntervalSupport(attr.intervals,
+                                                    size_counts,
+                                                    table.num_rows()));
+    }
+    result.stats.achieved_partial_completeness =
+        max_support == 0.0
+            ? 1.0
+            : AchievedPartialCompleteness(max_support, n_quant,
+                                          options_.minsup);
+  }
+
+  // Step 3b: frequent itemsets.
+  timer.Reset();
+  FrequentItemsetResult frequent =
+      MineFrequentItemsets(table, catalog, options_);
+  result.stats.passes = frequent.passes;
+  result.stats.itemset_seconds = timer.ElapsedSeconds();
+
+  // Step 4: rules.
+  timer.Reset();
+  result.rules = GenerateQuantRules(frequent.itemsets, catalog,
+                                    table.num_rows(), options_.minconf);
+  result.stats.num_rules = result.rules.size();
+  result.stats.rulegen_seconds = timer.ElapsedSeconds();
+
+  // Step 5: interest.
+  timer.Reset();
+  if (options_.interest_level > 0.0) {
+    InterestEvaluator evaluator(&catalog, &frequent.itemsets,
+                                options_.interest_level,
+                                options_.interest_mode);
+    evaluator.EvaluateRules(&result.rules);
+  }
+  result.stats.num_interesting_rules = 0;
+  for (const QuantRule& rule : result.rules) {
+    if (rule.interesting) ++result.stats.num_interesting_rules;
+  }
+  result.stats.interest_seconds = timer.ElapsedSeconds();
+
+  // Decode the frequent itemsets for the caller.
+  result.frequent_itemsets.reserve(frequent.itemsets.size());
+  const double n = static_cast<double>(table.num_rows());
+  for (const FrequentItemset& f : frequent.itemsets) {
+    FrequentRangeItemset decoded;
+    decoded.items = catalog.Decode(f.items);
+    decoded.count = f.count;
+    decoded.support = n > 0 ? static_cast<double>(f.count) / n : 0.0;
+    result.frequent_itemsets.push_back(std::move(decoded));
+  }
+
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace qarm

@@ -1,0 +1,93 @@
+// QuantitativeRuleMiner — the public facade implementing the paper's
+// five-step decomposition (Section 2.1):
+//   1. choose the number of partitions per quantitative attribute,
+//   2. map values/intervals to consecutive integers,
+//   3. find frequent items and frequent itemsets,
+//   4. generate rules,
+//   5. mark the interesting rules.
+//
+// Typical use:
+//   MinerOptions options;
+//   options.minsup = 0.4; options.minconf = 0.5;
+//   QuantitativeRuleMiner miner(options);
+//   Result<MiningResult> result = miner.Mine(table);
+//   for (const QuantRule& r : result->rules)
+//     std::cout << RuleToString(r, result->mapped) << "\n";
+#ifndef QARM_CORE_MINER_H_
+#define QARM_CORE_MINER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/apriori_quant.h"
+#include "core/options.h"
+#include "core/rules.h"
+#include "partition/mapped_table.h"
+#include "table/table.h"
+
+namespace qarm {
+
+// A frequent itemset decoded to explicit ranges.
+struct FrequentRangeItemset {
+  RangeItemset items;
+  uint64_t count = 0;
+  double support = 0.0;
+};
+
+// Aggregate run statistics.
+struct MiningStats {
+  size_t num_records = 0;
+  size_t num_frequent_items = 0;
+  size_t items_pruned_by_interest = 0;
+  // Partial completeness achieved by the realized partitioning (Equation 1);
+  // 1.0 when nothing was partitioned.
+  double achieved_partial_completeness = 1.0;
+  std::vector<PassStats> passes;
+  size_t num_rules = 0;
+  size_t num_interesting_rules = 0;
+  double map_seconds = 0.0;
+  double pass1_seconds = 0.0;
+  double itemset_seconds = 0.0;
+  double rulegen_seconds = 0.0;
+  double interest_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+// Everything a mining run produces. `mapped` carries the decode metadata
+// that renders rules back into raw attribute values.
+struct MiningResult {
+  MappedTable mapped;
+  std::vector<FrequentRangeItemset> frequent_itemsets;
+  std::vector<QuantRule> rules;  // every rule; check rule.interesting
+  MiningStats stats;
+
+  explicit MiningResult(MappedTable m) : mapped(std::move(m)) {}
+
+  // The rules flagged interesting (all rules when no interest level is set).
+  std::vector<QuantRule> InterestingRules() const;
+};
+
+class QuantitativeRuleMiner {
+ public:
+  explicit QuantitativeRuleMiner(const MinerOptions& options);
+
+  const MinerOptions& options() const { return options_; }
+
+  // Steps 1-5 end to end.
+  Result<MiningResult> Mine(const Table& table) const;
+
+  // Steps 3-5 on an already-mapped table (ownership of `mapped` moves into
+  // the result).
+  MiningResult MineMapped(MappedTable mapped) const;
+
+ private:
+  Status ValidateOptions() const;
+
+  MinerOptions options_;
+};
+
+}  // namespace qarm
+
+#endif  // QARM_CORE_MINER_H_

@@ -1,0 +1,81 @@
+// User-facing mining options for the quantitative rule miner.
+#ifndef QARM_CORE_OPTIONS_H_
+#define QARM_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "partition/mapper.h"
+#include "partition/taxonomy.h"
+
+namespace qarm {
+
+// Whether a rule must beat expectations on support AND confidence or on
+// support OR confidence to count as interesting (Section 4: "The user can
+// specify whether it should be support and confidence, or support or
+// confidence").
+enum class InterestMode {
+  kSupportOrConfidence = 0,
+  kSupportAndConfidence = 1,
+};
+
+struct MinerOptions {
+  // Minimum support, as a fraction of records (Section 2).
+  double minsup = 0.10;
+
+  // Minimum confidence. With an interest level set, the paper allows
+  // dropping the confidence constraint; set to 0 for that behaviour.
+  double minconf = 0.50;
+
+  // Maximum support for combined ranges (Section 1.2): adjacent
+  // values/intervals stop combining once their joint support exceeds this.
+  // Single values/intervals above it are still considered. 1.0 disables the
+  // cap.
+  double max_support = 0.40;
+
+  // Desired partial completeness level K (> 1); with minsup it fixes the
+  // number of base intervals (Equation 2).
+  double partial_completeness = 2.0;
+
+  // Base-interval construction (equi-depth is the paper's choice).
+  PartitionMethod partition_method = PartitionMethod::kEquiDepth;
+
+  // Overrides Equation 2 when > 0 (used by tests and ablations).
+  size_t num_intervals_override = 0;
+
+  // The paper's n' refinement: when no rule will involve more than this
+  // many quantitative attributes, Equation 2 may use it instead of the
+  // schema's quantitative-attribute count. 0 = use the schema count.
+  size_t max_quantitative_per_rule = 0;
+
+  // Interest level R (Section 4). 0 disables interest processing entirely;
+  // values > 1 enable both output filtering and the Lemma 5 candidate
+  // pruning (unless interest_item_prune is cleared).
+  double interest_level = 0.0;
+
+  InterestMode interest_mode = InterestMode::kSupportOrConfidence;
+
+  // Lemma 5: drop quantitative items with support > 1/R after pass 1
+  // (sound when the user wants greater-than-expected *support*; the paper
+  // applies it whenever the user asks for support-and-confidence interest).
+  bool interest_item_prune = true;
+
+  // Memory budget per super-candidate for the n-dimensional counting array;
+  // above it the R*-tree is used (Section 5.2 heuristic).
+  uint64_t counter_memory_budget_bytes = 64ull << 20;
+
+  // Cap on itemset size (0 = unlimited). Useful to bound exploratory runs.
+  size_t max_itemset_size = 0;
+
+  // Taxonomies over categorical attributes, keyed by attribute name
+  // (Section 1.1 / [SA95]): interior nodes become generalized categorical
+  // items that may appear in rules alongside leaf values.
+  std::vector<std::pair<std::string, Taxonomy>> taxonomies;
+};
+
+}  // namespace qarm
+
+#endif  // QARM_CORE_OPTIONS_H_

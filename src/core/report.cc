@@ -1,0 +1,153 @@
+#include "core/report.h"
+
+#include "common/string_util.h"
+
+namespace qarm {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+std::string ItemToJson(const RangeItem& item, const MappedTable& mapped) {
+  const MappedAttribute& attr =
+      mapped.attribute(static_cast<size_t>(item.attr));
+  std::string out = "{";
+  out += "\"attribute\":" + JsonEscape(attr.name);
+  out += ",\"kind\":";
+  out += attr.kind == AttributeKind::kQuantitative ? "\"quantitative\""
+                                                   : "\"categorical\"";
+  if (attr.kind == AttributeKind::kQuantitative) {
+    Interval raw = attr.RawInterval(item.lo, item.hi);
+    out += ",\"lo\":" + FormatDouble(raw.lo);
+    out += ",\"hi\":" + FormatDouble(raw.hi);
+  } else {
+    out += ",\"value\":" + JsonEscape(attr.DecodeRange(item.lo, item.hi));
+  }
+  out += ",\"display\":" + JsonEscape(attr.DecodeRange(item.lo, item.hi));
+  out += "}";
+  return out;
+}
+
+std::string SideToJson(const RangeItemset& side, const MappedTable& mapped) {
+  std::string out = "[";
+  for (size_t i = 0; i < side.size(); ++i) {
+    if (i > 0) out += ',';
+    out += ItemToJson(side[i], mapped);
+  }
+  out += "]";
+  return out;
+}
+
+// CSV field quoting: wrap in double quotes when the field contains a comma
+// or a quote; embedded quotes are doubled.
+std::string CsvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string RuleToJson(const QuantRule& rule, const MappedTable& mapped) {
+  std::string out = "{";
+  out += "\"antecedent\":" + SideToJson(rule.antecedent, mapped);
+  out += ",\"consequent\":" + SideToJson(rule.consequent, mapped);
+  out += StrFormat(",\"support\":%.6f,\"confidence\":%.6f,\"count\":%llu",
+                   rule.support, rule.confidence,
+                   static_cast<unsigned long long>(rule.count));
+  out += ",\"interesting\":";
+  out += rule.interesting ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+std::string StatsToJson(const MiningStats& stats) {
+  std::string out = "{";
+  out += StrFormat(
+      "\"num_records\":%zu,\"num_frequent_items\":%zu,"
+      "\"items_pruned_by_interest\":%zu,"
+      "\"achieved_partial_completeness\":%.4f,"
+      "\"num_rules\":%zu,\"num_interesting_rules\":%zu,"
+      "\"total_seconds\":%.6f",
+      stats.num_records, stats.num_frequent_items,
+      stats.items_pruned_by_interest, stats.achieved_partial_completeness,
+      stats.num_rules, stats.num_interesting_rules, stats.total_seconds);
+  out += ",\"passes\":[";
+  for (size_t i = 0; i < stats.passes.size(); ++i) {
+    const PassStats& pass = stats.passes[i];
+    if (i > 0) out += ',';
+    out += StrFormat(
+        "{\"k\":%zu,\"candidates\":%zu,\"frequent\":%zu,"
+        "\"super_candidates\":%zu,\"seconds\":%.6f}",
+        pass.k, pass.num_candidates, pass.num_frequent,
+        pass.counting.num_super_candidates, pass.seconds);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MiningResultToJson(const MiningResult& result,
+                               bool interesting_only) {
+  std::string out = "{";
+  out += "\"stats\":" + StatsToJson(result.stats);
+  out += ",\"rules\":[";
+  bool first = true;
+  for (const QuantRule& rule : result.rules) {
+    if (interesting_only && !rule.interesting) continue;
+    if (!first) out += ',';
+    first = false;
+    out += RuleToJson(rule, result.mapped);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string RulesToCsv(const std::vector<QuantRule>& rules,
+                       const MappedTable& mapped) {
+  std::string out = "antecedent,consequent,support,confidence,count,interesting\n";
+  for (const QuantRule& rule : rules) {
+    out += CsvField(ItemsetToString(rule.antecedent, mapped));
+    out += ',';
+    out += CsvField(ItemsetToString(rule.consequent, mapped));
+    out += StrFormat(",%.6f,%.6f,%llu,%s\n", rule.support, rule.confidence,
+                     static_cast<unsigned long long>(rule.count),
+                     rule.interesting ? "true" : "false");
+  }
+  return out;
+}
+
+}  // namespace qarm

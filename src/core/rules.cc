@@ -1,0 +1,41 @@
+#include "core/rules.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace qarm {
+
+RangeItemset QuantRule::UnionItemset() const {
+  RangeItemset all = antecedent;
+  all.insert(all.end(), consequent.begin(), consequent.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+std::vector<QuantRule> GenerateQuantRules(
+    const std::vector<FrequentItemset>& itemsets, const ItemCatalog& catalog,
+    size_t num_records, double minconf) {
+  std::vector<BooleanRule> raw = GenerateRules(itemsets, num_records, minconf);
+  std::vector<QuantRule> rules;
+  rules.reserve(raw.size());
+  for (const BooleanRule& r : raw) {
+    QuantRule rule;
+    rule.antecedent = catalog.Decode(r.antecedent);
+    rule.consequent = catalog.Decode(r.consequent);
+    rule.count = r.count;
+    rule.support = r.support;
+    rule.confidence = r.confidence;
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+std::string RuleToString(const QuantRule& rule, const MappedTable& table) {
+  return StrFormat("%s => %s (support %.1f%%, confidence %.1f%%)",
+                   ItemsetToString(rule.antecedent, table).c_str(),
+                   ItemsetToString(rule.consequent, table).c_str(),
+                   rule.support * 100.0, rule.confidence * 100.0);
+}
+
+}  // namespace qarm

@@ -1,0 +1,43 @@
+// Quantitative association rules (step 4 of the decomposition) and their
+// rendering.
+#ifndef QARM_CORE_RULES_H_
+#define QARM_CORE_RULES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/frequent_items.h"
+#include "core/item.h"
+#include "mining/rulegen.h"
+
+namespace qarm {
+
+// A rule X => Y over quantitative/categorical items.
+struct QuantRule {
+  RangeItemset antecedent;
+  RangeItemset consequent;
+  uint64_t count = 0;  // records supporting X ∪ Y
+  double support = 0.0;
+  double confidence = 0.0;
+  // Set by the interest evaluator (true when no interest level is given).
+  bool interesting = true;
+
+  // X ∪ Y, attribute-sorted.
+  RangeItemset UnionItemset() const;
+};
+
+// Generates all rules with confidence >= minconf from the frequent itemsets
+// (reusing ap-genrules over item ids) and decodes them into ranges.
+std::vector<QuantRule> GenerateQuantRules(
+    const std::vector<FrequentItemset>& itemsets, const ItemCatalog& catalog,
+    size_t num_records, double minconf);
+
+// "<Age: 20..29> and <Married: Yes> => <NumCars: 2> (support 40%,
+//  confidence 100%)".
+std::string RuleToString(const QuantRule& rule, const MappedTable& table);
+
+}  // namespace qarm
+
+#endif  // QARM_CORE_RULES_H_

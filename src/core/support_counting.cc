@@ -1,0 +1,216 @@
+#include "core/support_counting.h"
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "index/hash_tree.h"
+#include "index/ndim_array.h"
+#include "index/rstar_tree.h"
+
+namespace qarm {
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<int32_t>& v) const {
+    // FNV-1a over the words.
+    uint64_t h = 1469598103934665603ULL;
+    for (int32_t x : v) {
+      h ^= static_cast<uint32_t>(x);
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+struct SuperCandidate {
+  std::vector<int32_t> cat_item_ids;  // sorted item ids (categorical part)
+  std::vector<int32_t> quant_attrs;   // sorted attribute indices
+  std::vector<uint32_t> members;      // candidate indices
+  std::unique_ptr<NDimArray> array;
+  std::unique_ptr<RStarTree> tree;
+  std::vector<uint32_t> tree_counts;  // parallel to members (tree mode)
+  uint64_t direct_count = 0;          // purely categorical
+};
+
+}  // namespace
+
+std::vector<uint32_t> CountSupports(const MappedTable& table,
+                                    const ItemCatalog& catalog,
+                                    const ItemsetSet& candidates,
+                                    const MinerOptions& options,
+                                    CountingStats* stats) {
+  const size_t num_candidates = candidates.size();
+  const size_t k = candidates.k();
+  std::vector<uint32_t> counts(num_candidates, 0);
+  if (num_candidates == 0) return counts;
+
+  // "Ranged" attributes (quantitative, or categorical under a taxonomy)
+  // become dimensions of the super-candidate rectangles; plain categorical
+  // items are matched through the hash tree.
+  auto is_ranged = [&table](int32_t attr) {
+    return table.attribute(static_cast<size_t>(attr)).ranged();
+  };
+
+  // --- Group candidates into super-candidates. ---
+  // Key: [quantitative attrs..., -1, categorical item ids...]. Categorical
+  // items pin both attribute and value, exactly the paper's grouping.
+  std::unordered_map<std::vector<int32_t>, size_t, VecHash> group_index;
+  std::vector<SuperCandidate> groups;
+  std::vector<int32_t> key;
+  for (size_t c = 0; c < num_candidates; ++c) {
+    const int32_t* ids = candidates.itemset(c);
+    key.clear();
+    for (size_t i = 0; i < k; ++i) {
+      const RangeItem& item = catalog.item(ids[i]);
+      if (is_ranged(item.attr)) key.push_back(item.attr);
+    }
+    key.push_back(-1);
+    for (size_t i = 0; i < k; ++i) {
+      const RangeItem& item = catalog.item(ids[i]);
+      if (!is_ranged(item.attr)) key.push_back(ids[i]);
+    }
+    auto [it, inserted] = group_index.emplace(key, groups.size());
+    if (inserted) {
+      SuperCandidate sc;
+      size_t sep = 0;
+      while (key[sep] != -1) ++sep;
+      sc.quant_attrs.assign(key.begin(), key.begin() + sep);
+      sc.cat_item_ids.assign(key.begin() + sep + 1, key.end());
+      groups.push_back(std::move(sc));
+    }
+    groups[it->second].members.push_back(static_cast<uint32_t>(c));
+  }
+
+  if (stats != nullptr) {
+    *stats = CountingStats{};
+    stats->num_super_candidates = groups.size();
+  }
+
+  // --- Build a counting structure per super-candidate. ---
+  for (SuperCandidate& sc : groups) {
+    if (sc.quant_attrs.empty()) {
+      QARM_CHECK_EQ(sc.members.size(), 1u);  // identical itemsets are unique
+      if (stats != nullptr) ++stats->num_direct;
+      continue;
+    }
+    QARM_CHECK_LE(sc.quant_attrs.size(), kRStarMaxDims);
+    std::vector<int32_t> dim_sizes;
+    dim_sizes.reserve(sc.quant_attrs.size());
+    for (int32_t attr : sc.quant_attrs) {
+      dim_sizes.push_back(static_cast<int32_t>(
+          table.attribute(static_cast<size_t>(attr)).domain_size()));
+    }
+    const uint64_t array_bytes = NDimArray::EstimateBytes(dim_sizes);
+    const uint64_t tree_bytes =
+        RStarTree::EstimateBytes(sc.members.size(), dim_sizes.size());
+    const bool use_array =
+        array_bytes <= options.counter_memory_budget_bytes ||
+        array_bytes <= tree_bytes;
+    if (use_array) {
+      sc.array = std::make_unique<NDimArray>(dim_sizes);
+      if (stats != nullptr) ++stats->num_array_counters;
+    } else {
+      sc.tree = std::make_unique<RStarTree>(sc.quant_attrs.size());
+      sc.tree_counts.assign(sc.members.size(), 0);
+      for (size_t m = 0; m < sc.members.size(); ++m) {
+        const int32_t* ids = candidates.itemset(sc.members[m]);
+        RStarRect rect;
+        size_t d = 0;
+        for (size_t i = 0; i < k; ++i) {
+          const RangeItem& item = catalog.item(ids[i]);
+          if (!is_ranged(item.attr)) continue;
+          rect.lo[d] = static_cast<double>(item.lo);
+          rect.hi[d] = static_cast<double>(item.hi);
+          ++d;
+        }
+        sc.tree->Insert(rect, static_cast<int32_t>(m));
+      }
+      if (stats != nullptr) ++stats->num_tree_counters;
+    }
+  }
+
+  // --- Hash tree over the categorical parts. ---
+  HashTree hash_tree(/*leaf_capacity=*/16, /*fanout=*/64);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    hash_tree.Insert(groups[g].cat_item_ids, static_cast<int32_t>(g));
+  }
+
+  // --- The pass over the database. ---
+  const size_t num_attrs = table.num_attributes();
+  std::vector<int32_t> cat_transaction;
+  cat_transaction.reserve(num_attrs);
+  int32_t point[kRStarMaxDims];
+  double dpoint[kRStarMaxDims];
+
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const int32_t* row = table.row(r);
+    cat_transaction.clear();
+    for (size_t a = 0; a < num_attrs; ++a) {
+      const MappedAttribute& attr = table.attribute(a);
+      if (attr.kind != AttributeKind::kCategorical || attr.ranged()) continue;
+      if (row[a] == kMissingValue) continue;
+      int32_t id = catalog.CategoricalItemId(a, row[a]);
+      if (id >= 0) cat_transaction.push_back(id);
+    }
+    hash_tree.ForEachSubset(cat_transaction, [&](int32_t g) {
+      SuperCandidate& sc = groups[static_cast<size_t>(g)];
+      const size_t dims = sc.quant_attrs.size();
+      if (dims == 0) {
+        ++sc.direct_count;
+        return;
+      }
+      for (size_t d = 0; d < dims; ++d) {
+        point[d] = row[sc.quant_attrs[d]];
+        // A record lacking any of the dimensions supports no candidate in
+        // this super-candidate.
+        if (point[d] == kMissingValue) return;
+      }
+      if (sc.array != nullptr) {
+        sc.array->Increment(point);
+      } else {
+        for (size_t d = 0; d < dims; ++d) {
+          dpoint[d] = static_cast<double>(point[d]);
+        }
+        sc.tree->ForEachContaining(dpoint, [&sc](int32_t m) {
+          ++sc.tree_counts[static_cast<size_t>(m)];
+        });
+      }
+    });
+  }
+
+  // --- Collect per-candidate counts. ---
+  IntRect rect;
+  for (SuperCandidate& sc : groups) {
+    if (sc.quant_attrs.empty()) {
+      counts[sc.members[0]] = static_cast<uint32_t>(sc.direct_count);
+      continue;
+    }
+    if (sc.tree != nullptr) {
+      for (size_t m = 0; m < sc.members.size(); ++m) {
+        counts[sc.members[m]] = sc.tree_counts[m];
+      }
+      continue;
+    }
+    sc.array->BuildPrefixSums();
+    const size_t dims = sc.quant_attrs.size();
+    rect.lo.resize(dims);
+    rect.hi.resize(dims);
+    for (uint32_t member : sc.members) {
+      const int32_t* ids = candidates.itemset(member);
+      size_t d = 0;
+      for (size_t i = 0; i < k; ++i) {
+        const RangeItem& item = catalog.item(ids[i]);
+        if (!is_ranged(item.attr)) continue;
+        rect.lo[d] = item.lo;
+        rect.hi[d] = item.hi;
+        ++d;
+      }
+      counts[member] = static_cast<uint32_t>(sc.array->CountRect(rect));
+    }
+    sc.array.reset();  // release the grid before the next group collects
+  }
+  return counts;
+}
+
+}  // namespace qarm

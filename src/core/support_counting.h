@@ -1,0 +1,43 @@
+// Support counting for candidate quantitative itemsets (Section 5.2).
+//
+// Candidates are partitioned into super-candidates: groups sharing the same
+// attributes and the same categorical values. A record first matches
+// super-candidates through the [AS94] hash tree on the categorical items;
+// the record's quantitative values then form a point that is counted into
+// the super-candidate's n-dimensional array (or, when the array would be
+// too large, queried against an R*-tree holding the candidates'
+// rectangles).
+#ifndef QARM_CORE_SUPPORT_COUNTING_H_
+#define QARM_CORE_SUPPORT_COUNTING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/candidate_gen.h"
+#include "core/frequent_items.h"
+#include "core/options.h"
+#include "partition/mapped_table.h"
+
+namespace qarm {
+
+// Observability counters for one counting pass.
+struct CountingStats {
+  size_t num_super_candidates = 0;
+  size_t num_array_counters = 0;  // super-candidates counted via NDimArray
+  size_t num_tree_counters = 0;   // via R*-tree
+  size_t num_direct = 0;          // purely categorical super-candidates
+};
+
+// Counts the support of every candidate in one pass over `table`.
+// Returns counts parallel to `candidates` (uint32: a count is bounded by the
+// record count).
+std::vector<uint32_t> CountSupports(const MappedTable& table,
+                                    const ItemCatalog& catalog,
+                                    const ItemsetSet& candidates,
+                                    const MinerOptions& options,
+                                    CountingStats* stats);
+
+}  // namespace qarm
+
+#endif  // QARM_CORE_SUPPORT_COUNTING_H_

@@ -1,0 +1,73 @@
+// The hash-tree of [AS94]: stores a set of sorted integer itemsets and, for
+// a given sorted transaction, enumerates every stored itemset contained in
+// it, visiting only a small fraction of the candidates. Used by the boolean
+// Apriori baseline (candidates per pass) and by the quantitative miner
+// (locating super-candidates by their categorical items, Section 5.2).
+#ifndef QARM_INDEX_HASH_TREE_H_
+#define QARM_INDEX_HASH_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace qarm {
+
+// Itemsets are identified by dense ids 0..N-1 assigned by the caller.
+// Items within an itemset must be sorted ascending and unique; itemsets of
+// different lengths may coexist (the super-candidate use case).
+class HashTree {
+ public:
+  // `leaf_capacity`: max itemsets in a leaf before it splits;
+  // `fanout`: hash buckets per interior node.
+  explicit HashTree(size_t leaf_capacity = 8, size_t fanout = 32);
+  ~HashTree();
+
+  HashTree(const HashTree&) = delete;
+  HashTree& operator=(const HashTree&) = delete;
+  HashTree(HashTree&&) = default;
+  HashTree& operator=(HashTree&&) = default;
+
+  // Inserts a sorted itemset under id `id`. Ids must be dense (0..N-1 in any
+  // order) — they index the internal dedup stamp table.
+  void Insert(std::span<const int32_t> itemset, int32_t id);
+
+  // Calls `fn(id)` exactly once for every stored itemset that is a subset of
+  // the sorted `transaction`. The empty itemset, if inserted, matches every
+  // transaction.
+  void ForEachSubset(std::span<const int32_t> transaction,
+                     const std::function<void(int32_t)>& fn) const;
+
+  size_t size() const { return num_itemsets_; }
+
+ private:
+  struct Node;
+
+  void InsertRec(Node* node, size_t depth, std::span<const int32_t> itemset,
+                 int32_t id);
+  void SplitLeaf(Node* node, size_t depth);
+  void SearchRec(const Node* node, std::span<const int32_t> transaction,
+                 size_t start,
+                 const std::function<void(int32_t)>& fn) const;
+  bool IsSubset(std::span<const int32_t> itemset,
+                std::span<const int32_t> transaction) const;
+
+  size_t leaf_capacity_;
+  size_t fanout_;
+  std::unique_ptr<Node> root_;
+  size_t num_itemsets_ = 0;
+
+  // Stored itemsets, indexed by id (for the leaf containment check).
+  std::vector<std::vector<int32_t>> itemsets_;
+
+  // Per-id visit stamps: a leaf can be reached through several transaction
+  // items, so matches are deduplicated with a generation counter.
+  mutable std::vector<uint64_t> stamps_;
+  mutable uint64_t generation_ = 0;
+};
+
+}  // namespace qarm
+
+#endif  // QARM_INDEX_HASH_TREE_H_

@@ -1,0 +1,144 @@
+#include "index/ndim_array.h"
+
+#include <limits>
+
+#include "common/macros.h"
+
+namespace qarm {
+
+NDimArray::NDimArray(std::vector<int32_t> dim_sizes)
+    : dim_sizes_(std::move(dim_sizes)) {
+  QARM_CHECK(!dim_sizes_.empty());
+  strides_.resize(dim_sizes_.size());
+  uint64_t total = 1;
+  // Last dimension is contiguous (row-major).
+  for (size_t d = dim_sizes_.size(); d-- > 0;) {
+    QARM_CHECK_GT(dim_sizes_[d], 0);
+    strides_[d] = total;
+    total *= static_cast<uint64_t>(dim_sizes_[d]);
+  }
+  cells_.assign(total, 0);
+}
+
+uint64_t NDimArray::EstimateBytes(const std::vector<int32_t>& dim_sizes) {
+  uint64_t total = sizeof(uint32_t);
+  for (int32_t size : dim_sizes) {
+    if (size <= 0) return 0;
+    uint64_t next = total * static_cast<uint64_t>(size);
+    if (next / static_cast<uint64_t>(size) != total) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    total = next;
+  }
+  return total;
+}
+
+size_t NDimArray::FlatIndex(const int32_t* point) const {
+  uint64_t index = 0;
+  for (size_t d = 0; d < dim_sizes_.size(); ++d) {
+    QARM_DCHECK(point[d] >= 0 && point[d] < dim_sizes_[d]);
+    index += static_cast<uint64_t>(point[d]) * strides_[d];
+  }
+  return static_cast<size_t>(index);
+}
+
+void NDimArray::Increment(const int32_t* point) {
+  ++cells_[FlatIndex(point)];
+}
+
+uint64_t NDimArray::CellAt(const int32_t* point) const {
+  return cells_[FlatIndex(point)];
+}
+
+void NDimArray::BuildPrefixSums() {
+  QARM_CHECK(!prefix_built_);
+  // Running prefix along each dimension in turn yields the full
+  // n-dimensional inclusive prefix sum.
+  const size_t n = dim_sizes_.size();
+  for (size_t d = 0; d < n; ++d) {
+    const uint64_t stride = strides_[d];
+    const uint64_t dim = static_cast<uint64_t>(dim_sizes_[d]);
+    const uint64_t total = cells_.size();
+    // Iterate over all cells whose coordinate in dimension d is nonzero and
+    // add the predecessor along d.
+    for (uint64_t base = 0; base < total; base += stride * dim) {
+      for (uint64_t i = stride; i < stride * dim; ++i) {
+        cells_[base + i] += cells_[base + i - stride];
+      }
+    }
+  }
+  prefix_built_ = true;
+}
+
+uint64_t NDimArray::CountRect(const IntRect& rect) const {
+  QARM_CHECK_EQ(rect.dims(), dim_sizes_.size());
+  const size_t n = dim_sizes_.size();
+  // Clip to the grid.
+  std::vector<int32_t> lo(n), hi(n);
+  for (size_t d = 0; d < n; ++d) {
+    lo[d] = rect.lo[d] < 0 ? 0 : rect.lo[d];
+    hi[d] = rect.hi[d] >= dim_sizes_[d] ? dim_sizes_[d] - 1 : rect.hi[d];
+    if (lo[d] > hi[d]) return 0;
+  }
+  return prefix_built_ ? CountRectPrefix(lo, hi) : CountRectSweep(lo, hi);
+}
+
+uint64_t NDimArray::CountRectPrefix(const std::vector<int32_t>& lo,
+                                    const std::vector<int32_t>& hi) const {
+  const size_t n = dim_sizes_.size();
+  QARM_CHECK_LE(n, 63u);
+  // Inclusion-exclusion over the 2^n corners: corners picking lo[d]-1 in an
+  // odd number of dimensions are subtracted; any coordinate of -1 zeroes
+  // the term.
+  int64_t sum = 0;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    uint64_t index = 0;
+    bool zero = false;
+    int sign = 1;
+    for (size_t d = 0; d < n; ++d) {
+      int32_t coord;
+      if (mask & (uint64_t{1} << d)) {
+        coord = lo[d] - 1;
+        sign = -sign;
+      } else {
+        coord = hi[d];
+      }
+      if (coord < 0) {
+        zero = true;
+        break;
+      }
+      index += static_cast<uint64_t>(coord) * strides_[d];
+    }
+    if (zero) continue;
+    sum += sign * static_cast<int64_t>(cells_[index]);
+  }
+  QARM_DCHECK(sum >= 0);
+  return static_cast<uint64_t>(sum);
+}
+
+uint64_t NDimArray::CountRectSweep(const std::vector<int32_t>& lo,
+                                   const std::vector<int32_t>& hi) const {
+  const size_t n = dim_sizes_.size();
+  // Odometer walk over the covered cells.
+  std::vector<int32_t> cursor = lo;
+  uint64_t sum = 0;
+  while (true) {
+    // Innermost dimension is contiguous: sum the run directly.
+    size_t base = FlatIndex(cursor.data());
+    size_t run = static_cast<size_t>(hi[n - 1] - cursor[n - 1] + 1);
+    for (size_t i = 0; i < run; ++i) sum += cells_[base + i];
+    // Advance the odometer, skipping the innermost dimension.
+    size_t d = n - 1;
+    while (true) {
+      if (d == 0) return sum;
+      --d;
+      if (cursor[d] < hi[d]) {
+        ++cursor[d];
+        for (size_t e = d + 1; e < n; ++e) cursor[e] = lo[e];
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace qarm

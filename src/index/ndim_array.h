@@ -1,0 +1,84 @@
+// The n-dimensional counting array of Section 5.2: one cell per combination
+// of quantitative-attribute values in a super-candidate. Per record the work
+// is O(dims) (index into each dimension, bump one cell); at the end of the
+// pass the support of each candidate rectangle is the sum over the cells it
+// covers.
+#ifndef QARM_INDEX_NDIM_ARRAY_H_
+#define QARM_INDEX_NDIM_ARRAY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qarm {
+
+// Inclusive integer hyper-rectangle in the mapped domain: dimension d spans
+// [lo[d], hi[d]].
+struct IntRect {
+  std::vector<int32_t> lo;
+  std::vector<int32_t> hi;
+
+  size_t dims() const { return lo.size(); }
+  bool Contains(const int32_t* point) const {
+    for (size_t d = 0; d < lo.size(); ++d) {
+      if (point[d] < lo[d] || point[d] > hi[d]) return false;
+    }
+    return true;
+  }
+  // Number of integer cells covered.
+  uint64_t CellCount() const {
+    uint64_t cells = 1;
+    for (size_t d = 0; d < lo.size(); ++d) {
+      cells *= static_cast<uint64_t>(hi[d] - lo[d] + 1);
+    }
+    return cells;
+  }
+};
+
+// Dense counting grid over the cross product of the dimension sizes.
+class NDimArray {
+ public:
+  // `dim_sizes[d]` is the number of distinct mapped values of dimension d;
+  // valid coordinates are [0, dim_sizes[d]).
+  explicit NDimArray(std::vector<int32_t> dim_sizes);
+
+  size_t dims() const { return dim_sizes_.size(); }
+  uint64_t num_cells() const { return cells_.size(); }
+
+  // Bytes a grid with these dimensions would occupy (the Section 5.2 memory
+  // heuristic compares this against the R*-tree estimate). Saturates at
+  // UINT64_MAX on overflow.
+  static uint64_t EstimateBytes(const std::vector<int32_t>& dim_sizes);
+
+  // Increments the cell at `point` (dims() coordinates).
+  void Increment(const int32_t* point);
+
+  // Converts the grid to inclusive n-dimensional prefix sums, making
+  // CountRect O(2^dims) instead of a cell sweep. Call once, after all
+  // Increment()s; Increment must not be called afterwards.
+  void BuildPrefixSums();
+  bool prefix_sums_built() const { return prefix_built_; }
+
+  // Sum of all cells covered by `rect` (clipped to the grid). Uses
+  // inclusion-exclusion when BuildPrefixSums() has run, a sweep otherwise.
+  uint64_t CountRect(const IntRect& rect) const;
+
+  // Raw cell accessor (tests; invalid after BuildPrefixSums).
+  uint64_t CellAt(const int32_t* point) const;
+
+ private:
+  size_t FlatIndex(const int32_t* point) const;
+  uint64_t CountRectSweep(const std::vector<int32_t>& lo,
+                          const std::vector<int32_t>& hi) const;
+  uint64_t CountRectPrefix(const std::vector<int32_t>& lo,
+                           const std::vector<int32_t>& hi) const;
+
+  std::vector<int32_t> dim_sizes_;
+  std::vector<uint64_t> strides_;
+  std::vector<uint32_t> cells_;
+  bool prefix_built_ = false;
+};
+
+}  // namespace qarm
+
+#endif  // QARM_INDEX_NDIM_ARRAY_H_

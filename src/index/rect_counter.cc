@@ -1,0 +1,79 @@
+#include "index/rect_counter.h"
+
+#include "common/macros.h"
+
+namespace qarm {
+
+ArrayRectangleCounter::ArrayRectangleCounter(std::vector<int32_t> dim_sizes,
+                                             std::vector<IntRect> rects,
+                                             bool use_prefix_sums)
+    : array_(std::move(dim_sizes)),
+      rects_(std::move(rects)),
+      use_prefix_sums_(use_prefix_sums) {}
+
+void ArrayRectangleCounter::ProcessPoint(const int32_t* point) {
+  array_.Increment(point);
+}
+
+void ArrayRectangleCounter::Finalize() {
+  if (use_prefix_sums_) array_.BuildPrefixSums();
+}
+
+void ArrayRectangleCounter::Collect(std::vector<uint64_t>* counts) const {
+  counts->resize(rects_.size());
+  for (size_t i = 0; i < rects_.size(); ++i) {
+    (*counts)[i] = array_.CountRect(rects_[i]);
+  }
+}
+
+RTreeRectangleCounter::RTreeRectangleCounter(size_t dims,
+                                             const std::vector<IntRect>& rects)
+    : dims_(dims), tree_(dims), counts_(rects.size(), 0) {
+  for (size_t i = 0; i < rects.size(); ++i) {
+    QARM_CHECK_EQ(rects[i].dims(), dims);
+    RStarRect rect;
+    for (size_t d = 0; d < dims; ++d) {
+      rect.lo[d] = static_cast<double>(rects[i].lo[d]);
+      rect.hi[d] = static_cast<double>(rects[i].hi[d]);
+    }
+    tree_.Insert(rect, static_cast<int32_t>(i));
+  }
+}
+
+void RTreeRectangleCounter::ProcessPoint(const int32_t* point) {
+  double coords[kRStarMaxDims];
+  for (size_t d = 0; d < dims_; ++d) coords[d] = static_cast<double>(point[d]);
+  tree_.ForEachContaining(
+      coords, [this](int32_t id) { ++counts_[static_cast<size_t>(id)]; });
+}
+
+void RTreeRectangleCounter::Collect(std::vector<uint64_t>* counts) const {
+  *counts = counts_;
+}
+
+CounterChoice ChooseCounter(const std::vector<int32_t>& dim_sizes,
+                            size_t num_rects, uint64_t memory_budget_bytes) {
+  CounterChoice choice;
+  choice.array_bytes = NDimArray::EstimateBytes(dim_sizes);
+  choice.tree_bytes = RStarTree::EstimateBytes(num_rects, dim_sizes.size());
+  // The array wins on CPU whenever it fits; beyond the budget, fall back to
+  // the tree unless the tree estimate is even larger (degenerate case of
+  // few dimensions but enormous rectangle counts).
+  choice.use_array = choice.array_bytes <= memory_budget_bytes ||
+                     choice.array_bytes <= choice.tree_bytes;
+  return choice;
+}
+
+std::unique_ptr<RectangleCounter> MakeRectangleCounter(
+    std::vector<int32_t> dim_sizes, std::vector<IntRect> rects,
+    uint64_t memory_budget_bytes) {
+  CounterChoice choice =
+      ChooseCounter(dim_sizes, rects.size(), memory_budget_bytes);
+  if (choice.use_array) {
+    return std::make_unique<ArrayRectangleCounter>(std::move(dim_sizes),
+                                                   std::move(rects));
+  }
+  return std::make_unique<RTreeRectangleCounter>(dim_sizes.size(), rects);
+}
+
+}  // namespace qarm

@@ -1,0 +1,99 @@
+// Rectangle-containment counting for super-candidates (Section 5.2).
+//
+// A super-candidate's quantitative part is a set of n-dimensional integer
+// rectangles; each database record projects to an n-dimensional point, and
+// the support count of a candidate is the number of points inside its
+// rectangle. Two engines implement this:
+//   - ArrayRectangleCounter: the n-dimensional array (O(n) per record, cell
+//     sweep at the end) — cheap CPU, memory proportional to the cell grid;
+//   - RTreeRectangleCounter: rectangles in an R*-tree queried per point —
+//     memory proportional to the rectangle count.
+// MakeRectangleCounter picks between them with the paper's memory-ratio
+// heuristic.
+#ifndef QARM_INDEX_RECT_COUNTER_H_
+#define QARM_INDEX_RECT_COUNTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "index/ndim_array.h"
+#include "index/rstar_tree.h"
+
+namespace qarm {
+
+// Streaming counter: feed every record's point, then collect per-rectangle
+// support counts.
+class RectangleCounter {
+ public:
+  virtual ~RectangleCounter() = default;
+
+  // Processes one record (dims coordinates in the mapped domain).
+  virtual void ProcessPoint(const int32_t* point) = 0;
+
+  // Called once after the last ProcessPoint, before Collect.
+  virtual void Finalize() {}
+
+  // Returns counts[i] = number of processed points inside rectangle i.
+  virtual void Collect(std::vector<uint64_t>* counts) const = 0;
+
+  // Engine name for logging/benchmarks ("ndim-array" / "rstar-tree").
+  virtual const char* name() const = 0;
+};
+
+// Dense-grid engine.
+class ArrayRectangleCounter final : public RectangleCounter {
+ public:
+  // `use_prefix_sums` converts the grid to prefix sums in Finalize(), making
+  // each rectangle collection O(2^dims) instead of a cell sweep; disable it
+  // to measure the paper's original sweep (bench_counting_structures).
+  ArrayRectangleCounter(std::vector<int32_t> dim_sizes,
+                        std::vector<IntRect> rects,
+                        bool use_prefix_sums = true);
+
+  void ProcessPoint(const int32_t* point) override;
+  void Finalize() override;
+  void Collect(std::vector<uint64_t>* counts) const override;
+  const char* name() const override { return "ndim-array"; }
+
+ private:
+  NDimArray array_;
+  std::vector<IntRect> rects_;
+  bool use_prefix_sums_;
+};
+
+// R*-tree engine.
+class RTreeRectangleCounter final : public RectangleCounter {
+ public:
+  RTreeRectangleCounter(size_t dims, const std::vector<IntRect>& rects);
+
+  void ProcessPoint(const int32_t* point) override;
+  void Collect(std::vector<uint64_t>* counts) const override;
+  const char* name() const override { return "rstar-tree"; }
+
+ private:
+  size_t dims_;
+  RStarTree tree_;
+  std::vector<uint64_t> counts_;
+};
+
+// Decision record for the array-vs-tree choice (exposed for benchmarks).
+struct CounterChoice {
+  bool use_array = true;
+  uint64_t array_bytes = 0;
+  uint64_t tree_bytes = 0;
+};
+
+// The Section 5.2 heuristic: use the array unless its estimated memory
+// exceeds both `memory_budget_bytes` and the R*-tree estimate.
+CounterChoice ChooseCounter(const std::vector<int32_t>& dim_sizes,
+                            size_t num_rects, uint64_t memory_budget_bytes);
+
+// Builds the engine chosen by ChooseCounter.
+std::unique_ptr<RectangleCounter> MakeRectangleCounter(
+    std::vector<int32_t> dim_sizes, std::vector<IntRect> rects,
+    uint64_t memory_budget_bytes);
+
+}  // namespace qarm
+
+#endif  // QARM_INDEX_RECT_COUNTER_H_

@@ -1,0 +1,50 @@
+// The Apriori algorithm of [AS94] for boolean association rules. This is
+// both the baseline the paper builds on (Section 5 reuses its structure and
+// hash tree) and the engine behind the naive map-to-boolean bridge of
+// Section 1.1.
+#ifndef QARM_MINING_APRIORI_H_
+#define QARM_MINING_APRIORI_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qarm {
+
+// A transaction: sorted, unique item ids.
+using Transaction = std::vector<int32_t>;
+
+// A frequent itemset with its absolute support count.
+struct FrequentItemset {
+  std::vector<int32_t> items;  // sorted
+  uint64_t count = 0;
+
+  bool operator==(const FrequentItemset& other) const {
+    return items == other.items && count == other.count;
+  }
+};
+
+// Tuning knobs for the Apriori driver.
+struct AprioriOptions {
+  // Minimum support as a fraction of the transaction count.
+  double minsup = 0.01;
+  // Hash-tree shape.
+  size_t leaf_capacity = 32;
+  size_t fanout = 64;
+};
+
+// Candidate generation (the apriori-gen function): joins L_{k-1} with itself
+// on the first k-2 items and prunes joins with an infrequent (k-1)-subset.
+// `frequent` must be lexicographically sorted. Exposed for testing.
+std::vector<std::vector<int32_t>> AprioriGen(
+    const std::vector<std::vector<int32_t>>& frequent);
+
+// Mines all frequent itemsets (k >= 1) of `transactions`. Results are
+// ordered by size, then lexicographically.
+std::vector<FrequentItemset> AprioriMine(
+    const std::vector<Transaction>& transactions,
+    const AprioriOptions& options);
+
+}  // namespace qarm
+
+#endif  // QARM_MINING_APRIORI_H_

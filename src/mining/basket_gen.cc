@@ -1,0 +1,50 @@
+#include "mining/basket_gen.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace qarm {
+
+std::vector<Transaction> MakeBasketData(const BasketConfig& config) {
+  Rng rng(config.seed);
+
+  // Pattern pool: item popularity is Zipf-skewed so patterns share items.
+  ZipfDistribution item_dist(config.num_items, 0.8);
+  std::vector<std::vector<int32_t>> patterns(config.num_patterns);
+  for (auto& pattern : patterns) {
+    size_t size = std::max<size_t>(
+        1, static_cast<size_t>(rng.UniformInt(
+               1, static_cast<int64_t>(2 * config.avg_pattern_size - 1))));
+    for (size_t i = 0; i < size; ++i) {
+      pattern.push_back(static_cast<int32_t>(item_dist.Sample(&rng)));
+    }
+    std::sort(pattern.begin(), pattern.end());
+    pattern.erase(std::unique(pattern.begin(), pattern.end()), pattern.end());
+  }
+
+  // Pattern popularity is itself skewed.
+  ZipfDistribution pattern_dist(config.num_patterns, 1.0);
+
+  std::vector<Transaction> transactions;
+  transactions.reserve(config.num_transactions);
+  for (size_t t = 0; t < config.num_transactions; ++t) {
+    Transaction txn;
+    if (rng.Bernoulli(config.pattern_probability)) {
+      const auto& pattern = patterns[pattern_dist.Sample(&rng)];
+      txn = pattern;
+    }
+    size_t target = std::max<size_t>(
+        1, static_cast<size_t>(rng.UniformInt(
+               1, static_cast<int64_t>(2 * config.avg_transaction_size - 1))));
+    while (txn.size() < target) {
+      txn.push_back(static_cast<int32_t>(item_dist.Sample(&rng)));
+    }
+    std::sort(txn.begin(), txn.end());
+    txn.erase(std::unique(txn.begin(), txn.end()), txn.end());
+    transactions.push_back(std::move(txn));
+  }
+  return transactions;
+}
+
+}  // namespace qarm

@@ -1,0 +1,30 @@
+// Synthetic market-basket data for the boolean Apriori benchmarks, in the
+// spirit of the Quest generator used by [AS94]: a pool of potentially
+// frequent patterns is drawn once, then each transaction is assembled from
+// a few patterns plus noise items.
+#ifndef QARM_MINING_BASKET_GEN_H_
+#define QARM_MINING_BASKET_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mining/apriori.h"
+
+namespace qarm {
+
+struct BasketConfig {
+  size_t num_transactions = 10000;
+  size_t num_items = 1000;        // item universe size
+  size_t avg_transaction_size = 10;
+  size_t num_patterns = 100;      // potentially frequent patterns
+  size_t avg_pattern_size = 4;
+  double pattern_probability = 0.5;  // chance a transaction embeds a pattern
+  uint64_t seed = 42;
+};
+
+// Generates transactions (sorted, deduplicated item ids).
+std::vector<Transaction> MakeBasketData(const BasketConfig& config);
+
+}  // namespace qarm
+
+#endif  // QARM_MINING_BASKET_GEN_H_

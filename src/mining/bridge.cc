@@ -1,0 +1,85 @@
+#include "mining/bridge.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace qarm {
+
+BooleanEncoding::BooleanEncoding(const MappedTable& table) {
+  offsets_.resize(table.num_attributes());
+  size_t offset = 0;
+  for (size_t a = 0; a < table.num_attributes(); ++a) {
+    offsets_[a] = offset;
+    offset += table.attribute(a).domain_size();
+  }
+  total_ = offset;
+}
+
+size_t BooleanEncoding::AttrOf(int32_t item) const {
+  QARM_DCHECK(item >= 0 && static_cast<size_t>(item) < total_);
+  // Last offset <= item.
+  size_t lo = 0, hi = offsets_.size();
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (offsets_[mid] <= static_cast<size_t>(item)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<Transaction> ToTransactions(const MappedTable& table,
+                                        const BooleanEncoding& encoding) {
+  std::vector<Transaction> transactions;
+  transactions.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    Transaction t;
+    t.reserve(table.num_attributes());
+    for (size_t a = 0; a < table.num_attributes(); ++a) {
+      if (table.value(r, a) == kMissingValue) continue;
+      t.push_back(encoding.Encode(a, table.value(r, a)));
+    }
+    // Encoded ids are increasing in attribute order already.
+    transactions.push_back(std::move(t));
+  }
+  return transactions;
+}
+
+BridgeResult MineViaBooleanBridge(const MappedTable& table, double minsup,
+                                  double minconf) {
+  BooleanEncoding encoding(table);
+  std::vector<Transaction> transactions = ToTransactions(table, encoding);
+  AprioriOptions options;
+  options.minsup = minsup;
+  BridgeResult result;
+  result.itemsets = AprioriMine(transactions, options);
+  result.rules = GenerateRules(result.itemsets, transactions.size(), minconf);
+  return result;
+}
+
+std::string BridgeRuleToString(const BooleanRule& rule,
+                               const BooleanEncoding& encoding,
+                               const MappedTable& table) {
+  auto render_side = [&](const std::vector<int32_t>& items) {
+    std::vector<std::string> parts;
+    parts.reserve(items.size());
+    for (int32_t item : items) {
+      size_t attr = encoding.AttrOf(item);
+      int32_t value = encoding.ValueOf(item);
+      parts.push_back(StrFormat(
+          "<%s: %s>", table.attribute(attr).name.c_str(),
+          table.attribute(attr).DecodeRange(value, value).c_str()));
+    }
+    return Join(parts, " and ");
+  };
+  return StrFormat("%s => %s (support %.1f%%, confidence %.1f%%)",
+                   render_side(rule.antecedent).c_str(),
+                   render_side(rule.consequent).c_str(), rule.support * 100.0,
+                   rule.confidence * 100.0);
+}
+
+}  // namespace qarm

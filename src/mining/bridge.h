@@ -1,0 +1,64 @@
+// The naive Section 1.1 mapping of the quantitative problem onto boolean
+// association rules (Figure 2): every <attribute, mapped value> pair becomes
+// one boolean item and records become transactions. Without range
+// combination this suffers the "MinSup" problem (fine intervals lack
+// support) or, with coarse intervals, the "MinConf" problem — the behaviour
+// bench_mapping_woes quantifies against the paper's algorithm.
+#ifndef QARM_MINING_BRIDGE_H_
+#define QARM_MINING_BRIDGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mining/apriori.h"
+#include "mining/rulegen.h"
+#include "partition/mapped_table.h"
+
+namespace qarm {
+
+// Translates boolean item ids of the bridge encoding back to attributes.
+class BooleanEncoding {
+ public:
+  explicit BooleanEncoding(const MappedTable& table);
+
+  // Item id for <attribute, mapped value>.
+  int32_t Encode(size_t attr, int32_t value) const {
+    return static_cast<int32_t>(offsets_[attr]) + value;
+  }
+  // Attribute index of an item id.
+  size_t AttrOf(int32_t item) const;
+  // Mapped value of an item id.
+  int32_t ValueOf(int32_t item) const {
+    return item - static_cast<int32_t>(offsets_[AttrOf(item)]);
+  }
+  // Total number of boolean items.
+  size_t num_items() const { return total_; }
+
+ private:
+  std::vector<size_t> offsets_;  // per attribute, cumulative domain sizes
+  size_t total_ = 0;
+};
+
+// Converts each record to a transaction of encoded items.
+std::vector<Transaction> ToTransactions(const MappedTable& table,
+                                        const BooleanEncoding& encoding);
+
+// End-to-end naive pipeline: encode, run boolean Apriori, generate rules.
+// No interval combination happens: the result demonstrates the mapping woes.
+struct BridgeResult {
+  std::vector<FrequentItemset> itemsets;
+  std::vector<BooleanRule> rules;
+};
+BridgeResult MineViaBooleanBridge(const MappedTable& table, double minsup,
+                                  double minconf);
+
+// Renders a bridge rule using the mapped table's decode metadata.
+std::string BridgeRuleToString(const BooleanRule& rule,
+                               const BooleanEncoding& encoding,
+                               const MappedTable& table);
+
+}  // namespace qarm
+
+#endif  // QARM_MINING_BRIDGE_H_

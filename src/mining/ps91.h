@@ -1,0 +1,57 @@
+// The [PS91] baseline (Piatetsky-Shapiro's KID3-style strong-rule finder),
+// described in the paper's Related Work (Section 1.3): rules of the form
+// (A = a) => (B = b) where antecedent and consequent are each a single
+// <attribute, value> pair. One pass per antecedent attribute hashes records
+// by the attribute's value; each hash cell keeps running summaries of every
+// other attribute, from which the rules implied by (A = a) are derived.
+//
+// Finding all such rules for all attributes requires one run per attribute
+// (and would be exponential for multi-attribute antecedents) — this is the
+// limitation that motivates the paper's approach, quantified in
+// bench_ps91_comparison.
+#ifndef QARM_MINING_PS91_H_
+#define QARM_MINING_PS91_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "partition/mapped_table.h"
+
+namespace qarm {
+
+// A single-antecedent, single-consequent value rule.
+struct Ps91Rule {
+  size_t antecedent_attr = 0;
+  int32_t antecedent_value = 0;
+  size_t consequent_attr = 0;
+  int32_t consequent_value = 0;
+  uint64_t count = 0;  // records satisfying both sides
+  double support = 0.0;
+  double confidence = 0.0;
+};
+
+struct Ps91Options {
+  double minsup = 0.01;
+  double minconf = 0.5;
+};
+
+// Runs one [PS91] pass with `antecedent_attr` as the hashed attribute,
+// returning all rules (antecedent_attr = a) => (B = b) meeting the
+// thresholds.
+std::vector<Ps91Rule> Ps91MineAttribute(const MappedTable& table,
+                                        size_t antecedent_attr,
+                                        const Ps91Options& options);
+
+// Runs the pass for every attribute (the exhaustive mode the paper calls
+// out as requiring one run per attribute).
+std::vector<Ps91Rule> Ps91MineAll(const MappedTable& table,
+                                  const Ps91Options& options);
+
+// Renders a rule using the table's decode metadata.
+std::string Ps91RuleToString(const Ps91Rule& rule, const MappedTable& table);
+
+}  // namespace qarm
+
+#endif  // QARM_MINING_PS91_H_

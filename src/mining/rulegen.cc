@@ -1,0 +1,92 @@
+#include "mining/rulegen.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace qarm {
+namespace {
+
+// Set difference of sorted vectors: a \ b.
+std::vector<int32_t> Difference(const std::vector<int32_t>& a,
+                                const std::vector<int32_t>& b) {
+  std::vector<int32_t> out;
+  out.reserve(a.size() - b.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+// FNV-1a over the item ids; itemset collections reach into the millions, so
+// hashed lookup beats an ordered map by a large constant.
+struct ItemsetHash {
+  size_t operator()(const std::vector<int32_t>& v) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (int32_t x : v) {
+      h ^= static_cast<uint32_t>(x);
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+std::vector<BooleanRule> GenerateRules(
+    const std::vector<FrequentItemset>& itemsets, size_t num_transactions,
+    double minconf) {
+  std::unordered_map<std::vector<int32_t>, uint64_t, ItemsetHash> support;
+  support.reserve(itemsets.size() * 2);
+  for (const FrequentItemset& itemset : itemsets) {
+    support[itemset.items] = itemset.count;
+  }
+
+  std::vector<BooleanRule> rules;
+  const double n = static_cast<double>(num_transactions);
+
+  for (const FrequentItemset& itemset : itemsets) {
+    if (itemset.items.size() < 2) continue;
+    const double itemset_support = static_cast<double>(itemset.count);
+
+    // ap-genrules: grow consequents level-wise; if a consequent fails the
+    // confidence test, all of its supersets fail too (antecedent support
+    // only grows as the consequent shrinks... the converse: a superset
+    // consequent has a smaller antecedent, hence larger antecedent support,
+    // hence no larger confidence).
+    std::vector<std::vector<int32_t>> consequents;
+    for (int32_t item : itemset.items) consequents.push_back({item});
+
+    while (!consequents.empty() &&
+           consequents[0].size() < itemset.items.size()) {
+      std::vector<std::vector<int32_t>> surviving;
+      for (const std::vector<int32_t>& consequent : consequents) {
+        std::vector<int32_t> antecedent =
+            Difference(itemset.items, consequent);
+        auto it = support.find(antecedent);
+        QARM_CHECK(it != support.end());
+        double confidence = itemset_support / static_cast<double>(it->second);
+        if (confidence + 1e-12 >= minconf) {
+          BooleanRule rule;
+          rule.antecedent = std::move(antecedent);
+          rule.consequent = consequent;
+          rule.count = itemset.count;
+          rule.support = itemset_support / n;
+          rule.confidence = confidence;
+          rules.push_back(std::move(rule));
+          surviving.push_back(consequent);
+        }
+      }
+      std::sort(surviving.begin(), surviving.end());
+      consequents = AprioriGen(surviving);
+    }
+
+    // Handle the final level where the consequent is the whole itemset minus
+    // nothing -- not a rule (antecedent would be empty), so stop before it.
+    // (The loop condition consequents[0].size() < itemset.items.size()
+    // already guarantees a non-empty antecedent.)
+  }
+  return rules;
+}
+
+}  // namespace qarm

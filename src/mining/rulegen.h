@@ -1,0 +1,39 @@
+// Rule generation from frequent itemsets — the ap-genrules procedure of
+// [AS94], used by step 4 of the paper's problem decomposition. Works on any
+// itemsets given as sorted integer vectors, so the quantitative miner reuses
+// it after encoding its <attribute, range> items as integers.
+#ifndef QARM_MINING_RULEGEN_H_
+#define QARM_MINING_RULEGEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mining/apriori.h"
+
+namespace qarm {
+
+// An association rule over integer item ids.
+struct BooleanRule {
+  std::vector<int32_t> antecedent;  // sorted
+  std::vector<int32_t> consequent;  // sorted
+  uint64_t count = 0;               // absolute support of antecedent+consequent
+  double support = 0.0;             // fraction of transactions
+  double confidence = 0.0;
+
+  bool operator==(const BooleanRule& other) const {
+    return antecedent == other.antecedent && consequent == other.consequent;
+  }
+};
+
+// Generates every rule X => Y with X ∪ Y frequent, X ∩ Y = ∅, Y non-empty,
+// and confidence >= minconf. `itemsets` must contain every frequent itemset
+// together with all of its subsets (Apriori guarantees this).
+// `num_transactions` converts counts to support fractions.
+std::vector<BooleanRule> GenerateRules(
+    const std::vector<FrequentItemset>& itemsets, size_t num_transactions,
+    double minconf);
+
+}  // namespace qarm
+
+#endif  // QARM_MINING_RULEGEN_H_

@@ -1,0 +1,32 @@
+// Closed numeric interval over raw attribute values.
+#ifndef QARM_PARTITION_INTERVAL_H_
+#define QARM_PARTITION_INTERVAL_H_
+
+#include <string>
+
+#include "common/string_util.h"
+
+namespace qarm {
+
+// [lo, hi], both ends inclusive. A single raw value is lo == hi.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+  bool IsSingleValue() const { return lo == hi; }
+
+  bool operator==(const Interval& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+
+  // "5" for a single value, "5..9" for a range.
+  std::string ToString() const {
+    if (IsSingleValue()) return FormatDouble(lo);
+    return FormatDouble(lo) + ".." + FormatDouble(hi);
+  }
+};
+
+}  // namespace qarm
+
+#endif  // QARM_PARTITION_INTERVAL_H_

@@ -1,0 +1,249 @@
+#include "partition/mapper.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+
+#include "common/string_util.h"
+#include "partition/partial_completeness.h"
+#include "partition/partitioner.h"
+
+namespace qarm {
+
+std::string MappedAttribute::DecodeRange(int32_t lo, int32_t hi) const {
+  if (kind == AttributeKind::kCategorical) {
+    QARM_CHECK_GE(lo, 0);
+    QARM_CHECK_LE(lo, hi);
+    QARM_CHECK_LT(static_cast<size_t>(hi), labels.size());
+    if (lo == hi) return labels[static_cast<size_t>(lo)];
+    // A range over a taxonomy attribute: prefer the interior node's name.
+    for (const Taxonomy::NodeRange& node : taxonomy_ranges) {
+      if (node.lo == lo && node.hi == hi) return node.name;
+    }
+    // Not a named node (e.g. a box difference): list the leaves.
+    std::string out = labels[static_cast<size_t>(lo)];
+    for (int32_t v = lo + 1; v <= hi; ++v) {
+      out += "|";
+      out += labels[static_cast<size_t>(v)];
+    }
+    return out;
+  }
+  return RawInterval(lo, hi).ToString();
+}
+
+MappedTable::MappedTable(std::vector<MappedAttribute> attributes,
+                         size_t num_rows)
+    : attributes_(std::move(attributes)),
+      num_rows_(num_rows),
+      num_quantitative_(0),
+      data_(num_rows * attributes_.size(), 0) {
+  for (const MappedAttribute& attr : attributes_) {
+    if (attr.kind == AttributeKind::kQuantitative) ++num_quantitative_;
+  }
+}
+
+MappedTable MappedTable::Head(size_t n) const {
+  size_t rows = std::min(n, num_rows_);
+  MappedTable out(attributes_, rows);
+  std::copy(data_.begin(),
+            data_.begin() + static_cast<ptrdiff_t>(rows * attributes_.size()),
+            out.data_.begin());
+  return out;
+}
+
+namespace {
+
+// Maps one categorical column: distinct values sorted, then labeled 0..c-1.
+// With a taxonomy, ids follow the taxonomy's DFS leaf order instead (so
+// interior nodes cover contiguous id ranges); every value in the data must
+// be a leaf.
+Result<MappedAttribute> MapCategorical(const Table& table, size_t col,
+                                       const Taxonomy* taxonomy,
+                                       MappedTable* out) {
+  const AttributeDef& def = table.schema().attribute(col);
+  const Column& column = table.column(col);
+  MappedAttribute attr;
+  attr.name = def.name;
+  attr.kind = AttributeKind::kCategorical;
+  attr.source_type = def.type;
+
+  std::map<Value, int32_t> ids;
+  if (taxonomy != nullptr) {
+    // Every taxonomy leaf gets an id (absent leaves keep zero support);
+    // this keeps interior node ranges exact.
+    int32_t next = 0;
+    for (const std::string& leaf : taxonomy->leaves_dfs()) {
+      ids.emplace(Value(leaf), next++);
+      attr.labels.push_back(leaf);
+    }
+    attr.taxonomy_ranges = taxonomy->interior_ranges();
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (column.IsNull(r)) {
+        out->set_value(r, col, kMissingValue);
+        continue;
+      }
+      auto it = ids.find(column.Get(r));
+      if (it == ids.end()) {
+        return Status::InvalidArgument(
+            "value '" + column.Get(r).ToString() + "' of attribute '" +
+            def.name + "' is not a leaf of its taxonomy");
+      }
+      out->set_value(r, col, it->second);
+    }
+    return attr;
+  }
+
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (column.IsNull(r)) continue;
+    ids.emplace(column.Get(r), 0);  // sorted => deterministic mapping
+  }
+  int32_t next = 0;
+  for (auto& [value, id] : ids) {
+    id = next++;
+    attr.labels.push_back(value.ToString());
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    out->set_value(r, col,
+                   column.IsNull(r) ? kMissingValue : ids.at(column.Get(r)));
+  }
+  return attr;
+}
+
+// Maps one quantitative column, partitioning per the options.
+MappedAttribute MapQuantitative(const Table& table, size_t col,
+                                size_t required_intervals,
+                                PartitionMethod method, MappedTable* out) {
+  const AttributeDef& def = table.schema().attribute(col);
+  const Column& column = table.column(col);
+  const size_t n = table.num_rows();
+
+  std::vector<double> values;  // non-null cells only
+  values.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    if (!column.IsNull(r)) values.push_back(column.GetNumeric(r));
+  }
+
+  std::vector<double> distinct = values;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+
+  MappedAttribute attr;
+  attr.name = def.name;
+  attr.kind = AttributeKind::kQuantitative;
+  attr.source_type = def.type;
+
+  if (distinct.size() <= required_intervals || distinct.size() <= 1) {
+    // Few values: no partitioning; each distinct value is its own integer
+    // (order preserved), per Section 2.1.
+    attr.partitioned = false;
+    attr.intervals.reserve(distinct.size());
+    for (double v : distinct) attr.intervals.push_back(Interval{v, v});
+    for (size_t r = 0; r < n; ++r) {
+      if (column.IsNull(r)) {
+        out->set_value(r, col, kMissingValue);
+        continue;
+      }
+      auto it = std::lower_bound(distinct.begin(), distinct.end(),
+                                 column.GetNumeric(r));
+      out->set_value(r, col,
+                     static_cast<int32_t>(it - distinct.begin()));
+    }
+    return attr;
+  }
+
+  attr.partitioned = true;
+  switch (method) {
+    case PartitionMethod::kEquiDepth:
+      attr.intervals = EquiDepthPartition(values, required_intervals);
+      break;
+    case PartitionMethod::kEquiWidth:
+      attr.intervals =
+          EquiWidthPartition(distinct.front(), distinct.back(),
+                             required_intervals);
+      break;
+    case PartitionMethod::kKMeans:
+      attr.intervals = KMeansPartition(values, required_intervals);
+      break;
+  }
+  for (size_t r = 0; r < n; ++r) {
+    if (column.IsNull(r)) {
+      out->set_value(r, col, kMissingValue);
+      continue;
+    }
+    int64_t idx = AssignToInterval(attr.intervals, column.GetNumeric(r));
+    QARM_CHECK_GE(idx, 0);
+    out->set_value(r, col, static_cast<int32_t>(idx));
+  }
+  return attr;
+}
+
+}  // namespace
+
+Result<MappedTable> MapTable(const Table& table, const MapOptions& options) {
+  if (options.minsup <= 0.0 || options.minsup > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("minsup must be in (0,1], got %g", options.minsup));
+  }
+  if (options.num_intervals_override == 0 &&
+      options.partial_completeness <= 1.0) {
+    return Status::InvalidArgument(StrFormat(
+        "partial completeness level must be > 1, got %g",
+        options.partial_completeness));
+  }
+
+  const Schema& schema = table.schema();
+  for (const auto& [name, taxonomy] : options.taxonomies) {
+    (void)taxonomy;
+    QARM_ASSIGN_OR_RETURN(size_t index, schema.IndexOf(name));
+    if (schema.attribute(index).kind != AttributeKind::kCategorical) {
+      return Status::InvalidArgument("taxonomy on non-categorical attribute '" +
+                                     name + "'");
+    }
+  }
+  size_t n_quant = options.max_quantitative_per_rule > 0
+                       ? options.max_quantitative_per_rule
+                       : schema.num_quantitative();
+  size_t required_intervals =
+      options.num_intervals_override > 0
+          ? options.num_intervals_override
+          : IntervalsForPartialCompleteness(options.partial_completeness,
+                                            n_quant, options.minsup);
+
+  // Build with placeholder attributes; fill per column.
+  std::vector<MappedAttribute> placeholder(schema.num_attributes());
+  for (size_t c = 0; c < schema.num_attributes(); ++c) {
+    placeholder[c].name = schema.attribute(c).name;
+    placeholder[c].kind = schema.attribute(c).kind;
+  }
+  MappedTable mapped(std::move(placeholder), table.num_rows());
+
+  std::vector<MappedAttribute> attrs(schema.num_attributes());
+  for (size_t c = 0; c < schema.num_attributes(); ++c) {
+    if (schema.attribute(c).kind == AttributeKind::kCategorical) {
+      const Taxonomy* taxonomy = nullptr;
+      for (const auto& [name, tax] : options.taxonomies) {
+        if (name == schema.attribute(c).name) {
+          taxonomy = &tax;
+          break;
+        }
+      }
+      QARM_ASSIGN_OR_RETURN(attrs[c],
+                            MapCategorical(table, c, taxonomy, &mapped));
+    } else {
+      attrs[c] = MapQuantitative(table, c, required_intervals, options.method,
+                                 &mapped);
+    }
+  }
+
+  // Rebuild with the real metadata, moving the data across.
+  MappedTable out(std::move(attrs), table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_attributes(); ++c) {
+      out.set_value(r, c, mapped.value(r, c));
+    }
+  }
+  return out;
+}
+
+}  // namespace qarm

@@ -1,0 +1,63 @@
+// Steps 1-2 of the problem decomposition: decide the number of partitions
+// per quantitative attribute (Section 3), then map categorical values,
+// raw quantitative values, or base intervals to consecutive integers
+// (Section 2.1).
+#ifndef QARM_PARTITION_MAPPER_H_
+#define QARM_PARTITION_MAPPER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "partition/mapped_table.h"
+#include "partition/taxonomy.h"
+#include "table/table.h"
+
+namespace qarm {
+
+// Base-interval construction strategy.
+enum class PartitionMethod {
+  kEquiDepth,  // the paper's choice (optimal per Lemma 4)
+  kEquiWidth,  // ablation baseline
+  kKMeans,     // clustering-based (the paper's Section 7 future work)
+};
+
+// Options controlling partitioning and mapping.
+struct MapOptions {
+  // Desired partial completeness level K (> 1). Together with `minsup` it
+  // determines the number of base intervals via Equation 2.
+  double partial_completeness = 2.0;
+
+  // Minimum support as a fraction in (0, 1]; must match the value used
+  // for mining for the partial-completeness guarantee to hold.
+  double minsup = 0.20;
+
+  PartitionMethod method = PartitionMethod::kEquiDepth;
+
+  // When > 0, overrides Equation 2 and forces this many base intervals for
+  // every partitioned attribute.
+  size_t num_intervals_override = 0;
+
+  // When > 0, replaces the schema's quantitative-attribute count `n` in
+  // Equation 2 (the paper's n' refinement: if no rule will have more than
+  // n' quantitative attributes, fewer intervals suffice).
+  size_t max_quantitative_per_rule = 0;
+
+  // Taxonomies over categorical attributes (Section 1.1 / [SA95]), keyed by
+  // attribute name. A taxonomized attribute's values are mapped in DFS leaf
+  // order so interior nodes become contiguous ranges; every value in the
+  // data must be a leaf of the taxonomy.
+  std::vector<std::pair<std::string, Taxonomy>> taxonomies;
+};
+
+// Maps `table` to the integer domain. A quantitative attribute is
+// partitioned only if its number of distinct values exceeds the required
+// interval count (Section 3: "whether to partition ... and how many
+// partitions"); otherwise each distinct value maps to its own consecutive
+// integer, order preserved.
+Result<MappedTable> MapTable(const Table& table, const MapOptions& options);
+
+}  // namespace qarm
+
+#endif  // QARM_PARTITION_MAPPER_H_

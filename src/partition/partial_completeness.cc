@@ -1,0 +1,48 @@
+#include "partition/partial_completeness.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace qarm {
+
+size_t IntervalsForPartialCompleteness(double k, size_t num_quantitative,
+                                       double minsup) {
+  QARM_CHECK_GT(k, 1.0);
+  QARM_CHECK_GT(minsup, 0.0);
+  if (num_quantitative == 0) return 1;
+  double raw = 2.0 * static_cast<double>(num_quantitative) /
+               (minsup * (k - 1.0));
+  size_t n = static_cast<size_t>(std::ceil(raw - 1e-9));
+  return n < 1 ? 1 : n;
+}
+
+double AchievedPartialCompleteness(double max_multi_value_interval_support,
+                                   size_t num_quantitative, double minsup) {
+  QARM_CHECK_GT(minsup, 0.0);
+  QARM_CHECK_GE(max_multi_value_interval_support, 0.0);
+  return 1.0 + 2.0 * static_cast<double>(num_quantitative) *
+                   max_multi_value_interval_support / minsup;
+}
+
+double MaxMultiValueIntervalSupport(const std::vector<Interval>& intervals,
+                                    const std::vector<size_t>& counts,
+                                    size_t num_records) {
+  QARM_CHECK_EQ(intervals.size(), counts.size());
+  if (num_records == 0) return 0.0;
+  double max_support = 0.0;
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    if (intervals[i].IsSingleValue()) continue;
+    double s =
+        static_cast<double>(counts[i]) / static_cast<double>(num_records);
+    if (s > max_support) max_support = s;
+  }
+  return max_support;
+}
+
+double ScaledMinConfidence(double minconf, double k) {
+  QARM_CHECK_GE(k, 1.0);
+  return minconf / k;
+}
+
+}  // namespace qarm

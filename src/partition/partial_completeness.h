@@ -1,0 +1,48 @@
+// Partial completeness math of Section 3.
+//
+// For a quantitative attribute partitioned into base intervals, Lemma 3
+// bounds the information loss: if the support of every multi-value base
+// interval is below  minsup * (K-1) / (2n)  (n = number of quantitative
+// attributes), the partitioned frequent itemsets are K-complete w.r.t. the
+// unpartitioned ones. Equation 1 inverts this to report the achieved K, and
+// Equation 2 gives the number of equi-depth intervals needed for a desired K.
+#ifndef QARM_PARTITION_PARTIAL_COMPLETENESS_H_
+#define QARM_PARTITION_PARTIAL_COMPLETENESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/interval.h"
+
+namespace qarm {
+
+// Equation 2: number of equi-depth intervals required for partial
+// completeness level `k` with `num_quantitative` quantitative attributes
+// and minimum support `minsup` (a fraction in (0,1]). Requires k > 1.
+// Result is rounded up and is at least 1.
+size_t IntervalsForPartialCompleteness(double k, size_t num_quantitative,
+                                       double minsup);
+
+// Equation 1: partial completeness level achieved when the largest support
+// of any multi-value base interval (across all quantitative attributes) is
+// `max_multi_value_interval_support` (a fraction). Returns
+// 1 + 2 * n * s / minsup.
+double AchievedPartialCompleteness(double max_multi_value_interval_support,
+                                   size_t num_quantitative, double minsup);
+
+// Helper for Equation 1's `s`: given the per-interval record counts and the
+// intervals themselves, returns the largest support fraction among intervals
+// spanning more than one raw value (single-value intervals are exempt per
+// Lemma 2). Returns 0 if every interval is single-valued.
+double MaxMultiValueIntervalSupport(const std::vector<Interval>& intervals,
+                                    const std::vector<size_t>& counts,
+                                    size_t num_records);
+
+// Lemma 1 corollary: when generating rules from a K-complete itemset
+// collection, the confidence threshold must be scaled down to guarantee a
+// close rule is found. Returns minconf / k.
+double ScaledMinConfidence(double minconf, double k);
+
+}  // namespace qarm
+
+#endif  // QARM_PARTITION_PARTIAL_COMPLETENESS_H_

@@ -1,0 +1,105 @@
+#include "partition/taxonomy.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace qarm {
+
+Result<Taxonomy> Taxonomy::Make(
+    const std::vector<std::pair<std::string, std::string>>& edges) {
+  if (edges.empty()) {
+    return Status::InvalidArgument("taxonomy needs at least one edge");
+  }
+  // children[parent] in insertion order; parent_of for cycle/duplicate
+  // detection.
+  std::map<std::string, std::vector<std::string>> children;
+  std::map<std::string, std::string> parent_of;
+  std::set<std::string> all_nodes;
+  for (const auto& [child, parent] : edges) {
+    if (child.empty() || parent.empty()) {
+      return Status::InvalidArgument("taxonomy edge with empty name");
+    }
+    if (child == parent) {
+      return Status::InvalidArgument("taxonomy self-edge on '" + child + "'");
+    }
+    if (!parent_of.emplace(child, parent).second) {
+      return Status::InvalidArgument("node '" + child +
+                                     "' has two parents");
+    }
+    children[parent].push_back(child);
+    all_nodes.insert(child);
+    all_nodes.insert(parent);
+  }
+
+  // Roots: parents that are nobody's child.
+  std::vector<std::string> roots;
+  for (const auto& [parent, kids] : children) {
+    if (parent_of.find(parent) == parent_of.end()) roots.push_back(parent);
+  }
+  if (roots.empty()) {
+    return Status::InvalidArgument("taxonomy has a cycle (no root)");
+  }
+
+  Taxonomy taxonomy;
+  // Iterative DFS; interior entry/exit tracked to compute leaf ranges.
+  struct Frame {
+    std::string node;
+    size_t next_child = 0;
+    int32_t first_leaf = -1;
+  };
+  size_t visited = 0;
+  for (const std::string& root : roots) {
+    std::vector<Frame> stack;
+    stack.push_back(Frame{root, 0, -1});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      auto it = children.find(frame.node);
+      const bool is_leaf = it == children.end();
+      if (is_leaf) {
+        ++visited;
+        taxonomy.leaves_dfs_.push_back(frame.node);
+        stack.pop_back();
+        continue;
+      }
+      if (frame.next_child == 0) {
+        ++visited;
+        frame.first_leaf = static_cast<int32_t>(taxonomy.leaves_dfs_.size());
+        if (stack.size() > 64) {
+          return Status::InvalidArgument("taxonomy deeper than 64 levels");
+        }
+      }
+      if (frame.next_child < it->second.size()) {
+        const std::string& child = it->second[frame.next_child++];
+        stack.push_back(Frame{child, 0, -1});
+        continue;
+      }
+      // Exit: record the leaf range.
+      int32_t last_leaf = static_cast<int32_t>(taxonomy.leaves_dfs_.size()) - 1;
+      if (last_leaf < frame.first_leaf) {
+        return Status::InvalidArgument("interior node '" + frame.node +
+                                       "' has no leaves");
+      }
+      taxonomy.interior_ranges_.push_back(
+          NodeRange{frame.node, frame.first_leaf, last_leaf});
+      stack.pop_back();
+    }
+  }
+  if (visited != all_nodes.size()) {
+    return Status::InvalidArgument("taxonomy has a cycle or detached nodes");
+  }
+  // Outermost (widest) ranges first, for readable decode preference.
+  std::stable_sort(taxonomy.interior_ranges_.begin(),
+                   taxonomy.interior_ranges_.end(),
+                   [](const NodeRange& a, const NodeRange& b) {
+                     return (a.hi - a.lo) > (b.hi - b.lo);
+                   });
+  return taxonomy;
+}
+
+bool Taxonomy::IsLeaf(const std::string& name) const {
+  return std::find(leaves_dfs_.begin(), leaves_dfs_.end(), name) !=
+         leaves_dfs_.end();
+}
+
+}  // namespace qarm

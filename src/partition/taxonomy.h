@@ -1,0 +1,63 @@
+// Taxonomies (is-a hierarchies) over categorical attributes.
+//
+// Section 1.1 of the paper: "It is not meaningful to combine categorical
+// attribute values unless a taxonomy is present on the attribute. In this
+// case, the taxonomy can be used to implicitly combine values of a
+// categorical attribute" (cf. [SA95], [HF95]).
+//
+// QARM integrates taxonomies by ordering an attribute's leaf values in
+// taxonomy DFS order: every interior node then covers a *contiguous range*
+// of mapped leaf ids, so the quantitative machinery — range items,
+// super-candidate counting, the expected-value formulas, and the interest
+// measure's generalization order — applies to generalized categorical items
+// without modification.
+#ifndef QARM_PARTITION_TAXONOMY_H_
+#define QARM_PARTITION_TAXONOMY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qarm {
+
+// An immutable is-a hierarchy. Leaves are attribute values; interior nodes
+// are named groups. A forest is allowed (multiple roots).
+class Taxonomy {
+ public:
+  // Builds from (child, parent) name pairs. Names appearing only as
+  // children (never as parents) are the leaves. Rejects cycles, duplicate
+  // parents, and empty input.
+  static Result<Taxonomy> Make(
+      const std::vector<std::pair<std::string, std::string>>& edges);
+
+  // Leaf names in DFS order (the order the mapper must assign ids in).
+  const std::vector<std::string>& leaves_dfs() const { return leaves_dfs_; }
+
+  // One interior node's leaf-range in DFS positions (inclusive).
+  struct NodeRange {
+    std::string name;
+    int32_t lo = 0;
+    int32_t hi = 0;
+  };
+  // All interior nodes with their DFS leaf ranges, outermost first.
+  const std::vector<NodeRange>& interior_ranges() const {
+    return interior_ranges_;
+  }
+
+  // True if `name` is a leaf of this taxonomy.
+  bool IsLeaf(const std::string& name) const;
+
+ private:
+  Taxonomy() = default;
+
+  std::vector<std::string> leaves_dfs_;
+  std::vector<NodeRange> interior_ranges_;
+};
+
+}  // namespace qarm
+
+#endif  // QARM_PARTITION_TAXONOMY_H_

@@ -1,0 +1,129 @@
+#include "table/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace qarm {
+namespace {
+
+Result<Value> ParseField(std::string_view raw, ValueType type, size_t line) {
+  std::string field(StripWhitespace(raw));
+  if (field.empty()) return Value::Null();  // missing attribute
+  switch (type) {
+    case ValueType::kInt64: {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (errno != 0 || end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: '%s' is not an int64", line, field.c_str()));
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      errno = 0;
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (errno != 0 || end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: '%s' is not a double", line, field.c_str()));
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(std::move(field));
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<Table> ReadCsvStream(std::istream& in, const Schema& schema) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  std::vector<std::string> header = Split(line, ',');
+  if (header.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        StrFormat("header has %zu fields, schema has %zu attributes",
+                  header.size(), schema.num_attributes()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    std::string name(StripWhitespace(header[i]));
+    if (name != schema.attribute(i).name) {
+      return Status::InvalidArgument(
+          StrFormat("header field %zu is '%s', schema expects '%s'", i,
+                    name.c_str(), schema.attribute(i).name.c_str()));
+    }
+  }
+
+  Table table(schema);
+  std::vector<Value> row(schema.num_attributes());
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (StripWhitespace(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != schema.num_attributes()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu has %zu fields, expected %zu", line_no,
+                    fields.size(), schema.num_attributes()));
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      QARM_ASSIGN_OR_RETURN(
+          row[i], ParseField(fields[i], schema.attribute(i).type, line_no));
+    }
+    table.AppendRowUnchecked(row);
+  }
+  return table;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(const std::string& path, const Schema& schema) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return ReadCsvStream(in, schema);
+}
+
+Result<Table> ReadCsvString(const std::string& text, const Schema& schema) {
+  std::istringstream in(text);
+  return ReadCsvStream(in, schema);
+}
+
+std::string ToCsvString(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out += ',';
+    out += schema.attribute(i).name;
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += ',';
+      out += table.Get(r, c).ToString();
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << ToCsvString(table);
+  if (!out) {
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace qarm

@@ -1,0 +1,31 @@
+// CSV import/export for relational tables. The reader is schema-driven:
+// the caller declares each attribute's kind and type, the file's header is
+// validated against the schema.
+#ifndef QARM_TABLE_CSV_H_
+#define QARM_TABLE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace qarm {
+
+// Parses a CSV file (comma separated, first line is the header) into a
+// table with the given schema. Fields are trimmed; numeric fields must
+// parse fully; an empty field is a missing value (NULL). Quoting is not
+// supported: values must not contain commas.
+Result<Table> ReadCsv(const std::string& path, const Schema& schema);
+
+// Parses CSV from an in-memory string (same format as ReadCsv).
+Result<Table> ReadCsvString(const std::string& text, const Schema& schema);
+
+// Writes `table` as CSV (header + rows) to `path`.
+Status WriteCsv(const Table& table, const std::string& path);
+
+// Renders `table` as a CSV string.
+std::string ToCsvString(const Table& table);
+
+}  // namespace qarm
+
+#endif  // QARM_TABLE_CSV_H_

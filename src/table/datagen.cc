@@ -1,0 +1,302 @@
+#include "table/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace qarm {
+namespace {
+
+// Draws an index from a discrete distribution given cumulative weights.
+size_t SampleDiscrete(const std::vector<double>& cumulative, Rng* rng) {
+  double u = rng->UniformDouble() * cumulative.back();
+  auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+  if (it == cumulative.end()) return cumulative.size() - 1;
+  return static_cast<size_t>(it - cumulative.begin());
+}
+
+std::vector<double> Cumulate(const std::vector<double>& weights) {
+  std::vector<double> out(weights.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    QARM_CHECK_GE(weights[i], 0.0);
+    sum += weights[i];
+    out[i] = sum;
+  }
+  QARM_CHECK_GT(sum, 0.0);
+  return out;
+}
+
+}  // namespace
+
+Table MakePeopleTable() {
+  Schema schema =
+      Schema::Make({{"Age", AttributeKind::kQuantitative, ValueType::kInt64},
+                    {"Married", AttributeKind::kCategorical,
+                     ValueType::kString},
+                    {"NumCars", AttributeKind::kQuantitative,
+                     ValueType::kInt64}})
+          .value();
+  Table table(schema);
+  // RecordIDs 100..500 of Figure 1.
+  struct Row {
+    int64_t age;
+    const char* married;
+    int64_t cars;
+  };
+  constexpr Row kRows[] = {
+      {23, "No", 1}, {25, "Yes", 1}, {29, "No", 0},
+      {34, "Yes", 2}, {38, "Yes", 2},
+  };
+  for (const Row& r : kRows) {
+    table.AppendRowUnchecked(
+        {Value(r.age), Value(std::string(r.married)), Value(r.cars)});
+  }
+  return table;
+}
+
+Table MakeFinancialDataset(size_t num_records, uint64_t seed) {
+  Schema schema =
+      Schema::Make(
+          {{"monthly_income", AttributeKind::kQuantitative, ValueType::kInt64},
+           {"credit_limit", AttributeKind::kQuantitative, ValueType::kInt64},
+           {"current_balance", AttributeKind::kQuantitative,
+            ValueType::kInt64},
+           {"ytd_balance", AttributeKind::kQuantitative, ValueType::kInt64},
+           {"ytd_interest", AttributeKind::kQuantitative, ValueType::kDouble},
+           {"employee_category", AttributeKind::kCategorical,
+            ValueType::kString},
+           {"marital_status", AttributeKind::kCategorical,
+            ValueType::kString}})
+          .value();
+  Table table(schema);
+  table.Reserve(num_records);
+
+  Rng rng(seed);
+
+  static const char* kCategories[] = {"hourly", "salaried", "manager",
+                                      "executive", "retired"};
+  const std::vector<double> category_cum =
+      Cumulate({0.35, 0.35, 0.15, 0.05, 0.10});
+  // Log-income location per employee category; the spread keeps the five
+  // bands overlapping (so rules are probabilistic, not partitions).
+  constexpr double kIncomeMu[] = {7.7, 8.2, 8.7, 9.5, 7.5};
+  constexpr double kIncomeSigma = 0.35;
+  // Interest rate per category (executives get preferential rates).
+  constexpr double kRate[] = {0.18, 0.15, 0.12, 0.08, 0.16};
+
+  static const char* kMarital[] = {"single", "married", "divorced", "widowed"};
+
+  // Correlations are deliberately soft (mixtures and wide multiplicative
+  // noise): hard functional relations would make nearly every pair of
+  // mid-support ranges frequent and blow the candidate sets up far beyond
+  // anything the paper's real dataset exhibits. Mass points (zero balances,
+  // limits rounded to $100) mirror real billing data and exercise the
+  // single-value-partition paths.
+  for (size_t i = 0; i < num_records; ++i) {
+    size_t cat = SampleDiscrete(category_cum, &rng);
+    double income = rng.LogNormal(kIncomeMu[cat], kIncomeSigma);
+    income = std::clamp(income, 400.0, 60000.0);
+
+    // Credit limit: 40% of customers have an income-proportional limit,
+    // the rest carry a legacy limit unrelated to current income.
+    double limit;
+    if (rng.Bernoulli(0.4)) {
+      limit = income * rng.UniformDouble(4.0, 8.0);
+    } else {
+      limit = rng.LogNormal(9.6, 0.8);
+    }
+    limit = std::clamp(limit, 500.0, 500000.0);
+    limit = std::round(limit / 100.0) * 100.0;  // issued in $100 steps
+
+    // Utilization: ~18% of customers carry no balance right now; the rest
+    // are skewed toward low utilization, with hourly employees running
+    // hotter.
+    double util = 0.0;
+    if (!rng.Bernoulli(0.18)) {
+      util = rng.UniformDouble();
+      util = util * util;
+      if (cat == 0) util = std::min(1.0, util + rng.UniformDouble(0.0, 0.3));
+    }
+    double balance = limit * util;
+
+    // YTD balance is the year's average, only half-driven by the current
+    // balance: a customer idle today may well have revolved during the year.
+    double util_year = rng.UniformDouble();
+    util_year = 0.5 * util + 0.5 * util_year * util_year;
+    double ytd_balance = limit * util_year * rng.UniformDouble(0.8, 1.2);
+
+    // Interest: category base rate, personal spread, billing noise.
+    double rate = kRate[cat] + rng.UniformDouble(-0.05, 0.05);
+    double ytd_interest = ytd_balance * rate * rng.UniformDouble(0.8, 1.2);
+
+    // Marital status correlates with the income band: higher incomes skew
+    // married, the retired band skews widowed.
+    std::vector<double> marital_weights = {0.30, 0.45, 0.18, 0.07};
+    if (income > 6000.0) {
+      marital_weights = {0.15, 0.65, 0.15, 0.05};
+    } else if (income < 1800.0) {
+      marital_weights = {0.50, 0.25, 0.18, 0.07};
+    }
+    if (cat == 4) marital_weights[3] += 0.25;  // retired -> widowed
+    size_t marital = SampleDiscrete(Cumulate(marital_weights), &rng);
+
+    table.AppendRowUnchecked(
+        {Value(static_cast<int64_t>(std::llround(income))),
+         Value(static_cast<int64_t>(std::llround(limit))),
+         Value(static_cast<int64_t>(std::llround(balance))),
+         Value(static_cast<int64_t>(std::llround(ytd_balance))),
+         Value(std::round(ytd_interest * 100.0) / 100.0),
+         Value(std::string(kCategories[cat])),
+         Value(std::string(kMarital[marital]))});
+  }
+  return table;
+}
+
+Table MakeDecoyTable(size_t num_records, uint64_t seed) {
+  Schema schema =
+      Schema::Make({{"x", AttributeKind::kQuantitative, ValueType::kInt64},
+                    {"y", AttributeKind::kCategorical, ValueType::kString}})
+          .value();
+  Table table(schema);
+  table.Reserve(num_records);
+  Rng rng(seed);
+
+  // Joint distribution (Figure 6): support(x=v AND y=yes) is 1% for v != 5
+  // and 11% for v = 5 (total 20% of records have y=yes). The remaining 80%
+  // has y=no, spread uniformly over x in 1..10.
+  for (size_t i = 0; i < num_records; ++i) {
+    double u = rng.UniformDouble();
+    int64_t x;
+    std::string y;
+    if (u < 0.20) {
+      y = "yes";
+      double v = rng.UniformDouble() * 0.20;
+      if (v < 0.11) {
+        x = 5;
+      } else {
+        // 9 x-values share the remaining 9% equally.
+        int64_t slot = rng.UniformInt(0, 8);
+        x = slot < 4 ? slot + 1 : slot + 2;  // skip 5
+      }
+    } else {
+      y = "no";
+      x = rng.UniformInt(1, 10);
+    }
+    table.AppendRowUnchecked({Value(x), Value(std::move(y))});
+  }
+  return table;
+}
+
+Table GenerateSynthetic(const SyntheticConfig& config, size_t num_records,
+                        uint64_t seed) {
+  std::vector<AttributeDef> defs;
+  defs.reserve(config.attributes.size());
+  for (const SyntheticAttribute& attr : config.attributes) {
+    AttributeDef def;
+    def.name = attr.name;
+    def.kind = attr.kind;
+    if (attr.kind == AttributeKind::kCategorical) {
+      QARM_CHECK(!attr.categories.empty());
+      def.type = ValueType::kString;
+    } else {
+      def.type = attr.integral ? ValueType::kInt64 : ValueType::kDouble;
+    }
+    defs.push_back(std::move(def));
+  }
+  Schema schema = Schema::Make(std::move(defs)).value();
+  Table table(schema);
+  table.Reserve(num_records);
+  Rng rng(seed);
+
+  // Precompute categorical CDFs and Zipf tables.
+  std::vector<std::vector<double>> cat_cum(config.attributes.size());
+  std::vector<ZipfDistribution> zipfs;
+  std::vector<int> zipf_index(config.attributes.size(), -1);
+  for (size_t a = 0; a < config.attributes.size(); ++a) {
+    const SyntheticAttribute& attr = config.attributes[a];
+    if (attr.kind == AttributeKind::kCategorical) {
+      std::vector<double> weights = attr.weights;
+      if (weights.empty()) weights.assign(attr.categories.size(), 1.0);
+      QARM_CHECK_EQ(weights.size(), attr.categories.size());
+      cat_cum[a] = Cumulate(weights);
+    } else if (attr.dist == SyntheticDist::kZipf) {
+      zipf_index[a] = static_cast<int>(zipfs.size());
+      zipfs.emplace_back(static_cast<size_t>(attr.param0), attr.param1);
+    }
+  }
+
+  // Scratch row: categorical values held as category indices, quantitative
+  // as doubles, boxed only at append time.
+  std::vector<double> quant(config.attributes.size(), 0.0);
+  std::vector<size_t> cat(config.attributes.size(), 0);
+  std::vector<Value> row(config.attributes.size());
+
+  for (size_t i = 0; i < num_records; ++i) {
+    for (size_t a = 0; a < config.attributes.size(); ++a) {
+      const SyntheticAttribute& attr = config.attributes[a];
+      if (attr.kind == AttributeKind::kCategorical) {
+        cat[a] = SampleDiscrete(cat_cum[a], &rng);
+        continue;
+      }
+      double v = 0.0;
+      switch (attr.dist) {
+        case SyntheticDist::kUniform:
+          v = rng.UniformDouble(attr.param0, attr.param1);
+          break;
+        case SyntheticDist::kNormal:
+          v = rng.Normal(attr.param0, attr.param1);
+          break;
+        case SyntheticDist::kLogNormal:
+          v = rng.LogNormal(attr.param0, attr.param1);
+          break;
+        case SyntheticDist::kZipf:
+          v = static_cast<double>(zipfs[zipf_index[a]].Sample(&rng));
+          break;
+      }
+      quant[a] = std::clamp(v, attr.clamp_lo, attr.clamp_hi);
+    }
+
+    for (const ImplantedRule& rule : config.rules) {
+      const SyntheticAttribute& ante = config.attributes[rule.antecedent_attr];
+      bool fires;
+      if (ante.kind == AttributeKind::kCategorical) {
+        fires = rule.ante_category >= 0 &&
+                cat[rule.antecedent_attr] ==
+                    static_cast<size_t>(rule.ante_category);
+      } else {
+        double v = quant[rule.antecedent_attr];
+        fires = v >= rule.ante_lo && v <= rule.ante_hi;
+      }
+      if (!fires || !rng.Bernoulli(rule.probability)) continue;
+      const SyntheticAttribute& cons = config.attributes[rule.consequent_attr];
+      if (cons.kind == AttributeKind::kCategorical) {
+        QARM_CHECK_GE(rule.cons_category, 0);
+        cat[rule.consequent_attr] = static_cast<size_t>(rule.cons_category);
+      } else {
+        quant[rule.consequent_attr] =
+            rng.UniformDouble(rule.cons_lo, rule.cons_hi);
+      }
+    }
+
+    for (size_t a = 0; a < config.attributes.size(); ++a) {
+      const SyntheticAttribute& attr = config.attributes[a];
+      if (attr.missing_probability > 0.0 &&
+          rng.Bernoulli(attr.missing_probability)) {
+        row[a] = Value::Null();
+      } else if (attr.kind == AttributeKind::kCategorical) {
+        row[a] = Value(attr.categories[cat[a]]);
+      } else if (attr.integral) {
+        row[a] = Value(static_cast<int64_t>(std::llround(quant[a])));
+      } else {
+        row[a] = Value(quant[a]);
+      }
+    }
+    table.AppendRowUnchecked(row);
+  }
+  return table;
+}
+
+}  // namespace qarm

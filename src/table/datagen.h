@@ -1,0 +1,112 @@
+// Synthetic dataset generators.
+//
+// The paper's evaluation (Section 6) uses a proprietary 500,000-record
+// dataset with 5 quantitative attributes (monthly-income, credit-limit,
+// current-balance, year-to-date balance, year-to-date interest) and 2
+// categorical attributes (employee-category, marital-status). That data is
+// unavailable, so MakeFinancialDataset() synthesizes a dataset with the same
+// schema, realistic marginal distributions, and implanted cross-attribute
+// dependencies, seeded and fully deterministic. The experiments measure rule
+// counts, pruning behaviour, and scale-up, all of which depend only on the
+// joint-distribution shape that the generator controls.
+#ifndef QARM_TABLE_DATAGEN_H_
+#define QARM_TABLE_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace qarm {
+
+// The 5-record People table of Figures 1 and 3:
+//   Age (quantitative), Married (categorical), NumCars (quantitative).
+Table MakePeopleTable();
+
+// The Section 6 stand-in: 7 attributes (5 quantitative, 2 categorical),
+// `num_records` rows, deterministic in `seed`.
+//
+// Implanted structure (all soft, i.e. probabilistic):
+//   - monthly income is log-normal with employee-category-dependent location;
+//   - credit limit is a noisy multiple of income;
+//   - current balance is a skewed fraction of the credit limit, with hourly
+//     employees running higher utilization;
+//   - ytd balance tracks current balance; ytd interest is rate * ytd balance
+//     with category-dependent rates;
+//   - marital status correlates with the income band.
+Table MakeFinancialDataset(size_t num_records, uint64_t seed);
+
+// The Figure 6 "interest" example: quantitative x uniform over 1..10 and a
+// boolean-like categorical y, constructed so that
+//   support(<x:v>, <y:yes>) = 1% for v != 5 and 11% for v = 5.
+// The only genuinely interesting itemset is {<x:5..5>, <y:yes>}; the
+// intervals [3..5] ("Decoy"), [3..4] ("Boring") and [1..10] ("Whole") are
+// the traps the final interest measure must reject.
+Table MakeDecoyTable(size_t num_records, uint64_t seed);
+
+// --- Generic rule-implanting generator -------------------------------------
+
+// Distribution of a synthetic quantitative attribute.
+enum class SyntheticDist {
+  kUniform,    // uniform in [param0, param1]
+  kNormal,     // normal(mean = param0, sd = param1)
+  kLogNormal,  // exp(normal(mu = param0, sigma = param1))
+  kZipf,       // zipf over {0..param0-1} with theta = param1
+};
+
+// One attribute of a synthetic table. For categorical attributes fill
+// `categories` (+ optional `weights`, default uniform); for quantitative
+// attributes fill the distribution fields.
+struct SyntheticAttribute {
+  std::string name;
+  AttributeKind kind = AttributeKind::kQuantitative;
+
+  // Categorical-only.
+  std::vector<std::string> categories;
+  std::vector<double> weights;
+
+  // Quantitative-only.
+  SyntheticDist dist = SyntheticDist::kUniform;
+  double param0 = 0.0;
+  double param1 = 1.0;
+  double clamp_lo = -1e18;  // values are clamped into [clamp_lo, clamp_hi]
+  double clamp_hi = 1e18;
+  bool integral = true;  // round to int64 and store as kInt64
+
+  // Either kind: probability that a record lacks this attribute (NULL).
+  double missing_probability = 0.0;
+};
+
+// A soft dependency implanted into the data: whenever the antecedent
+// attribute falls in its range (quantitative) or equals its category
+// (categorical), the consequent attribute is, with `probability`,
+// overwritten by a draw that satisfies the consequent condition.
+struct ImplantedRule {
+  size_t antecedent_attr = 0;
+  double ante_lo = 0.0;  // quantitative antecedent range (inclusive)
+  double ante_hi = 0.0;
+  int ante_category = -1;  // categorical antecedent: index into categories
+
+  size_t consequent_attr = 0;
+  double cons_lo = 0.0;  // quantitative consequent range (uniform draw)
+  double cons_hi = 0.0;
+  int cons_category = -1;  // categorical consequent: index into categories
+
+  double probability = 1.0;
+};
+
+// Configuration for GenerateSynthetic.
+struct SyntheticConfig {
+  std::vector<SyntheticAttribute> attributes;
+  std::vector<ImplantedRule> rules;
+};
+
+// Generates `num_records` rows: base values drawn independently per the
+// attribute specs, then implanted rules applied in order.
+Table GenerateSynthetic(const SyntheticConfig& config, size_t num_records,
+                        uint64_t seed);
+
+}  // namespace qarm
+
+#endif  // QARM_TABLE_DATAGEN_H_

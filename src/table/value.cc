@@ -1,0 +1,48 @@
+#include "table/value.h"
+
+#include "common/string_util.h"
+
+namespace qarm {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "";
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(as_int64());
+    case ValueType::kDouble:
+      return FormatDouble(as_double());
+    case ValueType::kString:
+      return as_string();
+  }
+  return "?";
+}
+
+bool Value::operator<(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    return is_null() && !other.is_null();  // NULL sorts first
+  }
+  QARM_CHECK(type() == other.type());
+  switch (type()) {
+    case ValueType::kInt64:
+      return as_int64() < other.as_int64();
+    case ValueType::kDouble:
+      return as_double() < other.as_double();
+    case ValueType::kString:
+      return as_string() < other.as_string();
+  }
+  return false;
+}
+
+}  // namespace qarm

@@ -1,0 +1,96 @@
+// A dynamically typed cell value for relational tables.
+#ifndef QARM_TABLE_VALUE_H_
+#define QARM_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace qarm {
+
+// Physical type of a column.
+enum class ValueType {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+// Marker for a missing cell (the paper's record model, Section 2: each
+// attribute occurs *at most* once in a record).
+struct NullValue {
+  bool operator==(const NullValue&) const { return true; }
+  bool operator<(const NullValue&) const { return false; }
+};
+
+// Human-readable type name ("int64", "double", "string").
+const char* ValueTypeName(ValueType type);
+
+// One cell: an int64, a double, a string, or NULL (attribute absent from
+// the record). Values are totally ordered within a type; cross-type
+// comparison is a programmer error.
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  // The missing-value singleton.
+  static Value Null() {
+    Value v;
+    v.data_ = NullValue{};
+    return v;
+  }
+
+  bool is_null() const {
+    return std::holds_alternative<NullValue>(data_);
+  }
+
+  // Type of a non-null value; must not be called on NULL.
+  ValueType type() const {
+    QARM_CHECK(!is_null());
+    return static_cast<ValueType>(data_.index());
+  }
+
+  bool is_int64() const { return type() == ValueType::kInt64; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+
+  int64_t as_int64() const {
+    QARM_CHECK(is_int64());
+    return std::get<int64_t>(data_);
+  }
+  double as_double() const {
+    QARM_CHECK(is_double());
+    return std::get<double>(data_);
+  }
+  const std::string& as_string() const {
+    QARM_CHECK(is_string());
+    return std::get<std::string>(data_);
+  }
+
+  // Numeric view: int64 widened to double. Requires a numeric type.
+  double AsNumeric() const {
+    if (is_int64()) return static_cast<double>(as_int64());
+    return as_double();
+  }
+
+  // Renders the value for display / CSV output.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  // Same-type ordering; aborts on type mismatch.
+  bool operator<(const Value& other) const;
+
+ private:
+  std::variant<int64_t, double, std::string, NullValue> data_;
+};
+
+}  // namespace qarm
+
+#endif  // QARM_TABLE_VALUE_H_

@@ -1,0 +1,19 @@
+# Writes the Figure 1 People table to CSV, mines it with the CLI in each
+# output format, and checks a known rule appears.
+file(WRITE "${WORK_DIR}/people.csv"
+"Age,Married,NumCars\n23,No,1\n25,Yes,1\n29,No,0\n34,Yes,2\n38,Yes,2\n")
+foreach(fmt text json csv)
+  execute_process(
+    COMMAND ${QARM} --input=${WORK_DIR}/people.csv
+            --schema=Age:quant,Married:cat,NumCars:quant
+            --minsup=0.4 --minconf=0.5 --maxsup=1.0 --intervals=4
+            --format=${fmt}
+    OUTPUT_VARIABLE out
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "qarm --format=${fmt} exited with ${rc}")
+  endif()
+  if(NOT out MATCHES "34\\.\\.38")
+    message(FATAL_ERROR "expected an Age 34..38 rule in ${fmt} output")
+  endif()
+endforeach()

@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace qarm {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, StreamingCompiles) {
+  // Suppressed below the threshold; exercises the streaming path.
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  QARM_LOG(Info) << "value=" << 42 << " name=" << std::string("x");
+  QARM_LOG(Debug) << 3.14;
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, OrderingOfLevels) {
+  EXPECT_LT(LogLevel::kDebug, LogLevel::kInfo);
+  EXPECT_LT(LogLevel::kInfo, LogLevel::kWarning);
+  EXPECT_LT(LogLevel::kWarning, LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace qarm

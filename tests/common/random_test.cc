@@ -1,0 +1,138 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qarm {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextU64() != b.NextU64()) ++differing;
+  }
+  EXPECT_GT(differing, 30);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 11);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 11);
+  }
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(rng.UniformInt(5, 5), 5);
+  }
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.UniformInt(0, kBuckets - 1)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(5);
+  constexpr int kDraws = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / kDraws;
+  double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(8.0, 0.5), 0.0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(21);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Rng rng(17);
+  ZipfDistribution zipf(5, 0.0);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(ZipfTest, SkewFavorsSmallIndices) {
+  Rng rng(17);
+  ZipfDistribution zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 5 * counts[50] + 1);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(2);
+  ZipfDistribution zipf(7, 0.9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace qarm

@@ -1,0 +1,152 @@
+#include "core/apriori_quant.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "testutil.h"
+
+namespace qarm {
+namespace {
+
+using testutil::BruteForceSupport;
+using testutil::CatAttr;
+using testutil::MakeMappedTable;
+using testutil::QuantAttr;
+
+TEST(AprioriQuantTest, AllFrequentItemsetsAreTrulyFrequent) {
+  Rng rng(17);
+  std::vector<std::vector<int32_t>> rows;
+  for (int r = 0; r < 400; ++r) {
+    int32_t q = static_cast<int32_t>(rng.UniformInt(0, 9));
+    // Correlate the categorical with q so multi-itemsets emerge.
+    int32_t c = q < 5 ? 0 : static_cast<int32_t>(rng.UniformInt(0, 1));
+    rows.push_back({q, c});
+  }
+  MappedTable table = MakeMappedTable(
+      {QuantAttr("q", 10), CatAttr("c", {"lo", "hi"})}, rows);
+  MinerOptions options;
+  options.minsup = 0.15;
+  options.max_support = 0.5;
+  ItemCatalog catalog = ItemCatalog::Build(table, options);
+  FrequentItemsetResult result =
+      MineFrequentItemsets(table, catalog, options);
+  ASSERT_FALSE(result.itemsets.empty());
+  uint64_t min_count = static_cast<uint64_t>(0.15 * 400);
+  for (const FrequentItemset& f : result.itemsets) {
+    RangeItemset decoded = catalog.Decode(f.items);
+    uint64_t expected = BruteForceSupport(table, decoded);
+    EXPECT_EQ(f.count, expected);
+    EXPECT_GE(f.count, min_count);
+  }
+}
+
+TEST(AprioriQuantTest, CompletenessAgainstBruteForce) {
+  // Exhaustively enumerate all itemsets over the frequent items and check
+  // everything frequent is reported (Apriori must not lose itemsets).
+  Rng rng(23);
+  std::vector<std::vector<int32_t>> rows;
+  for (int r = 0; r < 200; ++r) {
+    int32_t a = static_cast<int32_t>(rng.UniformInt(0, 3));
+    int32_t b = static_cast<int32_t>(rng.UniformInt(0, 2));
+    int32_t c = (a + b) % 2;  // strong dependency
+    rows.push_back({a, b, c});
+  }
+  MappedTable table = MakeMappedTable(
+      {QuantAttr("a", 4), QuantAttr("b", 3), CatAttr("c", {"0", "1"})}, rows);
+  MinerOptions options;
+  options.minsup = 0.2;
+  options.max_support = 0.7;
+  ItemCatalog catalog = ItemCatalog::Build(table, options);
+  FrequentItemsetResult result =
+      MineFrequentItemsets(table, catalog, options);
+
+  std::map<std::vector<int32_t>, uint64_t> mined;
+  for (const FrequentItemset& f : result.itemsets) {
+    mined[f.items] = f.count;
+  }
+
+  // Brute force: enumerate all 1-, 2-, 3-item combinations of catalog items
+  // with distinct attributes (deduplicated: (i,i,k) and (i,k,k) both
+  // denote the pair {i,k}).
+  const uint64_t min_count = static_cast<uint64_t>(0.2 * 200);
+  const int32_t n = static_cast<int32_t>(catalog.num_items());
+  std::set<std::vector<int32_t>> brute_frequent;
+  for (int32_t i = 0; i < n; ++i) {
+    for (int32_t j = i; j < n; ++j) {
+      for (int32_t k = j; k < n; ++k) {
+        std::vector<int32_t> ids;
+        ids.push_back(i);
+        if (j != i) ids.push_back(j);
+        if (k != j) ids.push_back(k);
+        // Skip sets with repeated attributes.
+        std::set<int32_t> attrs;
+        bool ok = true;
+        for (int32_t id : ids) {
+          ok &= attrs.insert(catalog.item(id).attr).second;
+        }
+        if (!ok) continue;
+        uint64_t support = BruteForceSupport(table, catalog.Decode(ids));
+        if (support >= min_count) {
+          brute_frequent.insert(ids);
+          auto it = mined.find(ids);
+          ASSERT_NE(it, mined.end())
+              << "missing frequent itemset of size " << ids.size();
+          EXPECT_EQ(it->second, support);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(mined.size(), brute_frequent.size());
+}
+
+TEST(AprioriQuantTest, PassStatsRecorded) {
+  MappedTable table = MakeMappedTable(
+      {QuantAttr("a", 2), CatAttr("b", {"x", "y"})},
+      {{0, 0}, {0, 0}, {1, 1}, {0, 1}});
+  MinerOptions options;
+  options.minsup = 0.25;
+  options.max_support = 1.0;
+  ItemCatalog catalog = ItemCatalog::Build(table, options);
+  FrequentItemsetResult result =
+      MineFrequentItemsets(table, catalog, options);
+  ASSERT_GE(result.passes.size(), 2u);
+  EXPECT_EQ(result.passes[0].k, 1u);
+  EXPECT_EQ(result.passes[1].k, 2u);
+  EXPECT_EQ(result.passes[0].num_frequent, catalog.num_items());
+}
+
+TEST(AprioriQuantTest, MaxItemsetSizeCapsLevels) {
+  Rng rng(31);
+  std::vector<std::vector<int32_t>> rows;
+  for (int r = 0; r < 100; ++r) {
+    int32_t v = static_cast<int32_t>(rng.UniformInt(0, 1));
+    rows.push_back({v, v, v});
+  }
+  MappedTable table = MakeMappedTable(
+      {QuantAttr("a", 2), QuantAttr("b", 2), CatAttr("c", {"0", "1"})}, rows);
+  MinerOptions options;
+  options.minsup = 0.2;
+  options.max_support = 1.0;
+  options.max_itemset_size = 2;
+  ItemCatalog catalog = ItemCatalog::Build(table, options);
+  FrequentItemsetResult result =
+      MineFrequentItemsets(table, catalog, options);
+  for (const FrequentItemset& f : result.itemsets) {
+    EXPECT_LE(f.items.size(), 2u);
+  }
+}
+
+TEST(AprioriQuantTest, EmptyTableYieldsNothing) {
+  MappedTable table = MakeMappedTable({QuantAttr("a", 2)}, {});
+  MinerOptions options;
+  ItemCatalog catalog = ItemCatalog::Build(table, options);
+  FrequentItemsetResult result =
+      MineFrequentItemsets(table, catalog, options);
+  EXPECT_TRUE(result.itemsets.empty());
+}
+
+}  // namespace
+}  // namespace qarm

@@ -1,0 +1,162 @@
+#include "core/candidate_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace qarm {
+namespace {
+
+using testutil::CatAttr;
+using testutil::MakeMappedTable;
+using testutil::QuantAttr;
+
+// Builds a catalog over a small table designed so the frequent items are
+// predictable: married (2 values), age over 4 values, cars over 3 values.
+struct Fixture {
+  MappedTable table;
+  ItemCatalog catalog;
+
+  static Fixture Make() {
+    // Rows chosen so every single value has >= 20% support.
+    std::vector<std::vector<int32_t>> rows = {
+        {0, 0, 0}, {0, 0, 1}, {1, 1, 1}, {1, 1, 2},
+        {2, 0, 0}, {2, 1, 1}, {3, 0, 2}, {3, 1, 0},
+        {0, 0, 0}, {3, 1, 2},
+    };
+    MappedTable table = MakeMappedTable(
+        {QuantAttr("age", 4), CatAttr("married", {"no", "yes"}),
+         QuantAttr("cars", 3)},
+        rows);
+    MinerOptions options;
+    options.minsup = 0.2;
+    options.max_support = 0.5;
+    ItemCatalog catalog = ItemCatalog::Build(table, options);
+    return Fixture{std::move(table), std::move(catalog)};
+  }
+};
+
+TEST(ItemsetSetTest, FlatStorage) {
+  ItemsetSet set(2);
+  set.AppendVector({1, 5});
+  set.AppendVector({2, 3});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.itemset_vector(1), (std::vector<int32_t>{2, 3}));
+  EXPECT_FALSE(set.empty());
+}
+
+TEST(ItemsetSetTest, ContainsBinarySearch) {
+  ItemsetSet set(2);
+  set.AppendVector({1, 5});
+  set.AppendVector({2, 3});
+  set.AppendVector({2, 7});
+  int32_t a[] = {2, 3};
+  int32_t b[] = {2, 4};
+  int32_t c[] = {1, 5};
+  int32_t d[] = {2, 7};
+  EXPECT_TRUE(set.Contains(a));
+  EXPECT_FALSE(set.Contains(b));
+  EXPECT_TRUE(set.Contains(c));
+  EXPECT_TRUE(set.Contains(d));
+}
+
+TEST(CandidateGenTest, PairsSkipSameAttribute) {
+  Fixture f = Fixture::Make();
+  ItemsetSet l1(1);
+  for (size_t i = 0; i < f.catalog.num_items(); ++i) {
+    l1.AppendVector({static_cast<int32_t>(i)});
+  }
+  ItemsetSet c2 = GenerateCandidates(f.catalog, l1);
+  EXPECT_GT(c2.size(), 0u);
+  for (size_t c = 0; c < c2.size(); ++c) {
+    const int32_t* ids = c2.itemset(c);
+    EXPECT_LT(ids[0], ids[1]);
+    EXPECT_NE(f.catalog.item(ids[0]).attr, f.catalog.item(ids[1]).attr);
+  }
+  // Every cross-attribute pair must be present: count them.
+  size_t expected = 0;
+  for (size_t i = 0; i < f.catalog.num_items(); ++i) {
+    for (size_t j = i + 1; j < f.catalog.num_items(); ++j) {
+      if (f.catalog.item(static_cast<int32_t>(i)).attr !=
+          f.catalog.item(static_cast<int32_t>(j)).attr) {
+        ++expected;
+      }
+    }
+  }
+  EXPECT_EQ(c2.size(), expected);
+}
+
+TEST(CandidateGenTest, PaperJoinExample) {
+  // Section 5.1's example, transcribed to ids. Frequent 2-itemsets:
+  //   {Married:Yes, Age:20..24}, {Married:Yes, Age:20..29},
+  //   {Married:Yes, Cars:0..1}, {Age:20..29, Cars:0..1}.
+  // Join gives {Married:Yes, Age:20..24, Cars:0..1} and
+  // {Married:Yes, Age:20..29, Cars:0..1}; the first is pruned because
+  // {Age:20..24, Cars:0..1} is not frequent.
+  //
+  // We emulate with a catalog where:
+  //   item ids by attribute: age(0): 20..24 -> a1, 20..29 -> a2;
+  //   married(1): yes -> m; cars(2): 0..1 -> c.
+  // Build a tiny table so these exact items exist.
+  std::vector<std::vector<int32_t>> rows = {
+      {0, 1, 0}, {1, 1, 1}, {0, 1, 1}, {1, 0, 2}, {0, 0, 0},
+  };
+  MappedTable table = MakeMappedTable(
+      {QuantAttr("age", 2), CatAttr("married", {"no", "yes"}),
+       QuantAttr("cars", 3)},
+      rows);
+  MinerOptions options;
+  options.minsup = 0.2;
+  options.max_support = 1.0;
+  ItemCatalog catalog = ItemCatalog::Build(table, options);
+
+  auto id_of = [&](int32_t attr, int32_t lo, int32_t hi) {
+    for (size_t i = 0; i < catalog.num_items(); ++i) {
+      const RangeItem& item = catalog.item(static_cast<int32_t>(i));
+      if (item.attr == attr && item.lo == lo && item.hi == hi) {
+        return static_cast<int32_t>(i);
+      }
+    }
+    ADD_FAILURE() << "item not found: " << attr << " " << lo << " " << hi;
+    return -1;
+  };
+  int32_t a1 = id_of(0, 0, 0);   // age 20..24
+  int32_t a2 = id_of(0, 0, 1);   // age 20..29
+  int32_t m = id_of(1, 1, 1);    // married yes
+  int32_t c = id_of(2, 0, 1);    // cars 0..1
+
+  // L2 in lexicographic id order (ids: age < married < cars by attr).
+  ItemsetSet l2(2);
+  std::vector<std::vector<int32_t>> sets = {
+      {a1, m}, {a2, m}, {m, c}, {a2, c}};
+  for (auto& s : sets) std::sort(s.begin(), s.end());
+  std::sort(sets.begin(), sets.end());
+  for (const auto& s : sets) l2.AppendVector(s);
+
+  ItemsetSet c3 = GenerateCandidates(catalog, l2);
+  ASSERT_EQ(c3.size(), 1u);
+  std::vector<int32_t> expected = {a2, m, c};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(c3.itemset_vector(0), expected);
+}
+
+TEST(CandidateGenTest, EmptyInput) {
+  Fixture f = Fixture::Make();
+  ItemsetSet empty(2);
+  EXPECT_TRUE(GenerateCandidates(f.catalog, empty).empty());
+}
+
+TEST(CandidateGenTest, CandidatesAreSorted) {
+  Fixture f = Fixture::Make();
+  ItemsetSet l1(1);
+  for (size_t i = 0; i < f.catalog.num_items(); ++i) {
+    l1.AppendVector({static_cast<int32_t>(i)});
+  }
+  ItemsetSet c2 = GenerateCandidates(f.catalog, l1);
+  for (size_t c = 1; c < c2.size(); ++c) {
+    EXPECT_TRUE(c2.itemset_vector(c - 1) < c2.itemset_vector(c));
+  }
+}
+
+}  // namespace
+}  // namespace qarm

@@ -1,0 +1,93 @@
+#include "core/expectation.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace qarm {
+namespace {
+
+using testutil::CatAttr;
+using testutil::MakeMappedTable;
+using testutil::QuantAttr;
+
+// x uniform over 0..9 (10 records each value), y = "1" for x in 0..4.
+struct Fixture {
+  MappedTable table;
+  ItemCatalog catalog;
+
+  static Fixture Make() {
+    std::vector<std::vector<int32_t>> rows;
+    for (int32_t x = 0; x < 10; ++x) {
+      for (int i = 0; i < 10; ++i) {
+        rows.push_back({x, x < 5 ? 1 : 0});
+      }
+    }
+    MappedTable table = MakeMappedTable(
+        {QuantAttr("x", 10), CatAttr("y", {"0", "1"})}, rows);
+    MinerOptions options;
+    options.minsup = 0.05;
+    options.max_support = 1.0;
+    ItemCatalog catalog = ItemCatalog::Build(table, options);
+    return Fixture{std::move(table), std::move(catalog)};
+  }
+};
+
+TEST(ExpectationTest, QuarterOfRange) {
+  // The paper's motivating example: people aged 20..25 are a quarter of
+  // those 20..30ish. Here: z = <x:0..1>, ẑ = <x:0..7>. Pr(z)=0.2,
+  // Pr(ẑ)=0.8, so E[Pr(z)] = 0.2/0.8 * sup(ẑ).
+  Fixture f = Fixture::Make();
+  RangeItemset z = {{0, 0, 1}};
+  RangeItemset z_hat = {{0, 0, 7}};
+  double expected = ExpectedSupport(z, z_hat, 0.8, f.catalog);
+  EXPECT_NEAR(expected, 0.2, 1e-12);
+}
+
+TEST(ExpectationTest, MultiAttributeProduct) {
+  Fixture f = Fixture::Make();
+  // z = {<x:0..1>, <y:1>}, ẑ = {<x:0..4>, <y:1>}: ratio = 0.2/0.5 * 1.
+  RangeItemset z = {{0, 0, 1}, {1, 1, 1}};
+  RangeItemset z_hat = {{0, 0, 4}, {1, 1, 1}};
+  // sup(ẑ) is 0.5 (x in 0..4 implies y=1).
+  double expected = ExpectedSupport(z, z_hat, 0.5, f.catalog);
+  EXPECT_NEAR(expected, 0.2, 1e-12);
+  // Actual support of z is also 0.2 (uniform within the range), so the
+  // data is exactly as expected -> never R-interesting for R > 1.
+}
+
+TEST(ExpectationTest, IdenticalItemsetRatioIsOne) {
+  Fixture f = Fixture::Make();
+  RangeItemset z = {{0, 2, 5}};
+  EXPECT_NEAR(ExpectedSupport(z, z, 0.37, f.catalog), 0.37, 1e-12);
+}
+
+TEST(ExpectationTest, ZeroDenominatorYieldsZero) {
+  // A generalization with zero marginal support cannot form expectations.
+  std::vector<std::vector<int32_t>> rows = {{0}, {0}};
+  MappedTable table = MakeMappedTable({QuantAttr("x", 3)}, rows);
+  MinerOptions options;
+  ItemCatalog catalog = ItemCatalog::Build(table, options);
+  RangeItemset z = {{0, 1, 1}};
+  RangeItemset z_hat = {{0, 1, 2}};  // no records there
+  EXPECT_EQ(ExpectedSupport(z, z_hat, 0.0, catalog), 0.0);
+}
+
+TEST(ExpectedConfidenceTest, ScalesByConsequentRatio) {
+  Fixture f = Fixture::Make();
+  // Ancestor rule: <y:1> => <x:0..4> with confidence 1.0.
+  // Specialized consequent <x:0..1>: expected confidence = 0.2/0.5 * 1.0.
+  RangeItemset y = {{0, 0, 1}};
+  RangeItemset y_hat = {{0, 0, 4}};
+  EXPECT_NEAR(ExpectedConfidence(y, y_hat, 1.0, f.catalog), 0.4, 1e-12);
+}
+
+TEST(ExpectedConfidenceTest, CategoricalConsequentUnchanged) {
+  Fixture f = Fixture::Make();
+  // Categorical items cannot specialize: ratio 1.
+  RangeItemset y = {{1, 1, 1}};
+  EXPECT_NEAR(ExpectedConfidence(y, y, 0.7, f.catalog), 0.7, 1e-12);
+}
+
+}  // namespace
+}  // namespace qarm

@@ -1,0 +1,125 @@
+// Miner option-surface tests: interest modes, dropped minconf, k-means
+// partitioning end to end, itemset-size caps, and the n' refinement.
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "core/rules.h"
+#include "table/datagen.h"
+
+namespace qarm {
+namespace {
+
+MinerOptions BaseOptions() {
+  MinerOptions options;
+  options.minsup = 0.2;
+  options.minconf = 0.4;
+  options.max_support = 0.4;
+  options.partial_completeness = 3.0;
+  return options;
+}
+
+TEST(MinerModesTest, AndModeIsNoLessStrictThanOr) {
+  Table data = MakeFinancialDataset(2000, 21);
+  MinerOptions or_options = BaseOptions();
+  or_options.interest_level = 1.3;
+  or_options.interest_mode = InterestMode::kSupportOrConfidence;
+  MinerOptions and_options = or_options;
+  and_options.interest_mode = InterestMode::kSupportAndConfidence;
+
+  auto or_result = QuantitativeRuleMiner(or_options).Mine(data);
+  auto and_result = QuantitativeRuleMiner(and_options).Mine(data);
+  ASSERT_TRUE(or_result.ok());
+  ASSERT_TRUE(and_result.ok());
+  EXPECT_EQ(or_result->rules.size(), and_result->rules.size());
+  EXPECT_LE(and_result->stats.num_interesting_rules,
+            or_result->stats.num_interesting_rules);
+}
+
+TEST(MinerModesTest, DroppedMinconfWithInterest) {
+  // Section 4: with an interest level, the minimum-confidence constraint
+  // may be dropped (minconf = 0) — every frequent split becomes a rule and
+  // the interest measure does the filtering.
+  Table data = MakeFinancialDataset(1000, 22);
+  MinerOptions with_conf = BaseOptions();
+  // minsup 20% with maxsup 40% already forces conf >= 50% for single-item
+  // antecedents, so use a high threshold to make minconf bite.
+  with_conf.minconf = 0.75;
+  with_conf.interest_level = 1.5;
+  MinerOptions no_conf = with_conf;
+  no_conf.minconf = 0.0;
+
+  auto a = QuantitativeRuleMiner(with_conf).Mine(data);
+  auto b = QuantitativeRuleMiner(no_conf).Mine(data);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->rules.size(), a->rules.size());
+  for (const QuantRule& r : a->rules) {
+    EXPECT_GE(r.confidence + 1e-12, 0.75);
+  }
+}
+
+TEST(MinerModesTest, KMeansPartitioningEndToEnd) {
+  Table data = MakeFinancialDataset(3000, 23);
+  MinerOptions options = BaseOptions();
+  options.partition_method = PartitionMethod::kKMeans;
+  auto result = QuantitativeRuleMiner(options).Mine(data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.num_frequent_items, 0u);
+  // Income is partitioned and its intervals are disjoint and ordered.
+  const MappedAttribute& income = result->mapped.attribute(0);
+  ASSERT_TRUE(income.partitioned);
+  for (size_t i = 1; i < income.intervals.size(); ++i) {
+    EXPECT_GT(income.intervals[i].lo, income.intervals[i - 1].hi);
+  }
+}
+
+TEST(MinerModesTest, NPrimeReducesItems) {
+  Table data = MakeFinancialDataset(2000, 24);
+  MinerOptions full = BaseOptions();
+  MinerOptions refined = BaseOptions();
+  refined.max_quantitative_per_rule = 2;  // fewer intervals via Equation 2
+  auto a = QuantitativeRuleMiner(full).Mine(data);
+  auto b = QuantitativeRuleMiner(refined).Mine(data);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(b->stats.num_frequent_items, a->stats.num_frequent_items);
+}
+
+TEST(MinerModesTest, MaxItemsetSizeLimitsRules) {
+  Table data = MakeFinancialDataset(2000, 25);
+  MinerOptions options = BaseOptions();
+  options.max_itemset_size = 2;
+  auto result = QuantitativeRuleMiner(options).Mine(data);
+  ASSERT_TRUE(result.ok());
+  for (const QuantRule& r : result->rules) {
+    EXPECT_LE(r.antecedent.size() + r.consequent.size(), 2u);
+  }
+}
+
+TEST(MinerModesTest, SingleAttributeTableYieldsNoRules) {
+  Schema schema =
+      Schema::Make({{"x", AttributeKind::kQuantitative, ValueType::kInt64}})
+          .value();
+  Table table(schema);
+  for (int64_t i = 0; i < 100; ++i) {
+    table.AppendRowUnchecked({Value(i % 10)});
+  }
+  MinerOptions options = BaseOptions();
+  auto result = QuantitativeRuleMiner(options).Mine(table);
+  ASSERT_TRUE(result.ok());
+  // Items exist, but rules need two attributes.
+  EXPECT_GT(result->stats.num_frequent_items, 0u);
+  EXPECT_TRUE(result->rules.empty());
+}
+
+TEST(MinerModesTest, EmptyTable) {
+  Table table(MakePeopleTable().schema());
+  MinerOptions options = BaseOptions();
+  auto result = QuantitativeRuleMiner(options).Mine(table);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rules.empty());
+  EXPECT_EQ(result->stats.num_records, 0u);
+}
+
+}  // namespace
+}  // namespace qarm

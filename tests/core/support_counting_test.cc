@@ -1,0 +1,198 @@
+#include "core/support_counting.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "testutil.h"
+
+namespace qarm {
+namespace {
+
+using testutil::BruteForceSupport;
+using testutil::CatAttr;
+using testutil::MakeMappedTable;
+using testutil::QuantAttr;
+
+MappedTable RandomTable(uint64_t seed, size_t rows_count) {
+  Rng rng(seed);
+  std::vector<std::vector<int32_t>> rows;
+  for (size_t r = 0; r < rows_count; ++r) {
+    rows.push_back({static_cast<int32_t>(rng.UniformInt(0, 7)),
+                    static_cast<int32_t>(rng.UniformInt(0, 1)),
+                    static_cast<int32_t>(rng.UniformInt(0, 5)),
+                    static_cast<int32_t>(rng.UniformInt(0, 2))});
+  }
+  return MakeMappedTable(
+      {QuantAttr("q1", 8), CatAttr("c1", {"a", "b"}), QuantAttr("q2", 6),
+       CatAttr("c2", {"x", "y", "z"})},
+      rows);
+}
+
+class SupportCountingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SupportCountingTest, MatchesBruteForceAcrossLevels) {
+  MappedTable table = RandomTable(static_cast<uint64_t>(GetParam()), 300);
+  MinerOptions options;
+  options.minsup = 0.1;
+  options.max_support = 0.6;
+  ItemCatalog catalog = ItemCatalog::Build(table, options);
+  ASSERT_GT(catalog.num_items(), 0u);
+
+  // Level 2 candidates: all cross-attribute pairs.
+  ItemsetSet l1(1);
+  for (size_t i = 0; i < catalog.num_items(); ++i) {
+    l1.AppendVector({static_cast<int32_t>(i)});
+  }
+  ItemsetSet c2 = GenerateCandidates(catalog, l1);
+  CountingStats stats;
+  std::vector<uint32_t> counts =
+      CountSupports(table, catalog, c2, options, &stats);
+  ASSERT_EQ(counts.size(), c2.size());
+  EXPECT_GT(stats.num_super_candidates, 0u);
+
+  for (size_t c = 0; c < c2.size(); ++c) {
+    RangeItemset itemset = catalog.Decode(c2.itemset_vector(c));
+    EXPECT_EQ(counts[c], BruteForceSupport(table, itemset))
+        << "candidate " << c;
+  }
+
+  // Level 3 from the actually frequent pairs.
+  uint64_t min_count = static_cast<uint64_t>(options.minsup * 300);
+  ItemsetSet l2(2);
+  for (size_t c = 0; c < c2.size(); ++c) {
+    if (counts[c] >= min_count) l2.Append(c2.itemset(c));
+  }
+  ItemsetSet c3 = GenerateCandidates(catalog, l2);
+  if (!c3.empty()) {
+    std::vector<uint32_t> counts3 =
+        CountSupports(table, catalog, c3, options, nullptr);
+    for (size_t c = 0; c < c3.size(); ++c) {
+      RangeItemset itemset = catalog.Decode(c3.itemset_vector(c));
+      EXPECT_EQ(counts3[c], BruteForceSupport(table, itemset));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SupportCountingTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(SupportCountingTest, PurelyCategoricalCandidates) {
+  MappedTable table = RandomTable(5, 200);
+  MinerOptions options;
+  options.minsup = 0.05;
+  options.max_support = 1.0;
+  ItemCatalog catalog = ItemCatalog::Build(table, options);
+
+  // Candidates pairing the two categorical attributes only.
+  ItemsetSet c2(2);
+  std::vector<std::pair<int32_t, int32_t>> kept;
+  for (size_t i = 0; i < catalog.num_items(); ++i) {
+    for (size_t j = i + 1; j < catalog.num_items(); ++j) {
+      const RangeItem& a = catalog.item(static_cast<int32_t>(i));
+      const RangeItem& b = catalog.item(static_cast<int32_t>(j));
+      if (a.attr == 1 && b.attr == 3) {
+        c2.AppendVector(
+            {static_cast<int32_t>(i), static_cast<int32_t>(j)});
+      }
+    }
+  }
+  ASSERT_GT(c2.size(), 0u);
+  CountingStats stats;
+  std::vector<uint32_t> counts =
+      CountSupports(table, catalog, c2, options, &stats);
+  EXPECT_EQ(stats.num_direct, stats.num_super_candidates);
+  for (size_t c = 0; c < c2.size(); ++c) {
+    EXPECT_EQ(counts[c],
+              BruteForceSupport(table, catalog.Decode(c2.itemset_vector(c))));
+  }
+}
+
+// A table with wide quantitative domains, so that a handful of candidate
+// pairs makes the dense grid bigger than the R*-tree estimate (the regime
+// where the Section 5.2 heuristic must switch engines under a tight memory
+// budget).
+struct WideDomainFixture {
+  MappedTable table;
+  ItemCatalog catalog;
+  ItemsetSet candidates{2};
+
+  static WideDomainFixture Make(uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::vector<int32_t>> rows;
+    for (size_t r = 0; r < 400; ++r) {
+      rows.push_back({static_cast<int32_t>(rng.UniformInt(0, 39)),
+                      static_cast<int32_t>(rng.UniformInt(0, 39))});
+    }
+    MappedTable table = MakeMappedTable(
+        {QuantAttr("q1", 40), QuantAttr("q2", 40)}, rows);
+    MinerOptions options;
+    options.minsup = 0.05;
+    options.max_support = 0.30;
+    ItemCatalog catalog = ItemCatalog::Build(table, options);
+    WideDomainFixture f{std::move(table), std::move(catalog), ItemsetSet(2)};
+    // A handful of cross-attribute pairs: few enough that the R*-tree
+    // estimate undercuts the 40x40 grid.
+    std::vector<int32_t> q1_items, q2_items;
+    for (size_t i = 0; i < f.catalog.num_items(); ++i) {
+      (f.catalog.item(static_cast<int32_t>(i)).attr == 0 ? q1_items
+                                                         : q2_items)
+          .push_back(static_cast<int32_t>(i));
+    }
+    for (size_t i = 0; i < q1_items.size() && i < 5; ++i) {
+      for (size_t j = 0; j < q2_items.size() && j < 4; ++j) {
+        f.candidates.AppendVector({q1_items[i * q1_items.size() / 5],
+                                   q2_items[j * q2_items.size() / 4]});
+      }
+    }
+    return f;
+  }
+};
+
+TEST(SupportCountingTest, TreeEngineUnderTightBudget) {
+  WideDomainFixture f = WideDomainFixture::Make(6);
+  ASSERT_GT(f.candidates.size(), 0u);
+  MinerOptions options;
+  options.minsup = 0.05;
+  options.counter_memory_budget_bytes = 1;  // the grid never fits
+  CountingStats stats;
+  std::vector<uint32_t> counts =
+      CountSupports(f.table, f.catalog, f.candidates, options, &stats);
+  EXPECT_GT(stats.num_tree_counters, 0u);
+  EXPECT_EQ(stats.num_array_counters, 0u);
+  for (size_t c = 0; c < f.candidates.size(); ++c) {
+    EXPECT_EQ(counts[c],
+              BruteForceSupport(f.table,
+                                f.catalog.Decode(
+                                    f.candidates.itemset_vector(c))));
+  }
+}
+
+TEST(SupportCountingTest, ArrayAndTreeAgree) {
+  WideDomainFixture f = WideDomainFixture::Make(7);
+  MinerOptions array_options;
+  array_options.minsup = 0.05;  // default budget: grid fits
+  MinerOptions tree_options = array_options;
+  tree_options.counter_memory_budget_bytes = 1;
+  CountingStats array_stats, tree_stats;
+  auto array_counts =
+      CountSupports(f.table, f.catalog, f.candidates, array_options,
+                    &array_stats);
+  auto tree_counts = CountSupports(f.table, f.catalog, f.candidates,
+                                   tree_options, &tree_stats);
+  EXPECT_GT(array_stats.num_array_counters, 0u);
+  EXPECT_GT(tree_stats.num_tree_counters, 0u);
+  EXPECT_EQ(array_counts, tree_counts);
+}
+
+TEST(SupportCountingTest, EmptyCandidates) {
+  MappedTable table = RandomTable(8, 50);
+  MinerOptions options;
+  ItemCatalog catalog = ItemCatalog::Build(table, options);
+  ItemsetSet empty(2);
+  CountingStats stats;
+  auto counts = CountSupports(table, catalog, empty, options, &stats);
+  EXPECT_TRUE(counts.empty());
+}
+
+}  // namespace
+}  // namespace qarm

@@ -1,0 +1,144 @@
+#include "index/ndim_array.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qarm {
+namespace {
+
+TEST(IntRectTest, ContainsAndCellCount) {
+  IntRect rect{{0, 2}, {3, 5}};
+  int32_t inside[] = {2, 4};
+  int32_t outside[] = {4, 4};
+  EXPECT_TRUE(rect.Contains(inside));
+  EXPECT_FALSE(rect.Contains(outside));
+  EXPECT_EQ(rect.CellCount(), 16u);  // 4 x 4
+}
+
+TEST(NDimArrayTest, OneDimensional) {
+  NDimArray array({10});
+  int32_t p3 = 3, p7 = 7;
+  array.Increment(&p3);
+  array.Increment(&p3);
+  array.Increment(&p7);
+  EXPECT_EQ(array.CellAt(&p3), 2u);
+  EXPECT_EQ(array.CountRect(IntRect{{0}, {9}}), 3u);
+  EXPECT_EQ(array.CountRect(IntRect{{3}, {3}}), 2u);
+  EXPECT_EQ(array.CountRect(IntRect{{4}, {9}}), 1u);
+  EXPECT_EQ(array.CountRect(IntRect{{0}, {2}}), 0u);
+}
+
+TEST(NDimArrayTest, TwoDimensional) {
+  NDimArray array({4, 4});
+  for (int32_t x = 0; x < 4; ++x) {
+    for (int32_t y = 0; y < 4; ++y) {
+      int32_t p[] = {x, y};
+      for (int i = 0; i <= x + y; ++i) array.Increment(p);
+    }
+  }
+  // Cell (x,y) holds x+y+1; full grid total = sum = 16 + 2*sum(x)*4 = ...
+  uint64_t expected_total = 0;
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 4; ++y) expected_total += x + y + 1;
+  }
+  EXPECT_EQ(array.CountRect(IntRect{{0, 0}, {3, 3}}), expected_total);
+  EXPECT_EQ(array.CountRect(IntRect{{1, 1}, {2, 2}}), 3u + 4 + 4 + 5);
+}
+
+TEST(NDimArrayTest, ClipsOutOfRangeRect) {
+  NDimArray array({5});
+  int32_t p = 2;
+  array.Increment(&p);
+  EXPECT_EQ(array.CountRect(IntRect{{-10}, {100}}), 1u);
+  EXPECT_EQ(array.CountRect(IntRect{{3}, {100}}), 0u);
+}
+
+TEST(NDimArrayTest, EmptyRectAfterClip) {
+  NDimArray array({5});
+  EXPECT_EQ(array.CountRect(IntRect{{7}, {9}}), 0u);
+}
+
+TEST(NDimArrayTest, EstimateBytes) {
+  EXPECT_EQ(NDimArray::EstimateBytes({10}), 40u);
+  EXPECT_EQ(NDimArray::EstimateBytes({10, 10}), 400u);
+  // Overflow saturates.
+  EXPECT_EQ(NDimArray::EstimateBytes({1 << 30, 1 << 30, 1 << 30}),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(NDimArrayTest, PrefixSumsMatchSweep) {
+  Rng rng(77);
+  NDimArray sweep({6, 7, 5});
+  NDimArray prefix({6, 7, 5});
+  for (int i = 0; i < 500; ++i) {
+    int32_t p[] = {static_cast<int32_t>(rng.UniformInt(0, 5)),
+                   static_cast<int32_t>(rng.UniformInt(0, 6)),
+                   static_cast<int32_t>(rng.UniformInt(0, 4))};
+    sweep.Increment(p);
+    prefix.Increment(p);
+  }
+  prefix.BuildPrefixSums();
+  EXPECT_TRUE(prefix.prefix_sums_built());
+  for (int trial = 0; trial < 200; ++trial) {
+    IntRect rect;
+    for (int32_t dim : {6, 7, 5}) {
+      int32_t a = static_cast<int32_t>(rng.UniformInt(0, dim - 1));
+      int32_t b = static_cast<int32_t>(rng.UniformInt(0, dim - 1));
+      rect.lo.push_back(std::min(a, b));
+      rect.hi.push_back(std::max(a, b));
+    }
+    EXPECT_EQ(prefix.CountRect(rect), sweep.CountRect(rect));
+  }
+}
+
+TEST(NDimArrayTest, PrefixSumsOneDim) {
+  NDimArray array({8});
+  for (int32_t v = 0; v < 8; ++v) {
+    for (int32_t i = 0; i <= v; ++i) array.Increment(&v);
+  }
+  array.BuildPrefixSums();
+  EXPECT_EQ(array.CountRect(IntRect{{0}, {7}}), 36u);
+  EXPECT_EQ(array.CountRect(IntRect{{3}, {5}}), 4u + 5 + 6);
+  EXPECT_EQ(array.CountRect(IntRect{{7}, {7}}), 8u);
+}
+
+class NDimArrayRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NDimArrayRandomTest, CountsMatchBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1000 + 13);
+  std::vector<int32_t> dims = {5, 9, 4};
+  NDimArray array(dims);
+  std::vector<std::vector<int32_t>> points;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<int32_t> p;
+    for (int32_t d : dims) {
+      p.push_back(static_cast<int32_t>(rng.UniformInt(0, d - 1)));
+    }
+    array.Increment(p.data());
+    points.push_back(std::move(p));
+  }
+  if (GetParam() % 2 == 0) array.BuildPrefixSums();
+  for (int trial = 0; trial < 100; ++trial) {
+    IntRect rect;
+    for (int32_t d : dims) {
+      int32_t a = static_cast<int32_t>(rng.UniformInt(0, d - 1));
+      int32_t b = static_cast<int32_t>(rng.UniformInt(0, d - 1));
+      rect.lo.push_back(std::min(a, b));
+      rect.hi.push_back(std::max(a, b));
+    }
+    uint64_t expected = 0;
+    for (const auto& p : points) {
+      if (rect.Contains(p.data())) ++expected;
+    }
+    EXPECT_EQ(array.CountRect(rect), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NDimArrayRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace qarm

@@ -1,0 +1,151 @@
+#include "index/rect_counter.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qarm {
+namespace {
+
+std::vector<IntRect> SampleRects(Rng* rng, const std::vector<int32_t>& dims,
+                                 size_t count) {
+  std::vector<IntRect> rects;
+  for (size_t i = 0; i < count; ++i) {
+    IntRect rect;
+    for (int32_t d : dims) {
+      int32_t a = static_cast<int32_t>(rng->UniformInt(0, d - 1));
+      int32_t b = static_cast<int32_t>(rng->UniformInt(0, d - 1));
+      rect.lo.push_back(std::min(a, b));
+      rect.hi.push_back(std::max(a, b));
+    }
+    rects.push_back(std::move(rect));
+  }
+  return rects;
+}
+
+std::vector<std::vector<int32_t>> SamplePoints(
+    Rng* rng, const std::vector<int32_t>& dims, size_t count) {
+  std::vector<std::vector<int32_t>> points;
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<int32_t> p;
+    for (int32_t d : dims) {
+      p.push_back(static_cast<int32_t>(rng->UniformInt(0, d - 1)));
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<uint64_t> BruteForceCounts(
+    const std::vector<IntRect>& rects,
+    const std::vector<std::vector<int32_t>>& points) {
+  std::vector<uint64_t> counts(rects.size(), 0);
+  for (const auto& p : points) {
+    for (size_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].Contains(p.data())) ++counts[i];
+    }
+  }
+  return counts;
+}
+
+TEST(RectCounterTest, ArrayEngineMatchesBruteForce) {
+  Rng rng(1);
+  std::vector<int32_t> dims = {8, 6};
+  auto rects = SampleRects(&rng, dims, 40);
+  auto points = SamplePoints(&rng, dims, 500);
+
+  ArrayRectangleCounter counter(dims, rects);
+  for (const auto& p : points) counter.ProcessPoint(p.data());
+  counter.Finalize();
+  std::vector<uint64_t> counts;
+  counter.Collect(&counts);
+  EXPECT_EQ(counts, BruteForceCounts(rects, points));
+  EXPECT_STREQ(counter.name(), "ndim-array");
+}
+
+TEST(RectCounterTest, ArrayEngineWithoutPrefixSums) {
+  Rng rng(2);
+  std::vector<int32_t> dims = {5, 5, 5};
+  auto rects = SampleRects(&rng, dims, 20);
+  auto points = SamplePoints(&rng, dims, 300);
+
+  ArrayRectangleCounter counter(dims, rects, /*use_prefix_sums=*/false);
+  for (const auto& p : points) counter.ProcessPoint(p.data());
+  counter.Finalize();
+  std::vector<uint64_t> counts;
+  counter.Collect(&counts);
+  EXPECT_EQ(counts, BruteForceCounts(rects, points));
+}
+
+TEST(RectCounterTest, TreeEngineMatchesBruteForce) {
+  Rng rng(3);
+  std::vector<int32_t> dims = {10, 10, 10};
+  auto rects = SampleRects(&rng, dims, 60);
+  auto points = SamplePoints(&rng, dims, 400);
+
+  RTreeRectangleCounter counter(dims.size(), rects);
+  for (const auto& p : points) counter.ProcessPoint(p.data());
+  counter.Finalize();
+  std::vector<uint64_t> counts;
+  counter.Collect(&counts);
+  EXPECT_EQ(counts, BruteForceCounts(rects, points));
+  EXPECT_STREQ(counter.name(), "rstar-tree");
+}
+
+TEST(RectCounterTest, EnginesAgree) {
+  Rng rng(4);
+  std::vector<int32_t> dims = {12, 9};
+  auto rects = SampleRects(&rng, dims, 100);
+  auto points = SamplePoints(&rng, dims, 1000);
+
+  ArrayRectangleCounter array_counter(dims, rects);
+  RTreeRectangleCounter tree_counter(dims.size(), rects);
+  for (const auto& p : points) {
+    array_counter.ProcessPoint(p.data());
+    tree_counter.ProcessPoint(p.data());
+  }
+  array_counter.Finalize();
+  tree_counter.Finalize();
+  std::vector<uint64_t> a, b;
+  array_counter.Collect(&a);
+  tree_counter.Collect(&b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ChooseCounterTest, SmallGridPrefersArray) {
+  CounterChoice choice = ChooseCounter({10, 10}, 100, 1 << 20);
+  EXPECT_TRUE(choice.use_array);
+  EXPECT_EQ(choice.array_bytes, 400u);
+}
+
+TEST(ChooseCounterTest, HugeGridFallsBackToTree) {
+  // 1000^4 cells would be 4e12 bytes; few rectangles -> tree wins.
+  CounterChoice choice = ChooseCounter({1000, 1000, 1000, 1000}, 50, 1 << 20);
+  EXPECT_FALSE(choice.use_array);
+  EXPECT_LT(choice.tree_bytes, choice.array_bytes);
+}
+
+TEST(ChooseCounterTest, ArrayWinsWhenTreeWouldBeLarger) {
+  // Tiny grid but millions of rectangles: the array is smaller even though
+  // it exceeds the (absurdly small) budget.
+  CounterChoice choice = ChooseCounter({100}, 10000000, 16);
+  EXPECT_TRUE(choice.use_array);
+}
+
+TEST(MakeRectangleCounterTest, DispatchesOnHeuristic) {
+  Rng rng(5);
+  std::vector<int32_t> small_dims = {4, 4};
+  auto rects = SampleRects(&rng, small_dims, 10);
+  auto counter = MakeRectangleCounter(small_dims, rects, 1 << 20);
+  EXPECT_STREQ(counter->name(), "ndim-array");
+
+  std::vector<int32_t> big_dims = {2000, 2000, 2000};
+  auto rects2 = SampleRects(&rng, big_dims, 10);
+  auto counter2 = MakeRectangleCounter(big_dims, rects2, 1 << 20);
+  EXPECT_STREQ(counter2->name(), "rstar-tree");
+}
+
+}  // namespace
+}  // namespace qarm

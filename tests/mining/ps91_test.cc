@@ -1,0 +1,119 @@
+#include "mining/ps91.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace qarm {
+namespace {
+
+using testutil::CatAttr;
+using testutil::MakeMappedTable;
+using testutil::QuantAttr;
+
+MappedTable SmallTable() {
+  // x in {0,1,2}, y in {"a","b"}. x=0 always has y="a".
+  std::vector<std::vector<int32_t>> rows;
+  for (int i = 0; i < 4; ++i) rows.push_back({0, 0});  // x=0, y=a
+  for (int i = 0; i < 3; ++i) rows.push_back({1, 1});  // x=1, y=b
+  for (int i = 0; i < 2; ++i) rows.push_back({2, 0});  // x=2, y=a
+  rows.push_back({2, 1});                              // x=2, y=b
+  return MakeMappedTable({QuantAttr("x", 3), CatAttr("y", {"a", "b"})}, rows);
+}
+
+TEST(Ps91Test, FindsHighConfidenceRule) {
+  MappedTable table = SmallTable();
+  Ps91Options options;
+  options.minsup = 0.2;
+  options.minconf = 0.9;
+  auto rules = Ps91MineAttribute(table, 0, options);
+  // (x=0) => (y=a) with support 0.4, confidence 1.0.
+  ASSERT_EQ(rules.size(), 2u);  // x=0=>a and x=1=>b
+  EXPECT_EQ(rules[0].antecedent_value, 0);
+  EXPECT_EQ(rules[0].consequent_attr, 1u);
+  EXPECT_EQ(rules[0].consequent_value, 0);
+  EXPECT_DOUBLE_EQ(rules[0].confidence, 1.0);
+  EXPECT_DOUBLE_EQ(rules[0].support, 0.4);
+}
+
+TEST(Ps91Test, RespectsMinsup) {
+  MappedTable table = SmallTable();
+  Ps91Options options;
+  options.minsup = 0.35;  // only (x=0, y=a) has 40% joint support
+  options.minconf = 0.5;
+  auto rules = Ps91MineAttribute(table, 0, options);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].antecedent_value, 0);
+}
+
+TEST(Ps91Test, RespectsMinconf) {
+  MappedTable table = SmallTable();
+  Ps91Options options;
+  options.minsup = 0.05;
+  options.minconf = 0.99;
+  auto rules = Ps91MineAttribute(table, 0, options);
+  for (const Ps91Rule& r : rules) {
+    EXPECT_GE(r.confidence, 0.99);
+  }
+}
+
+TEST(Ps91Test, MineAllCoversBothDirections) {
+  MappedTable table = SmallTable();
+  Ps91Options options;
+  options.minsup = 0.2;
+  options.minconf = 0.9;
+  auto rules = Ps91MineAll(table, options);
+  bool found_x_to_y = false, found_y_to_x = false;
+  for (const Ps91Rule& r : rules) {
+    if (r.antecedent_attr == 0) found_x_to_y = true;
+    if (r.antecedent_attr == 1) found_y_to_x = true;
+  }
+  EXPECT_TRUE(found_x_to_y);
+  // y=b => x=1 has confidence 3/4 < 0.9, y=a => x=0 has 4/6 < 0.9:
+  EXPECT_FALSE(found_y_to_x);
+}
+
+TEST(Ps91Test, SingleValueAntecedentOnly) {
+  // PS91 cannot express ranges: with the spike spread across two adjacent
+  // x values, no single-value rule reaches the confidence threshold,
+  // although <x: 0..1> => (y=a) would. This is the limitation the paper's
+  // Related Work calls out.
+  std::vector<std::vector<int32_t>> rows;
+  for (int i = 0; i < 3; ++i) rows.push_back({0, 0});
+  for (int i = 0; i < 2; ++i) rows.push_back({0, 1});
+  for (int i = 0; i < 3; ++i) rows.push_back({1, 0});
+  for (int i = 0; i < 2; ++i) rows.push_back({1, 1});
+  for (int i = 0; i < 10; ++i) rows.push_back({2, 1});
+  MappedTable table = MakeMappedTable(
+      {QuantAttr("x", 3), CatAttr("y", {"a", "b"})}, rows);
+  Ps91Options options;
+  options.minsup = 0.25;  // joint (x=0,y=a)=3/20, (x=1,y=a)=3/20: both fail
+  options.minconf = 0.5;
+  auto rules = Ps91MineAttribute(table, 0, options);
+  for (const Ps91Rule& r : rules) {
+    EXPECT_NE(r.consequent_value, 0);  // no rule concludes y=a
+  }
+}
+
+TEST(Ps91Test, EmptyTable) {
+  MappedTable table = MakeMappedTable(
+      {QuantAttr("x", 3), CatAttr("y", {"a", "b"})}, {});
+  auto rules = Ps91MineAll(table, Ps91Options{});
+  EXPECT_TRUE(rules.empty());
+}
+
+TEST(Ps91Test, RuleToString) {
+  MappedTable table = SmallTable();
+  Ps91Options options;
+  options.minsup = 0.2;
+  options.minconf = 0.9;
+  auto rules = Ps91MineAttribute(table, 0, options);
+  ASSERT_FALSE(rules.empty());
+  std::string s = Ps91RuleToString(rules[0], table);
+  EXPECT_NE(s.find("<x: 0>"), std::string::npos);
+  EXPECT_NE(s.find("<y: a>"), std::string::npos);
+  EXPECT_NE(s.find("confidence 100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qarm

@@ -1,0 +1,133 @@
+#include "mining/rulegen.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "testutil.h"
+
+namespace qarm {
+namespace {
+
+std::vector<BooleanRule> SortedRules(std::vector<BooleanRule> rules) {
+  std::sort(rules.begin(), rules.end(),
+            [](const BooleanRule& a, const BooleanRule& b) {
+              if (a.antecedent != b.antecedent) {
+                return a.antecedent < b.antecedent;
+              }
+              return a.consequent < b.consequent;
+            });
+  return rules;
+}
+
+TEST(RulegenTest, SimplePair) {
+  // sup({1}) = 4, sup({2}) = 2, sup({1,2}) = 2 over 4 transactions.
+  std::vector<FrequentItemset> itemsets = {
+      {{1}, 4}, {{2}, 2}, {{1, 2}, 2}};
+  auto rules = SortedRules(GenerateRules(itemsets, 4, 0.6));
+  // 1 => 2 has confidence 0.5 (fails); 2 => 1 has confidence 1.0.
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].antecedent, (std::vector<int32_t>{2}));
+  EXPECT_EQ(rules[0].consequent, (std::vector<int32_t>{1}));
+  EXPECT_DOUBLE_EQ(rules[0].confidence, 1.0);
+  EXPECT_DOUBLE_EQ(rules[0].support, 0.5);
+}
+
+TEST(RulegenTest, MinconfZeroEmitsAllSplits) {
+  std::vector<FrequentItemset> itemsets = {
+      {{1}, 3}, {{2}, 3}, {{3}, 3}, {{1, 2}, 2}, {{1, 3}, 2}, {{2, 3}, 2},
+      {{1, 2, 3}, 2}};
+  auto rules = GenerateRules(itemsets, 4, 0.0);
+  // For {1,2}: 2 rules; {1,3}: 2; {2,3}: 2; {1,2,3}: 6 (three 1-item
+  // consequents + three 2-item consequents).
+  EXPECT_EQ(rules.size(), 12u);
+}
+
+TEST(RulegenTest, ConfidencePruningIsAntiMonotone) {
+  // If 1,2 => 3 fails minconf then 1 => 2,3 must not appear either (its
+  // antecedent support can only be larger).
+  std::vector<FrequentItemset> itemsets = {
+      {{1}, 10}, {{2}, 8}, {{3}, 4},
+      {{1, 2}, 8}, {{1, 3}, 4}, {{2, 3}, 4}, {{1, 2, 3}, 4}};
+  auto rules = GenerateRules(itemsets, 10, 0.6);
+  for (const BooleanRule& r : rules) {
+    EXPECT_GE(r.confidence + 1e-12, 0.6);
+  }
+  // {1,2} => {3}: 4/8 = 0.5 fails; {1} => {2,3}: 4/10 fails. Both absent.
+  for (const BooleanRule& r : rules) {
+    bool is_12_3 = r.antecedent == std::vector<int32_t>{1, 2} &&
+                   r.consequent == std::vector<int32_t>{3};
+    bool is_1_23 = r.antecedent == std::vector<int32_t>{1} &&
+                   r.consequent == std::vector<int32_t>{2, 3};
+    EXPECT_FALSE(is_12_3);
+    EXPECT_FALSE(is_1_23);
+  }
+}
+
+TEST(RulegenTest, NoRulesFromSingletons) {
+  std::vector<FrequentItemset> itemsets = {{{1}, 5}, {{2}, 3}};
+  EXPECT_TRUE(GenerateRules(itemsets, 10, 0.1).empty());
+}
+
+TEST(RulegenTest, RuleMetricsConsistent) {
+  Rng rng(3);
+  std::vector<Transaction> txns;
+  for (int t = 0; t < 200; ++t) {
+    Transaction txn;
+    for (int32_t item = 0; item < 8; ++item) {
+      if (rng.Bernoulli(0.4)) txn.push_back(item);
+    }
+    txns.push_back(std::move(txn));
+  }
+  auto frequent = testutil::BruteForceFrequent(txns, 0.1, 8);
+  auto rules = GenerateRules(frequent, txns.size(), 0.5);
+  ASSERT_FALSE(rules.empty());
+  for (const BooleanRule& r : rules) {
+    // Recompute support and confidence by brute force.
+    std::vector<int32_t> full = r.antecedent;
+    full.insert(full.end(), r.consequent.begin(), r.consequent.end());
+    std::sort(full.begin(), full.end());
+    uint64_t full_count = 0, ante_count = 0;
+    for (const Transaction& t : txns) {
+      if (std::includes(t.begin(), t.end(), full.begin(), full.end())) {
+        ++full_count;
+      }
+      if (std::includes(t.begin(), t.end(), r.antecedent.begin(),
+                        r.antecedent.end())) {
+        ++ante_count;
+      }
+    }
+    EXPECT_EQ(r.count, full_count);
+    EXPECT_DOUBLE_EQ(r.support, static_cast<double>(full_count) / 200.0);
+    EXPECT_DOUBLE_EQ(
+        r.confidence,
+        static_cast<double>(full_count) / static_cast<double>(ante_count));
+    // Antecedent and consequent are disjoint and non-empty.
+    EXPECT_FALSE(r.antecedent.empty());
+    EXPECT_FALSE(r.consequent.empty());
+    std::vector<int32_t> inter;
+    std::set_intersection(r.antecedent.begin(), r.antecedent.end(),
+                          r.consequent.begin(), r.consequent.end(),
+                          std::back_inserter(inter));
+    EXPECT_TRUE(inter.empty());
+  }
+}
+
+TEST(RulegenTest, CompleteEnumeration) {
+  // Every valid (antecedent, consequent) split above minconf must appear.
+  std::vector<Transaction> txns = {
+      {1, 2, 3}, {1, 2, 3}, {1, 2}, {2, 3}, {1, 3}, {1, 2, 3}};
+  auto frequent = testutil::BruteForceFrequent(txns, 0.3, 4);
+  auto rules = GenerateRules(frequent, txns.size(), 0.0);
+  // Brute-force enumeration of all splits of all frequent itemsets.
+  size_t expected = 0;
+  for (const FrequentItemset& f : frequent) {
+    if (f.items.size() < 2) continue;
+    expected += (1u << f.items.size()) - 2;  // non-empty proper subsets
+  }
+  EXPECT_EQ(rules.size(), expected);
+}
+
+}  // namespace
+}  // namespace qarm

@@ -1,0 +1,99 @@
+#include "partition/partial_completeness.h"
+
+#include <gtest/gtest.h>
+
+namespace qarm {
+namespace {
+
+TEST(IntervalsForKTest, Equation2) {
+  // Number of intervals = 2n / (m (K-1)).
+  // n=1, m=0.2, K=2 -> 10.
+  EXPECT_EQ(IntervalsForPartialCompleteness(2.0, 1, 0.2), 10u);
+  // n=5, m=0.2, K=2 -> 50.
+  EXPECT_EQ(IntervalsForPartialCompleteness(2.0, 5, 0.2), 50u);
+  // n=5, m=0.2, K=1.5 -> 100.
+  EXPECT_EQ(IntervalsForPartialCompleteness(1.5, 5, 0.2), 100u);
+  // n=5, m=0.2, K=5 -> 12.5, rounded up to 13.
+  EXPECT_EQ(IntervalsForPartialCompleteness(5.0, 5, 0.2), 13u);
+}
+
+TEST(IntervalsForKTest, NoQuantitativeAttributes) {
+  EXPECT_EQ(IntervalsForPartialCompleteness(2.0, 0, 0.2), 1u);
+}
+
+TEST(IntervalsForKTest, AtLeastOne) {
+  EXPECT_GE(IntervalsForPartialCompleteness(100.0, 1, 0.9), 1u);
+}
+
+TEST(AchievedKTest, Equation1) {
+  // K = 1 + 2 n s / m. With n=1, s=0.1, m=0.2: K = 2.
+  EXPECT_DOUBLE_EQ(AchievedPartialCompleteness(0.1, 1, 0.2), 2.0);
+  // With n=5, s=0.02, m=0.2: K = 2.
+  EXPECT_DOUBLE_EQ(AchievedPartialCompleteness(0.02, 5, 0.2), 2.0);
+  // Zero max support -> K = 1 (no loss).
+  EXPECT_DOUBLE_EQ(AchievedPartialCompleteness(0.0, 5, 0.2), 1.0);
+}
+
+TEST(AchievedKTest, InverseOfEquation2) {
+  // Partitioning with the interval count from Equation 2 and perfectly
+  // balanced supports achieves (approximately) the requested K.
+  const double k = 3.0;
+  const size_t n = 4;
+  const double m = 0.25;
+  size_t intervals = IntervalsForPartialCompleteness(k, n, m);
+  double per_interval = 1.0 / static_cast<double>(intervals);
+  double achieved = AchievedPartialCompleteness(per_interval, n, m);
+  EXPECT_LE(achieved, k + 1e-9);
+  EXPECT_GT(achieved, k - 0.5);
+}
+
+TEST(MaxMultiValueSupportTest, IgnoresSingleValueIntervals) {
+  std::vector<Interval> intervals = {{0, 0}, {1, 5}, {6, 6}, {7, 9}};
+  std::vector<size_t> counts = {900, 40, 30, 30};
+  // The 900-count interval is single-valued and exempt (Lemma 2).
+  EXPECT_DOUBLE_EQ(
+      MaxMultiValueIntervalSupport(intervals, counts, 1000), 0.04);
+}
+
+TEST(MaxMultiValueSupportTest, AllSingleValued) {
+  std::vector<Interval> intervals = {{0, 0}, {1, 1}};
+  std::vector<size_t> counts = {500, 500};
+  EXPECT_DOUBLE_EQ(
+      MaxMultiValueIntervalSupport(intervals, counts, 1000), 0.0);
+}
+
+TEST(MaxMultiValueSupportTest, EmptyTable) {
+  EXPECT_DOUBLE_EQ(MaxMultiValueIntervalSupport({}, {}, 0), 0.0);
+}
+
+TEST(ScaledMinConfidenceTest, Lemma1) {
+  // Rules from a K-complete set must use minconf / K.
+  EXPECT_DOUBLE_EQ(ScaledMinConfidence(0.5, 2.0), 0.25);
+  EXPECT_DOUBLE_EQ(ScaledMinConfidence(0.6, 1.0), 0.6);
+}
+
+// The Section 3.1 worked example: itemsets 2, 3, 5, 7 form a 1.5-complete
+// set. We verify the generalization/support-ratio conditions numerically.
+TEST(PartialCompletenessExampleTest, Section31Itemsets) {
+  struct Entry {
+    int lo, hi;       // age range (or cars range)
+    bool cars;        // whether the itemset is over cars
+    double support;
+  };
+  // itemset 1: age 20..30, 5%; itemset 2: age 20..40, 6%;
+  // itemset 3: age 20..50, 8%.
+  // Generalization chain: 1 ⊂ 2 ⊂ 3. 2 covers 1 within ratio 6/5 = 1.2 and
+  // 3 covers 2 within 8/6 = 1.33, both <= 1.5, while 3 covers 1 only at
+  // 8/5 = 1.6 > 1.5 — exactly the paper's argument that {3,5,7} alone are
+  // not 1.5-complete but {2,3,5,7} are.
+  EXPECT_LE(6.0 / 5.0, 1.5);
+  EXPECT_LE(8.0 / 6.0, 1.5);
+  EXPECT_GT(8.0 / 5.0, 1.5);
+  // cars 1..2 (5%) vs cars 1..3 (6%): ratio 1.2 <= 1.5.
+  EXPECT_LE(6.0 / 5.0, 1.5);
+  // (age 20..30, cars 1..2) 4% vs (age 20..40, cars 1..3) 5%: 1.25 <= 1.5.
+  EXPECT_LE(5.0 / 4.0, 1.5);
+}
+
+}  // namespace
+}  // namespace qarm

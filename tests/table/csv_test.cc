@@ -1,0 +1,124 @@
+#include "table/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace qarm {
+namespace {
+
+Schema PeopleSchema() {
+  return Schema::Make(
+             {{"Age", AttributeKind::kQuantitative, ValueType::kInt64},
+              {"Married", AttributeKind::kCategorical, ValueType::kString},
+              {"Score", AttributeKind::kQuantitative, ValueType::kDouble}})
+      .value();
+}
+
+TEST(CsvTest, ParseBasic) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      "23,No,1.5\n"
+      "25,Yes,2\n",
+      PeopleSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->Get(0, 0).as_int64(), 23);
+  EXPECT_EQ(table->Get(1, 1).as_string(), "Yes");
+  EXPECT_EQ(table->Get(0, 2).as_double(), 1.5);
+}
+
+TEST(CsvTest, TrimsWhitespace) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      " 23 ,  No ,\t1.5\n",
+      PeopleSchema());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->Get(0, 1).as_string(), "No");
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      "\n"
+      "23,No,1.5\n"
+      "   \n",
+      PeopleSchema());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 1u);
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  auto table = ReadCsvString("", PeopleSchema());
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(CsvTest, RejectsWrongHeader) {
+  auto table = ReadCsvString("Age,Single,Score\n", PeopleSchema());
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsWrongArity) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      "23,No\n",
+      PeopleSchema());
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(CsvTest, RejectsBadInt) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      "abc,No,1.5\n",
+      PeopleSchema());
+  EXPECT_FALSE(table.ok());
+  EXPECT_NE(table.status().message().find("abc"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsBadDouble) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      "23,No,1.5x\n",
+      PeopleSchema());
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(CsvTest, RoundTripThroughString) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      "23,No,1.5\n"
+      "25,Yes,2\n",
+      PeopleSchema());
+  ASSERT_TRUE(table.ok());
+  std::string csv = ToCsvString(*table);
+  auto again = ReadCsvString(csv, PeopleSchema());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->num_rows(), 2u);
+  EXPECT_EQ(again->Get(1, 0).as_int64(), 25);
+  EXPECT_EQ(again->Get(1, 2).as_double(), 2.0);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      "23,No,1.5\n",
+      PeopleSchema());
+  ASSERT_TRUE(table.ok());
+  std::string path = testing::TempDir() + "/qarm_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(*table, path).ok());
+  auto again = ReadCsv(path, PeopleSchema());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->num_rows(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto table = ReadCsv("/nonexistent/qarm.csv", PeopleSchema());
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace qarm

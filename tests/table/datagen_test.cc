@@ -1,0 +1,231 @@
+#include "table/datagen.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace qarm {
+namespace {
+
+TEST(PeopleTableTest, MatchesFigure1) {
+  Table people = MakePeopleTable();
+  EXPECT_EQ(people.num_rows(), 5u);
+  ASSERT_EQ(people.num_columns(), 3u);
+  EXPECT_EQ(people.schema().attribute(0).name, "Age");
+  EXPECT_EQ(people.schema().attribute(1).name, "Married");
+  EXPECT_EQ(people.schema().attribute(2).name, "NumCars");
+  // Record 100 of Figure 1: Age 23, not married, 1 car.
+  EXPECT_EQ(people.Get(0, 0).as_int64(), 23);
+  EXPECT_EQ(people.Get(0, 1).as_string(), "No");
+  EXPECT_EQ(people.Get(0, 2).as_int64(), 1);
+  // Record 500: Age 38, married, 2 cars.
+  EXPECT_EQ(people.Get(4, 0).as_int64(), 38);
+  EXPECT_EQ(people.Get(4, 1).as_string(), "Yes");
+  EXPECT_EQ(people.Get(4, 2).as_int64(), 2);
+}
+
+TEST(FinancialDatasetTest, SchemaMatchesPaper) {
+  Table data = MakeFinancialDataset(100, 1);
+  const Schema& schema = data.schema();
+  ASSERT_EQ(schema.num_attributes(), 7u);
+  EXPECT_EQ(schema.num_quantitative(), 5u);
+  EXPECT_EQ(schema.num_categorical(), 2u);
+  EXPECT_TRUE(schema.IndexOf("monthly_income").ok());
+  EXPECT_TRUE(schema.IndexOf("employee_category").ok());
+  EXPECT_TRUE(schema.IndexOf("marital_status").ok());
+}
+
+TEST(FinancialDatasetTest, DeterministicInSeed) {
+  Table a = MakeFinancialDataset(500, 7);
+  Table b = MakeFinancialDataset(500, 7);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t r = 0; r < a.num_rows(); r += 37) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.Get(r, c), b.Get(r, c)) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(FinancialDatasetTest, DifferentSeedsDiffer) {
+  Table a = MakeFinancialDataset(200, 1);
+  Table b = MakeFinancialDataset(200, 2);
+  size_t differing = 0;
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    if (a.Get(r, 0) != b.Get(r, 0)) ++differing;
+  }
+  EXPECT_GT(differing, 100u);
+}
+
+TEST(FinancialDatasetTest, ImplantedCorrelationIncomeLimit) {
+  Table data = MakeFinancialDataset(5000, 3);
+  size_t income_col = data.schema().IndexOf("monthly_income").value();
+  size_t limit_col = data.schema().IndexOf("credit_limit").value();
+  // Pearson correlation between income and credit limit should be strong.
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  const double n = static_cast<double>(data.num_rows());
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    double x = data.column(income_col).GetNumeric(r);
+    double y = data.column(limit_col).GetNumeric(r);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  double corr = (n * sxy - sx * sy) /
+                std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
+  EXPECT_GT(corr, 0.25);
+}
+
+TEST(FinancialDatasetTest, CategoryDistribution) {
+  Table data = MakeFinancialDataset(10000, 5);
+  size_t cat_col = data.schema().IndexOf("employee_category").value();
+  std::map<std::string, int> counts;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    ++counts[data.Get(r, cat_col).as_string()];
+  }
+  EXPECT_EQ(counts.size(), 5u);
+  EXPECT_NEAR(counts["hourly"], 3500, 350);
+  EXPECT_NEAR(counts["executive"], 500, 150);
+}
+
+TEST(DecoyTableTest, SupportsMatchFigure6) {
+  Table data = MakeDecoyTable(200000, 11);
+  size_t yes_and_5 = 0, yes_and_3 = 0, yes_total = 0;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    int64_t x = data.Get(r, 0).as_int64();
+    bool yes = data.Get(r, 1).as_string() == "yes";
+    if (yes) {
+      ++yes_total;
+      if (x == 5) ++yes_and_5;
+      if (x == 3) ++yes_and_3;
+    }
+  }
+  const double n = static_cast<double>(data.num_rows());
+  EXPECT_NEAR(yes_and_5 / n, 0.11, 0.01);  // the "Interesting" spike
+  EXPECT_NEAR(yes_and_3 / n, 0.01, 0.005);
+  EXPECT_NEAR(yes_total / n, 0.20, 0.01);
+}
+
+TEST(DecoyTableTest, XValuesInRange) {
+  Table data = MakeDecoyTable(1000, 11);
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    int64_t x = data.Get(r, 0).as_int64();
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 10);
+  }
+}
+
+TEST(GenerateSyntheticTest, CategoricalWeights) {
+  SyntheticConfig config;
+  SyntheticAttribute cat;
+  cat.name = "c";
+  cat.kind = AttributeKind::kCategorical;
+  cat.categories = {"a", "b"};
+  cat.weights = {0.8, 0.2};
+  config.attributes.push_back(cat);
+  Table data = GenerateSynthetic(config, 10000, 3);
+  size_t a_count = 0;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    if (data.Get(r, 0).as_string() == "a") ++a_count;
+  }
+  EXPECT_NEAR(a_count / 10000.0, 0.8, 0.03);
+}
+
+TEST(GenerateSyntheticTest, UniformQuantClamped) {
+  SyntheticConfig config;
+  SyntheticAttribute q;
+  q.name = "q";
+  q.kind = AttributeKind::kQuantitative;
+  q.dist = SyntheticDist::kUniform;
+  q.param0 = 0;
+  q.param1 = 100;
+  q.clamp_lo = 10;
+  q.clamp_hi = 90;
+  q.integral = true;
+  config.attributes.push_back(q);
+  Table data = GenerateSynthetic(config, 2000, 4);
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    int64_t v = data.Get(r, 0).as_int64();
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 90);
+  }
+}
+
+TEST(GenerateSyntheticTest, ImplantedRuleRaisesConfidence) {
+  SyntheticConfig config;
+  SyntheticAttribute x;
+  x.name = "x";
+  x.dist = SyntheticDist::kUniform;
+  x.param0 = 0;
+  x.param1 = 99;
+  SyntheticAttribute y = x;
+  y.name = "y";
+  config.attributes = {x, y};
+  // If x in [0,49] then y in [80,99] with probability 0.9.
+  ImplantedRule rule;
+  rule.antecedent_attr = 0;
+  rule.ante_lo = 0;
+  rule.ante_hi = 49;
+  rule.consequent_attr = 1;
+  rule.cons_lo = 80;
+  rule.cons_hi = 99;
+  rule.probability = 0.9;
+  config.rules.push_back(rule);
+
+  Table data = GenerateSynthetic(config, 20000, 9);
+  size_t ante = 0, both = 0;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    int64_t xv = data.Get(r, 0).as_int64();
+    int64_t yv = data.Get(r, 1).as_int64();
+    if (xv <= 49) {
+      ++ante;
+      if (yv >= 80) ++both;
+    }
+  }
+  double confidence = static_cast<double>(both) / static_cast<double>(ante);
+  // 0.9 forced plus ~0.02 of the residual uniform mass.
+  EXPECT_GT(confidence, 0.85);
+}
+
+TEST(GenerateSyntheticTest, MissingProbability) {
+  SyntheticConfig config;
+  SyntheticAttribute q;
+  q.name = "q";
+  q.dist = SyntheticDist::kUniform;
+  q.param0 = 0;
+  q.param1 = 100;
+  q.missing_probability = 0.35;
+  SyntheticAttribute c;
+  c.name = "c";
+  c.kind = AttributeKind::kCategorical;
+  c.categories = {"a", "b"};
+  config.attributes = {q, c};
+  Table data = GenerateSynthetic(config, 5000, 17);
+  size_t nulls = 0;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    if (data.Get(r, 0).is_null()) ++nulls;
+    EXPECT_FALSE(data.Get(r, 1).is_null());  // c has no missing mass
+  }
+  EXPECT_NEAR(static_cast<double>(nulls) / 5000.0, 0.35, 0.03);
+}
+
+TEST(GenerateSyntheticTest, ZipfAttribute) {
+  SyntheticConfig config;
+  SyntheticAttribute z;
+  z.name = "z";
+  z.dist = SyntheticDist::kZipf;
+  z.param0 = 10;  // domain size
+  z.param1 = 1.0;
+  config.attributes.push_back(z);
+  Table data = GenerateSynthetic(config, 10000, 13);
+  std::map<int64_t, int> counts;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    ++counts[data.Get(r, 0).as_int64()];
+  }
+  EXPECT_GT(counts[0], counts[5]);
+}
+
+}  // namespace
+}  // namespace qarm

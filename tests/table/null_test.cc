@@ -1,0 +1,92 @@
+// Missing-value (NULL) behaviour across Value, Column, Table, and CSV.
+#include <gtest/gtest.h>
+
+#include "table/csv.h"
+#include "table/table.h"
+#include "table/value.h"
+
+namespace qarm {
+namespace {
+
+TEST(NullValueTest, Basics) {
+  Value null = Value::Null();
+  EXPECT_TRUE(null.is_null());
+  EXPECT_FALSE(Value(int64_t{0}).is_null());
+  EXPECT_EQ(null.ToString(), "");
+  EXPECT_EQ(null, Value::Null());
+  EXPECT_NE(null, Value(int64_t{0}));
+}
+
+TEST(NullValueTest, SortsFirst) {
+  EXPECT_LT(Value::Null(), Value(int64_t{-100}));
+  EXPECT_FALSE(Value(int64_t{-100}) < Value::Null());
+  EXPECT_FALSE(Value::Null() < Value::Null());
+}
+
+TEST(NullColumnTest, AppendAndRead) {
+  Column col(ValueType::kInt64);
+  col.AppendInt64(5);
+  col.AppendNull();
+  col.Append(Value::Null());
+  col.AppendInt64(7);
+  ASSERT_EQ(col.size(), 4u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_TRUE(col.IsNull(2));
+  EXPECT_FALSE(col.IsNull(3));
+  EXPECT_EQ(col.Get(0).as_int64(), 5);
+  EXPECT_TRUE(col.Get(1).is_null());
+  EXPECT_EQ(col.Get(3).as_int64(), 7);
+}
+
+TEST(NullTableTest, AppendRowWithNulls) {
+  Schema schema =
+      Schema::Make({{"Age", AttributeKind::kQuantitative, ValueType::kInt64},
+                    {"Married", AttributeKind::kCategorical,
+                     ValueType::kString}})
+          .value();
+  Table table(schema);
+  ASSERT_TRUE(table.AppendRow({Value(int64_t{30}), Value::Null()}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Null(), Value("Yes")}).ok());
+  EXPECT_TRUE(table.Get(0, 1).is_null());
+  EXPECT_TRUE(table.Get(1, 0).is_null());
+  EXPECT_EQ(table.Get(1, 1).as_string(), "Yes");
+  // Head preserves nulls.
+  Table head = table.Head(2);
+  EXPECT_TRUE(head.Get(0, 1).is_null());
+}
+
+TEST(NullCsvTest, EmptyFieldIsNull) {
+  Schema schema =
+      Schema::Make({{"Age", AttributeKind::kQuantitative, ValueType::kInt64},
+                    {"Married", AttributeKind::kCategorical,
+                     ValueType::kString}})
+          .value();
+  auto table = ReadCsvString(
+      "Age,Married\n"
+      "30,\n"
+      ",Yes\n"
+      "25,No\n",
+      schema);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_TRUE(table->Get(0, 1).is_null());
+  EXPECT_TRUE(table->Get(1, 0).is_null());
+  EXPECT_EQ(table->Get(2, 0).as_int64(), 25);
+}
+
+TEST(NullCsvTest, RoundTripPreservesNulls) {
+  Schema schema =
+      Schema::Make({{"Age", AttributeKind::kQuantitative, ValueType::kInt64},
+                    {"Married", AttributeKind::kCategorical,
+                     ValueType::kString}})
+          .value();
+  auto table = ReadCsvString("Age,Married\n30,\n,Yes\n", schema);
+  ASSERT_TRUE(table.ok());
+  auto again = ReadCsvString(ToCsvString(*table), schema);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->Get(0, 1).is_null());
+  EXPECT_TRUE(again->Get(1, 0).is_null());
+}
+
+}  // namespace
+}  // namespace qarm

@@ -1,0 +1,67 @@
+#include "table/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace qarm {
+namespace {
+
+TEST(SchemaTest, MakeValid) {
+  auto schema = Schema::Make(
+      {{"Age", AttributeKind::kQuantitative, ValueType::kInt64},
+       {"Married", AttributeKind::kCategorical, ValueType::kString}});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_attributes(), 2u);
+  EXPECT_EQ(schema->num_quantitative(), 1u);
+  EXPECT_EQ(schema->num_categorical(), 1u);
+  EXPECT_EQ(schema->attribute(0).name, "Age");
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  auto schema = Schema::Make(
+      {{"A", AttributeKind::kCategorical, ValueType::kString},
+       {"A", AttributeKind::kCategorical, ValueType::kString}});
+  EXPECT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  auto schema =
+      Schema::Make({{"", AttributeKind::kCategorical, ValueType::kString}});
+  EXPECT_FALSE(schema.ok());
+}
+
+TEST(SchemaTest, RejectsStringQuantitative) {
+  auto schema = Schema::Make(
+      {{"Q", AttributeKind::kQuantitative, ValueType::kString}});
+  EXPECT_FALSE(schema.ok());
+}
+
+TEST(SchemaTest, QuantitativeDoubleAllowed) {
+  auto schema = Schema::Make(
+      {{"Q", AttributeKind::kQuantitative, ValueType::kDouble}});
+  EXPECT_TRUE(schema.ok());
+}
+
+TEST(SchemaTest, IndexOf) {
+  auto schema = Schema::Make(
+      {{"A", AttributeKind::kCategorical, ValueType::kString},
+       {"B", AttributeKind::kQuantitative, ValueType::kInt64}});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->IndexOf("B").value(), 1u);
+  EXPECT_EQ(schema->IndexOf("C").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, EqualityAndToString) {
+  auto a = Schema::Make(
+      {{"A", AttributeKind::kQuantitative, ValueType::kInt64}});
+  auto b = Schema::Make(
+      {{"A", AttributeKind::kQuantitative, ValueType::kInt64}});
+  auto c = Schema::Make(
+      {{"A", AttributeKind::kCategorical, ValueType::kInt64}});
+  EXPECT_TRUE(*a == *b);
+  EXPECT_FALSE(*a == *c);
+  EXPECT_EQ(a->ToString(), "A:quantitative:int64");
+}
+
+}  // namespace
+}  // namespace qarm

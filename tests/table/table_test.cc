@@ -1,0 +1,81 @@
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+namespace qarm {
+namespace {
+
+Schema TwoColumnSchema() {
+  return Schema::Make(
+             {{"Age", AttributeKind::kQuantitative, ValueType::kInt64},
+              {"Married", AttributeKind::kCategorical, ValueType::kString}})
+      .value();
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table table(TwoColumnSchema());
+  ASSERT_TRUE(table.AppendRow({Value(int64_t{23}), Value("No")}).ok());
+  ASSERT_TRUE(table.AppendRow({Value(int64_t{25}), Value("Yes")}).ok());
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.num_columns(), 2u);
+  EXPECT_EQ(table.Get(0, 0).as_int64(), 23);
+  EXPECT_EQ(table.Get(1, 1).as_string(), "Yes");
+  EXPECT_EQ(table.column(0).GetInt64(1), 25);
+  EXPECT_EQ(table.column(0).GetNumeric(0), 23.0);
+}
+
+TEST(TableTest, AppendRowRejectsArityMismatch) {
+  Table table(TwoColumnSchema());
+  Status s = table.AppendRow({Value(int64_t{23})});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(TableTest, AppendRowRejectsTypeMismatch) {
+  Table table(TwoColumnSchema());
+  Status s = table.AppendRow({Value("not a number"), Value("Yes")});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, Head) {
+  Table table(TwoColumnSchema());
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table.AppendRow({Value(i), Value("x")}).ok());
+  }
+  Table head = table.Head(3);
+  EXPECT_EQ(head.num_rows(), 3u);
+  EXPECT_EQ(head.Get(2, 0).as_int64(), 2);
+  // Head larger than the table returns everything.
+  EXPECT_EQ(table.Head(100).num_rows(), 10u);
+}
+
+TEST(TableTest, DoubleColumn) {
+  Schema schema =
+      Schema::Make({{"X", AttributeKind::kQuantitative, ValueType::kDouble}})
+          .value();
+  Table table(schema);
+  ASSERT_TRUE(table.AppendRow({Value(1.5)}).ok());
+  EXPECT_EQ(table.column(0).GetDouble(0), 1.5);
+  EXPECT_EQ(table.column(0).GetNumeric(0), 1.5);
+}
+
+TEST(TableTest, ToStringContainsHeaderAndValues) {
+  Table table(TwoColumnSchema());
+  ASSERT_TRUE(table.AppendRow({Value(int64_t{23}), Value("No")}).ok());
+  std::string s = table.ToString();
+  EXPECT_NE(s.find("Age"), std::string::npos);
+  EXPECT_NE(s.find("Married"), std::string::npos);
+  EXPECT_NE(s.find("23"), std::string::npos);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table table(TwoColumnSchema());
+  for (int64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(table.AppendRow({Value(i), Value("x")}).ok());
+  }
+  std::string s = table.ToString(5);
+  EXPECT_NE(s.find("25 more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qarm

@@ -1,0 +1,56 @@
+#include "table/value.h"
+
+#include <gtest/gtest.h>
+
+namespace qarm {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value i(int64_t{42});
+  Value d(2.5);
+  Value s("hello");
+  EXPECT_TRUE(i.is_int64());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.as_int64(), 42);
+  EXPECT_EQ(d.as_double(), 2.5);
+  EXPECT_EQ(s.as_string(), "hello");
+}
+
+TEST(ValueTest, AsNumericWidensInt) {
+  EXPECT_EQ(Value(int64_t{7}).AsNumeric(), 7.0);
+  EXPECT_EQ(Value(1.25).AsNumeric(), 1.25);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value(3.0).ToString(), "3");
+  EXPECT_EQ(Value("abc").ToString(), "abc");
+}
+
+TEST(ValueTest, EqualityWithinType) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_EQ(Value("x"), Value("x"));
+}
+
+TEST(ValueTest, CrossTypeNotEqual) {
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(1.5), Value(2.5));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_FALSE(Value("b") < Value("a"));
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt64), "int64");
+  EXPECT_STREQ(ValueTypeName(ValueType::kDouble), "double");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace qarm

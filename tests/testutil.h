@@ -1,0 +1,135 @@
+// Shared helpers for QARM tests: small-table builders and brute-force
+// reference implementations that mining components are checked against.
+#ifndef QARM_TESTS_TESTUTIL_H_
+#define QARM_TESTS_TESTUTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/item.h"
+#include "mining/apriori.h"
+#include "partition/mapped_table.h"
+#include "table/table.h"
+
+namespace qarm {
+namespace testutil {
+
+// Brute-force support count of an itemset over a mapped table.
+inline uint64_t BruteForceSupport(const MappedTable& table,
+                                  const RangeItemset& itemset) {
+  uint64_t count = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (RecordSupports(table.row(r), itemset)) ++count;
+  }
+  return count;
+}
+
+// Brute-force frequent itemsets over boolean transactions (reference for
+// Apriori). Returns sorted itemsets with counts.
+inline std::vector<FrequentItemset> BruteForceFrequent(
+    const std::vector<Transaction>& transactions, double minsup,
+    size_t max_size = 6) {
+  std::set<int32_t> universe;
+  for (const Transaction& t : transactions) {
+    universe.insert(t.begin(), t.end());
+  }
+  std::vector<int32_t> items(universe.begin(), universe.end());
+  uint64_t min_count = static_cast<uint64_t>(
+      minsup * static_cast<double>(transactions.size()) + 0.9999999);
+  if (min_count == 0) min_count = 1;
+
+  std::vector<FrequentItemset> result;
+  // Enumerate subsets level by level, extending only frequent ones.
+  std::vector<std::vector<int32_t>> level;
+  for (int32_t item : items) level.push_back({item});
+  while (!level.empty() && level[0].size() <= max_size) {
+    std::vector<std::vector<int32_t>> next;
+    for (const std::vector<int32_t>& set : level) {
+      uint64_t count = 0;
+      for (const Transaction& t : transactions) {
+        if (std::includes(t.begin(), t.end(), set.begin(), set.end())) {
+          ++count;
+        }
+      }
+      if (count >= min_count) {
+        result.push_back(FrequentItemset{set, count});
+        for (int32_t item : items) {
+          if (item > set.back()) {
+            std::vector<int32_t> extended = set;
+            extended.push_back(item);
+            next.push_back(std::move(extended));
+          }
+        }
+      }
+    }
+    level = std::move(next);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return result;
+}
+
+// Builds a MappedTable directly (bypassing MapTable) from explicit data:
+// attrs[i] describes attribute i, rows are mapped integer values.
+inline MappedTable MakeMappedTable(
+    std::vector<MappedAttribute> attrs,
+    const std::vector<std::vector<int32_t>>& rows) {
+  MappedTable table(std::move(attrs), rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t a = 0; a < rows[r].size(); ++a) {
+      table.set_value(r, a, rows[r][a]);
+    }
+  }
+  return table;
+}
+
+// A quantitative mapped attribute whose mapped ids are the raw values
+// 0..domain-1 (single-value intervals).
+inline MappedAttribute QuantAttr(const std::string& name, int32_t domain) {
+  MappedAttribute attr;
+  attr.name = name;
+  attr.kind = AttributeKind::kQuantitative;
+  attr.source_type = ValueType::kInt64;
+  attr.partitioned = false;
+  for (int32_t v = 0; v < domain; ++v) {
+    attr.intervals.push_back(
+        Interval{static_cast<double>(v), static_cast<double>(v)});
+  }
+  return attr;
+}
+
+// A categorical mapped attribute with the given labels.
+inline MappedAttribute CatAttr(const std::string& name,
+                               std::vector<std::string> labels) {
+  MappedAttribute attr;
+  attr.name = name;
+  attr.kind = AttributeKind::kCategorical;
+  attr.source_type = ValueType::kString;
+  attr.labels = std::move(labels);
+  return attr;
+}
+
+// Sorts rule-free itemset collections for order-insensitive comparison.
+inline std::vector<FrequentItemset> Sorted(std::vector<FrequentItemset> v) {
+  std::sort(v.begin(), v.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return v;
+}
+
+}  // namespace testutil
+}  // namespace qarm
+
+#endif  // QARM_TESTS_TESTUTIL_H_

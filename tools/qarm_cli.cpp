@@ -1,0 +1,243 @@
+// qarm — command-line quantitative association rule miner.
+//
+// Usage:
+//   qarm --input=data.csv --schema="Age:quant,Married:cat,NumCars:quant" ...
+//        [--minsup=0.1] [--minconf=0.5] [--maxsup=0.4] [--k=2.0] ...
+//        [--interest=0] [--intervals=0] [--method=depth|width] ...
+//        [--interesting-only] [--itemsets] [--stats]
+//
+// The schema string names each CSV column in order and tags it
+// "quant"/"quantitative" (numeric; parsed as double if it contains '.',
+// int64 otherwise — controlled per column with ":quant:int" /
+// ":quant:double") or "cat"/"categorical".
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/miner.h"
+#include "core/report.h"
+#include "core/rules.h"
+#include "table/csv.h"
+
+namespace qarm {
+namespace {
+
+struct CliFlags {
+  std::string input;
+  std::string schema;
+  double minsup = 0.10;
+  double minconf = 0.50;
+  double maxsup = 0.40;
+  double k = 2.0;
+  double interest = 0.0;
+  size_t intervals = 0;
+  std::string method = "depth";
+  std::string format = "text";
+  bool interesting_only = false;
+  bool show_itemsets = false;
+  bool show_stats = false;
+  bool help = false;
+};
+
+const char kUsage[] =
+    "qarm — quantitative association rule miner (Srikant & Agrawal, SIGMOD "
+    "'96)\n\n"
+    "  --input=FILE          CSV file (header row required)\n"
+    "  --schema=SPEC         comma list: NAME:quant[:int|:double] | NAME:cat\n"
+    "  --minsup=F            minimum support fraction        (default 0.10)\n"
+    "  --minconf=F           minimum confidence              (default 0.50)\n"
+    "  --maxsup=F            range-combination cap           (default 0.40)\n"
+    "  --k=F                 partial completeness level      (default 2.0)\n"
+    "  --interest=F          interest level R; 0 = off       (default 0)\n"
+    "  --intervals=N         override Eq.2 interval count    (default auto)\n"
+    "  --method=depth|width|kmeans  partitioning method      (default depth)\n"
+    "  --format=text|json|csv  output format                 (default text)\n"
+    "  --interesting-only    print only interesting rules\n"
+    "  --itemsets            also print frequent itemsets\n"
+    "  --stats               print run statistics\n";
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+Result<CliFlags> ParseArgs(int argc, char** argv) {
+  CliFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "input", &value)) {
+      flags.input = value;
+    } else if (ParseFlag(argv[i], "schema", &value)) {
+      flags.schema = value;
+    } else if (ParseFlag(argv[i], "minsup", &value)) {
+      flags.minsup = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "minconf", &value)) {
+      flags.minconf = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "maxsup", &value)) {
+      flags.maxsup = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "k", &value)) {
+      flags.k = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "interest", &value)) {
+      flags.interest = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "intervals", &value)) {
+      flags.intervals = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "method", &value)) {
+      flags.method = value;
+    } else if (ParseFlag(argv[i], "format", &value)) {
+      flags.format = value;
+    } else if (std::strcmp(argv[i], "--interesting-only") == 0) {
+      flags.interesting_only = true;
+    } else if (std::strcmp(argv[i], "--itemsets") == 0) {
+      flags.show_itemsets = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      flags.show_stats = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      flags.help = true;
+    } else {
+      return Status::InvalidArgument(std::string("unknown flag: ") + argv[i]);
+    }
+  }
+  return flags;
+}
+
+Result<Schema> ParseSchema(const std::string& spec) {
+  std::vector<AttributeDef> defs;
+  for (const std::string& field : Split(spec, ',')) {
+    std::vector<std::string> parts = Split(field, ':');
+    if (parts.size() < 2) {
+      return Status::InvalidArgument("schema entry needs NAME:KIND: '" +
+                                     field + "'");
+    }
+    AttributeDef def;
+    def.name = std::string(StripWhitespace(parts[0]));
+    std::string kind(StripWhitespace(parts[1]));
+    if (kind == "quant" || kind == "quantitative") {
+      def.kind = AttributeKind::kQuantitative;
+      def.type = ValueType::kInt64;
+      if (parts.size() > 2) {
+        std::string type(StripWhitespace(parts[2]));
+        if (type == "double") {
+          def.type = ValueType::kDouble;
+        } else if (type != "int") {
+          return Status::InvalidArgument("unknown quantitative type: " + type);
+        }
+      }
+    } else if (kind == "cat" || kind == "categorical") {
+      def.kind = AttributeKind::kCategorical;
+      def.type = ValueType::kString;
+    } else {
+      return Status::InvalidArgument("unknown attribute kind: " + kind);
+    }
+    defs.push_back(std::move(def));
+  }
+  return Schema::Make(std::move(defs));
+}
+
+int Run(int argc, char** argv) {
+  auto flags_or = ParseArgs(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n%s", flags_or.status().ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+  const CliFlags& flags = *flags_or;
+  if (flags.help || flags.input.empty() || flags.schema.empty()) {
+    std::fprintf(flags.help ? stdout : stderr, "%s", kUsage);
+    return flags.help ? 0 : 2;
+  }
+
+  auto schema = ParseSchema(flags.schema);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "bad --schema: %s\n",
+                 schema.status().ToString().c_str());
+    return 2;
+  }
+  auto table = ReadCsv(flags.input, *schema);
+  if (!table.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", flags.input.c_str(),
+                 table.status().ToString().c_str());
+    return 1;
+  }
+
+  MinerOptions options;
+  options.minsup = flags.minsup;
+  options.minconf = flags.minconf;
+  options.max_support = flags.maxsup;
+  options.partial_completeness = flags.k;
+  options.interest_level = flags.interest;
+  options.num_intervals_override = flags.intervals;
+  if (flags.method == "width") {
+    options.partition_method = PartitionMethod::kEquiWidth;
+  } else if (flags.method == "kmeans") {
+    options.partition_method = PartitionMethod::kKMeans;
+  } else if (flags.method != "depth") {
+    std::fprintf(stderr, "unknown --method: %s\n", flags.method.c_str());
+    return 2;
+  }
+
+  QuantitativeRuleMiner miner(options);
+  Result<MiningResult> result = miner.Mine(*table);
+  if (!result.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  if (flags.format == "json") {
+    std::printf("%s\n",
+                MiningResultToJson(*result, flags.interesting_only).c_str());
+  } else if (flags.format == "csv") {
+    std::vector<QuantRule> to_print;
+    for (const QuantRule& rule : result->rules) {
+      if (flags.interesting_only && !rule.interesting) continue;
+      to_print.push_back(rule);
+    }
+    std::printf("%s", RulesToCsv(to_print, result->mapped).c_str());
+  } else if (flags.format != "text") {
+    std::fprintf(stderr, "unknown --format: %s\n", flags.format.c_str());
+    return 2;
+  }
+
+  if (flags.format == "text" && flags.show_itemsets) {
+    std::printf("# %zu frequent itemsets\n",
+                result->frequent_itemsets.size());
+    for (const FrequentRangeItemset& f : result->frequent_itemsets) {
+      std::printf("%s  (support %.2f%%)\n",
+                  ItemsetToString(f.items, result->mapped).c_str(),
+                  f.support * 100);
+    }
+    std::printf("\n");
+  }
+
+  size_t printed = 0;
+  for (const QuantRule& rule : result->rules) {
+    if (flags.interesting_only && !rule.interesting) continue;
+    if (flags.format == "text") {
+      std::printf("%s%s\n", RuleToString(rule, result->mapped).c_str(),
+                  flags.interest > 0 && rule.interesting ? "  [interesting]"
+                                                         : "");
+    }
+    ++printed;
+  }
+  if (flags.show_stats) {
+    const MiningStats& stats = result->stats;
+    std::fprintf(stderr,
+                 "# records=%zu items=%zu rules=%zu interesting=%zu "
+                 "achievedK=%.2f time=%.3fs\n",
+                 stats.num_records, stats.num_frequent_items, stats.num_rules,
+                 stats.num_interesting_rules,
+                 stats.achieved_partial_completeness, stats.total_seconds);
+  }
+  return printed > 0 ? 0 : 3;
+}
+
+}  // namespace
+}  // namespace qarm
+
+int main(int argc, char** argv) { return qarm::Run(argc, argv); }
