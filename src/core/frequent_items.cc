@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 
 namespace qarm {
 
@@ -14,16 +15,49 @@ ItemCatalog ItemCatalog::Build(const MappedTable& table,
   const size_t num_rows = table.num_rows();
   catalog.num_records_ = num_rows;
 
-  // Per-attribute value counts in one scan.
+  // Per-attribute value counts in one scan, sharded across workers when
+  // num_threads allows. Each worker accumulates into its own grids which
+  // are then summed in shard order; integer addition is order-independent,
+  // so the counts are identical to the serial scan.
   catalog.value_counts_.resize(num_attrs);
   for (size_t a = 0; a < num_attrs; ++a) {
     catalog.value_counts_[a].assign(table.attribute(a).domain_size(), 0);
   }
-  for (size_t r = 0; r < num_rows; ++r) {
-    const int32_t* row = table.row(r);
-    for (size_t a = 0; a < num_attrs; ++a) {
-      if (row[a] == kMissingValue) continue;
-      ++catalog.value_counts_[a][static_cast<size_t>(row[a])];
+  const size_t num_threads =
+      std::max<size_t>(1, std::min(ResolveNumThreads(options.num_threads),
+                                   num_rows));
+  if (num_threads == 1) {
+    for (size_t r = 0; r < num_rows; ++r) {
+      const int32_t* row = table.row(r);
+      for (size_t a = 0; a < num_attrs; ++a) {
+        if (row[a] == kMissingValue) continue;
+        ++catalog.value_counts_[a][static_cast<size_t>(row[a])];
+      }
+    }
+  } else {
+    const std::vector<IndexRange> shards = SplitRange(num_rows, num_threads);
+    std::vector<std::vector<std::vector<uint64_t>>> partials(shards.size());
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(shards.size(), [&](size_t s) {
+      std::vector<std::vector<uint64_t>>& local = partials[s];
+      local.resize(num_attrs);
+      for (size_t a = 0; a < num_attrs; ++a) {
+        local[a].assign(table.attribute(a).domain_size(), 0);
+      }
+      for (size_t r = shards[s].begin; r < shards[s].end; ++r) {
+        const int32_t* row = table.row(r);
+        for (size_t a = 0; a < num_attrs; ++a) {
+          if (row[a] == kMissingValue) continue;
+          ++local[a][static_cast<size_t>(row[a])];
+        }
+      }
+    });
+    for (const auto& local : partials) {
+      for (size_t a = 0; a < num_attrs; ++a) {
+        for (size_t v = 0; v < local[a].size(); ++v) {
+          catalog.value_counts_[a][v] += local[a][v];
+        }
+      }
     }
   }
   catalog.prefix_counts_.resize(num_attrs);

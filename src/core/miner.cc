@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/interest.h"
 #include "partition/partial_completeness.h"
@@ -72,6 +73,7 @@ MiningResult QuantitativeRuleMiner::MineMapped(MappedTable mapped) const {
   MiningResult result(std::move(mapped));
   const MappedTable& table = result.mapped;
   result.stats.num_records = table.num_rows();
+  result.stats.num_threads = ResolveNumThreads(options_.num_threads);
 
   // Step 3a: frequent items.
   ItemCatalog catalog = ItemCatalog::Build(table, options_);

@@ -39,6 +39,8 @@ struct FrequentRangeItemset {
 // Aggregate run statistics.
 struct MiningStats {
   size_t num_records = 0;
+  // Scan parallelism of this run (the resolved num_threads option).
+  size_t num_threads = 1;
   size_t num_frequent_items = 0;
   size_t items_pruned_by_interest = 0;
   // Partial completeness achieved by the realized partitioning (Equation 1);

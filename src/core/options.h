@@ -63,9 +63,26 @@ struct MinerOptions {
   // applies it whenever the user asks for support-and-confidence interest).
   bool interest_item_prune = true;
 
-  // Memory budget per super-candidate for the n-dimensional counting array;
-  // above it the R*-tree is used (Section 5.2 heuristic).
+  // Memory budget for the n-dimensional counting arrays of one pass,
+  // accounted cumulatively across super-candidates; once the running total
+  // would exceed it, further super-candidates use the R*-tree instead
+  // (Section 5.2 heuristic). A grid estimated smaller than its R*-tree is
+  // always kept dense — the tree would cost more memory, not less.
   uint64_t counter_memory_budget_bytes = 64ull << 20;
+
+  // Worker threads for the database scans (the pass-1 value-count scan and
+  // each support-counting pass). 1 = the serial path, bit-identical to the
+  // single-threaded miner; 0 = one thread per hardware core. Multi-threaded
+  // counts are exact (integer counters reduced across shards), so results
+  // never depend on this setting.
+  size_t num_threads = 1;
+
+  // Budget for the *extra* per-thread replicas of dense counting grids that
+  // a parallel scan allocates (one replica per worker beyond the first).
+  // Grids whose replicas do not fit — accounted cumulatively in group
+  // order — stay shared across workers and are updated with atomic
+  // increments instead, keeping memory bounded at the cost of contention.
+  uint64_t parallel_replication_budget_bytes = 32ull << 20;
 
   // Cap on itemset size (0 = unlimited). Useful to bound exploratory runs.
   size_t max_itemset_size = 0;

@@ -98,23 +98,36 @@ std::string RuleToJson(const QuantRule& rule, const MappedTable& mapped) {
 std::string StatsToJson(const MiningStats& stats) {
   std::string out = "{";
   out += StrFormat(
-      "\"num_records\":%zu,\"num_frequent_items\":%zu,"
+      "\"num_records\":%zu,\"num_threads\":%zu,\"num_frequent_items\":%zu,"
       "\"items_pruned_by_interest\":%zu,"
       "\"achieved_partial_completeness\":%.4f,"
       "\"num_rules\":%zu,\"num_interesting_rules\":%zu,"
       "\"total_seconds\":%.6f",
-      stats.num_records, stats.num_frequent_items,
+      stats.num_records, stats.num_threads, stats.num_frequent_items,
       stats.items_pruned_by_interest, stats.achieved_partial_completeness,
       stats.num_rules, stats.num_interesting_rules, stats.total_seconds);
   out += ",\"passes\":[";
   for (size_t i = 0; i < stats.passes.size(); ++i) {
     const PassStats& pass = stats.passes[i];
+    const CountingStats& counting = pass.counting;
     if (i > 0) out += ',';
     out += StrFormat(
         "{\"k\":%zu,\"candidates\":%zu,\"frequent\":%zu,"
-        "\"super_candidates\":%zu,\"seconds\":%.6f}",
+        "\"super_candidates\":%zu,\"array_counters\":%zu,"
+        "\"tree_counters\":%zu,\"direct_counters\":%zu,"
+        "\"atomic_shared_counters\":%zu,\"threads_used\":%zu,"
+        "\"counter_bytes\":%llu,\"replicated_bytes\":%llu,"
+        "\"group_seconds\":%.6f,\"build_seconds\":%.6f,"
+        "\"scan_seconds\":%.6f,\"reduce_seconds\":%.6f,"
+        "\"seconds\":%.6f}",
         pass.k, pass.num_candidates, pass.num_frequent,
-        pass.counting.num_super_candidates, pass.seconds);
+        counting.num_super_candidates, counting.num_array_counters,
+        counting.num_tree_counters, counting.num_direct,
+        counting.num_atomic_shared, counting.threads_used,
+        static_cast<unsigned long long>(counting.counter_bytes),
+        static_cast<unsigned long long>(counting.replicated_bytes),
+        counting.group_seconds, counting.build_seconds,
+        counting.scan_seconds, counting.reduce_seconds, pass.seconds);
   }
   out += "]}";
   return out;

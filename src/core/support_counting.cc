@@ -1,27 +1,19 @@
 #include "core/support_counting.h"
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "index/hash_tree.h"
 #include "index/ndim_array.h"
 #include "index/rstar_tree.h"
 
 namespace qarm {
 namespace {
-
-struct VecHash {
-  size_t operator()(const std::vector<int32_t>& v) const {
-    // FNV-1a over the words.
-    uint64_t h = 1469598103934665603ULL;
-    for (int32_t x : v) {
-      h ^= static_cast<uint32_t>(x);
-      h *= 1099511628211ULL;
-    }
-    return static_cast<size_t>(h);
-  }
-};
 
 struct SuperCandidate {
   std::vector<int32_t> cat_item_ids;  // sorted item ids (categorical part)
@@ -31,9 +23,41 @@ struct SuperCandidate {
   std::unique_ptr<RStarTree> tree;
   std::vector<uint32_t> tree_counts;  // parallel to members (tree mode)
   uint64_t direct_count = 0;          // purely categorical
+  // Parallel scan: grid shared across workers, updated atomically (its
+  // per-thread replicas would not fit the replication budget).
+  bool atomic_shared = false;
+};
+
+// Thread-local accumulators of one scan worker. Worker 0 writes directly
+// into the groups' own structures; workers 1..T-1 fill these and are
+// reduced in afterwards, so the final counts are identical to a serial
+// scan (integer addition is order-independent).
+struct WorkerCounters {
+  std::vector<std::unique_ptr<NDimArray>> arrays;   // per group, or null
+  std::vector<std::vector<uint32_t>> tree_counts;   // per group
+  std::vector<uint64_t> direct;                     // per group
+  HashTree::SubsetScratch scratch;
 };
 
 }  // namespace
+
+size_t GroupKeyHash::operator()(const std::vector<int32_t>& v) const {
+  // FNV-1a over the words...
+  uint64_t h = 1469598103934665603ULL;
+  for (int32_t x : v) {
+    h ^= static_cast<uint32_t>(x);
+    h *= 1099511628211ULL;
+  }
+  // ...then a splitmix64 finalizer: FNV alone leaves the low bits (the ones
+  // an unordered_map's bucket mask uses) poorly mixed for short keys of
+  // small integers, where attr indices and item ids collide structurally.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return static_cast<size_t>(h);
+}
 
 std::vector<uint32_t> CountSupports(const MappedTable& table,
                                     const ItemCatalog& catalog,
@@ -45,6 +69,9 @@ std::vector<uint32_t> CountSupports(const MappedTable& table,
   std::vector<uint32_t> counts(num_candidates, 0);
   if (num_candidates == 0) return counts;
 
+  CountingStats local_stats;
+  Timer phase_timer;
+
   // "Ranged" attributes (quantitative, or categorical under a taxonomy)
   // become dimensions of the super-candidate rectangles; plain categorical
   // items are matched through the hash tree.
@@ -55,7 +82,7 @@ std::vector<uint32_t> CountSupports(const MappedTable& table,
   // --- Group candidates into super-candidates. ---
   // Key: [quantitative attrs..., -1, categorical item ids...]. Categorical
   // items pin both attribute and value, exactly the paper's grouping.
-  std::unordered_map<std::vector<int32_t>, size_t, VecHash> group_index;
+  std::unordered_map<std::vector<int32_t>, size_t, GroupKeyHash> group_index;
   std::vector<SuperCandidate> groups;
   std::vector<int32_t> key;
   for (size_t c = 0; c < num_candidates; ++c) {
@@ -81,17 +108,26 @@ std::vector<uint32_t> CountSupports(const MappedTable& table,
     }
     groups[it->second].members.push_back(static_cast<uint32_t>(c));
   }
+  local_stats.num_super_candidates = groups.size();
+  local_stats.group_seconds = phase_timer.ElapsedSeconds();
+  phase_timer.Reset();
 
-  if (stats != nullptr) {
-    *stats = CountingStats{};
-    stats->num_super_candidates = groups.size();
-  }
+  // The scan parallelism: never more shards than rows.
+  const size_t threads_used =
+      std::max<size_t>(1, std::min(ResolveNumThreads(options.num_threads),
+                                   table.num_rows()));
+  local_stats.threads_used = threads_used;
 
   // --- Build a counting structure per super-candidate. ---
+  // Dense grids are budgeted cumulatively: `array_bytes_total` tracks every
+  // grid of this pass against counter_memory_budget_bytes, so total counter
+  // memory stays bounded no matter how many super-candidates a pass has.
+  uint64_t array_bytes_total = 0;
+  uint64_t replicated_bytes_total = 0;
   for (SuperCandidate& sc : groups) {
     if (sc.quant_attrs.empty()) {
       QARM_CHECK_EQ(sc.members.size(), 1u);  // identical itemsets are unique
-      if (stats != nullptr) ++stats->num_direct;
+      ++local_stats.num_direct;
       continue;
     }
     QARM_CHECK_LE(sc.quant_attrs.size(), kRStarMaxDims);
@@ -104,12 +140,34 @@ std::vector<uint32_t> CountSupports(const MappedTable& table,
     const uint64_t array_bytes = NDimArray::EstimateBytes(dim_sizes);
     const uint64_t tree_bytes =
         RStarTree::EstimateBytes(sc.members.size(), dim_sizes.size());
-    const bool use_array =
-        array_bytes <= options.counter_memory_budget_bytes ||
-        array_bytes <= tree_bytes;
+    const bool fits_budget =
+        array_bytes <= options.counter_memory_budget_bytes &&
+        array_bytes_total <=
+            options.counter_memory_budget_bytes - array_bytes;
+    const bool use_array = fits_budget || array_bytes <= tree_bytes;
     if (use_array) {
       sc.array = std::make_unique<NDimArray>(dim_sizes);
-      if (stats != nullptr) ++stats->num_array_counters;
+      array_bytes_total += array_bytes;
+      local_stats.counter_bytes += array_bytes;
+      ++local_stats.num_array_counters;
+      if (threads_used > 1) {
+        // Replicate the grid per extra worker if the replicas fit the
+        // (cumulative) replication budget; otherwise share it and count
+        // with atomic increments.
+        const uint64_t extra_workers = threads_used - 1;
+        const bool replicas_fit =
+            array_bytes <=
+                options.parallel_replication_budget_bytes / extra_workers &&
+            replicated_bytes_total <=
+                options.parallel_replication_budget_bytes -
+                    array_bytes * extra_workers;
+        if (replicas_fit) {
+          replicated_bytes_total += array_bytes * extra_workers;
+        } else {
+          sc.atomic_shared = true;
+          ++local_stats.num_atomic_shared;
+        }
+      }
     } else {
       sc.tree = std::make_unique<RStarTree>(sc.quant_attrs.size());
       sc.tree_counts.assign(sc.members.size(), 0);
@@ -126,38 +184,46 @@ std::vector<uint32_t> CountSupports(const MappedTable& table,
         }
         sc.tree->Insert(rect, static_cast<int32_t>(m));
       }
-      if (stats != nullptr) ++stats->num_tree_counters;
+      local_stats.counter_bytes += tree_bytes;
+      ++local_stats.num_tree_counters;
     }
   }
+  local_stats.replicated_bytes = replicated_bytes_total;
 
   // --- Hash tree over the categorical parts. ---
+  // Built once here; the scan only probes it (ForEachSubset with per-worker
+  // scratch), which is mutation-free and safe to run concurrently.
   HashTree hash_tree(/*leaf_capacity=*/16, /*fanout=*/64);
   for (size_t g = 0; g < groups.size(); ++g) {
     hash_tree.Insert(groups[g].cat_item_ids, static_cast<int32_t>(g));
   }
+  local_stats.build_seconds = phase_timer.ElapsedSeconds();
+  phase_timer.Reset();
 
-  // --- The pass over the database. ---
+  // --- The pass over the database, sharded across workers. ---
+  // Each worker scans a contiguous row range. `local == nullptr` means the
+  // worker owns the groups' primary structures (worker 0, and the whole
+  // serial path); otherwise increments go to the worker's own replicas.
+  // Grids flagged atomic_shared are written by every worker via relaxed
+  // atomic adds.
   const size_t num_attrs = table.num_attributes();
-  std::vector<int32_t> cat_transaction;
-  cat_transaction.reserve(num_attrs);
-  int32_t point[kRStarMaxDims];
-  double dpoint[kRStarMaxDims];
+  auto scan_rows = [&](size_t row_begin, size_t row_end,
+                       WorkerCounters* local,
+                       HashTree::SubsetScratch* scratch) {
+    std::vector<int32_t> cat_transaction;
+    cat_transaction.reserve(num_attrs);
+    int32_t point[kRStarMaxDims];
+    double dpoint[kRStarMaxDims];
 
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    const int32_t* row = table.row(r);
-    cat_transaction.clear();
-    for (size_t a = 0; a < num_attrs; ++a) {
-      const MappedAttribute& attr = table.attribute(a);
-      if (attr.kind != AttributeKind::kCategorical || attr.ranged()) continue;
-      if (row[a] == kMissingValue) continue;
-      int32_t id = catalog.CategoricalItemId(a, row[a]);
-      if (id >= 0) cat_transaction.push_back(id);
-    }
-    hash_tree.ForEachSubset(cat_transaction, [&](int32_t g) {
+    auto visit = [&](int32_t g, const int32_t* row) {
       SuperCandidate& sc = groups[static_cast<size_t>(g)];
       const size_t dims = sc.quant_attrs.size();
       if (dims == 0) {
-        ++sc.direct_count;
+        if (local != nullptr) {
+          ++local->direct[static_cast<size_t>(g)];
+        } else {
+          ++sc.direct_count;
+        }
         return;
       }
       for (size_t d = 0; d < dims; ++d) {
@@ -167,17 +233,95 @@ std::vector<uint32_t> CountSupports(const MappedTable& table,
         if (point[d] == kMissingValue) return;
       }
       if (sc.array != nullptr) {
-        sc.array->Increment(point);
+        if (sc.atomic_shared) {
+          sc.array->AtomicIncrement(point);
+        } else if (local != nullptr) {
+          local->arrays[static_cast<size_t>(g)]->Increment(point);
+        } else {
+          sc.array->Increment(point);
+        }
       } else {
         for (size_t d = 0; d < dims; ++d) {
           dpoint[d] = static_cast<double>(point[d]);
         }
-        sc.tree->ForEachContaining(dpoint, [&sc](int32_t m) {
-          ++sc.tree_counts[static_cast<size_t>(m)];
+        std::vector<uint32_t>& tree_counts =
+            local != nullptr ? local->tree_counts[static_cast<size_t>(g)]
+                             : sc.tree_counts;
+        sc.tree->ForEachContaining(dpoint, [&tree_counts](int32_t m) {
+          ++tree_counts[static_cast<size_t>(m)];
         });
       }
+    };
+
+    for (size_t r = row_begin; r < row_end; ++r) {
+      const int32_t* row = table.row(r);
+      cat_transaction.clear();
+      for (size_t a = 0; a < num_attrs; ++a) {
+        const MappedAttribute& attr = table.attribute(a);
+        if (attr.kind != AttributeKind::kCategorical || attr.ranged()) {
+          continue;
+        }
+        if (row[a] == kMissingValue) continue;
+        int32_t id = catalog.CategoricalItemId(a, row[a]);
+        if (id >= 0) cat_transaction.push_back(id);
+      }
+      auto on_group = [&](int32_t g) { visit(g, row); };
+      if (scratch != nullptr) {
+        hash_tree.ForEachSubset(cat_transaction, on_group, scratch);
+      } else {
+        hash_tree.ForEachSubset(cat_transaction, on_group);
+      }
+    }
+  };
+
+  std::vector<WorkerCounters> workers;
+  if (threads_used == 1) {
+    scan_rows(0, table.num_rows(), /*local=*/nullptr, /*scratch=*/nullptr);
+  } else {
+    workers.resize(threads_used);
+    const std::vector<IndexRange> shards =
+        SplitRange(table.num_rows(), threads_used);
+    ThreadPool pool(threads_used);
+    pool.ParallelFor(shards.size(), [&](size_t w) {
+      WorkerCounters& wc = workers[w];
+      if (w > 0) {
+        // Allocate the replicas on the worker itself (first-touch locality).
+        wc.direct.assign(groups.size(), 0);
+        wc.tree_counts.resize(groups.size());
+        wc.arrays.resize(groups.size());
+        for (size_t g = 0; g < groups.size(); ++g) {
+          const SuperCandidate& sc = groups[g];
+          if (sc.tree != nullptr) {
+            wc.tree_counts[g].assign(sc.members.size(), 0);
+          } else if (sc.array != nullptr && !sc.atomic_shared) {
+            wc.arrays[g] = std::make_unique<NDimArray>(sc.array->dim_sizes());
+          }
+        }
+      }
+      scan_rows(shards[w].begin, shards[w].end,
+                w == 0 ? nullptr : &wc, &wc.scratch);
     });
   }
+  local_stats.scan_seconds = phase_timer.ElapsedSeconds();
+  phase_timer.Reset();
+
+  // --- Reduce worker counters into the groups. ---
+  for (size_t w = 1; w < workers.size(); ++w) {
+    WorkerCounters& wc = workers[w];
+    for (size_t g = 0; g < groups.size(); ++g) {
+      SuperCandidate& sc = groups[g];
+      sc.direct_count += wc.direct[g];
+      if (sc.tree != nullptr) {
+        for (size_t m = 0; m < sc.tree_counts.size(); ++m) {
+          sc.tree_counts[m] += wc.tree_counts[g][m];
+        }
+      } else if (wc.arrays[g] != nullptr) {
+        sc.array->AddFrom(*wc.arrays[g]);
+        wc.arrays[g].reset();
+      }
+    }
+  }
+  workers.clear();
 
   // --- Collect per-candidate counts. ---
   IntRect rect;
@@ -210,6 +354,9 @@ std::vector<uint32_t> CountSupports(const MappedTable& table,
     }
     sc.array.reset();  // release the grid before the next group collects
   }
+  local_stats.reduce_seconds = phase_timer.ElapsedSeconds();
+
+  if (stats != nullptr) *stats = local_stats;
   return counts;
 }
 

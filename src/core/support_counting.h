@@ -27,6 +27,32 @@ struct CountingStats {
   size_t num_array_counters = 0;  // super-candidates counted via NDimArray
   size_t num_tree_counters = 0;   // via R*-tree
   size_t num_direct = 0;          // purely categorical super-candidates
+  // Array super-candidates whose grid stayed shared across scan workers
+  // (atomic increments) because per-thread replicas would have blown the
+  // replication budget. Always 0 on a serial scan.
+  size_t num_atomic_shared = 0;
+
+  // Threads that actually scanned (<= the resolved option: capped by rows).
+  size_t threads_used = 1;
+  // Bytes of the primary counting structures (grids + tree estimates).
+  uint64_t counter_bytes = 0;
+  // Extra bytes of per-thread grid replicas allocated for the scan.
+  uint64_t replicated_bytes = 0;
+
+  // Per-phase wall times of the pass.
+  double group_seconds = 0.0;   // grouping candidates into super-candidates
+  double build_seconds = 0.0;   // counting structures + hash tree
+  double scan_seconds = 0.0;    // the (possibly sharded) pass over the rows
+  double reduce_seconds = 0.0;  // merging thread counters + collecting counts
+};
+
+// Hash for super-candidate group keys ([quantitative attrs..., -1,
+// categorical item ids...]): FNV-1a over the words, finalized with a
+// 64->64 bit mixer (splitmix64) so that the sparse, small-integer inputs —
+// attribute indices and item ids draw from the same small range — spread
+// over the whole size_t range instead of clustering in the low bits.
+struct GroupKeyHash {
+  size_t operator()(const std::vector<int32_t>& v) const;
 };
 
 // Counts the support of every candidate in one pass over `table`.

@@ -35,7 +35,6 @@ void HashTree::Insert(std::span<const int32_t> itemset, int32_t id) {
   }
   if (static_cast<size_t>(id) >= itemsets_.size()) {
     itemsets_.resize(static_cast<size_t>(id) + 1);
-    stamps_.resize(static_cast<size_t>(id) + 1, 0);
   }
   itemsets_[static_cast<size_t>(id)].assign(itemset.begin(), itemset.end());
   InsertRec(root_.get(), 0, itemset, id);
@@ -93,17 +92,27 @@ bool HashTree::IsSubset(std::span<const int32_t> itemset,
 
 void HashTree::ForEachSubset(std::span<const int32_t> transaction,
                              const std::function<void(int32_t)>& fn) const {
-  ++generation_;
-  SearchRec(root_.get(), transaction, 0, fn);
+  ForEachSubset(transaction, fn, &scratch_);
+}
+
+void HashTree::ForEachSubset(std::span<const int32_t> transaction,
+                             const std::function<void(int32_t)>& fn,
+                             SubsetScratch* scratch) const {
+  if (scratch->stamps.size() < itemsets_.size()) {
+    scratch->stamps.resize(itemsets_.size(), 0);
+  }
+  ++scratch->generation;
+  SearchRec(root_.get(), transaction, 0, fn, *scratch);
 }
 
 void HashTree::SearchRec(const Node* node,
                          std::span<const int32_t> transaction, size_t start,
-                         const std::function<void(int32_t)>& fn) const {
+                         const std::function<void(int32_t)>& fn,
+                         SubsetScratch& scratch) const {
   auto report = [&](int32_t id) {
-    uint64_t& stamp = stamps_[static_cast<size_t>(id)];
-    if (stamp == generation_) return;
-    stamp = generation_;
+    uint64_t& stamp = scratch.stamps[static_cast<size_t>(id)];
+    if (stamp == scratch.generation) return;
+    stamp = scratch.generation;
     fn(id);
   };
 
@@ -124,7 +133,7 @@ void HashTree::SearchRec(const Node* node,
   for (size_t i = start; i < transaction.size(); ++i) {
     size_t bucket =
         static_cast<size_t>(static_cast<uint32_t>(transaction[i])) % fanout_;
-    SearchRec(node->children[bucket].get(), transaction, i + 1, fn);
+    SearchRec(node->children[bucket].get(), transaction, i + 1, fn, scratch);
   }
 }
 

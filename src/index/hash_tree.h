@@ -31,14 +31,31 @@ class HashTree {
   HashTree& operator=(HashTree&&) = default;
 
   // Inserts a sorted itemset under id `id`. Ids must be dense (0..N-1 in any
-  // order) — they index the internal dedup stamp table.
+  // order) — they index the dedup stamp table.
   void Insert(std::span<const int32_t> itemset, int32_t id);
+
+  // Per-probe dedup state: a leaf can be reached through several transaction
+  // items, so matches are deduplicated with per-id generation stamps. A
+  // scratch belongs to one probing thread; concurrent ForEachSubset calls on
+  // a shared (no longer mutated) tree are safe as long as each caller passes
+  // its own scratch.
+  struct SubsetScratch {
+    std::vector<uint64_t> stamps;
+    uint64_t generation = 0;
+  };
 
   // Calls `fn(id)` exactly once for every stored itemset that is a subset of
   // the sorted `transaction`. The empty itemset, if inserted, matches every
-  // transaction.
+  // transaction. This overload uses an internal scratch and must not be
+  // called concurrently.
   void ForEachSubset(std::span<const int32_t> transaction,
                      const std::function<void(int32_t)>& fn) const;
+
+  // Thread-safe overload: all tree state is read-only; the mutable probe
+  // state lives in the caller-owned `scratch`.
+  void ForEachSubset(std::span<const int32_t> transaction,
+                     const std::function<void(int32_t)>& fn,
+                     SubsetScratch* scratch) const;
 
   size_t size() const { return num_itemsets_; }
 
@@ -49,8 +66,8 @@ class HashTree {
                  int32_t id);
   void SplitLeaf(Node* node, size_t depth);
   void SearchRec(const Node* node, std::span<const int32_t> transaction,
-                 size_t start,
-                 const std::function<void(int32_t)>& fn) const;
+                 size_t start, const std::function<void(int32_t)>& fn,
+                 SubsetScratch& scratch) const;
   bool IsSubset(std::span<const int32_t> itemset,
                 std::span<const int32_t> transaction) const;
 
@@ -62,10 +79,8 @@ class HashTree {
   // Stored itemsets, indexed by id (for the leaf containment check).
   std::vector<std::vector<int32_t>> itemsets_;
 
-  // Per-id visit stamps: a leaf can be reached through several transaction
-  // items, so matches are deduplicated with a generation counter.
-  mutable std::vector<uint64_t> stamps_;
-  mutable uint64_t generation_ = 0;
+  // Scratch backing the convenience (serial) ForEachSubset overload.
+  mutable SubsetScratch scratch_;
 };
 
 }  // namespace qarm

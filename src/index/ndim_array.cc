@@ -1,5 +1,6 @@
 #include "index/ndim_array.h"
 
+#include <atomic>
 #include <limits>
 
 #include "common/macros.h"
@@ -44,6 +45,19 @@ size_t NDimArray::FlatIndex(const int32_t* point) const {
 
 void NDimArray::Increment(const int32_t* point) {
   ++cells_[FlatIndex(point)];
+}
+
+void NDimArray::AtomicIncrement(const int32_t* point) {
+  // uint32_t in a vector satisfies atomic_ref's alignment requirement, so
+  // the plain storage doubles as the shared-atomic counting mode.
+  std::atomic_ref<uint32_t> cell(cells_[FlatIndex(point)]);
+  cell.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NDimArray::AddFrom(const NDimArray& other) {
+  QARM_CHECK(!prefix_built_ && !other.prefix_built_);
+  QARM_CHECK(dim_sizes_ == other.dim_sizes_);
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
 }
 
 uint64_t NDimArray::CellAt(const int32_t* point) const {

@@ -44,6 +44,10 @@ class NDimArray {
 
   size_t dims() const { return dim_sizes_.size(); }
   uint64_t num_cells() const { return cells_.size(); }
+  const std::vector<int32_t>& dim_sizes() const { return dim_sizes_; }
+
+  // Bytes this grid's cells occupy.
+  uint64_t bytes() const { return cells_.size() * sizeof(uint32_t); }
 
   // Bytes a grid with these dimensions would occupy (the Section 5.2 memory
   // heuristic compares this against the R*-tree estimate). Saturates at
@@ -52,6 +56,17 @@ class NDimArray {
 
   // Increments the cell at `point` (dims() coordinates).
   void Increment(const int32_t* point);
+
+  // Thread-safe increment for grids shared across scan workers: a relaxed
+  // atomic add on the cell. All concurrent writers of a grid must use this
+  // mode — mixing AtomicIncrement with concurrent plain Increment on the
+  // same grid is a data race. Counts are exact regardless of interleaving.
+  void AtomicIncrement(const int32_t* point);
+
+  // Adds every cell of `other` into this grid (same dimensions; neither may
+  // have prefix sums built). Used to reduce per-thread grids after a
+  // sharded scan.
+  void AddFrom(const NDimArray& other);
 
   // Converts the grid to inclusive n-dimensional prefix sums, making
   // CountRect O(2^dims) instead of a cell sweep. Call once, after all

@@ -52,6 +52,9 @@ class RStarTree {
 
   // Calls `fn(id)` for every stored rectangle containing `point`
   // (`dims()` coordinates). A rectangle inserted k times fires k times.
+  // Touches no shared mutable state (the DFS stack is a local), so
+  // concurrent calls on a tree that is no longer being mutated are safe —
+  // the parallel support-counting scan relies on this.
   void ForEachContaining(const double* point,
                          const std::function<void(int32_t)>& fn) const;
 

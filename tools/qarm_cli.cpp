@@ -34,6 +34,7 @@ struct CliFlags {
   double k = 2.0;
   double interest = 0.0;
   size_t intervals = 0;
+  size_t threads = 1;
   std::string method = "depth";
   std::string format = "text";
   bool interesting_only = false;
@@ -53,6 +54,7 @@ const char kUsage[] =
     "  --k=F                 partial completeness level      (default 2.0)\n"
     "  --interest=F          interest level R; 0 = off       (default 0)\n"
     "  --intervals=N         override Eq.2 interval count    (default auto)\n"
+    "  --threads=N           scan threads; 0 = all cores     (default 1)\n"
     "  --method=depth|width|kmeans  partitioning method      (default depth)\n"
     "  --format=text|json|csv  output format                 (default text)\n"
     "  --interesting-only    print only interesting rules\n"
@@ -86,6 +88,8 @@ Result<CliFlags> ParseArgs(int argc, char** argv) {
       flags.interest = std::strtod(value.c_str(), nullptr);
     } else if (ParseFlag(argv[i], "intervals", &value)) {
       flags.intervals = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "threads", &value)) {
+      flags.threads = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "method", &value)) {
       flags.method = value;
     } else if (ParseFlag(argv[i], "format", &value)) {
@@ -172,6 +176,7 @@ int Run(int argc, char** argv) {
   options.partial_completeness = flags.k;
   options.interest_level = flags.interest;
   options.num_intervals_override = flags.intervals;
+  options.num_threads = flags.threads;
   if (flags.method == "width") {
     options.partition_method = PartitionMethod::kEquiWidth;
   } else if (flags.method == "kmeans") {
