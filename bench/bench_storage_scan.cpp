@@ -1,0 +1,188 @@
+// Storage-engine scan throughput: in-memory blocks vs streaming QBT.
+//
+// Measures a full-table scan (every value of every record visited, summed
+// into per-worker accumulators) through the RecordSource abstraction, for
+// the resident MappedTableSource and for a QbtFileSource over the same
+// records on disk, each at 1 and 4 threads. The delta between the two
+// sources is the price of out-of-core mining: mmap page faults plus the
+// per-block CRC32 validation, which the QBT rows also report separately.
+//
+//   $ ./bench_storage_scan [--records=N] [--seed=S] [--block-rows=B]
+//                          [--reps=R] [--out=FILE]
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "partition/mapper.h"
+#include "storage/qbt_writer.h"
+#include "storage/record_source.h"
+#include "table/datagen.h"
+
+namespace {
+
+// Scans every block of `source` with `threads` workers and returns the sum
+// of all values (the checksum keeps the loop honest under optimization).
+int64_t ScanAll(const qarm::RecordSource& source, size_t threads) {
+  using namespace qarm;
+  const size_t num_attrs = source.num_attributes();
+  std::vector<IndexRange> shards = SplitRange(source.num_blocks(), threads);
+  std::vector<int64_t> sums(shards.size(), 0);
+  ThreadPool pool(threads);
+  pool.ParallelFor(shards.size(), [&](size_t s) {
+    BlockView view;
+    int64_t sum = 0;
+    for (size_t b = shards[s].begin; b < shards[s].end; ++b) {
+      if (!source.ReadBlock(b, &view).ok()) return;
+      for (size_t r = 0; r < view.num_rows(); ++r) {
+        for (size_t a = 0; a < num_attrs; ++a) {
+          sum += view.value(r, a);
+        }
+      }
+    }
+    sums[s] = sum;
+  });
+  int64_t total = 0;
+  for (int64_t s : sums) total += s;
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qarm;
+  const size_t records = bench::FlagU64(argc, argv, "records", 500000);
+  const uint64_t seed = bench::FlagU64(argc, argv, "seed", 42);
+  const size_t block_rows = bench::FlagU64(argc, argv, "block-rows", 65536);
+  const size_t reps = bench::FlagU64(argc, argv, "reps", 3);
+  std::string out = "BENCH_storage_scan.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+  }
+
+  Table data = MakeFinancialDataset(records, seed);
+  Result<MappedTable> mapped = MapTable(data, MapOptions{});
+  if (!mapped.ok()) {
+    std::fprintf(stderr, "mapping failed: %s\n",
+                 mapped.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string qbt_path = "bench_storage_scan.qbt";
+  QbtWriteOptions write_options;
+  write_options.rows_per_block = static_cast<uint32_t>(block_rows);
+  QbtWriteInfo info;
+  Status wrote = WriteQbt(*mapped, qbt_path, write_options, &info);
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", wrote.ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<QbtFileSource>> qbt = QbtFileSource::Open(qbt_path);
+  if (!qbt.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", qbt.status().ToString().c_str());
+    return 1;
+  }
+  MappedTableSource resident(*mapped, block_rows);
+
+  std::printf(
+      "Storage scan throughput: financial dataset, %zu records x %zu "
+      "attributes\nQBT file: %llu bytes in %llu blocks of %zu rows, "
+      "hardware threads %u, best of %zu reps\n\n",
+      mapped->num_rows(), mapped->num_attributes(),
+      static_cast<unsigned long long>(info.file_bytes),
+      static_cast<unsigned long long>(info.num_blocks), block_rows,
+      std::thread::hardware_concurrency(), reps);
+
+  struct Point {
+    const char* source;
+    size_t threads;
+    double seconds = 0;
+    double rows_per_sec = 0;
+    double checksum_seconds = 0;
+    uint64_t bytes_read = 0;
+  };
+  std::vector<Point> points;
+
+  std::vector<int> widths = {12, 8, 10, 14, 14};
+  bench::PrintRow(
+      {"source", "threads", "scan (s)", "rows/sec", "checksum (s)"}, widths);
+  bench::PrintSeparator(widths);
+
+  const int64_t expected = ScanAll(resident, 1);
+  const size_t sweep[] = {1, 4};
+  for (int streaming = 0; streaming <= 1; ++streaming) {
+    const RecordSource& source =
+        streaming ? static_cast<const RecordSource&>(**qbt) : resident;
+    for (size_t threads : sweep) {
+      Point p;
+      p.source = streaming ? "qbt-stream" : "in-memory";
+      p.threads = threads;
+      for (size_t rep = 0; rep < reps; ++rep) {
+        const ScanIoStats before = source.io_stats();
+        Timer timer;
+        const int64_t sum = ScanAll(source, threads);
+        const double seconds = timer.ElapsedSeconds();
+        if (sum != expected) {
+          std::fprintf(stderr, "FATAL: scan sum diverges (%s, %zu threads)\n",
+                       p.source, threads);
+          return 1;
+        }
+        if (rep == 0 || seconds < p.seconds) {
+          p.seconds = seconds;
+          const ScanIoStats io = source.io_stats() - before;
+          p.checksum_seconds = io.checksum_seconds;
+          p.bytes_read = io.bytes_read;
+        }
+      }
+      p.rows_per_sec = static_cast<double>(mapped->num_rows()) / p.seconds;
+      points.push_back(p);
+      bench::PrintRow({p.source, StrFormat("%zu", threads),
+                       StrFormat("%.4f", p.seconds),
+                       StrFormat("%.3fM", p.rows_per_sec / 1e6),
+                       StrFormat("%.4f", p.checksum_seconds)},
+                      widths);
+    }
+  }
+
+  std::string json = "{\n";
+  json += StrFormat(
+      "  \"bench\": \"storage_scan\",\n"
+      "  \"records\": %zu,\n  \"attributes\": %zu,\n  \"seed\": %llu,\n"
+      "  \"block_rows\": %zu,\n  \"qbt_blocks\": %llu,\n"
+      "  \"qbt_bytes\": %llu,\n  \"hardware_concurrency\": %u,\n"
+      "  \"reps\": %zu,\n  \"sweep\": [",
+      mapped->num_rows(), mapped->num_attributes(),
+      static_cast<unsigned long long>(seed), block_rows,
+      static_cast<unsigned long long>(info.num_blocks),
+      static_cast<unsigned long long>(info.file_bytes),
+      std::thread::hardware_concurrency(), reps);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    if (i > 0) json += ',';
+    json += StrFormat(
+        "\n    {\"source\": \"%s\", \"threads\": %zu,"
+        " \"scan_seconds\": %.6f, \"rows_per_sec\": %.1f,"
+        " \"checksum_seconds\": %.6f, \"bytes_read\": %llu}",
+        p.source, p.threads, p.seconds, p.rows_per_sec, p.checksum_seconds,
+        static_cast<unsigned long long>(p.bytes_read));
+  }
+  json += "\n  ]\n}\n";
+
+  FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::remove(qbt_path.c_str());
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

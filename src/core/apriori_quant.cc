@@ -1,7 +1,9 @@
 #include "core/apriori_quant.h"
 
 #include <cmath>
+#include <utility>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/candidate_gen.h"
 
@@ -10,8 +12,21 @@ namespace qarm {
 FrequentItemsetResult MineFrequentItemsets(const MappedTable& table,
                                            const ItemCatalog& catalog,
                                            const MinerOptions& options) {
+  const MappedTableSource source(
+      table, PickBlockRows(table.num_rows(),
+                           ResolveNumThreads(options.num_threads),
+                           options.stream_block_rows));
+  Result<FrequentItemsetResult> result =
+      MineFrequentItemsets(source, catalog, options);
+  QARM_CHECK(result.ok());  // in-memory block reads cannot fail
+  return std::move(result).value();
+}
+
+Result<FrequentItemsetResult> MineFrequentItemsets(
+    const RecordSource& source, const ItemCatalog& catalog,
+    const MinerOptions& options) {
   FrequentItemsetResult result;
-  const size_t num_rows = table.num_rows();
+  const size_t num_rows = source.num_rows();
   uint64_t min_count = static_cast<uint64_t>(
       std::ceil(options.minsup * static_cast<double>(num_rows) - 1e-9));
   if (min_count == 0) min_count = 1;
@@ -49,8 +64,9 @@ FrequentItemsetResult MineFrequentItemsets(const MappedTable& table,
       result.passes.push_back(pass);
       break;
     }
-    std::vector<uint32_t> counts =
-        CountSupports(table, catalog, candidates, options, &pass.counting);
+    QARM_ASSIGN_OR_RETURN(
+        std::vector<uint32_t> counts,
+        CountSupports(source, catalog, candidates, options, &pass.counting));
 
     ItemsetSet next(k);
     for (size_t c = 0; c < candidates.size(); ++c) {

@@ -34,8 +34,15 @@ struct FrequentItemsetResult {
   std::vector<PassStats> passes;
 };
 
-// Runs the level-wise algorithm. `catalog` must have been built from
-// `table` with the same options.
+// Runs the level-wise algorithm, streaming every counting pass over
+// `source`. `catalog` must have been built from the same records with the
+// same options. Fails only when a block read fails (e.g. a QBT checksum
+// mismatch).
+Result<FrequentItemsetResult> MineFrequentItemsets(
+    const RecordSource& source, const ItemCatalog& catalog,
+    const MinerOptions& options);
+
+// Same over an in-memory table (reads cannot fail).
 FrequentItemsetResult MineFrequentItemsets(const MappedTable& table,
                                            const ItemCatalog& catalog,
                                            const MinerOptions& options);

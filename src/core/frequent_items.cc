@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/thread_pool.h"
@@ -10,48 +11,76 @@ namespace qarm {
 
 ItemCatalog ItemCatalog::Build(const MappedTable& table,
                                const MinerOptions& options) {
-  ItemCatalog catalog;
-  const size_t num_attrs = table.num_attributes();
-  const size_t num_rows = table.num_rows();
-  catalog.num_records_ = num_rows;
+  const MappedTableSource source(
+      table, PickBlockRows(table.num_rows(),
+                           ResolveNumThreads(options.num_threads),
+                           options.stream_block_rows));
+  Result<ItemCatalog> catalog = Build(source, options);
+  QARM_CHECK(catalog.ok());  // in-memory block reads cannot fail
+  return std::move(catalog).value();
+}
 
-  // Per-attribute value counts in one scan, sharded across workers when
-  // num_threads allows. Each worker accumulates into its own grids which
-  // are then summed in shard order; integer addition is order-independent,
-  // so the counts are identical to the serial scan.
+Result<ItemCatalog> ItemCatalog::Build(const RecordSource& source,
+                                       const MinerOptions& options,
+                                       ScanIoStats* io) {
+  ItemCatalog catalog;
+  const size_t num_attrs = source.num_attributes();
+  const size_t num_rows = source.num_rows();
+  const size_t num_blocks = source.num_blocks();
+  catalog.num_records_ = num_rows;
+  const ScanIoStats io_before = source.io_stats();
+
+  // Per-attribute value counts in one block-streamed scan, sharded across
+  // workers when num_threads allows (each worker a contiguous block range).
+  // Each worker accumulates into its own grids which are then summed in
+  // shard order; integer addition is order-independent, so the counts are
+  // identical to the serial scan.
   catalog.value_counts_.resize(num_attrs);
   for (size_t a = 0; a < num_attrs; ++a) {
-    catalog.value_counts_[a].assign(table.attribute(a).domain_size(), 0);
+    catalog.value_counts_[a].assign(source.attribute(a).domain_size(), 0);
   }
-  const size_t num_threads =
-      std::max<size_t>(1, std::min(ResolveNumThreads(options.num_threads),
-                                   num_rows));
-  if (num_threads == 1) {
-    for (size_t r = 0; r < num_rows; ++r) {
-      const int32_t* row = table.row(r);
+  auto scan_blocks = [&](size_t block_begin, size_t block_end,
+                         std::vector<std::vector<uint64_t>>& counts)
+      -> Status {
+    BlockView view;
+    for (size_t b = block_begin; b < block_end; ++b) {
+      QARM_RETURN_NOT_OK(source.ReadBlock(b, &view));
+      const size_t rows = view.num_rows();
       for (size_t a = 0; a < num_attrs; ++a) {
-        if (row[a] == kMissingValue) continue;
-        ++catalog.value_counts_[a][static_cast<size_t>(row[a])];
+        std::vector<uint64_t>& column_counts = counts[a];
+        const int32_t* column = view.column(a);
+        const size_t stride = view.stride();
+        for (size_t r = 0; r < rows; ++r) {
+          const int32_t v = column[r * stride];
+          if (v == kMissingValue) continue;
+          ++column_counts[static_cast<size_t>(v)];
+        }
       }
     }
+    return Status::OK();
+  };
+  const size_t num_threads =
+      std::max<size_t>(1, std::min(ResolveNumThreads(options.num_threads),
+                                   num_blocks));
+  if (num_threads == 1) {
+    QARM_RETURN_NOT_OK(scan_blocks(0, num_blocks, catalog.value_counts_));
   } else {
-    const std::vector<IndexRange> shards = SplitRange(num_rows, num_threads);
+    const std::vector<IndexRange> shards =
+        SplitRange(num_blocks, num_threads);
     std::vector<std::vector<std::vector<uint64_t>>> partials(shards.size());
+    std::vector<Status> statuses(shards.size());
     ThreadPool pool(num_threads);
     pool.ParallelFor(shards.size(), [&](size_t s) {
       std::vector<std::vector<uint64_t>>& local = partials[s];
       local.resize(num_attrs);
       for (size_t a = 0; a < num_attrs; ++a) {
-        local[a].assign(table.attribute(a).domain_size(), 0);
+        local[a].assign(source.attribute(a).domain_size(), 0);
       }
-      for (size_t r = shards[s].begin; r < shards[s].end; ++r) {
-        const int32_t* row = table.row(r);
-        for (size_t a = 0; a < num_attrs; ++a) {
-          if (row[a] == kMissingValue) continue;
-          ++local[a][static_cast<size_t>(row[a])];
-        }
-      }
+      statuses[s] = scan_blocks(shards[s].begin, shards[s].end, local);
     });
+    for (const Status& status : statuses) {
+      QARM_RETURN_NOT_OK(status);
+    }
     for (const auto& local : partials) {
       for (size_t a = 0; a < num_attrs; ++a) {
         for (size_t v = 0; v < local[a].size(); ++v) {
@@ -60,6 +89,7 @@ ItemCatalog ItemCatalog::Build(const MappedTable& table,
       }
     }
   }
+  if (io != nullptr) *io = source.io_stats() - io_before;
   catalog.prefix_counts_.resize(num_attrs);
   for (size_t a = 0; a < num_attrs; ++a) {
     const auto& counts = catalog.value_counts_[a];
@@ -87,7 +117,7 @@ ItemCatalog ItemCatalog::Build(const MappedTable& table,
       prune ? static_cast<double>(num_rows) / options.interest_level : 0.0;
 
   for (size_t a = 0; a < num_attrs; ++a) {
-    const MappedAttribute& attr = table.attribute(a);
+    const MappedAttribute& attr = source.attribute(a);
     const auto& counts = catalog.value_counts_[a];
     const int32_t domain = static_cast<int32_t>(counts.size());
 
@@ -155,17 +185,17 @@ ItemCatalog ItemCatalog::Build(const MappedTable& table,
   // dimensions rather than via the hash tree.
   catalog.categorical_item_ids_.resize(num_attrs);
   for (size_t a = 0; a < num_attrs; ++a) {
-    if (table.attribute(a).kind == AttributeKind::kCategorical &&
-        !table.attribute(a).ranged()) {
+    if (source.attribute(a).kind == AttributeKind::kCategorical &&
+        !source.attribute(a).ranged()) {
       catalog.categorical_item_ids_[a].assign(
-          table.attribute(a).domain_size(), -1);
+          source.attribute(a).domain_size(), -1);
     }
   }
   for (size_t i = 0; i < catalog.items_.size(); ++i) {
     const RangeItem& item = catalog.items_[i];
     const size_t a = static_cast<size_t>(item.attr);
-    if (table.attribute(a).kind == AttributeKind::kCategorical &&
-        !table.attribute(a).ranged()) {
+    if (source.attribute(a).kind == AttributeKind::kCategorical &&
+        !source.attribute(a).ranged()) {
       catalog.categorical_item_ids_[a][static_cast<size_t>(item.lo)] =
           static_cast<int32_t>(i);
     }

@@ -10,9 +10,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "core/item.h"
 #include "core/options.h"
 #include "partition/mapped_table.h"
+#include "storage/record_source.h"
 
 namespace qarm {
 
@@ -21,7 +23,15 @@ namespace qarm {
 // formulas).
 class ItemCatalog {
  public:
-  // Builds the catalog in one scan of `table`.
+  // Builds the catalog in one block-streamed scan of `source`. Fails only
+  // when a block read fails (e.g. a QBT checksum mismatch). `io`, when
+  // non-null, receives the I/O performed by this scan.
+  static Result<ItemCatalog> Build(const RecordSource& source,
+                                   const MinerOptions& options,
+                                   ScanIoStats* io = nullptr);
+
+  // Builds the catalog in one scan of an in-memory `table` (reads cannot
+  // fail).
   static ItemCatalog Build(const MappedTable& table,
                            const MinerOptions& options);
 

@@ -68,27 +68,53 @@ Result<MiningResult> QuantitativeRuleMiner::Mine(const Table& table) const {
 }
 
 MiningResult QuantitativeRuleMiner::MineMapped(MappedTable mapped) const {
+  MiningResult result(std::move(mapped));
+  // The scan source wraps the table owned by the result, so the reference
+  // stays valid for the whole run.
+  const MappedTableSource source(
+      result.mapped, PickBlockRows(result.mapped.num_rows(),
+                                   ResolveNumThreads(options_.num_threads),
+                                   options_.stream_block_rows));
+  Status status = MineWithSource(source, &result);
+  QARM_CHECK(status.ok());  // in-memory block reads cannot fail
+  return result;
+}
+
+Result<MiningResult> QuantitativeRuleMiner::MineStreamed(
+    const RecordSource& source) const {
+  QARM_RETURN_NOT_OK(ValidateOptions());
+  // The result's table holds only the decode metadata; the records stay in
+  // the source and stream through each pass.
+  MiningResult result(MappedTable(source.attributes(), /*num_rows=*/0));
+  QARM_RETURN_NOT_OK(MineWithSource(source, &result));
+  return result;
+}
+
+Status QuantitativeRuleMiner::MineWithSource(const RecordSource& source,
+                                             MiningResult* result) const {
   Timer total_timer;
   Timer timer;
-  MiningResult result(std::move(mapped));
-  const MappedTable& table = result.mapped;
-  result.stats.num_records = table.num_rows();
-  result.stats.num_threads = ResolveNumThreads(options_.num_threads);
+  MiningStats& stats = result->stats;
+  const size_t num_rows = source.num_rows();
+  stats.num_records = num_rows;
+  stats.num_threads = ResolveNumThreads(options_.num_threads);
 
   // Step 3a: frequent items.
-  ItemCatalog catalog = ItemCatalog::Build(table, options_);
-  result.stats.num_frequent_items = catalog.num_items();
-  result.stats.items_pruned_by_interest = catalog.items_pruned_by_interest();
-  result.stats.pass1_seconds = timer.ElapsedSeconds();
+  QARM_ASSIGN_OR_RETURN(
+      ItemCatalog catalog,
+      ItemCatalog::Build(source, options_, &stats.pass1_io));
+  stats.num_frequent_items = catalog.num_items();
+  stats.items_pruned_by_interest = catalog.items_pruned_by_interest();
+  stats.pass1_seconds = timer.ElapsedSeconds();
 
   // Achieved partial completeness (Equation 1) from the realized partitions.
   {
     size_t n_quant = options_.max_quantitative_per_rule > 0
                          ? options_.max_quantitative_per_rule
-                         : table.num_quantitative();
+                         : result->mapped.num_quantitative();
     double max_support = 0.0;
-    for (size_t a = 0; a < table.num_attributes(); ++a) {
-      const MappedAttribute& attr = table.attribute(a);
+    for (size_t a = 0; a < source.num_attributes(); ++a) {
+      const MappedAttribute& attr = source.attribute(a);
       if (attr.kind != AttributeKind::kQuantitative || !attr.partitioned) {
         continue;
       }
@@ -97,9 +123,9 @@ MiningResult QuantitativeRuleMiner::MineMapped(MappedTable mapped) const {
       max_support = std::max(
           max_support, MaxMultiValueIntervalSupport(attr.intervals,
                                                     size_counts,
-                                                    table.num_rows()));
+                                                    num_rows));
     }
-    result.stats.achieved_partial_completeness =
+    stats.achieved_partial_completeness =
         max_support == 0.0
             ? 1.0
             : AchievedPartialCompleteness(max_support, n_quant,
@@ -108,17 +134,17 @@ MiningResult QuantitativeRuleMiner::MineMapped(MappedTable mapped) const {
 
   // Step 3b: frequent itemsets.
   timer.Reset();
-  FrequentItemsetResult frequent =
-      MineFrequentItemsets(table, catalog, options_);
-  result.stats.passes = frequent.passes;
-  result.stats.itemset_seconds = timer.ElapsedSeconds();
+  QARM_ASSIGN_OR_RETURN(FrequentItemsetResult frequent,
+                        MineFrequentItemsets(source, catalog, options_));
+  stats.passes = frequent.passes;
+  stats.itemset_seconds = timer.ElapsedSeconds();
 
   // Step 4: rules.
   timer.Reset();
-  result.rules = GenerateQuantRules(frequent.itemsets, catalog,
-                                    table.num_rows(), options_.minconf);
-  result.stats.num_rules = result.rules.size();
-  result.stats.rulegen_seconds = timer.ElapsedSeconds();
+  result->rules = GenerateQuantRules(frequent.itemsets, catalog, num_rows,
+                                     options_.minconf);
+  stats.num_rules = result->rules.size();
+  stats.rulegen_seconds = timer.ElapsedSeconds();
 
   // Step 5: interest.
   timer.Reset();
@@ -126,27 +152,27 @@ MiningResult QuantitativeRuleMiner::MineMapped(MappedTable mapped) const {
     InterestEvaluator evaluator(&catalog, &frequent.itemsets,
                                 options_.interest_level,
                                 options_.interest_mode);
-    evaluator.EvaluateRules(&result.rules);
+    evaluator.EvaluateRules(&result->rules);
   }
-  result.stats.num_interesting_rules = 0;
-  for (const QuantRule& rule : result.rules) {
-    if (rule.interesting) ++result.stats.num_interesting_rules;
+  stats.num_interesting_rules = 0;
+  for (const QuantRule& rule : result->rules) {
+    if (rule.interesting) ++stats.num_interesting_rules;
   }
-  result.stats.interest_seconds = timer.ElapsedSeconds();
+  stats.interest_seconds = timer.ElapsedSeconds();
 
   // Decode the frequent itemsets for the caller.
-  result.frequent_itemsets.reserve(frequent.itemsets.size());
-  const double n = static_cast<double>(table.num_rows());
+  result->frequent_itemsets.reserve(frequent.itemsets.size());
+  const double n = static_cast<double>(num_rows);
   for (const FrequentItemset& f : frequent.itemsets) {
     FrequentRangeItemset decoded;
     decoded.items = catalog.Decode(f.items);
     decoded.count = f.count;
     decoded.support = n > 0 ? static_cast<double>(f.count) / n : 0.0;
-    result.frequent_itemsets.push_back(std::move(decoded));
+    result->frequent_itemsets.push_back(std::move(decoded));
   }
 
-  result.stats.total_seconds = total_timer.ElapsedSeconds();
-  return result;
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  return Status::OK();
 }
 
 }  // namespace qarm

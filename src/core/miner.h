@@ -49,6 +49,9 @@ struct MiningStats {
   std::vector<PassStats> passes;
   size_t num_rules = 0;
   size_t num_interesting_rules = 0;
+  // I/O of the pass-1 catalog scan (per-pass counting I/O lives in
+  // passes[k].counting.io). Zero for in-memory runs.
+  ScanIoStats pass1_io;
   double map_seconds = 0.0;
   double pass1_seconds = 0.0;
   double itemset_seconds = 0.0;
@@ -84,8 +87,19 @@ class QuantitativeRuleMiner {
   // the result).
   MiningResult MineMapped(MappedTable mapped) const;
 
+  // Steps 3-5 streaming block-by-block over `source` (e.g. a QbtFileSource
+  // of a larger-than-RAM table). The result's `mapped` table carries only
+  // the decode metadata (zero rows); rules and itemsets are bit-identical
+  // to an in-memory run over the same records. Fails on invalid options or
+  // a failing block read (e.g. a QBT checksum mismatch).
+  Result<MiningResult> MineStreamed(const RecordSource& source) const;
+
  private:
   Status ValidateOptions() const;
+  // Shared steps 3-5 driver; scans go through `source`, stats/output land
+  // in `result` (whose `mapped` member only provides decode metadata here).
+  Status MineWithSource(const RecordSource& source, MiningResult* result)
+      const;
 
   MinerOptions options_;
 };

@@ -87,6 +87,12 @@ struct MinerOptions {
   // Cap on itemset size (0 = unlimited). Useful to bound exploratory runs.
   size_t max_itemset_size = 0;
 
+  // Upper bound on the rows per block when scanning an *in-memory* table
+  // (small tables use smaller blocks so every worker still gets one). QBT
+  // files carry their own block size chosen at write time; this option does
+  // not re-block them.
+  size_t stream_block_rows = 65536;
+
   // Taxonomies over categorical attributes, keyed by attribute name
   // (Section 1.1 / [SA95]): interior nodes become generalized categorical
   // items that may appear in rules alongside leaf values.

@@ -106,6 +106,12 @@ std::string StatsToJson(const MiningStats& stats) {
       stats.num_records, stats.num_threads, stats.num_frequent_items,
       stats.items_pruned_by_interest, stats.achieved_partial_completeness,
       stats.num_rules, stats.num_interesting_rules, stats.total_seconds);
+  out += StrFormat(
+      ",\"pass1_io\":{\"blocks_read\":%llu,\"bytes_read\":%llu,"
+      "\"checksum_seconds\":%.6f}",
+      static_cast<unsigned long long>(stats.pass1_io.blocks_read),
+      static_cast<unsigned long long>(stats.pass1_io.bytes_read),
+      stats.pass1_io.checksum_seconds);
   out += ",\"passes\":[";
   for (size_t i = 0; i < stats.passes.size(); ++i) {
     const PassStats& pass = stats.passes[i];
@@ -119,6 +125,8 @@ std::string StatsToJson(const MiningStats& stats) {
         "\"counter_bytes\":%llu,\"replicated_bytes\":%llu,"
         "\"group_seconds\":%.6f,\"build_seconds\":%.6f,"
         "\"scan_seconds\":%.6f,\"reduce_seconds\":%.6f,"
+        "\"io\":{\"blocks_read\":%llu,\"bytes_read\":%llu,"
+        "\"checksum_seconds\":%.6f},"
         "\"seconds\":%.6f}",
         pass.k, pass.num_candidates, pass.num_frequent,
         counting.num_super_candidates, counting.num_array_counters,
@@ -127,7 +135,10 @@ std::string StatsToJson(const MiningStats& stats) {
         static_cast<unsigned long long>(counting.counter_bytes),
         static_cast<unsigned long long>(counting.replicated_bytes),
         counting.group_seconds, counting.build_seconds,
-        counting.scan_seconds, counting.reduce_seconds, pass.seconds);
+        counting.scan_seconds, counting.reduce_seconds,
+        static_cast<unsigned long long>(counting.io.blocks_read),
+        static_cast<unsigned long long>(counting.io.bytes_read),
+        counting.io.checksum_seconds, pass.seconds);
   }
   out += "]}";
   return out;

@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/thread_pool.h"
@@ -64,6 +65,21 @@ std::vector<uint32_t> CountSupports(const MappedTable& table,
                                     const ItemsetSet& candidates,
                                     const MinerOptions& options,
                                     CountingStats* stats) {
+  const MappedTableSource source(
+      table, PickBlockRows(table.num_rows(),
+                           ResolveNumThreads(options.num_threads),
+                           options.stream_block_rows));
+  Result<std::vector<uint32_t>> counts =
+      CountSupports(source, catalog, candidates, options, stats);
+  QARM_CHECK(counts.ok());  // in-memory block reads cannot fail
+  return std::move(counts).value();
+}
+
+Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
+                                            const ItemCatalog& catalog,
+                                            const ItemsetSet& candidates,
+                                            const MinerOptions& options,
+                                            CountingStats* stats) {
   const size_t num_candidates = candidates.size();
   const size_t k = candidates.k();
   std::vector<uint32_t> counts(num_candidates, 0);
@@ -71,12 +87,13 @@ std::vector<uint32_t> CountSupports(const MappedTable& table,
 
   CountingStats local_stats;
   Timer phase_timer;
+  const ScanIoStats io_before = source.io_stats();
 
   // "Ranged" attributes (quantitative, or categorical under a taxonomy)
   // become dimensions of the super-candidate rectangles; plain categorical
   // items are matched through the hash tree.
-  auto is_ranged = [&table](int32_t attr) {
-    return table.attribute(static_cast<size_t>(attr)).ranged();
+  auto is_ranged = [&source](int32_t attr) {
+    return source.attribute(static_cast<size_t>(attr)).ranged();
   };
 
   // --- Group candidates into super-candidates. ---
@@ -112,10 +129,11 @@ std::vector<uint32_t> CountSupports(const MappedTable& table,
   local_stats.group_seconds = phase_timer.ElapsedSeconds();
   phase_timer.Reset();
 
-  // The scan parallelism: never more shards than rows.
+  // The scan parallelism: never more shards than blocks (in-memory sources
+  // pick their block size so that small tables still feed every worker).
   const size_t threads_used =
       std::max<size_t>(1, std::min(ResolveNumThreads(options.num_threads),
-                                   table.num_rows()));
+                                   source.num_blocks()));
   local_stats.threads_used = threads_used;
 
   // --- Build a counting structure per super-candidate. ---
@@ -135,7 +153,7 @@ std::vector<uint32_t> CountSupports(const MappedTable& table,
     dim_sizes.reserve(sc.quant_attrs.size());
     for (int32_t attr : sc.quant_attrs) {
       dim_sizes.push_back(static_cast<int32_t>(
-          table.attribute(static_cast<size_t>(attr)).domain_size()));
+          source.attribute(static_cast<size_t>(attr)).domain_size()));
     }
     const uint64_t array_bytes = NDimArray::EstimateBytes(dim_sizes);
     const uint64_t tree_bytes =
@@ -201,21 +219,23 @@ std::vector<uint32_t> CountSupports(const MappedTable& table,
   phase_timer.Reset();
 
   // --- The pass over the database, sharded across workers. ---
-  // Each worker scans a contiguous row range. `local == nullptr` means the
-  // worker owns the groups' primary structures (worker 0, and the whole
-  // serial path); otherwise increments go to the worker's own replicas.
-  // Grids flagged atomic_shared are written by every worker via relaxed
-  // atomic adds.
-  const size_t num_attrs = table.num_attributes();
-  auto scan_rows = [&](size_t row_begin, size_t row_end,
-                       WorkerCounters* local,
-                       HashTree::SubsetScratch* scratch) {
+  // Each worker streams a contiguous *block* range through its own
+  // BlockView, so memory stays bounded by the blocks in flight no matter
+  // how large the source is. `local == nullptr` means the worker owns the
+  // groups' primary structures (worker 0, and the whole serial path);
+  // otherwise increments go to the worker's own replicas. Grids flagged
+  // atomic_shared are written by every worker via relaxed atomic adds.
+  const size_t num_attrs = source.num_attributes();
+  auto scan_blocks = [&](size_t block_begin, size_t block_end,
+                         WorkerCounters* local,
+                         HashTree::SubsetScratch* scratch) -> Status {
     std::vector<int32_t> cat_transaction;
     cat_transaction.reserve(num_attrs);
     int32_t point[kRStarMaxDims];
     double dpoint[kRStarMaxDims];
+    BlockView view;
 
-    auto visit = [&](int32_t g, const int32_t* row) {
+    auto visit = [&](int32_t g, size_t r) {
       SuperCandidate& sc = groups[static_cast<size_t>(g)];
       const size_t dims = sc.quant_attrs.size();
       if (dims == 0) {
@@ -227,7 +247,7 @@ std::vector<uint32_t> CountSupports(const MappedTable& table,
         return;
       }
       for (size_t d = 0; d < dims; ++d) {
-        point[d] = row[sc.quant_attrs[d]];
+        point[d] = view.value(r, static_cast<size_t>(sc.quant_attrs[d]));
         // A record lacking any of the dimensions supports no candidate in
         // this super-candidate.
         if (point[d] == kMissingValue) return;
@@ -253,34 +273,41 @@ std::vector<uint32_t> CountSupports(const MappedTable& table,
       }
     };
 
-    for (size_t r = row_begin; r < row_end; ++r) {
-      const int32_t* row = table.row(r);
-      cat_transaction.clear();
-      for (size_t a = 0; a < num_attrs; ++a) {
-        const MappedAttribute& attr = table.attribute(a);
-        if (attr.kind != AttributeKind::kCategorical || attr.ranged()) {
-          continue;
+    for (size_t b = block_begin; b < block_end; ++b) {
+      QARM_RETURN_NOT_OK(source.ReadBlock(b, &view));
+      const size_t block_rows = view.num_rows();
+      for (size_t r = 0; r < block_rows; ++r) {
+        cat_transaction.clear();
+        for (size_t a = 0; a < num_attrs; ++a) {
+          const MappedAttribute& attr = source.attribute(a);
+          if (attr.kind != AttributeKind::kCategorical || attr.ranged()) {
+            continue;
+          }
+          const int32_t v = view.value(r, a);
+          if (v == kMissingValue) continue;
+          int32_t id = catalog.CategoricalItemId(a, v);
+          if (id >= 0) cat_transaction.push_back(id);
         }
-        if (row[a] == kMissingValue) continue;
-        int32_t id = catalog.CategoricalItemId(a, row[a]);
-        if (id >= 0) cat_transaction.push_back(id);
-      }
-      auto on_group = [&](int32_t g) { visit(g, row); };
-      if (scratch != nullptr) {
-        hash_tree.ForEachSubset(cat_transaction, on_group, scratch);
-      } else {
-        hash_tree.ForEachSubset(cat_transaction, on_group);
+        auto on_group = [&](int32_t g) { visit(g, r); };
+        if (scratch != nullptr) {
+          hash_tree.ForEachSubset(cat_transaction, on_group, scratch);
+        } else {
+          hash_tree.ForEachSubset(cat_transaction, on_group);
+        }
       }
     }
+    return Status::OK();
   };
 
   std::vector<WorkerCounters> workers;
   if (threads_used == 1) {
-    scan_rows(0, table.num_rows(), /*local=*/nullptr, /*scratch=*/nullptr);
+    QARM_RETURN_NOT_OK(scan_blocks(0, source.num_blocks(),
+                                   /*local=*/nullptr, /*scratch=*/nullptr));
   } else {
     workers.resize(threads_used);
     const std::vector<IndexRange> shards =
-        SplitRange(table.num_rows(), threads_used);
+        SplitRange(source.num_blocks(), threads_used);
+    std::vector<Status> statuses(shards.size());
     ThreadPool pool(threads_used);
     pool.ParallelFor(shards.size(), [&](size_t w) {
       WorkerCounters& wc = workers[w];
@@ -298,9 +325,12 @@ std::vector<uint32_t> CountSupports(const MappedTable& table,
           }
         }
       }
-      scan_rows(shards[w].begin, shards[w].end,
-                w == 0 ? nullptr : &wc, &wc.scratch);
+      statuses[w] = scan_blocks(shards[w].begin, shards[w].end,
+                                w == 0 ? nullptr : &wc, &wc.scratch);
     });
+    for (const Status& status : statuses) {
+      QARM_RETURN_NOT_OK(status);
+    }
   }
   local_stats.scan_seconds = phase_timer.ElapsedSeconds();
   phase_timer.Reset();
@@ -355,6 +385,7 @@ std::vector<uint32_t> CountSupports(const MappedTable& table,
     sc.array.reset();  // release the grid before the next group collects
   }
   local_stats.reduce_seconds = phase_timer.ElapsedSeconds();
+  local_stats.io = source.io_stats() - io_before;
 
   if (stats != nullptr) *stats = local_stats;
   return counts;

@@ -14,10 +14,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "core/candidate_gen.h"
 #include "core/frequent_items.h"
 #include "core/options.h"
 #include "partition/mapped_table.h"
+#include "storage/record_source.h"
 
 namespace qarm {
 
@@ -32,8 +34,12 @@ struct CountingStats {
   // replication budget. Always 0 on a serial scan.
   size_t num_atomic_shared = 0;
 
-  // Threads that actually scanned (<= the resolved option: capped by rows).
+  // Threads that actually scanned (<= the resolved option: capped by the
+  // number of blocks of the scanned source).
   size_t threads_used = 1;
+
+  // I/O performed by this pass's scan (zero for in-memory sources).
+  ScanIoStats io;
   // Bytes of the primary counting structures (grids + tree estimates).
   uint64_t counter_bytes = 0;
   // Extra bytes of per-thread grid replicas allocated for the scan.
@@ -55,9 +61,19 @@ struct GroupKeyHash {
   size_t operator()(const std::vector<int32_t>& v) const;
 };
 
-// Counts the support of every candidate in one pass over `table`.
-// Returns counts parallel to `candidates` (uint32: a count is bounded by the
-// record count).
+// Counts the support of every candidate in one block-streamed pass over
+// `source`. Returns counts parallel to `candidates` (uint32: a count is
+// bounded by the record count). Fails only when a block read fails (e.g. a
+// QBT checksum mismatch). Workers shard over contiguous *block* ranges, so
+// a larger-than-RAM source streams through with memory bounded by the
+// blocks in flight plus the counting structures.
+Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
+                                            const ItemCatalog& catalog,
+                                            const ItemsetSet& candidates,
+                                            const MinerOptions& options,
+                                            CountingStats* stats);
+
+// Same over an in-memory table (reads cannot fail).
 std::vector<uint32_t> CountSupports(const MappedTable& table,
                                     const ItemCatalog& catalog,
                                     const ItemsetSet& candidates,

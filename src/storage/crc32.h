@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) used to checksum QBT blocks.
+// Table-driven, byte-at-a-time; fast enough that block validation is a small
+// fraction of a mining scan, and dependency-free by design.
+#ifndef QARM_STORAGE_CRC32_H_
+#define QARM_STORAGE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qarm {
+
+// CRC-32 of `size` bytes at `data`, with the conventional init/final
+// inversion (matches zlib's crc32(0, data, size)).
+uint32_t Crc32(const void* data, size_t size);
+
+// Incremental form: feed `crc` the result of the previous call (start from
+// kCrc32Init) and invert at the end with Crc32Finish. Crc32(p, n) ==
+// Crc32Finish(Crc32Update(kCrc32Init, p, n)).
+inline constexpr uint32_t kCrc32Init = 0xFFFFFFFFu;
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+inline uint32_t Crc32Finish(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+}  // namespace qarm
+
+#endif  // QARM_STORAGE_CRC32_H_

@@ -1,0 +1,246 @@
+#include "storage/qbt_reader.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "storage/crc32.h"
+#include "storage/qbt_format.h"
+
+namespace qarm {
+namespace {
+
+// Bounds-checked cursor over the metadata section.
+class MetaCursor {
+ public:
+  MetaCursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU32(uint32_t* v) {
+    if (size_ - pos_ < 4) return false;
+    *v = QbtReadU32(data_ + pos_);
+    pos_ += 4;
+    return true;
+  }
+  bool ReadI32(int32_t* v) {
+    uint32_t u;
+    if (!ReadU32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+  bool ReadF64(double* v) {
+    if (size_ - pos_ < 8) return false;
+    *v = QbtReadF64(data_ + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool ReadByte(uint8_t* v) {
+    if (size_ - pos_ < 1) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool ReadString(std::string* s) {
+    uint32_t len;
+    if (!ReadU32(&len)) return false;
+    if (size_ - pos_ < len) return false;
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+  size_t pos() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::IOError("'" + path + "' is not a valid QBT file: " + what);
+}
+
+Result<std::vector<MappedAttribute>> DecodeAttributes(
+    const std::string& path, const uint8_t* data, size_t size,
+    uint32_t num_attrs) {
+  MetaCursor cur(data, size);
+  std::vector<MappedAttribute> attrs;
+  attrs.reserve(num_attrs);
+  for (uint32_t a = 0; a < num_attrs; ++a) {
+    MappedAttribute attr;
+    uint8_t kind = 0, source_type = 0, partitioned = 0, reserved = 0;
+    uint32_t count = 0;
+    if (!cur.ReadString(&attr.name) || !cur.ReadByte(&kind) ||
+        !cur.ReadByte(&source_type) || !cur.ReadByte(&partitioned) ||
+        !cur.ReadByte(&reserved)) {
+      return Corrupt(path, StrFormat("truncated metadata of attribute %u", a));
+    }
+    if (kind > 1 || source_type > 2) {
+      return Corrupt(path,
+                     StrFormat("attribute %u has kind %u / type %u out of "
+                               "range",
+                               a, kind, source_type));
+    }
+    attr.kind = static_cast<AttributeKind>(kind);
+    attr.source_type = static_cast<ValueType>(source_type);
+    attr.partitioned = partitioned != 0;
+    if (!cur.ReadU32(&count)) {
+      return Corrupt(path, StrFormat("truncated labels of attribute %u", a));
+    }
+    attr.labels.resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      if (!cur.ReadString(&attr.labels[i])) {
+        return Corrupt(path, StrFormat("truncated label of attribute %u", a));
+      }
+    }
+    if (!cur.ReadU32(&count)) {
+      return Corrupt(path,
+                     StrFormat("truncated intervals of attribute %u", a));
+    }
+    attr.intervals.resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      if (!cur.ReadF64(&attr.intervals[i].lo) ||
+          !cur.ReadF64(&attr.intervals[i].hi)) {
+        return Corrupt(path,
+                       StrFormat("truncated interval of attribute %u", a));
+      }
+    }
+    if (!cur.ReadU32(&count)) {
+      return Corrupt(path,
+                     StrFormat("truncated taxonomy of attribute %u", a));
+    }
+    attr.taxonomy_ranges.resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      Taxonomy::NodeRange& node = attr.taxonomy_ranges[i];
+      if (!cur.ReadString(&node.name) || !cur.ReadI32(&node.lo) ||
+          !cur.ReadI32(&node.hi)) {
+        return Corrupt(path,
+                       StrFormat("truncated taxonomy node of attribute %u",
+                                 a));
+      }
+    }
+    attrs.push_back(std::move(attr));
+  }
+  // The writer pads the section to 4 bytes (block alignment); anything
+  // beyond that is corruption.
+  if (size - cur.pos() >= sizeof(int32_t)) {
+    return Corrupt(path, "metadata section has trailing bytes");
+  }
+  return attrs;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<QbtReader>> QbtReader::Open(const std::string& path) {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::Internal("QBT reading requires a little-endian host");
+  }
+  QARM_ASSIGN_OR_RETURN(std::unique_ptr<MmapFile> file, MmapFile::Open(path));
+  const uint8_t* data = file->data();
+  const size_t size = file->size();
+  if (size < kQbtHeaderSize + kQbtTailSize) {
+    return Corrupt(path, StrFormat("file is only %zu bytes", size));
+  }
+  if (std::memcmp(data, kQbtMagic, sizeof(kQbtMagic)) != 0) {
+    return Corrupt(path, "bad magic");
+  }
+  const uint32_t endian = QbtReadU32(data + 4);
+  if (endian != kQbtEndianMarker) {
+    return Corrupt(path, StrFormat("endian marker 0x%08x (file written on a "
+                                   "host of different byte order?)",
+                                   endian));
+  }
+  const uint32_t version = QbtReadU32(data + 8);
+  if (version != kQbtVersion) {
+    return Corrupt(path, StrFormat("unsupported version %u (reader supports "
+                                   "%u)",
+                                   version, kQbtVersion));
+  }
+  auto reader = std::unique_ptr<QbtReader>(new QbtReader());
+  reader->rows_per_block_ = QbtReadU32(data + 12);
+  reader->num_rows_ = QbtReadU64(data + 16);
+  const uint32_t num_attrs = QbtReadU32(data + 24);
+  const uint64_t metadata_size = QbtReadU64(data + 32);
+  if (reader->rows_per_block_ == 0) {
+    return Corrupt(path, "rows_per_block is 0");
+  }
+  if (metadata_size > size - kQbtHeaderSize - kQbtTailSize) {
+    return Corrupt(path, "metadata section exceeds the file");
+  }
+  QARM_ASSIGN_OR_RETURN(
+      reader->attributes_,
+      DecodeAttributes(path, data + kQbtHeaderSize,
+                       static_cast<size_t>(metadata_size), num_attrs));
+
+  // Locate the footer through the tail, then validate the index.
+  const uint8_t* tail = data + size - kQbtTailSize;
+  if (std::memcmp(tail + 12, kQbtEndMagic, sizeof(kQbtEndMagic)) != 0) {
+    return Corrupt(path, "bad end magic (truncated file?)");
+  }
+  const uint64_t footer_offset = QbtReadU64(tail);
+  const uint32_t footer_crc = QbtReadU32(tail + 8);
+  const uint64_t num_blocks =
+      reader->num_rows_ == 0
+          ? 0
+          : (reader->num_rows_ + reader->rows_per_block_ - 1) /
+                reader->rows_per_block_;
+  const uint64_t footer_size = num_blocks * kQbtBlockIndexEntrySize;
+  if (footer_offset > size - kQbtTailSize ||
+      size - kQbtTailSize - footer_offset != footer_size) {
+    return Corrupt(path, "block index does not match the row count");
+  }
+  const uint8_t* footer = data + footer_offset;
+  if (Crc32(footer, static_cast<size_t>(footer_size)) != footer_crc) {
+    return Corrupt(path, "block index checksum mismatch");
+  }
+  reader->blocks_.resize(static_cast<size_t>(num_blocks));
+  uint64_t expected_rows = 0;
+  for (size_t b = 0; b < reader->blocks_.size(); ++b) {
+    const uint8_t* entry = footer + b * kQbtBlockIndexEntrySize;
+    BlockEntry& block = reader->blocks_[b];
+    block.offset = QbtReadU64(entry);
+    block.num_rows = QbtReadU32(entry + 8);
+    block.crc32 = QbtReadU32(entry + 12);
+    const uint64_t block_bytes = static_cast<uint64_t>(block.num_rows) *
+                                 num_attrs * sizeof(int32_t);
+    if (block.num_rows == 0 || block.num_rows > reader->rows_per_block_ ||
+        block.offset % sizeof(int32_t) != 0 ||
+        block.offset < kQbtHeaderSize + metadata_size ||
+        block.offset > footer_offset ||
+        footer_offset - block.offset < block_bytes) {
+      return Corrupt(path, StrFormat("block %zu index entry out of bounds",
+                                     b));
+    }
+    expected_rows += block.num_rows;
+  }
+  if (expected_rows != reader->num_rows_) {
+    return Corrupt(path, StrFormat("block rows sum to %llu, header says %llu",
+                                   static_cast<unsigned long long>(
+                                       expected_rows),
+                                   static_cast<unsigned long long>(
+                                       reader->num_rows_)));
+  }
+  reader->file_ = std::move(file);
+  return reader;
+}
+
+Status QbtReader::ReadBlockColumns(
+    size_t b, std::vector<const int32_t*>* columns) const {
+  QARM_CHECK_LT(b, blocks_.size());
+  const BlockEntry& block = blocks_[b];
+  const uint8_t* bytes = file_->data() + block.offset;
+  const size_t block_bytes = static_cast<size_t>(this->block_bytes(b));
+  const uint32_t crc = Crc32(bytes, block_bytes);
+  if (crc != block.crc32) {
+    return Status::IOError(
+        StrFormat("QBT block %zu checksum mismatch (stored 0x%08x, computed "
+                  "0x%08x): file corrupted",
+                  b, block.crc32, crc));
+  }
+  columns->resize(attributes_.size());
+  for (size_t a = 0; a < attributes_.size(); ++a) {
+    (*columns)[a] = reinterpret_cast<const int32_t*>(
+        bytes + a * static_cast<size_t>(block.num_rows) * sizeof(int32_t));
+  }
+  return Status::OK();
+}
+
+}  // namespace qarm

@@ -1,0 +1,75 @@
+// Mmap-backed QBT reader. Open() maps the file, validates the header,
+// attribute metadata, and block index; ReadBlockColumns() validates one
+// block's CRC and returns zero-copy column slices into the mapping.
+// Resident memory is bounded by the pages of the blocks actually being
+// scanned, not by the table size.
+#ifndef QARM_STORAGE_QBT_READER_H_
+#define QARM_STORAGE_QBT_READER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "partition/mapped_table.h"
+#include "storage/mmap_file.h"
+
+namespace qarm {
+
+class QbtReader {
+ public:
+  // Maps and validates `path`. Fails with a descriptive Status on a bad
+  // magic/version/endianness, a truncated file, or an index that does not
+  // match the file size.
+  static Result<std::unique_ptr<QbtReader>> Open(const std::string& path);
+
+  const std::vector<MappedAttribute>& attributes() const {
+    return attributes_;
+  }
+  uint64_t num_rows() const { return num_rows_; }
+  uint32_t rows_per_block() const { return rows_per_block_; }
+  size_t num_blocks() const { return blocks_.size(); }
+  size_t block_rows(size_t b) const { return blocks_[b].num_rows; }
+  // First global row of block `b`.
+  uint64_t block_row_begin(size_t b) const {
+    return static_cast<uint64_t>(b) * rows_per_block_;
+  }
+  // File offset of block `b`'s bytes (exposed for corruption tests and
+  // tooling).
+  uint64_t block_offset(size_t b) const { return blocks_[b].offset; }
+  uint64_t file_size() const { return file_->size(); }
+
+  // Validates block `b`'s checksum and fills `columns` (resized to the
+  // attribute count) with pointers to its column slices, each
+  // block_rows(b) consecutive int32 values inside the mapping. Thread-safe:
+  // the mapping is read-only and `columns` is caller-owned.
+  Status ReadBlockColumns(size_t b,
+                          std::vector<const int32_t*>* columns) const;
+
+  // Bytes of one full block (the last block may be smaller).
+  uint64_t block_bytes(size_t b) const {
+    return static_cast<uint64_t>(blocks_[b].num_rows) * attributes_.size() *
+           sizeof(int32_t);
+  }
+
+ private:
+  struct BlockEntry {
+    uint64_t offset = 0;
+    uint32_t num_rows = 0;
+    uint32_t crc32 = 0;
+  };
+
+  QbtReader() = default;
+
+  std::unique_ptr<MmapFile> file_;
+  std::vector<MappedAttribute> attributes_;
+  uint64_t num_rows_ = 0;
+  uint32_t rows_per_block_ = 0;
+  std::vector<BlockEntry> blocks_;
+};
+
+}  // namespace qarm
+
+#endif  // QARM_STORAGE_QBT_READER_H_

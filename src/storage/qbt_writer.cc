@@ -1,0 +1,127 @@
+#include "storage/qbt_writer.h"
+
+#include <algorithm>
+#include <bit>
+#include <fstream>
+#include <vector>
+
+#include "storage/crc32.h"
+
+namespace qarm {
+namespace {
+
+// Attribute metadata section (see qbt_format.h).
+std::string EncodeAttributes(const MappedTable& table) {
+  std::string out;
+  for (size_t a = 0; a < table.num_attributes(); ++a) {
+    const MappedAttribute& attr = table.attribute(a);
+    QbtAppendString(&out, attr.name);
+    out.push_back(static_cast<char>(attr.kind));
+    out.push_back(static_cast<char>(attr.source_type));
+    out.push_back(attr.partitioned ? 1 : 0);
+    out.push_back(0);
+    QbtAppendU32(&out, static_cast<uint32_t>(attr.labels.size()));
+    for (const std::string& label : attr.labels) {
+      QbtAppendString(&out, label);
+    }
+    QbtAppendU32(&out, static_cast<uint32_t>(attr.intervals.size()));
+    for (const Interval& interval : attr.intervals) {
+      QbtAppendF64(&out, interval.lo);
+      QbtAppendF64(&out, interval.hi);
+    }
+    QbtAppendU32(&out, static_cast<uint32_t>(attr.taxonomy_ranges.size()));
+    for (const Taxonomy::NodeRange& node : attr.taxonomy_ranges) {
+      QbtAppendString(&out, node.name);
+      QbtAppendI32(&out, node.lo);
+      QbtAppendI32(&out, node.hi);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status WriteQbt(const MappedTable& table, const std::string& path,
+                const QbtWriteOptions& options, QbtWriteInfo* info) {
+  // Block values are written as raw int32; the format is defined
+  // little-endian, so refuse to produce a byte-swapped file.
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::Internal("QBT writing requires a little-endian host");
+  }
+  if (options.rows_per_block == 0) {
+    return Status::InvalidArgument("rows_per_block must be > 0");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+
+  const size_t num_attrs = table.num_attributes();
+  const uint64_t num_rows = table.num_rows();
+  const uint32_t rows_per_block = options.rows_per_block;
+  std::string metadata = EncodeAttributes(table);
+  // Pad to 4 bytes so every block (and hence every int32 column slice) is
+  // naturally aligned in the mapping.
+  while (metadata.size() % sizeof(int32_t) != 0) metadata.push_back('\0');
+
+  std::string header;
+  header.append(kQbtMagic, sizeof(kQbtMagic));
+  QbtAppendU32(&header, kQbtEndianMarker);
+  QbtAppendU32(&header, kQbtVersion);
+  QbtAppendU32(&header, rows_per_block);
+  QbtAppendU64(&header, num_rows);
+  QbtAppendU32(&header, static_cast<uint32_t>(num_attrs));
+  QbtAppendU32(&header, 0);  // reserved
+  QbtAppendU64(&header, metadata.size());
+  QARM_CHECK_EQ(header.size(), kQbtHeaderSize);
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(metadata.data(), static_cast<std::streamsize>(metadata.size()));
+
+  // Blocks: transpose each row range into per-column slices and stream them
+  // out, recording the index entry as we go.
+  std::string footer;
+  uint64_t offset = kQbtHeaderSize + metadata.size();
+  uint64_t num_blocks = 0;
+  std::vector<int32_t> block;
+  for (uint64_t row = 0; row < num_rows; row += rows_per_block) {
+    const size_t block_rows = static_cast<size_t>(
+        std::min<uint64_t>(rows_per_block, num_rows - row));
+    block.resize(block_rows * num_attrs);
+    for (size_t a = 0; a < num_attrs; ++a) {
+      int32_t* slice = block.data() + a * block_rows;
+      for (size_t r = 0; r < block_rows; ++r) {
+        slice[r] = table.value(static_cast<size_t>(row) + r, a);
+      }
+    }
+    const size_t block_bytes = block.size() * sizeof(int32_t);
+    out.write(reinterpret_cast<const char*>(block.data()),
+              static_cast<std::streamsize>(block_bytes));
+    QbtAppendU64(&footer, offset);
+    QbtAppendU32(&footer, static_cast<uint32_t>(block_rows));
+    QbtAppendU32(&footer, Crc32(block.data(), block_bytes));
+    offset += block_bytes;
+    ++num_blocks;
+  }
+
+  const uint64_t footer_offset = offset;
+  out.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  std::string tail;
+  QbtAppendU64(&tail, footer_offset);
+  QbtAppendU32(&tail, Crc32(footer.data(), footer.size()));
+  tail.append(kQbtEndMagic, sizeof(kQbtEndMagic));
+  QARM_CHECK_EQ(tail.size(), kQbtTailSize);
+  out.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+
+  out.flush();
+  if (!out) {
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  if (info != nullptr) {
+    info->num_rows = num_rows;
+    info->num_blocks = num_blocks;
+    info->file_bytes = footer_offset + footer.size() + kQbtTailSize;
+  }
+  return Status::OK();
+}
+
+}  // namespace qarm

@@ -1,0 +1,37 @@
+// Serializes a MappedTable (values plus the full decode metadata —
+// labels, intervals, taxonomy ranges) into a QBT file. See qbt_format.h
+// for the layout.
+#ifndef QARM_STORAGE_QBT_WRITER_H_
+#define QARM_STORAGE_QBT_WRITER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "partition/mapped_table.h"
+#include "storage/qbt_format.h"
+
+namespace qarm {
+
+struct QbtWriteOptions {
+  // Rows per block. ~64K rows keeps a block of a few int32 columns around a
+  // megabyte — large enough to amortize per-block overhead, small enough
+  // that a handful of in-flight blocks bound a streaming scan's memory.
+  uint32_t rows_per_block = kQbtDefaultRowsPerBlock;
+};
+
+// Statistics of one write, for CLI reporting.
+struct QbtWriteInfo {
+  uint64_t num_rows = 0;
+  uint64_t num_blocks = 0;
+  uint64_t file_bytes = 0;
+};
+
+// Writes `table` to `path` (replacing any existing file). `info` is
+// optional.
+Status WriteQbt(const MappedTable& table, const std::string& path,
+                const QbtWriteOptions& options = {},
+                QbtWriteInfo* info = nullptr);
+
+}  // namespace qarm
+
+#endif  // QARM_STORAGE_QBT_WRITER_H_

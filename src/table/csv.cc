@@ -4,14 +4,104 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "common/string_util.h"
 
 namespace qarm {
 namespace {
 
-Result<Value> ParseField(std::string_view raw, ValueType type, size_t line) {
-  std::string field(StripWhitespace(raw));
+// One raw field of a record. Quoted fields keep their content verbatim
+// (no trimming); unquoted fields are trimmed by the parser.
+struct RawField {
+  std::string text;
+  bool quoted = false;
+};
+
+// Reads one CSV record (RFC 4180: fields may be double-quoted; a quoted
+// field may contain commas, escaped quotes as "", and newlines). Returns
+// false at end of input. `line_no` must hold the number of lines consumed
+// so far; it is advanced past every line this record spans.
+Result<bool> ReadCsvRecord(std::istream& in, size_t* line_no,
+                           std::vector<RawField>* fields) {
+  fields->clear();
+  if (in.peek() == std::char_traits<char>::eof()) return false;
+  ++*line_no;
+  const size_t record_line = *line_no;
+
+  RawField field;
+  bool in_quotes = false;
+  auto end_field = [&]() {
+    fields->push_back(std::move(field));
+    field = RawField{};
+  };
+  while (true) {
+    const int c = in.get();
+    if (c == std::char_traits<char>::eof()) {
+      if (in_quotes) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: unterminated quoted field", record_line));
+      }
+      end_field();
+      return true;
+    }
+    const char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (in.peek() == '"') {
+          in.get();
+          field.text += '"';  // "" inside quotes is an escaped quote
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        if (ch == '\n') ++*line_no;
+        field.text += ch;
+      }
+      continue;
+    }
+    if (ch == ',') {
+      end_field();
+    } else if (ch == '\n') {
+      end_field();
+      return true;
+    } else if (ch == '\r') {
+      if (in.peek() == '\n') in.get();
+      end_field();
+      return true;
+    } else if (ch == '"' && !field.quoted &&
+               StripWhitespace(field.text).empty()) {
+      // Opening quote (leniently allowed after leading whitespace).
+      field.text.clear();
+      field.quoted = true;
+      in_quotes = true;
+    } else if (field.quoted) {
+      if (ch != ' ' && ch != '\t') {
+        return Status::InvalidArgument(StrFormat(
+            "line %zu: unexpected character after closing quote", *line_no));
+      }
+      // Trailing whitespace after a closing quote is ignored.
+    } else {
+      field.text += ch;
+    }
+  }
+}
+
+// A record is a blank line when it is a single unquoted whitespace field.
+bool IsBlankRecord(const std::vector<RawField>& fields) {
+  return fields.size() == 1 && !fields[0].quoted &&
+         StripWhitespace(fields[0].text).empty();
+}
+
+Result<Value> ParseField(const RawField& raw, ValueType type, size_t line) {
+  if (type == ValueType::kString) {
+    // Quoted strings are verbatim; unquoted ones are trimmed as before.
+    std::string field =
+        raw.quoted ? raw.text : std::string(StripWhitespace(raw.text));
+    if (field.empty()) return Value::Null();  // missing attribute
+    return Value(std::move(field));
+  }
+  std::string field(StripWhitespace(raw.text));
   if (field.empty()) return Value::Null();  // missing attribute
   switch (type) {
     case ValueType::kInt64: {
@@ -34,25 +124,27 @@ Result<Value> ParseField(std::string_view raw, ValueType type, size_t line) {
       }
       return Value(v);
     }
-    case ValueType::kString:
-      return Value(std::move(field));
+    default:
+      return Status::Internal("unreachable");
   }
-  return Status::Internal("unreachable");
 }
 
 Result<Table> ReadCsvStream(std::istream& in, const Schema& schema) {
-  std::string line;
-  if (!std::getline(in, line)) {
+  size_t line_no = 0;
+  std::vector<RawField> fields;
+  QARM_ASSIGN_OR_RETURN(bool has_header, ReadCsvRecord(in, &line_no, &fields));
+  if (!has_header || IsBlankRecord(fields)) {
     return Status::InvalidArgument("empty CSV input");
   }
-  std::vector<std::string> header = Split(line, ',');
-  if (header.size() != schema.num_attributes()) {
+  if (fields.size() != schema.num_attributes()) {
     return Status::InvalidArgument(
         StrFormat("header has %zu fields, schema has %zu attributes",
-                  header.size(), schema.num_attributes()));
+                  fields.size(), schema.num_attributes()));
   }
-  for (size_t i = 0; i < header.size(); ++i) {
-    std::string name(StripWhitespace(header[i]));
+  for (size_t i = 0; i < fields.size(); ++i) {
+    std::string name = fields[i].quoted
+                           ? fields[i].text
+                           : std::string(StripWhitespace(fields[i].text));
     if (name != schema.attribute(i).name) {
       return Status::InvalidArgument(
           StrFormat("header field %zu is '%s', schema expects '%s'", i,
@@ -62,11 +154,10 @@ Result<Table> ReadCsvStream(std::istream& in, const Schema& schema) {
 
   Table table(schema);
   std::vector<Value> row(schema.num_attributes());
-  size_t line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (StripWhitespace(line).empty()) continue;
-    std::vector<std::string> fields = Split(line, ',');
+  while (true) {
+    QARM_ASSIGN_OR_RETURN(bool more, ReadCsvRecord(in, &line_no, &fields));
+    if (!more) break;
+    if (IsBlankRecord(fields)) continue;
     if (fields.size() != schema.num_attributes()) {
       return Status::InvalidArgument(
           StrFormat("line %zu has %zu fields, expected %zu", line_no,
@@ -96,18 +187,29 @@ Result<Table> ReadCsvString(const std::string& text, const Schema& schema) {
   return ReadCsvStream(in, schema);
 }
 
+std::string CsvQuoteField(const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 std::string ToCsvString(const Table& table) {
   std::string out;
   const Schema& schema = table.schema();
   for (size_t i = 0; i < schema.num_attributes(); ++i) {
     if (i > 0) out += ',';
-    out += schema.attribute(i).name;
+    out += CsvQuoteField(schema.attribute(i).name);
   }
   out += '\n';
   for (size_t r = 0; r < table.num_rows(); ++r) {
     for (size_t c = 0; c < table.num_columns(); ++c) {
       if (c > 0) out += ',';
-      out += table.Get(r, c).ToString();
+      out += CsvQuoteField(table.Get(r, c).ToString());
     }
     out += '\n';
   }

@@ -12,19 +12,27 @@
 namespace qarm {
 
 // Parses a CSV file (comma separated, first line is the header) into a
-// table with the given schema. Fields are trimmed; numeric fields must
-// parse fully; an empty field is a missing value (NULL). Quoting is not
-// supported: values must not contain commas.
+// table with the given schema. RFC 4180 quoting is supported: a
+// double-quoted field may contain commas, newlines, and escaped quotes
+// (""); quoted strings are taken verbatim, unquoted fields are trimmed.
+// Numeric fields must parse fully; an empty field is a missing value
+// (NULL). Parse errors carry the 1-based line number of the offending
+// record.
 Result<Table> ReadCsv(const std::string& path, const Schema& schema);
 
 // Parses CSV from an in-memory string (same format as ReadCsv).
 Result<Table> ReadCsvString(const std::string& text, const Schema& schema);
 
-// Writes `table` as CSV (header + rows) to `path`.
+// Writes `table` as CSV (header + rows) to `path`. Fields containing a
+// comma, quote, or newline are double-quoted with "" escapes, so the
+// output always reads back losslessly.
 Status WriteCsv(const Table& table, const std::string& path);
 
-// Renders `table` as a CSV string.
+// Renders `table` as a CSV string (same quoting as WriteCsv).
 std::string ToCsvString(const Table& table);
+
+// Quotes one CSV field if needed (exposed for streaming writers).
+std::string CsvQuoteField(const std::string& s);
 
 }  // namespace qarm
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 
 #include "common/macros.h"
 #include "common/random.h"
+#include "table/csv.h"
 
 namespace qarm {
 namespace {
@@ -57,56 +59,65 @@ Table MakePeopleTable() {
   return table;
 }
 
-Table MakeFinancialDataset(size_t num_records, uint64_t seed) {
-  Schema schema =
-      Schema::Make(
-          {{"monthly_income", AttributeKind::kQuantitative, ValueType::kInt64},
-           {"credit_limit", AttributeKind::kQuantitative, ValueType::kInt64},
-           {"current_balance", AttributeKind::kQuantitative,
-            ValueType::kInt64},
-           {"ytd_balance", AttributeKind::kQuantitative, ValueType::kInt64},
-           {"ytd_interest", AttributeKind::kQuantitative, ValueType::kDouble},
-           {"employee_category", AttributeKind::kCategorical,
-            ValueType::kString},
-           {"marital_status", AttributeKind::kCategorical,
-            ValueType::kString}})
-          .value();
-  Table table(schema);
-  table.Reserve(num_records);
+namespace {
 
-  Rng rng(seed);
+Schema FinancialSchema() {
+  return Schema::Make(
+             {{"monthly_income", AttributeKind::kQuantitative,
+               ValueType::kInt64},
+              {"credit_limit", AttributeKind::kQuantitative, ValueType::kInt64},
+              {"current_balance", AttributeKind::kQuantitative,
+               ValueType::kInt64},
+              {"ytd_balance", AttributeKind::kQuantitative, ValueType::kInt64},
+              {"ytd_interest", AttributeKind::kQuantitative,
+               ValueType::kDouble},
+              {"employee_category", AttributeKind::kCategorical,
+               ValueType::kString},
+              {"marital_status", AttributeKind::kCategorical,
+               ValueType::kString}})
+      .value();
+}
 
-  static const char* kCategories[] = {"hourly", "salaried", "manager",
-                                      "executive", "retired"};
-  const std::vector<double> category_cum =
-      Cumulate({0.35, 0.35, 0.15, 0.05, 0.10});
-  // Log-income location per employee category; the spread keeps the five
-  // bands overlapping (so rules are probabilistic, not partitions).
-  constexpr double kIncomeMu[] = {7.7, 8.2, 8.7, 9.5, 7.5};
-  constexpr double kIncomeSigma = 0.35;
-  // Interest rate per category (executives get preferential rates).
-  constexpr double kRate[] = {0.18, 0.15, 0.12, 0.08, 0.16};
+// Draws the financial records one at a time, so callers can either collect
+// them into a Table or stream them straight to disk without ever holding
+// the whole dataset. The draw order is part of the generator's contract:
+// MakeFinancialDataset and WriteFinancialDatasetCsv produce identical data
+// for the same seed.
+class FinancialRecordGenerator {
+ public:
+  explicit FinancialRecordGenerator(uint64_t seed)
+      : rng_(seed), category_cum_(Cumulate({0.35, 0.35, 0.15, 0.05, 0.10})) {}
 
-  static const char* kMarital[] = {"single", "married", "divorced", "widowed"};
+  // Fills `row` (7 values) with the next record.
+  void NextRow(std::vector<Value>* row) {
+    // Log-income location per employee category; the spread keeps the five
+    // bands overlapping (so rules are probabilistic, not partitions).
+    constexpr double kIncomeMu[] = {7.7, 8.2, 8.7, 9.5, 7.5};
+    constexpr double kIncomeSigma = 0.35;
+    // Interest rate per category (executives get preferential rates).
+    constexpr double kRate[] = {0.18, 0.15, 0.12, 0.08, 0.16};
+    static const char* kCategories[] = {"hourly", "salaried", "manager",
+                                        "executive", "retired"};
+    static const char* kMarital[] = {"single", "married", "divorced",
+                                     "widowed"};
 
-  // Correlations are deliberately soft (mixtures and wide multiplicative
-  // noise): hard functional relations would make nearly every pair of
-  // mid-support ranges frequent and blow the candidate sets up far beyond
-  // anything the paper's real dataset exhibits. Mass points (zero balances,
-  // limits rounded to $100) mirror real billing data and exercise the
-  // single-value-partition paths.
-  for (size_t i = 0; i < num_records; ++i) {
-    size_t cat = SampleDiscrete(category_cum, &rng);
-    double income = rng.LogNormal(kIncomeMu[cat], kIncomeSigma);
+    // Correlations are deliberately soft (mixtures and wide multiplicative
+    // noise): hard functional relations would make nearly every pair of
+    // mid-support ranges frequent and blow the candidate sets up far beyond
+    // anything the paper's real dataset exhibits. Mass points (zero
+    // balances, limits rounded to $100) mirror real billing data and
+    // exercise the single-value-partition paths.
+    size_t cat = SampleDiscrete(category_cum_, &rng_);
+    double income = rng_.LogNormal(kIncomeMu[cat], kIncomeSigma);
     income = std::clamp(income, 400.0, 60000.0);
 
     // Credit limit: 40% of customers have an income-proportional limit,
     // the rest carry a legacy limit unrelated to current income.
     double limit;
-    if (rng.Bernoulli(0.4)) {
-      limit = income * rng.UniformDouble(4.0, 8.0);
+    if (rng_.Bernoulli(0.4)) {
+      limit = income * rng_.UniformDouble(4.0, 8.0);
     } else {
-      limit = rng.LogNormal(9.6, 0.8);
+      limit = rng_.LogNormal(9.6, 0.8);
     }
     limit = std::clamp(limit, 500.0, 500000.0);
     limit = std::round(limit / 100.0) * 100.0;  // issued in $100 steps
@@ -115,22 +126,24 @@ Table MakeFinancialDataset(size_t num_records, uint64_t seed) {
     // are skewed toward low utilization, with hourly employees running
     // hotter.
     double util = 0.0;
-    if (!rng.Bernoulli(0.18)) {
-      util = rng.UniformDouble();
+    if (!rng_.Bernoulli(0.18)) {
+      util = rng_.UniformDouble();
       util = util * util;
-      if (cat == 0) util = std::min(1.0, util + rng.UniformDouble(0.0, 0.3));
+      if (cat == 0) {
+        util = std::min(1.0, util + rng_.UniformDouble(0.0, 0.3));
+      }
     }
     double balance = limit * util;
 
     // YTD balance is the year's average, only half-driven by the current
     // balance: a customer idle today may well have revolved during the year.
-    double util_year = rng.UniformDouble();
+    double util_year = rng_.UniformDouble();
     util_year = 0.5 * util + 0.5 * util_year * util_year;
-    double ytd_balance = limit * util_year * rng.UniformDouble(0.8, 1.2);
+    double ytd_balance = limit * util_year * rng_.UniformDouble(0.8, 1.2);
 
     // Interest: category base rate, personal spread, billing noise.
-    double rate = kRate[cat] + rng.UniformDouble(-0.05, 0.05);
-    double ytd_interest = ytd_balance * rate * rng.UniformDouble(0.8, 1.2);
+    double rate = kRate[cat] + rng_.UniformDouble(-0.05, 0.05);
+    double ytd_interest = ytd_balance * rate * rng_.UniformDouble(0.8, 1.2);
 
     // Marital status correlates with the income band: higher incomes skew
     // married, the retired band skews widowed.
@@ -141,18 +154,71 @@ Table MakeFinancialDataset(size_t num_records, uint64_t seed) {
       marital_weights = {0.50, 0.25, 0.18, 0.07};
     }
     if (cat == 4) marital_weights[3] += 0.25;  // retired -> widowed
-    size_t marital = SampleDiscrete(Cumulate(marital_weights), &rng);
+    size_t marital = SampleDiscrete(Cumulate(marital_weights), &rng_);
 
-    table.AppendRowUnchecked(
-        {Value(static_cast<int64_t>(std::llround(income))),
-         Value(static_cast<int64_t>(std::llround(limit))),
-         Value(static_cast<int64_t>(std::llround(balance))),
-         Value(static_cast<int64_t>(std::llround(ytd_balance))),
-         Value(std::round(ytd_interest * 100.0) / 100.0),
-         Value(std::string(kCategories[cat])),
-         Value(std::string(kMarital[marital]))});
+    row->resize(7);
+    (*row)[0] = Value(static_cast<int64_t>(std::llround(income)));
+    (*row)[1] = Value(static_cast<int64_t>(std::llround(limit)));
+    (*row)[2] = Value(static_cast<int64_t>(std::llround(balance)));
+    (*row)[3] = Value(static_cast<int64_t>(std::llround(ytd_balance)));
+    (*row)[4] = Value(std::round(ytd_interest * 100.0) / 100.0);
+    (*row)[5] = Value(std::string(kCategories[cat]));
+    (*row)[6] = Value(std::string(kMarital[marital]));
+  }
+
+ private:
+  Rng rng_;
+  std::vector<double> category_cum_;
+};
+
+}  // namespace
+
+Table MakeFinancialDataset(size_t num_records, uint64_t seed) {
+  Table table(FinancialSchema());
+  table.Reserve(num_records);
+  FinancialRecordGenerator gen(seed);
+  std::vector<Value> row;
+  for (size_t i = 0; i < num_records; ++i) {
+    gen.NextRow(&row);
+    table.AppendRowUnchecked(row);
   }
   return table;
+}
+
+Status WriteFinancialDatasetCsv(const std::string& path, size_t num_records,
+                                uint64_t seed) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const Schema schema = FinancialSchema();
+  FinancialRecordGenerator gen(seed);
+  std::vector<Value> row;
+  std::string buffer;
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) buffer += ',';
+    buffer += CsvQuoteField(schema.attribute(i).name);
+  }
+  buffer += '\n';
+  for (size_t r = 0; r < num_records; ++r) {
+    gen.NextRow(&row);
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) buffer += ',';
+      buffer += CsvQuoteField(row[i].ToString());
+    }
+    buffer += '\n';
+    // Flush in chunks: the buffer never grows with the dataset.
+    if (buffer.size() >= (1u << 20)) {
+      out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+      buffer.clear();
+    }
+  }
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  out.flush();
+  if (!out) {
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  return Status::OK();
 }
 
 Table MakeDecoyTable(size_t num_records, uint64_t seed) {

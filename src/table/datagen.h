@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "table/table.h"
 
 namespace qarm {
@@ -36,6 +37,13 @@ Table MakePeopleTable();
 //     with category-dependent rates;
 //   - marital status correlates with the income band.
 Table MakeFinancialDataset(size_t num_records, uint64_t seed);
+
+// Streams the same dataset straight to a CSV file, one record at a time —
+// the dataset is never resident, so arbitrarily large files can be
+// generated in constant memory. Byte-identical to writing
+// MakeFinancialDataset(num_records, seed) with WriteCsv.
+Status WriteFinancialDatasetCsv(const std::string& path, size_t num_records,
+                                uint64_t seed);
 
 // The Figure 6 "interest" example: quantitative x uniform over 1..10 and a
 // boolean-like categorical y, constructed so that

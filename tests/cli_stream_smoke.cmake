@@ -1,0 +1,51 @@
+# End-to-end out-of-core smoke: generate a CSV with `qarm gen`, convert it
+# to QBT with `qarm convert`, mine both the QBT file (streaming) and the
+# CSV (in-memory) with identical options, and require identical rule output.
+set(SCHEMA "monthly_income:quant,credit_limit:quant,current_balance:quant,ytd_balance:quant,ytd_interest:quant:double,employee_category:cat,marital_status:cat")
+set(MINE_FLAGS --minsup=0.3 --minconf=0.6 --k=3.0 --format=csv)
+
+execute_process(
+  COMMAND ${QARM} gen --output=${WORK_DIR}/stream_fin.csv --records=2000 --seed=11
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "qarm gen exited with ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${QARM} convert --input=${WORK_DIR}/stream_fin.csv --schema=${SCHEMA}
+          --output=${WORK_DIR}/stream_fin.qbt --block-rows=512
+          --minsup=0.3 --k=3.0
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "qarm convert exited with ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${QARM} --input-qbt=${WORK_DIR}/stream_fin.qbt ${MINE_FLAGS}
+          --threads=4 --stats
+  OUTPUT_VARIABLE streamed
+  ERROR_VARIABLE streamed_stats
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "qarm --input-qbt exited with ${rc}")
+endif()
+if(NOT streamed_stats MATCHES "blocks_read=")
+  message(FATAL_ERROR "expected I/O stats in streaming --stats output")
+endif()
+
+execute_process(
+  COMMAND ${QARM} --input=${WORK_DIR}/stream_fin.csv --schema=${SCHEMA}
+          ${MINE_FLAGS} --threads=1
+  OUTPUT_VARIABLE in_memory
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "qarm --input exited with ${rc}")
+endif()
+
+# The rule CSV on stdout must match bit for bit.
+if(NOT streamed STREQUAL in_memory)
+  message(FATAL_ERROR "streaming rules differ from in-memory rules")
+endif()
+if(streamed STREQUAL "")
+  message(FATAL_ERROR "smoke mining produced no rules")
+endif()

@@ -1,0 +1,58 @@
+#include "storage/crc32.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qarm {
+namespace {
+
+// The CRC-32 "check" value: every IEEE-802.3 implementation must map the
+// ASCII digits "123456789" to 0xCBF43926.
+TEST(Crc32Test, KnownVectors) {
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32(check.data(), check.size()), 0xCBF43926u);
+
+  EXPECT_EQ(Crc32(nullptr, 0), 0x00000000u);
+
+  const std::string a = "a";
+  EXPECT_EQ(Crc32(a.data(), a.size()), 0xE8B7BE43u);
+
+  // zlib's crc32(0, "The quick brown fox jumps over the lazy dog", 43).
+  const std::string fox = "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(Crc32(fox.data(), fox.size()), 0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "quantitative association rules";
+  const uint32_t one_shot = Crc32(data.data(), data.size());
+
+  // Any split point must yield the same digest.
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = kCrc32Init;
+    crc = Crc32Update(crc, data.data(), split);
+    crc = Crc32Update(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(Crc32Finish(crc), one_shot) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::vector<int32_t> block(1024);
+  for (size_t i = 0; i < block.size(); ++i) {
+    block[i] = static_cast<int32_t>(i * 2654435761u);
+  }
+  const size_t bytes = block.size() * sizeof(int32_t);
+  const uint32_t clean = Crc32(block.data(), bytes);
+
+  auto* raw = reinterpret_cast<unsigned char*>(block.data());
+  raw[bytes / 2] ^= 0x01;
+  EXPECT_NE(Crc32(block.data(), bytes), clean);
+  raw[bytes / 2] ^= 0x01;
+  EXPECT_EQ(Crc32(block.data(), bytes), clean);
+}
+
+}  // namespace
+}  // namespace qarm

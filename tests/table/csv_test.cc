@@ -120,5 +120,139 @@ TEST(CsvTest, ReadMissingFileFails) {
   EXPECT_EQ(table.status().code(), StatusCode::kIOError);
 }
 
+// --- RFC 4180 quoting ------------------------------------------------------
+
+TEST(CsvTest, QuotedFieldWithComma) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      "23,\"No, definitely not\",1.5\n",
+      PeopleSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->Get(0, 1).as_string(), "No, definitely not");
+}
+
+TEST(CsvTest, QuotedFieldWithEscapedQuotes) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      "23,\"said \"\"maybe\"\"\",1.5\n",
+      PeopleSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->Get(0, 1).as_string(), "said \"maybe\"");
+}
+
+TEST(CsvTest, QuotedFieldSpanningLines) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      "23,\"line one\nline two\",1.5\n"
+      "25,Yes,2\n",
+      PeopleSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->Get(0, 1).as_string(), "line one\nline two");
+  EXPECT_EQ(table->Get(1, 0).as_int64(), 25);
+}
+
+TEST(CsvTest, QuotedStringsKeepWhitespaceVerbatim) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      "23,\"  padded  \",1.5\n",
+      PeopleSchema());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->Get(0, 1).as_string(), "  padded  ");
+}
+
+TEST(CsvTest, CrlfLineEndings) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\r\n"
+      "23,No,1.5\r\n"
+      "25,Yes,2\r\n",
+      PeopleSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->Get(1, 1).as_string(), "Yes");
+}
+
+TEST(CsvTest, EmptyFieldIsNull) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      "23,,1.5\n"
+      ",No,\n",
+      PeopleSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_TRUE(table->Get(0, 1).is_null());
+  EXPECT_TRUE(table->Get(1, 0).is_null());
+  EXPECT_TRUE(table->Get(1, 2).is_null());
+  EXPECT_EQ(table->Get(1, 1).as_string(), "No");
+}
+
+TEST(CsvTest, UnterminatedQuoteReportsLine) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      "23,No,1.5\n"
+      "25,\"oops,2\n",
+      PeopleSchema());
+  ASSERT_FALSE(table.ok());
+  EXPECT_NE(table.status().message().find("line 3"), std::string::npos)
+      << table.status().ToString();
+  EXPECT_NE(table.status().message().find("unterminated"), std::string::npos);
+}
+
+TEST(CsvTest, GarbageAfterClosingQuoteFails) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      "23,\"No\"x,1.5\n",
+      PeopleSchema());
+  ASSERT_FALSE(table.ok());
+  EXPECT_NE(table.status().message().find("after closing quote"),
+            std::string::npos)
+      << table.status().ToString();
+}
+
+TEST(CsvTest, ParseErrorsCarryRecordLineNumbers) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      "23,No,1.5\n"
+      "25,Yes,2\n"
+      "bad,No,3\n",
+      PeopleSchema());
+  ASSERT_FALSE(table.ok());
+  EXPECT_NE(table.status().message().find("line 4"), std::string::npos)
+      << table.status().ToString();
+}
+
+// A multi-line quoted field advances the error line numbering past every
+// physical line it spans.
+TEST(CsvTest, LineNumbersCountLinesInsideQuotes) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      "23,\"one\ntwo\nthree\",1.5\n"
+      "bad,No,3\n",
+      PeopleSchema());
+  ASSERT_FALSE(table.ok());
+  EXPECT_NE(table.status().message().find("line 5"), std::string::npos)
+      << table.status().ToString();
+}
+
+TEST(CsvTest, WriterQuotesSpecialCharacters) {
+  EXPECT_EQ(CsvQuoteField("plain"), "plain");
+  EXPECT_EQ(CsvQuoteField("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvQuoteField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvQuoteField("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(CsvQuoteField(""), "");
+}
+
+TEST(CsvTest, SpecialCharactersRoundTrip) {
+  auto table = ReadCsvString(
+      "Age,Married,Score\n"
+      "23,\"No, \"\"never\"\"\nreally\",1.5\n",
+      PeopleSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  std::string csv = ToCsvString(*table);
+  auto again = ReadCsvString(csv, PeopleSchema());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_EQ(again->num_rows(), 1u);
+  EXPECT_EQ(again->Get(0, 1).as_string(), "No, \"never\"\nreally");
+}
+
 }  // namespace
 }  // namespace qarm

@@ -1,9 +1,14 @@
 #include "table/datagen.h"
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <map>
+#include <string>
 
 #include <gtest/gtest.h>
+
+#include "table/csv.h"
 
 namespace qarm {
 namespace {
@@ -209,6 +214,29 @@ TEST(GenerateSyntheticTest, MissingProbability) {
     EXPECT_FALSE(data.Get(r, 1).is_null());  // c has no missing mass
   }
   EXPECT_NEAR(static_cast<double>(nulls) / 5000.0, 0.35, 0.03);
+}
+
+// The streaming writer must be indistinguishable from materializing the
+// table and writing it: byte-identical output for the same (n, seed).
+TEST(FinancialDatasetTest, StreamingCsvWriterMatchesInMemory) {
+  const size_t kRecords = 700;
+  const uint64_t kSeed = 19;
+  const std::string path =
+      ::testing::TempDir() + "/datagen_streaming_test.csv";
+  ASSERT_TRUE(WriteFinancialDatasetCsv(path, kRecords, kSeed).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string streamed((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  std::string in_memory = ToCsvString(MakeFinancialDataset(kRecords, kSeed));
+  EXPECT_EQ(streamed, in_memory);
+  std::remove(path.c_str());
+}
+
+TEST(FinancialDatasetTest, StreamingCsvWriterFailsOnBadPath) {
+  EXPECT_FALSE(
+      WriteFinancialDatasetCsv("/nonexistent/dir/out.csv", 10, 1).ok());
 }
 
 TEST(GenerateSyntheticTest, ZipfAttribute) {

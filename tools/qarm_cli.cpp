@@ -5,14 +5,25 @@
 //        [--minsup=0.1] [--minconf=0.5] [--maxsup=0.4] [--k=2.0] ...
 //        [--interest=0] [--intervals=0] [--method=depth|width] ...
 //        [--interesting-only] [--itemsets] [--stats]
+//   qarm --input-qbt=data.qbt ...       (mine a converted file, streaming)
+//   qarm convert --input=data.csv --schema=SPEC --output=data.qbt ...
+//   qarm gen --output=data.csv --records=N [--seed=N]
 //
 // The schema string names each CSV column in order and tags it
 // "quant"/"quantitative" (numeric; parsed as double if it contains '.',
 // int64 otherwise — controlled per column with ":quant:int" /
 // ":quant:double") or "cat"/"categorical".
+//
+// `convert` partitions and integer-maps the CSV once (the partitioning
+// flags --minsup/--k/--intervals/--method apply at convert time) and
+// writes the binary columnar QBT file; mining it with --input-qbt streams
+// the file block by block, so tables larger than RAM mine in bounded
+// memory.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,13 +31,19 @@
 #include "core/miner.h"
 #include "core/report.h"
 #include "core/rules.h"
+#include "partition/mapper.h"
+#include "storage/qbt_writer.h"
+#include "storage/record_source.h"
 #include "table/csv.h"
+#include "table/datagen.h"
 
 namespace qarm {
 namespace {
 
 struct CliFlags {
   std::string input;
+  std::string input_qbt;
+  std::string output;
   std::string schema;
   double minsup = 0.10;
   double minconf = 0.50;
@@ -35,6 +52,9 @@ struct CliFlags {
   double interest = 0.0;
   size_t intervals = 0;
   size_t threads = 1;
+  size_t block_rows = 0;  // 0 = default (writer: 64K; miner: option default)
+  size_t records = 0;
+  uint64_t seed = 42;
   std::string method = "depth";
   std::string format = "text";
   bool interesting_only = false;
@@ -46,7 +66,10 @@ struct CliFlags {
 const char kUsage[] =
     "qarm — quantitative association rule miner (Srikant & Agrawal, SIGMOD "
     "'96)\n\n"
+    "mine (default command):\n"
     "  --input=FILE          CSV file (header row required)\n"
+    "  --input-qbt=FILE      mine a converted QBT file, streaming its blocks\n"
+    "                        (bounded memory; no --schema needed)\n"
     "  --schema=SPEC         comma list: NAME:quant[:int|:double] | NAME:cat\n"
     "  --minsup=F            minimum support fraction        (default 0.10)\n"
     "  --minconf=F           minimum confidence              (default 0.50)\n"
@@ -55,11 +78,21 @@ const char kUsage[] =
     "  --interest=F          interest level R; 0 = off       (default 0)\n"
     "  --intervals=N         override Eq.2 interval count    (default auto)\n"
     "  --threads=N           scan threads; 0 = all cores     (default 1)\n"
+    "  --block-rows=N        rows per in-memory scan block   (default 65536)\n"
     "  --method=depth|width|kmeans  partitioning method      (default depth)\n"
     "  --format=text|json|csv  output format                 (default text)\n"
     "  --interesting-only    print only interesting rules\n"
     "  --itemsets            also print frequent itemsets\n"
-    "  --stats               print run statistics\n";
+    "  --stats               print run statistics (incl. per-pass I/O)\n"
+    "\n"
+    "qarm convert — partition, map, and write a CSV as a QBT file:\n"
+    "  --input=FILE --schema=SPEC --output=FILE.qbt\n"
+    "  [--minsup --k --intervals --method]   partitioning (fixed at convert)\n"
+    "  [--block-rows=N]                      rows per QBT block (default "
+    "65536)\n"
+    "\n"
+    "qarm gen — stream the synthetic financial dataset to CSV:\n"
+    "  --output=FILE.csv --records=N [--seed=N]\n";
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
   std::string prefix = std::string("--") + name + "=";
@@ -68,12 +101,22 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
   return true;
 }
 
-Result<CliFlags> ParseArgs(int argc, char** argv) {
+Result<CliFlags> ParseArgs(int argc, char** argv, int first_arg) {
   CliFlags flags;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first_arg; i < argc; ++i) {
     std::string value;
     if (ParseFlag(argv[i], "input", &value)) {
       flags.input = value;
+    } else if (ParseFlag(argv[i], "input-qbt", &value)) {
+      flags.input_qbt = value;
+    } else if (ParseFlag(argv[i], "output", &value)) {
+      flags.output = value;
+    } else if (ParseFlag(argv[i], "block-rows", &value)) {
+      flags.block_rows = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "records", &value)) {
+      flags.records = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "seed", &value)) {
+      flags.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "schema", &value)) {
       flags.schema = value;
     } else if (ParseFlag(argv[i], "minsup", &value)) {
@@ -143,19 +186,37 @@ Result<Schema> ParseSchema(const std::string& spec) {
   return Schema::Make(std::move(defs));
 }
 
-int Run(int argc, char** argv) {
-  auto flags_or = ParseArgs(argc, argv);
-  if (!flags_or.ok()) {
-    std::fprintf(stderr, "%s\n%s", flags_or.status().ToString().c_str(),
-                 kUsage);
+// Builds MinerOptions (mining) or the partitioning subset (convert) from
+// the parsed flags. Returns false on an unknown --method.
+bool FillOptions(const CliFlags& flags, MinerOptions* options) {
+  options->minsup = flags.minsup;
+  options->minconf = flags.minconf;
+  options->max_support = flags.maxsup;
+  options->partial_completeness = flags.k;
+  options->interest_level = flags.interest;
+  options->num_intervals_override = flags.intervals;
+  options->num_threads = flags.threads;
+  if (flags.block_rows > 0) options->stream_block_rows = flags.block_rows;
+  if (flags.method == "width") {
+    options->partition_method = PartitionMethod::kEquiWidth;
+  } else if (flags.method == "kmeans") {
+    options->partition_method = PartitionMethod::kKMeans;
+  } else if (flags.method != "depth") {
+    std::fprintf(stderr, "unknown --method: %s\n", flags.method.c_str());
+    return false;
+  }
+  return true;
+}
+
+// `qarm convert`: CSV -> partition/map -> QBT.
+int RunConvert(const CliFlags& flags) {
+  if (flags.input.empty() || flags.schema.empty() || flags.output.empty()) {
+    std::fprintf(stderr,
+                 "convert needs --input, --schema, and --output\n%s", kUsage);
     return 2;
   }
-  const CliFlags& flags = *flags_or;
-  if (flags.help || flags.input.empty() || flags.schema.empty()) {
-    std::fprintf(flags.help ? stdout : stderr, "%s", kUsage);
-    return flags.help ? 0 : 2;
-  }
-
+  MinerOptions options;
+  if (!FillOptions(flags, &options)) return 2;
   auto schema = ParseSchema(flags.schema);
   if (!schema.ok()) {
     std::fprintf(stderr, "bad --schema: %s\n",
@@ -168,26 +229,100 @@ int Run(int argc, char** argv) {
                  table.status().ToString().c_str());
     return 1;
   }
+  MapOptions map_options;
+  map_options.partial_completeness = options.partial_completeness;
+  map_options.minsup = options.minsup;
+  map_options.method = options.partition_method;
+  map_options.num_intervals_override = options.num_intervals_override;
+  auto mapped = MapTable(*table, map_options);
+  if (!mapped.ok()) {
+    std::fprintf(stderr, "cannot map %s: %s\n", flags.input.c_str(),
+                 mapped.status().ToString().c_str());
+    return 1;
+  }
+  QbtWriteOptions write_options;
+  if (flags.block_rows > 0) {
+    write_options.rows_per_block = static_cast<uint32_t>(flags.block_rows);
+  }
+  QbtWriteInfo info;
+  Status status = WriteQbt(*mapped, flags.output, write_options, &info);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", flags.output.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "# wrote %s: %llu rows, %llu blocks, %llu bytes\n",
+               flags.output.c_str(),
+               static_cast<unsigned long long>(info.num_rows),
+               static_cast<unsigned long long>(info.num_blocks),
+               static_cast<unsigned long long>(info.file_bytes));
+  return 0;
+}
 
-  MinerOptions options;
-  options.minsup = flags.minsup;
-  options.minconf = flags.minconf;
-  options.max_support = flags.maxsup;
-  options.partial_completeness = flags.k;
-  options.interest_level = flags.interest;
-  options.num_intervals_override = flags.intervals;
-  options.num_threads = flags.threads;
-  if (flags.method == "width") {
-    options.partition_method = PartitionMethod::kEquiWidth;
-  } else if (flags.method == "kmeans") {
-    options.partition_method = PartitionMethod::kKMeans;
-  } else if (flags.method != "depth") {
-    std::fprintf(stderr, "unknown --method: %s\n", flags.method.c_str());
+// `qarm gen`: stream the synthetic financial dataset to CSV.
+int RunGen(const CliFlags& flags) {
+  if (flags.output.empty() || flags.records == 0) {
+    std::fprintf(stderr, "gen needs --output and --records\n%s", kUsage);
+    return 2;
+  }
+  Status status =
+      WriteFinancialDatasetCsv(flags.output, flags.records, flags.seed);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", flags.output.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "# wrote %s: %zu records (seed %llu)\n",
+               flags.output.c_str(), flags.records,
+               static_cast<unsigned long long>(flags.seed));
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  int first_arg = 1;
+  std::string command;
+  if (argc > 1 && argv[1][0] != '-') {
+    command = argv[1];
+    first_arg = 2;
+  }
+  auto flags_or = ParseArgs(argc, argv, first_arg);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n%s", flags_or.status().ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+  const CliFlags& flags = *flags_or;
+  if (flags.help) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  if (command == "convert") return RunConvert(flags);
+  if (command == "gen") return RunGen(flags);
+  if (!command.empty()) {
+    std::fprintf(stderr, "unknown command: %s\n%s", command.c_str(), kUsage);
+    return 2;
+  }
+  const bool csv_mode = !flags.input.empty() && !flags.schema.empty();
+  const bool qbt_mode = !flags.input_qbt.empty();
+  if (csv_mode == qbt_mode) {  // neither, or conflicting
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
 
+  MinerOptions options;
+  if (!FillOptions(flags, &options)) return 2;
   QuantitativeRuleMiner miner(options);
-  Result<MiningResult> result = miner.Mine(*table);
+
+  Result<MiningResult> result = [&]() -> Result<MiningResult> {
+    if (qbt_mode) {
+      QARM_ASSIGN_OR_RETURN(std::unique_ptr<QbtFileSource> source,
+                            QbtFileSource::Open(flags.input_qbt));
+      return miner.MineStreamed(*source);
+    }
+    QARM_ASSIGN_OR_RETURN(Schema schema, ParseSchema(flags.schema));
+    QARM_ASSIGN_OR_RETURN(Table table, ReadCsv(flags.input, schema));
+    return miner.Mine(table);
+  }();
   if (!result.ok()) {
     std::fprintf(stderr, "mining failed: %s\n",
                  result.status().ToString().c_str());
@@ -238,6 +373,18 @@ int Run(int argc, char** argv) {
                  stats.num_records, stats.num_frequent_items, stats.num_rules,
                  stats.num_interesting_rules,
                  stats.achieved_partial_completeness, stats.total_seconds);
+    ScanIoStats io = stats.pass1_io;
+    for (const PassStats& pass : stats.passes) io += pass.counting.io;
+    if (io.blocks_read > 0) {
+      std::fprintf(stderr,
+                   "# io: blocks_read=%llu bytes_mapped=%llu "
+                   "checksum=%.3fs (pass1 %llu blocks)\n",
+                   static_cast<unsigned long long>(io.blocks_read),
+                   static_cast<unsigned long long>(io.bytes_read),
+                   io.checksum_seconds,
+                   static_cast<unsigned long long>(
+                       stats.pass1_io.blocks_read));
+    }
   }
   return printed > 0 ? 0 : 3;
 }
