@@ -1,0 +1,43 @@
+// Shared hashing for small integer sequences. Every hashed key in QARM —
+// super-candidate group keys, itemset-support lookup keys, the interest
+// evaluator's wildcard keys — is a short vector of small int32 values
+// (attribute indices, item ids, range endpoints). Plain FNV-1a leaves the
+// *low* bits of such keys poorly mixed, and unordered_map masks the hash
+// with its bucket count, so structurally similar keys pile into a handful
+// of buckets. The fix (PR 1): finalize FNV-1a with a splitmix64-style
+// 64->64-bit mixer so short small-integer keys spread over the whole
+// size_t range. This header is the single definition of that scheme.
+#ifndef QARM_COMMON_HASH_H_
+#define QARM_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qarm {
+
+// FNV-1a over 32-bit words, finalized with splitmix64's mixer.
+inline uint64_t HashInt32Words(const int32_t* data, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint32_t>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+// Drop-in hasher for unordered containers keyed by std::vector<int32_t>.
+struct Int32VectorHash {
+  size_t operator()(const std::vector<int32_t>& v) const {
+    return static_cast<size_t>(HashInt32Words(v.data(), v.size()));
+  }
+};
+
+}  // namespace qarm
+
+#endif  // QARM_COMMON_HASH_H_

@@ -57,7 +57,9 @@ Result<FrequentItemsetResult> MineFrequentItemsets(
     timer.Reset();
     PassStats pass;
     pass.k = k;
-    ItemsetSet candidates = GenerateCandidates(catalog, frequent);
+    ItemsetSet candidates = GenerateCandidates(catalog, frequent,
+                                               options.num_threads,
+                                               &pass.candgen);
     pass.num_candidates = candidates.size();
     if (candidates.empty()) {
       pass.seconds = timer.ElapsedSeconds();

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/candidate_gen.h"
 #include "core/frequent_items.h"
 #include "core/options.h"
 #include "core/support_counting.h"
@@ -21,6 +22,7 @@ struct PassStats {
   size_t k = 0;
   size_t num_candidates = 0;
   size_t num_frequent = 0;
+  CandidateGenStats candgen;
   CountingStats counting;
   double seconds = 0.0;
 };

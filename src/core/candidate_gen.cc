@@ -1,10 +1,81 @@
 #include "core/candidate_gen.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 
 namespace qarm {
+namespace {
+
+// Below this many (k-1)-itemsets the join/prune is cheaper than waking a
+// pool; the serial path is taken regardless of num_threads.
+constexpr size_t kMinParallelItemsets = 256;
+
+// Tasks per worker: more chunks than workers so the pool's dynamic task
+// claiming evens out runs of very different sizes (join cost is quadratic
+// in the run length).
+constexpr size_t kChunksPerThread = 8;
+
+// Appends the join-phase candidates whose *outer* itemset index lies in
+// [first_i, last_i) to `out`: itemset i joins every partner j in
+// (i, run_end[i]) whose last attribute differs. The serial join emits
+// candidates in (i ascending, j ascending) order, so sharding by outer
+// index and concatenating the chunk outputs in chunk order reproduces the
+// serial candidate order exactly — even when all of L_{k-1} is one run
+// (the C2 join, whose shared prefix is empty).
+void JoinOuterRange(const ItemCatalog& catalog, const ItemsetSet& frequent,
+                    const std::vector<size_t>& run_end, size_t first_i,
+                    size_t last_i, ItemsetSet* out) {
+  const size_t k_minus_1 = frequent.k();
+  std::vector<int32_t> scratch(k_minus_1 + 1);
+  for (size_t i = first_i; i < last_i; ++i) {
+    const int32_t last_i_id = frequent.itemset(i)[k_minus_1 - 1];
+    const int32_t attr_i = catalog.item(last_i_id).attr;
+    const size_t end = run_end[i];
+    for (size_t j = i + 1; j < end; ++j) {
+      const int32_t last_j = frequent.itemset(j)[k_minus_1 - 1];
+      // Item ids are sorted by attribute, so within the run attributes are
+      // non-decreasing; all partners after the first attribute change
+      // qualify.
+      if (catalog.item(last_j).attr == attr_i) continue;
+      std::copy(frequent.itemset(i), frequent.itemset(i) + k_minus_1,
+                scratch.begin());
+      scratch[k_minus_1] = last_j;
+      out->Append(scratch.data());
+    }
+  }
+}
+
+// keep[c] = 1 iff every (k-1)-subset of candidate c that skips an *earlier*
+// position is frequent (dropping the last or second-to-last item reproduces
+// the two join parents, which are frequent by construction).
+void PruneRange(const ItemsetSet& frequent, const ItemsetSet& candidates,
+                size_t begin, size_t end, std::vector<uint8_t>* keep) {
+  const size_t k = candidates.k();
+  std::vector<int32_t> subset(k - 1);
+  for (size_t c = begin; c < end; ++c) {
+    const int32_t* ids = candidates.itemset(c);
+    bool ok = true;
+    for (size_t skip = 0; ok && skip + 2 < k; ++skip) {
+      size_t out = 0;
+      for (size_t i = 0; i < k; ++i) {
+        if (i != skip) subset[out++] = ids[i];
+      }
+      ok = frequent.Contains(subset.data());
+    }
+    (*keep)[c] = ok ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+void ItemsetSet::AppendAll(const ItemsetSet& other) {
+  QARM_CHECK_EQ(k_, other.k_);
+  flat_.insert(flat_.end(), other.flat_.begin(), other.flat_.end());
+}
 
 bool ItemsetSet::Contains(const int32_t* ids) const {
   if (k_ == 0) return false;
@@ -30,65 +101,96 @@ bool ItemsetSet::Contains(const int32_t* ids) const {
 }
 
 ItemsetSet GenerateCandidates(const ItemCatalog& catalog,
-                              const ItemsetSet& frequent) {
+                              const ItemsetSet& frequent, size_t num_threads,
+                              CandidateGenStats* stats) {
   const size_t k_minus_1 = frequent.k();
   ItemsetSet candidates(k_minus_1 + 1);
-  if (frequent.empty()) return candidates;
+  CandidateGenStats local_stats;
+  Timer total_timer;
+  if (frequent.empty()) {
+    if (stats != nullptr) *stats = local_stats;
+    return candidates;
+  }
 
-  auto attr_of = [&catalog](int32_t id) { return catalog.item(id).attr; };
+  const size_t n = frequent.size();
+  const size_t threads =
+      n >= kMinParallelItemsets ? ResolveNumThreads(num_threads) : 1;
 
   // Join phase: runs sharing the first k-2 ids are contiguous because the
-  // set is lexicographically sorted.
+  // set is lexicographically sorted. Run boundaries are found in one cheap
+  // serial sweep (run_end[i] = end of the run containing itemset i); the
+  // quadratic join work is sharded by outer itemset index.
+  Timer phase_timer;
   const size_t prefix_len = k_minus_1 - 1;
-  size_t run_start = 0;
-  const size_t n = frequent.size();
-  std::vector<int32_t> scratch(k_minus_1 + 1);
-  while (run_start < n) {
-    size_t run_end = run_start + 1;
-    const int32_t* base = frequent.itemset(run_start);
-    while (run_end < n &&
-           std::equal(base, base + prefix_len, frequent.itemset(run_end))) {
-      ++run_end;
-    }
-    for (size_t i = run_start; i < run_end; ++i) {
-      const int32_t last_i = frequent.itemset(i)[k_minus_1 - 1];
-      const int32_t attr_i = attr_of(last_i);
-      for (size_t j = i + 1; j < run_end; ++j) {
-        const int32_t last_j = frequent.itemset(j)[k_minus_1 - 1];
-        // Item ids are sorted by attribute, so within the run attributes are
-        // non-decreasing; all partners after the first attribute change
-        // qualify.
-        if (attr_of(last_j) == attr_i) continue;
-        std::copy(frequent.itemset(i), frequent.itemset(i) + k_minus_1,
-                  scratch.begin());
-        scratch[k_minus_1] = last_j;
-        candidates.Append(scratch.data());
+  std::vector<size_t> run_end(n);
+  {
+    size_t run_start = 0;
+    while (run_start < n) {
+      const int32_t* base = frequent.itemset(run_start);
+      size_t end = run_start + 1;
+      while (end < n &&
+             std::equal(base, base + prefix_len, frequent.itemset(end))) {
+        ++end;
       }
+      for (size_t i = run_start; i < end; ++i) run_end[i] = end;
+      run_start = end;
     }
-    run_start = run_end;
   }
 
-  // Prune phase (k >= 3): every (k-1)-subset must be frequent. Dropping the
-  // last or second-to-last item reproduces the two join parents, so only
-  // subsets skipping an earlier position need checking.
-  if (k_minus_1 >= 2) {
-    ItemsetSet pruned(k_minus_1 + 1);
-    std::vector<int32_t> subset(k_minus_1);
-    const size_t k = k_minus_1 + 1;
-    for (size_t c = 0; c < candidates.size(); ++c) {
-      const int32_t* ids = candidates.itemset(c);
-      bool keep = true;
-      for (size_t skip = 0; keep && skip + 2 < k; ++skip) {
-        size_t out = 0;
-        for (size_t i = 0; i < k; ++i) {
-          if (i != skip) subset[out++] = ids[i];
-        }
-        keep = frequent.Contains(subset.data());
-      }
-      if (keep) pruned.Append(ids);
-    }
-    return pruned;
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    local_stats.threads_used = threads;
   }
+
+  if (pool == nullptr) {
+    JoinOuterRange(catalog, frequent, run_end, 0, n, &candidates);
+  } else {
+    // One ItemsetSet per chunk, concatenated in chunk order: identical to
+    // the serial output no matter which worker ran which chunk.
+    const std::vector<IndexRange> chunks =
+        SplitRange(n, threads * kChunksPerThread);
+    std::vector<ItemsetSet> partial(chunks.size(), ItemsetSet(k_minus_1 + 1));
+    pool->ParallelFor(chunks.size(), [&](size_t chunk) {
+      JoinOuterRange(catalog, frequent, run_end, chunks[chunk].begin,
+                     chunks[chunk].end, &partial[chunk]);
+    });
+    size_t total = 0;
+    for (const ItemsetSet& p : partial) total += p.size();
+    candidates.Reserve(total);
+    for (const ItemsetSet& p : partial) candidates.AppendAll(p);
+  }
+  local_stats.join_candidates = candidates.size();
+  local_stats.join_seconds = phase_timer.ElapsedSeconds();
+  phase_timer.Reset();
+
+  // Prune phase (k >= 3): every (k-1)-subset must be frequent. Each worker
+  // marks keep flags over its own candidate range; survivors are collected
+  // in index order, so the result is order-identical to the serial prune.
+  if (k_minus_1 >= 2 && !candidates.empty()) {
+    std::vector<uint8_t> keep(candidates.size(), 0);
+    if (pool == nullptr || candidates.size() < kMinParallelItemsets) {
+      PruneRange(frequent, candidates, 0, candidates.size(), &keep);
+    } else {
+      const std::vector<IndexRange> chunks =
+          SplitRange(candidates.size(), threads * kChunksPerThread);
+      pool->ParallelFor(chunks.size(), [&](size_t chunk) {
+        PruneRange(frequent, candidates, chunks[chunk].begin,
+                   chunks[chunk].end, &keep);
+      });
+    }
+    ItemsetSet pruned(k_minus_1 + 1);
+    size_t survivors = 0;
+    for (uint8_t flag : keep) survivors += flag;
+    pruned.Reserve(survivors);
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (keep[c]) pruned.Append(candidates.itemset(c));
+    }
+    candidates = std::move(pruned);
+  }
+  local_stats.prune_seconds = phase_timer.ElapsedSeconds();
+  local_stats.seconds = total_timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local_stats;
   return candidates;
 }
 

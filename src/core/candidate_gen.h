@@ -3,6 +3,12 @@
 // items differing (an itemset holds at most one item per attribute), then
 // prune candidates with an infrequent (k-1)-subset. The Lemma 5 interest
 // prune happens earlier, at item level (ItemCatalog).
+//
+// Both phases shard across a worker pool (num_threads > 1): the join over
+// contiguous prefix runs (runs never split, so per-worker outputs
+// concatenated in run order reproduce the serial candidate order exactly),
+// the prune over candidate index ranges. Output is bit-identical to the
+// serial path at any thread count.
 #ifndef QARM_CORE_CANDIDATE_GEN_H_
 #define QARM_CORE_CANDIDATE_GEN_H_
 
@@ -31,6 +37,8 @@ class ItemsetSet {
 
   void Append(const int32_t* ids) { flat_.insert(flat_.end(), ids, ids + k_); }
   void AppendVector(const std::vector<int32_t>& ids) { Append(ids.data()); }
+  // Concatenates another set of the same k (shard reduction).
+  void AppendAll(const ItemsetSet& other);
   void Reserve(size_t n) { flat_.reserve(n * k_); }
 
   // Lexicographic binary search; requires the set to be sorted (itemsets
@@ -42,11 +50,25 @@ class ItemsetSet {
   std::vector<int32_t> flat_;
 };
 
+// Observability for one candidate-generation call.
+struct CandidateGenStats {
+  size_t threads_used = 1;
+  // Candidates out of the join phase (before the subset prune).
+  size_t join_candidates = 0;
+  double join_seconds = 0.0;
+  double prune_seconds = 0.0;
+  double seconds = 0.0;
+};
+
 // apriori-gen over quantitative items: returns C_k from L_{k-1}.
 // `frequent` must be lexicographically sorted by item id; item ids are
 // sorted by (attribute, lo, hi), so itemsets are attribute-sorted.
+// `num_threads` follows the MinerOptions convention (0 = all hardware
+// cores, 1 = serial); the result does not depend on it.
 ItemsetSet GenerateCandidates(const ItemCatalog& catalog,
-                              const ItemsetSet& frequent);
+                              const ItemsetSet& frequent,
+                              size_t num_threads = 1,
+                              CandidateGenStats* stats = nullptr);
 
 }  // namespace qarm
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "core/expectation.h"
 
 namespace qarm {
@@ -12,17 +13,11 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
-}  // namespace
+// Below this many rules the grouping + evaluation is cheaper than waking a
+// pool; the serial path is taken regardless of num_threads.
+constexpr size_t kMinParallelRules = 64;
 
-size_t InterestEvaluator::KeyHash::operator()(
-    const std::vector<int32_t>& v) const {
-  uint64_t h = 1469598103934665603ULL;
-  for (int32_t x : v) {
-    h ^= static_cast<uint32_t>(x);
-    h *= 1099511628211ULL;
-  }
-  return static_cast<size_t>(h);
-}
+}  // namespace
 
 std::vector<int32_t> InterestEvaluator::WildcardKey(const RangeItemset& items,
                                                     size_t wildcard) {
@@ -115,14 +110,18 @@ bool InterestEvaluator::IsRuleRInterestingWrt(const QuantRule& rule,
                                ancestor.UnionItemset(), ancestor.count);
 }
 
-void InterestEvaluator::EvaluateRules(std::vector<QuantRule>* rules) const {
+void InterestEvaluator::EvaluateRules(std::vector<QuantRule>* rules,
+                                      size_t num_threads,
+                                      size_t* threads_used) const {
+  if (threads_used != nullptr) *threads_used = 1;
   if (level_ <= 0.0) {
     for (QuantRule& rule : *rules) rule.interesting = true;
     return;
   }
 
   // Group rules by (antecedent attributes, consequent attributes): ancestors
-  // must match the attribute split exactly.
+  // must match the attribute split exactly. Ordered map so the grouping is
+  // deterministic; the groups are fully independent afterwards.
   std::map<std::vector<int32_t>, std::vector<size_t>> groups;
   for (size_t i = 0; i < rules->size(); ++i) {
     std::vector<int32_t> key = AttributesOf((*rules)[i].antecedent);
@@ -153,10 +152,20 @@ void InterestEvaluator::EvaluateRules(std::vector<QuantRule>* rules) const {
     return v;
   };
 
-  for (const auto& [key, members] : groups) {
+  // Evaluates one group start to finish. Writes only its own members'
+  // `interesting` flags, reads only its own members and the evaluator's
+  // immutable state — groups never touch each other, so any schedule
+  // produces identical flags.
+  auto evaluate_group = [&](const std::vector<size_t>& members) {
     std::vector<size_t> order = members;
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return volume((*rules)[a]) > volume((*rules)[b]);
+      const double va = volume((*rules)[a]);
+      const double vb = volume((*rules)[b]);
+      // Index tie-break: equal-volume rules are never mutually ancestral
+      // (a strict generalization has strictly larger volume), so the tie
+      // order cannot change any flag — it only pins the schedule.
+      if (va != vb) return va > vb;
+      return a < b;
     });
 
     // Only the *interesting* ancestors processed so far matter: a rule with
@@ -164,7 +173,8 @@ void InterestEvaluator::EvaluateRules(std::vector<QuantRule>* rules) const {
     // are all uninteresting passes vacuously (its close interesting
     // ancestor set is empty). So uninteresting rules never need indexing.
     std::vector<size_t> interesting_so_far;  // global indices, volume desc
-    std::vector<size_t> ancestors;           // scratch
+    std::vector<size_t> ancestors;           // scratch, volume desc
+    std::vector<size_t> close;               // scratch, volume asc
     for (size_t index : order) {
       QuantRule& rule = (*rules)[index];
       ancestors.clear();
@@ -173,31 +183,59 @@ void InterestEvaluator::EvaluateRules(std::vector<QuantRule>* rules) const {
           ancestors.push_back(candidate);
         }
       }
+      // Close = most specialized: the minimal elements of the ancestor set
+      // under the generalization order. Sweep ancestors by *ascending*
+      // volume (most specialized first): an ancestor is close iff it does
+      // not strictly generalize any close ancestor already found —
+      // checking the close set alone suffices because generalization is
+      // transitive (if A generalizes a dropped B, it also generalizes the
+      // closer ancestor that disqualified B). This replaces the all-pairs
+      // O(|ancestors|²) scan with O(|ancestors| · |close|), and |close| is
+      // small (mutually incomparable rules over the same attributes).
       bool interesting = true;
-      if (!ancestors.empty()) {
-        // Close = most specialized: drop any ancestor that strictly
-        // generalizes another interesting ancestor. `ancestors` is in
-        // descending-volume order, so scan pairs once.
-        for (size_t i = 0; i < ancestors.size() && interesting; ++i) {
-          bool has_closer = false;
-          for (size_t j = 0; j < ancestors.size(); ++j) {
-            if (i == j) continue;
-            if (rule_generalizes((*rules)[ancestors[i]],
-                                 (*rules)[ancestors[j]])) {
-              has_closer = true;
-              break;
-            }
-          }
-          if (has_closer) continue;  // not a close ancestor
-          if (!IsRuleRInterestingWrt(rule, (*rules)[ancestors[i]])) {
-            interesting = false;
+      close.clear();
+      for (size_t a = ancestors.size(); a-- > 0 && interesting;) {
+        const QuantRule& ancestor = (*rules)[ancestors[a]];
+        bool dominated = false;
+        for (size_t c : close) {
+          if (rule_generalizes(ancestor, (*rules)[c])) {
+            dominated = true;
+            break;
           }
         }
+        if (dominated) continue;  // not a close ancestor
+        close.push_back(ancestors[a]);
+        if (!IsRuleRInterestingWrt(rule, ancestor)) interesting = false;
       }
       rule.interesting = interesting;
       if (interesting) interesting_so_far.push_back(index);
     }
+  };
+
+  const size_t threads = rules->size() >= kMinParallelRules
+                             ? std::min(ResolveNumThreads(num_threads),
+                                        groups.size())
+                             : 1;
+  if (threads <= 1) {
+    for (const auto& [key, members] : groups) evaluate_group(members);
+    return;
   }
+  if (threads_used != nullptr) *threads_used = threads;
+
+  // One task per group, biggest first: group costs are quadratic in member
+  // count, so starting the heavy ones early lets the pool's dynamic task
+  // claiming backfill the small ones behind them.
+  std::vector<const std::vector<size_t>*> group_list;
+  group_list.reserve(groups.size());
+  for (const auto& [key, members] : groups) group_list.push_back(&members);
+  std::stable_sort(group_list.begin(), group_list.end(),
+                   [](const std::vector<size_t>* a,
+                      const std::vector<size_t>* b) {
+                     return a->size() > b->size();
+                   });
+  ThreadPool pool(threads);
+  pool.ParallelFor(group_list.size(),
+                   [&](size_t g) { evaluate_group(*group_list[g]); });
 }
 
 }  // namespace qarm

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "core/frequent_items.h"
 #include "core/item.h"
 #include "core/options.h"
@@ -38,7 +39,18 @@ class InterestEvaluator {
 
   // Sets rule.interesting on every rule: most-general rules first, each rule
   // tested against its close ancestors among the already-interesting ones.
-  void EvaluateRules(std::vector<QuantRule>* rules) const;
+  //
+  // Rules only interact within their (antecedent attributes, consequent
+  // attributes) group — an ancestor must match the attribute split exactly —
+  // so with `num_threads > 1` (0 = all hardware cores) the groups are
+  // evaluated concurrently on a worker pool. Every worker reads the same
+  // precomputed wildcard index (built once at construction, immutable
+  // thereafter) and writes flags only for its own group's rules, so the
+  // flags are identical at any thread count. `threads_used`, when non-null,
+  // receives the parallelism actually applied (1 when there was nothing to
+  // shard).
+  void EvaluateRules(std::vector<QuantRule>* rules, size_t num_threads = 1,
+                     size_t* threads_used = nullptr) const;
 
   // The final itemset measure (exposed for tests): support(z) must be at
   // least R times the expected support based on ẑ, and for every frequent
@@ -53,10 +65,6 @@ class InterestEvaluator {
                              const QuantRule& ancestor) const;
 
  private:
-  struct KeyHash {
-    size_t operator()(const std::vector<int32_t>& v) const;
-  };
-
   // Serializes an itemset with the range at position `wildcard` masked out;
   // two itemsets share a key iff they are identical except at that position.
   static std::vector<int32_t> WildcardKey(const RangeItemset& items,
@@ -76,8 +84,11 @@ class InterestEvaluator {
   // itemset-with-that-position-wildcarded. The specialization-difference
   // test only involves specializations differing in exactly one attribute
   // (otherwise the difference is not a box), so this index answers it in
-  // O(items) lookups.
-  std::unordered_map<std::vector<int32_t>, std::vector<size_t>, KeyHash>
+  // O(items) lookups. Built once at construction; EvaluateRules workers
+  // share it read-only. Hash: the unified FNV-1a+splitmix64 of
+  // common/hash.h (shared with the counting pass's GroupKeyHash).
+  std::unordered_map<std::vector<int32_t>, std::vector<size_t>,
+                     Int32VectorHash>
       by_wildcard_;
 };
 

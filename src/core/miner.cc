@@ -138,11 +138,18 @@ Status QuantitativeRuleMiner::MineWithSource(const RecordSource& source,
                         MineFrequentItemsets(source, catalog, options_));
   stats.passes = frequent.passes;
   stats.itemset_seconds = timer.ElapsedSeconds();
+  for (const PassStats& pass : frequent.passes) {
+    stats.candgen_seconds += pass.candgen.seconds;
+    stats.candgen_threads_used =
+        std::max(stats.candgen_threads_used, pass.candgen.threads_used);
+  }
 
   // Step 4: rules.
   timer.Reset();
-  result->rules = GenerateQuantRules(frequent.itemsets, catalog, num_rows,
-                                     options_.minconf);
+  result->rules =
+      GenerateQuantRules(frequent.itemsets, catalog, num_rows,
+                         options_.minconf, options_.num_threads,
+                         &stats.rulegen_threads_used);
   stats.num_rules = result->rules.size();
   stats.rulegen_seconds = timer.ElapsedSeconds();
 
@@ -152,7 +159,8 @@ Status QuantitativeRuleMiner::MineWithSource(const RecordSource& source,
     InterestEvaluator evaluator(&catalog, &frequent.itemsets,
                                 options_.interest_level,
                                 options_.interest_mode);
-    evaluator.EvaluateRules(&result->rules);
+    evaluator.EvaluateRules(&result->rules, options_.num_threads,
+                            &stats.interest_threads_used);
   }
   stats.num_interesting_rules = 0;
   for (const QuantRule& rule : result->rules) {
@@ -160,15 +168,31 @@ Status QuantitativeRuleMiner::MineWithSource(const RecordSource& source,
   }
   stats.interest_seconds = timer.ElapsedSeconds();
 
-  // Decode the frequent itemsets for the caller.
-  result->frequent_itemsets.reserve(frequent.itemsets.size());
+  // Decode the frequent itemsets for the caller. Each decode is independent
+  // and index-addressed, so sharding the range cannot change the output.
+  result->frequent_itemsets.resize(frequent.itemsets.size());
   const double n = static_cast<double>(num_rows);
-  for (const FrequentItemset& f : frequent.itemsets) {
-    FrequentRangeItemset decoded;
-    decoded.items = catalog.Decode(f.items);
-    decoded.count = f.count;
-    decoded.support = n > 0 ? static_cast<double>(f.count) / n : 0.0;
-    result->frequent_itemsets.push_back(std::move(decoded));
+  auto decode_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const FrequentItemset& f = frequent.itemsets[i];
+      FrequentRangeItemset& decoded = result->frequent_itemsets[i];
+      decoded.items = catalog.Decode(f.items);
+      decoded.count = f.count;
+      decoded.support = n > 0 ? static_cast<double>(f.count) / n : 0.0;
+    }
+  };
+  constexpr size_t kMinParallelDecodes = 512;
+  const size_t decode_threads =
+      frequent.itemsets.size() >= kMinParallelDecodes ? stats.num_threads : 1;
+  if (decode_threads <= 1) {
+    decode_range(0, frequent.itemsets.size());
+  } else {
+    const std::vector<IndexRange> shards =
+        SplitRange(frequent.itemsets.size(), decode_threads);
+    ThreadPool pool(decode_threads);
+    pool.ParallelFor(shards.size(), [&](size_t s) {
+      decode_range(shards[s].begin, shards[s].end);
+    });
   }
 
   stats.total_seconds = total_timer.ElapsedSeconds();

@@ -55,9 +55,19 @@ struct MiningStats {
   double map_seconds = 0.0;
   double pass1_seconds = 0.0;
   double itemset_seconds = 0.0;
+  // Candidate generation time summed over all passes (also available
+  // per pass in passes[k].candgen); itemset_seconds includes it.
+  double candgen_seconds = 0.0;
   double rulegen_seconds = 0.0;
   double interest_seconds = 0.0;
   double total_seconds = 0.0;
+  // Parallelism actually applied per post-counting phase: 1 when the phase
+  // fell back to the serial path (too little work to shard), otherwise the
+  // resolved worker count. Counting-phase parallelism is per pass, in
+  // passes[k].counting.threads_used.
+  size_t candgen_threads_used = 1;
+  size_t rulegen_threads_used = 1;
+  size_t interest_threads_used = 1;
 };
 
 // Everything a mining run produces. `mapped` carries the decode metadata

@@ -71,10 +71,12 @@ struct MinerOptions {
   uint64_t counter_memory_budget_bytes = 64ull << 20;
 
   // Worker threads for the database scans (the pass-1 value-count scan and
-  // each support-counting pass). 1 = the serial path, bit-identical to the
-  // single-threaded miner; 0 = one thread per hardware core. Multi-threaded
-  // counts are exact (integer counters reduced across shards), so results
-  // never depend on this setting.
+  // each support-counting pass) and for the post-counting pipeline
+  // (candidate generation, rule generation + decode, and interest
+  // evaluation). 1 = the serial path, bit-identical to the single-threaded
+  // miner; 0 = one thread per hardware core. Every parallel phase reduces
+  // per-worker results in a fixed order (and counts are exact integers), so
+  // outputs never depend on this setting.
   size_t num_threads = 1;
 
   // Budget for the *extra* per-thread replicas of dense counting grids that

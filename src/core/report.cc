@@ -107,6 +107,17 @@ std::string StatsToJson(const MiningStats& stats) {
       stats.items_pruned_by_interest, stats.achieved_partial_completeness,
       stats.num_rules, stats.num_interesting_rules, stats.total_seconds);
   out += StrFormat(
+      ",\"map_seconds\":%.6f,\"pass1_seconds\":%.6f,"
+      "\"itemset_seconds\":%.6f,\"candgen_seconds\":%.6f,"
+      "\"rulegen_seconds\":%.6f,\"interest_seconds\":%.6f",
+      stats.map_seconds, stats.pass1_seconds, stats.itemset_seconds,
+      stats.candgen_seconds, stats.rulegen_seconds, stats.interest_seconds);
+  out += StrFormat(
+      ",\"candgen_threads_used\":%zu,\"rulegen_threads_used\":%zu,"
+      "\"interest_threads_used\":%zu",
+      stats.candgen_threads_used, stats.rulegen_threads_used,
+      stats.interest_threads_used);
+  out += StrFormat(
       ",\"pass1_io\":{\"blocks_read\":%llu,\"bytes_read\":%llu,"
       "\"checksum_seconds\":%.6f}",
       static_cast<unsigned long long>(stats.pass1_io.blocks_read),
@@ -119,6 +130,8 @@ std::string StatsToJson(const MiningStats& stats) {
     if (i > 0) out += ',';
     out += StrFormat(
         "{\"k\":%zu,\"candidates\":%zu,\"frequent\":%zu,"
+        "\"candgen\":{\"threads_used\":%zu,\"join_candidates\":%zu,"
+        "\"join_seconds\":%.6f,\"prune_seconds\":%.6f,\"seconds\":%.6f},"
         "\"super_candidates\":%zu,\"array_counters\":%zu,"
         "\"tree_counters\":%zu,\"direct_counters\":%zu,"
         "\"atomic_shared_counters\":%zu,\"threads_used\":%zu,"
@@ -129,6 +142,9 @@ std::string StatsToJson(const MiningStats& stats) {
         "\"checksum_seconds\":%.6f},"
         "\"seconds\":%.6f}",
         pass.k, pass.num_candidates, pass.num_frequent,
+        pass.candgen.threads_used, pass.candgen.join_candidates,
+        pass.candgen.join_seconds, pass.candgen.prune_seconds,
+        pass.candgen.seconds,
         counting.num_super_candidates, counting.num_array_counters,
         counting.num_tree_counters, counting.num_direct,
         counting.num_atomic_shared, counting.threads_used,

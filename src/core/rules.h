@@ -29,10 +29,15 @@ struct QuantRule {
 };
 
 // Generates all rules with confidence >= minconf from the frequent itemsets
-// (reusing ap-genrules over item ids) and decodes them into ranges.
+// (reusing ap-genrules over item ids) and decodes them into ranges. With
+// `num_threads > 1` (0 = all hardware cores) both the per-itemset rule
+// generation and the range decode fan out across a worker pool; the rules
+// are identical, in the same order, at any thread count. `threads_used`,
+// when non-null, receives the parallelism actually applied.
 std::vector<QuantRule> GenerateQuantRules(
     const std::vector<FrequentItemset>& itemsets, const ItemCatalog& catalog,
-    size_t num_records, double minconf);
+    size_t num_records, double minconf, size_t num_threads = 1,
+    size_t* threads_used = nullptr);
 
 // "<Age: 20..29> and <Married: Yes> => <NumCars: 2> (support 40%,
 //  confidence 100%)".

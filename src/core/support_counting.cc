@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/hash.h"
 #include "common/macros.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -43,21 +44,10 @@ struct WorkerCounters {
 }  // namespace
 
 size_t GroupKeyHash::operator()(const std::vector<int32_t>& v) const {
-  // FNV-1a over the words...
-  uint64_t h = 1469598103934665603ULL;
-  for (int32_t x : v) {
-    h ^= static_cast<uint32_t>(x);
-    h *= 1099511628211ULL;
-  }
-  // ...then a splitmix64 finalizer: FNV alone leaves the low bits (the ones
-  // an unordered_map's bucket mask uses) poorly mixed for short keys of
-  // small integers, where attr indices and item ids collide structurally.
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= h >> 33;
-  h *= 0xc4ceb9fe1a85ec53ULL;
-  h ^= h >> 33;
-  return static_cast<size_t>(h);
+  // The shared FNV-1a+splitmix64 of common/hash.h; the finalizer matters
+  // here because short keys of small integers (attr indices, item ids)
+  // collide structurally under an unordered_map's bucket mask otherwise.
+  return static_cast<size_t>(HashInt32Words(v.data(), v.size()));
 }
 
 std::vector<uint32_t> CountSupports(const MappedTable& table,
@@ -357,6 +347,9 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
   IntRect rect;
   for (SuperCandidate& sc : groups) {
     if (sc.quant_attrs.empty()) {
+      // Counts are bounded by the record count, but that invariant lives far
+      // from here (in the scan workers); guard the narrowing explicitly.
+      QARM_CHECK_LE(sc.direct_count, std::numeric_limits<uint32_t>::max());
       counts[sc.members[0]] = static_cast<uint32_t>(sc.direct_count);
       continue;
     }
@@ -380,7 +373,9 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
         rect.hi[d] = item.hi;
         ++d;
       }
-      counts[member] = static_cast<uint32_t>(sc.array->CountRect(rect));
+      const uint64_t rect_count = sc.array->CountRect(rect);
+      QARM_CHECK_LE(rect_count, std::numeric_limits<uint32_t>::max());
+      counts[member] = static_cast<uint32_t>(rect_count);
     }
     sc.array.reset();  // release the grid before the next group collects
   }

@@ -53,8 +53,8 @@ struct CountingStats {
 };
 
 // Hash for super-candidate group keys ([quantitative attrs..., -1,
-// categorical item ids...]): FNV-1a over the words, finalized with a
-// 64->64 bit mixer (splitmix64) so that the sparse, small-integer inputs —
+// categorical item ids...]). Delegates to the shared FNV-1a+splitmix64 of
+// common/hash.h: the finalizer keeps the sparse, small-integer inputs —
 // attribute indices and item ids draw from the same small range — spread
 // over the whole size_t range instead of clustering in the low bits.
 struct GroupKeyHash {

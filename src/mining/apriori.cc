@@ -3,11 +3,20 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "index/hash_tree.h"
 
 namespace qarm {
+namespace {
+
+// Below this many transactions a counting pass is cheaper than waking the
+// pool; the serial path is taken regardless of num_threads.
+constexpr size_t kMinParallelTransactions = 1024;
+
+}  // namespace
 
 std::vector<std::vector<int32_t>> AprioriGen(
     const std::vector<std::vector<int32_t>>& frequent) {
@@ -86,6 +95,13 @@ std::vector<FrequentItemset> AprioriMine(
     }
   }
 
+  // Pool for the counting passes: created lazily on the first pass that is
+  // large enough to shard, then reused across passes.
+  const size_t threads = transactions.size() >= kMinParallelTransactions
+                             ? ResolveNumThreads(options.num_threads)
+                             : 1;
+  std::unique_ptr<ThreadPool> pool;
+
   // Passes k >= 2.
   while (!frequent.empty()) {
     std::vector<std::vector<int32_t>> candidates = AprioriGen(frequent);
@@ -96,9 +112,33 @@ std::vector<FrequentItemset> AprioriMine(
       tree.Insert(candidates[i], static_cast<int32_t>(i));
     }
     std::vector<uint64_t> counts(candidates.size(), 0);
-    for (const Transaction& t : transactions) {
-      tree.ForEachSubset(
-          t, [&counts](int32_t id) { ++counts[static_cast<size_t>(id)]; });
+    if (threads <= 1) {
+      for (const Transaction& t : transactions) {
+        tree.ForEachSubset(
+            t, [&counts](int32_t id) { ++counts[static_cast<size_t>(id)]; });
+      }
+    } else {
+      // Shard the transactions; each worker probes the (now immutable) tree
+      // with its own scratch into its own counter vector. Addition commutes,
+      // so the shard-order reduction is identical to the serial counts.
+      if (pool == nullptr) pool = std::make_unique<ThreadPool>(threads);
+      const std::vector<IndexRange> shards =
+          SplitRange(transactions.size(), threads);
+      std::vector<std::vector<uint64_t>> partial(
+          shards.size(), std::vector<uint64_t>(candidates.size(), 0));
+      pool->ParallelFor(shards.size(), [&](size_t s) {
+        std::vector<uint64_t>& local = partial[s];
+        HashTree::SubsetScratch scratch;
+        for (size_t i = shards[s].begin; i < shards[s].end; ++i) {
+          tree.ForEachSubset(
+              transactions[i],
+              [&local](int32_t id) { ++local[static_cast<size_t>(id)]; },
+              &scratch);
+        }
+      });
+      for (const std::vector<uint64_t>& local : partial) {
+        for (size_t i = 0; i < counts.size(); ++i) counts[i] += local[i];
+      }
     }
 
     frequent.clear();

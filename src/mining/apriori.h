@@ -31,6 +31,10 @@ struct AprioriOptions {
   // Hash-tree shape.
   size_t leaf_capacity = 32;
   size_t fanout = 64;
+  // Workers for the per-pass subset counting (1 = serial, 0 = all hardware
+  // cores). Counts are accumulated per worker and reduced in shard order,
+  // so the mined itemsets are identical at any thread count.
+  size_t num_threads = 1;
 };
 
 // Candidate generation (the apriori-gen function): joins L_{k-1} with itself

@@ -3,10 +3,28 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/hash.h"
 #include "common/macros.h"
+#include "common/thread_pool.h"
 
 namespace qarm {
 namespace {
+
+// Below this many frequent itemsets the whole generation is cheaper than
+// waking a pool; the serial path is taken regardless of num_threads.
+constexpr size_t kMinParallelItemsets = 128;
+
+// Tasks per worker: itemset costs vary wildly (rule count is exponential in
+// itemset size), so hand the pool more chunks than workers and let dynamic
+// task claiming balance them.
+constexpr size_t kChunksPerThread = 8;
+
+// Itemset-support lookup; itemset collections reach into the millions, so
+// hashed lookup beats an ordered map by a large constant. Uses the shared
+// FNV-1a+splitmix64 hash (common/hash.h) — short small-integer keys need
+// the finalizer to spread over the bucket mask.
+using SupportMap =
+    std::unordered_map<std::vector<int32_t>, uint64_t, Int32VectorHash>;
 
 // Set difference of sorted vectors: a \ b.
 std::vector<int32_t> Difference(const std::vector<int32_t>& a,
@@ -18,73 +36,91 @@ std::vector<int32_t> Difference(const std::vector<int32_t>& a,
   return out;
 }
 
-// FNV-1a over the item ids; itemset collections reach into the millions, so
-// hashed lookup beats an ordered map by a large constant.
-struct ItemsetHash {
-  size_t operator()(const std::vector<int32_t>& v) const {
-    uint64_t h = 1469598103934665603ULL;
-    for (int32_t x : v) {
-      h ^= static_cast<uint32_t>(x);
-      h *= 1099511628211ULL;
+// ap-genrules for one frequent itemset: grow consequents level-wise; if a
+// consequent fails the confidence test, all of its supersets fail too (a
+// superset consequent has a smaller antecedent, hence larger antecedent
+// support, hence no larger confidence). Appends rules to `rules` in the
+// same order the serial algorithm emits them.
+void GenerateRulesFor(const FrequentItemset& itemset,
+                      const SupportMap& support, double n, double minconf,
+                      std::vector<BooleanRule>* rules) {
+  if (itemset.items.size() < 2) return;
+  const double itemset_support = static_cast<double>(itemset.count);
+
+  std::vector<std::vector<int32_t>> consequents;
+  for (int32_t item : itemset.items) consequents.push_back({item});
+
+  // The loop condition consequents[0].size() < itemset.items.size()
+  // guarantees a non-empty antecedent (the whole itemset is never a
+  // consequent).
+  while (!consequents.empty() &&
+         consequents[0].size() < itemset.items.size()) {
+    std::vector<std::vector<int32_t>> surviving;
+    for (const std::vector<int32_t>& consequent : consequents) {
+      std::vector<int32_t> antecedent = Difference(itemset.items, consequent);
+      auto it = support.find(antecedent);
+      QARM_CHECK(it != support.end());
+      double confidence = itemset_support / static_cast<double>(it->second);
+      if (confidence + 1e-12 >= minconf) {
+        BooleanRule rule;
+        rule.antecedent = std::move(antecedent);
+        rule.consequent = consequent;
+        rule.count = itemset.count;
+        rule.support = itemset_support / n;
+        rule.confidence = confidence;
+        rules->push_back(std::move(rule));
+        surviving.push_back(consequent);
+      }
     }
-    return static_cast<size_t>(h);
+    std::sort(surviving.begin(), surviving.end());
+    consequents = AprioriGen(surviving);
   }
-};
+}
 
 }  // namespace
 
 std::vector<BooleanRule> GenerateRules(
     const std::vector<FrequentItemset>& itemsets, size_t num_transactions,
-    double minconf) {
-  std::unordered_map<std::vector<int32_t>, uint64_t, ItemsetHash> support;
+    double minconf, size_t num_threads, size_t* threads_used) {
+  SupportMap support;
   support.reserve(itemsets.size() * 2);
   for (const FrequentItemset& itemset : itemsets) {
     support[itemset.items] = itemset.count;
   }
 
-  std::vector<BooleanRule> rules;
   const double n = static_cast<double>(num_transactions);
+  const size_t threads = itemsets.size() >= kMinParallelItemsets
+                             ? ResolveNumThreads(num_threads)
+                             : 1;
 
-  for (const FrequentItemset& itemset : itemsets) {
-    if (itemset.items.size() < 2) continue;
-    const double itemset_support = static_cast<double>(itemset.count);
-
-    // ap-genrules: grow consequents level-wise; if a consequent fails the
-    // confidence test, all of its supersets fail too (antecedent support
-    // only grows as the consequent shrinks... the converse: a superset
-    // consequent has a smaller antecedent, hence larger antecedent support,
-    // hence no larger confidence).
-    std::vector<std::vector<int32_t>> consequents;
-    for (int32_t item : itemset.items) consequents.push_back({item});
-
-    while (!consequents.empty() &&
-           consequents[0].size() < itemset.items.size()) {
-      std::vector<std::vector<int32_t>> surviving;
-      for (const std::vector<int32_t>& consequent : consequents) {
-        std::vector<int32_t> antecedent =
-            Difference(itemset.items, consequent);
-        auto it = support.find(antecedent);
-        QARM_CHECK(it != support.end());
-        double confidence = itemset_support / static_cast<double>(it->second);
-        if (confidence + 1e-12 >= minconf) {
-          BooleanRule rule;
-          rule.antecedent = std::move(antecedent);
-          rule.consequent = consequent;
-          rule.count = itemset.count;
-          rule.support = itemset_support / n;
-          rule.confidence = confidence;
-          rules.push_back(std::move(rule));
-          surviving.push_back(consequent);
-        }
-      }
-      std::sort(surviving.begin(), surviving.end());
-      consequents = AprioriGen(surviving);
+  std::vector<BooleanRule> rules;
+  if (threads <= 1) {
+    if (threads_used != nullptr) *threads_used = 1;
+    for (const FrequentItemset& itemset : itemsets) {
+      GenerateRulesFor(itemset, support, n, minconf, &rules);
     }
+    return rules;
+  }
 
-    // Handle the final level where the consequent is the whole itemset minus
-    // nothing -- not a rule (antecedent would be empty), so stop before it.
-    // (The loop condition consequents[0].size() < itemset.items.size()
-    // already guarantees a non-empty antecedent.)
+  // Fan out itemset chunks across the pool; the support map and the input
+  // are read-only during the scan, and each chunk fills its own buffer.
+  // Concatenating the buffers in chunk order reproduces the serial rule
+  // order exactly.
+  if (threads_used != nullptr) *threads_used = threads;
+  const std::vector<IndexRange> chunks =
+      SplitRange(itemsets.size(), threads * kChunksPerThread);
+  std::vector<std::vector<BooleanRule>> partial(chunks.size());
+  ThreadPool pool(threads);
+  pool.ParallelFor(chunks.size(), [&](size_t chunk) {
+    for (size_t i = chunks[chunk].begin; i < chunks[chunk].end; ++i) {
+      GenerateRulesFor(itemsets[i], support, n, minconf, &partial[chunk]);
+    }
+  });
+  size_t total = 0;
+  for (const std::vector<BooleanRule>& p : partial) total += p.size();
+  rules.reserve(total);
+  for (std::vector<BooleanRule>& p : partial) {
+    for (BooleanRule& rule : p) rules.push_back(std::move(rule));
   }
   return rules;
 }

@@ -30,9 +30,16 @@ struct BooleanRule {
 // and confidence >= minconf. `itemsets` must contain every frequent itemset
 // together with all of its subsets (Apriori guarantees this).
 // `num_transactions` converts counts to support fractions.
+//
+// Rule generation is independent per frequent itemset, so `num_threads > 1`
+// (0 = all hardware cores) fans itemsets out across a worker pool with
+// per-chunk rule buffers concatenated in itemset order — the returned rules
+// are identical, in the same order, at any thread count. `threads_used`,
+// when non-null, receives the parallelism actually applied (1 when the
+// input was too small to shard).
 std::vector<BooleanRule> GenerateRules(
     const std::vector<FrequentItemset>& itemsets, size_t num_transactions,
-    double minconf);
+    double minconf, size_t num_threads = 1, size_t* threads_used = nullptr);
 
 }  // namespace qarm
 
