@@ -1,0 +1,34 @@
+// Fuzz harness for the CLI flag parser: the input is split on newlines
+// into an argv vector and run through ParseCliArgs + MinerOptionsFromFlags
+// (which calls MinerOptions::Validate). Property: no flag combination —
+// non-numeric values, NaN/inf, overflowing integers, inconsistent ranges —
+// can crash or abort; everything comes back as Status. The harness never
+// touches the filesystem (parsing stops before any file open).
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tools/cli_flags.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string input(reinterpret_cast<const char*>(data), size);
+  std::vector<std::string> args;
+  size_t start = 0;
+  while (start <= input.size() && args.size() < 64) {
+    size_t end = input.find('\n', start);
+    if (end == std::string::npos) end = input.size();
+    args.push_back(input.substr(start, end - start));
+    start = end + 1;
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+
+  auto flags = qarm::ParseCliArgs(static_cast<int>(argv.size()), argv.data(),
+                                  /*first_arg=*/0);
+  if (!flags.ok()) return 0;
+  auto options = qarm::MinerOptionsFromFlags(*flags);
+  if (options.ok()) (void)options->Validate();
+  return 0;
+}

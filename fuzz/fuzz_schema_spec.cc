@@ -1,0 +1,19 @@
+// Fuzz harness for the schema-spec parser (the --schema=SPEC string).
+// Property: Schema::Parse never crashes, aborts, or leaks on arbitrary
+// bytes — it either returns a schema or an InvalidArgument status.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "table/schema.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string spec(reinterpret_cast<const char*>(data), size);
+  auto schema = qarm::Schema::Parse(spec);
+  if (schema.ok()) {
+    // Exercise the accessors a consumer would touch.
+    (void)schema->num_quantitative();
+    (void)schema->ToString();
+  }
+  return 0;
+}

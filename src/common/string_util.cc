@@ -1,7 +1,10 @@
 #include "common/string_util.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace qarm {
 
@@ -55,6 +58,46 @@ std::string FormatDouble(double value, int precision) {
     s.erase(last + 1);
   }
   return s;
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  std::string field(StripWhitespace(text));
+  if (field.empty()) {
+    return Status::InvalidArgument("expected a number, got empty text");
+  }
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("'" + field + "' is not a number");
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    return Status::OutOfRange("'" + field + "' is out of range for a double");
+  }
+  return v;
+}
+
+Result<uint64_t> ParseUint64(std::string_view text) {
+  std::string field(StripWhitespace(text));
+  if (field.empty()) {
+    return Status::InvalidArgument("expected an integer, got empty text");
+  }
+  // strtoull silently negates "-1"; reject any sign explicitly.
+  if (field[0] == '-' || field[0] == '+') {
+    return Status::InvalidArgument("'" + field +
+                                   "' is not an unsigned integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("'" + field +
+                                   "' is not an unsigned integer");
+  }
+  if (errno == ERANGE) {
+    return Status::OutOfRange("'" + field + "' overflows a 64-bit integer");
+  }
+  return static_cast<uint64_t>(v);
 }
 
 std::string StrFormat(const char* fmt, ...) {

@@ -2,9 +2,12 @@
 #ifndef QARM_COMMON_STRING_UTIL_H_
 #define QARM_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/status.h"
 
 namespace qarm {
 
@@ -24,6 +27,13 @@ std::string FormatDouble(double value, int precision = 6);
 // printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+// Strict numeric parsing for untrusted text (CLI flags, config fields).
+// Unlike bare strtod/strtoull these reject empty input, trailing garbage,
+// out-of-range magnitudes, and non-finite results ("nan", "inf"), and never
+// silently yield a default. Leading/trailing ASCII whitespace is allowed.
+Result<double> ParseDouble(std::string_view text);
+Result<uint64_t> ParseUint64(std::string_view text);
 
 }  // namespace qarm
 

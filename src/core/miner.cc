@@ -22,31 +22,7 @@ QuantitativeRuleMiner::QuantitativeRuleMiner(const MinerOptions& options)
     : options_(options) {}
 
 Status QuantitativeRuleMiner::ValidateOptions() const {
-  if (options_.minsup <= 0.0 || options_.minsup > 1.0) {
-    return Status::InvalidArgument(
-        StrFormat("minsup must be in (0,1], got %g", options_.minsup));
-  }
-  if (options_.minconf < 0.0 || options_.minconf > 1.0) {
-    return Status::InvalidArgument(
-        StrFormat("minconf must be in [0,1], got %g", options_.minconf));
-  }
-  if (options_.max_support > 0.0 && options_.max_support < options_.minsup) {
-    return Status::InvalidArgument(StrFormat(
-        "max_support (%g) must be at least minsup (%g)",
-        options_.max_support, options_.minsup));
-  }
-  if (options_.num_intervals_override == 0 &&
-      options_.partial_completeness <= 1.0) {
-    return Status::InvalidArgument(
-        StrFormat("partial completeness must be > 1, got %g",
-                  options_.partial_completeness));
-  }
-  if (options_.interest_level < 0.0) {
-    return Status::InvalidArgument(
-        StrFormat("interest level must be >= 0, got %g",
-                  options_.interest_level));
-  }
-  return Status::OK();
+  return options_.Validate();
 }
 
 Result<MiningResult> QuantitativeRuleMiner::Mine(const Table& table) const {

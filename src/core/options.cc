@@ -1,0 +1,49 @@
+#include "core/options.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace qarm {
+
+Status MinerOptions::Validate() const {
+  // The finiteness checks come first: NaN compares false against every
+  // range bound, so "minsup <= 0 || minsup > 1" alone would wave NaN
+  // through and let it reach Equation 2 arithmetic.
+  if (!std::isfinite(minsup) || minsup <= 0.0 || minsup > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("minsup must be in (0,1], got %g", minsup));
+  }
+  if (!std::isfinite(minconf) || minconf < 0.0 || minconf > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("minconf must be in [0,1], got %g", minconf));
+  }
+  if (!std::isfinite(max_support) || max_support < 0.0 ||
+      max_support > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("max_support must be in [0,1], got %g", max_support));
+  }
+  if (max_support > 0.0 && max_support < minsup) {
+    return Status::InvalidArgument(StrFormat(
+        "max_support (%g) must be at least minsup (%g)", max_support,
+        minsup));
+  }
+  if (!std::isfinite(partial_completeness) ||
+      (num_intervals_override == 0 && partial_completeness <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("partial completeness level must be > 1, got %g",
+                  partial_completeness));
+  }
+  if (!std::isfinite(interest_level) || interest_level < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("interest level must be >= 0, got %g", interest_level));
+  }
+  if (num_threads > kMaxThreads) {
+    return Status::InvalidArgument(
+        StrFormat("num_threads must be at most %zu, got %zu", kMaxThreads,
+                  num_threads));
+  }
+  return Status::OK();
+}
+
+}  // namespace qarm

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "partition/mapper.h"
 #include "partition/taxonomy.h"
 
@@ -99,6 +100,21 @@ struct MinerOptions {
   // (Section 1.1 / [SA95]): interior nodes become generalized categorical
   // items that may appear in rules alongside leaf values.
   std::vector<std::pair<std::string, Taxonomy>> taxonomies;
+
+  // Upper bound accepted for num_threads; far above any real machine, it
+  // exists so a corrupted or hostile thread count cannot exhaust the
+  // process with thread stacks.
+  static constexpr size_t kMaxThreads = 4096;
+
+  // Checks every numeric option for range and mutual consistency:
+  // non-finite values (NaN/inf from a lenient parser) are rejected, minsup
+  // must be in (0,1], minconf in [0,1], max_support in [0,1] and — unless 0
+  // — at least minsup, partial_completeness > 1 whenever Equation 2 is in
+  // effect (num_intervals_override == 0), interest_level >= 0, and
+  // num_threads <= kMaxThreads. Every entry point that accepts untrusted
+  // options (Mine, MineStreamed, the CLI) calls this and propagates the
+  // InvalidArgument instead of aborting.
+  Status Validate() const;
 };
 
 }  // namespace qarm

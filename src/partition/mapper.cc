@@ -1,6 +1,7 @@
 #include "partition/mapper.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <map>
 
@@ -181,12 +182,16 @@ MappedAttribute MapQuantitative(const Table& table, size_t col,
 }  // namespace
 
 Result<MappedTable> MapTable(const Table& table, const MapOptions& options) {
-  if (options.minsup <= 0.0 || options.minsup > 1.0) {
+  // Finiteness first: NaN compares false against every bound below, so it
+  // would otherwise slip through and reach the Equation 2 arithmetic.
+  if (!std::isfinite(options.minsup) || options.minsup <= 0.0 ||
+      options.minsup > 1.0) {
     return Status::InvalidArgument(
         StrFormat("minsup must be in (0,1], got %g", options.minsup));
   }
-  if (options.num_intervals_override == 0 &&
-      options.partial_completeness <= 1.0) {
+  if (!std::isfinite(options.partial_completeness) ||
+      (options.num_intervals_override == 0 &&
+       options.partial_completeness <= 1.0)) {
     return Status::InvalidArgument(StrFormat(
         "partial completeness level must be > 1, got %g",
         options.partial_completeness));

@@ -1,26 +1,40 @@
 #include "partition/partial_completeness.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/macros.h"
 
 namespace qarm {
 
+// Preconditions on k and minsup are validated at the input boundary
+// (MinerOptions::Validate / MapTable); here they are programmer-error
+// checks only, so untrusted input can never reach an abort through these
+// functions.
+
 size_t IntervalsForPartialCompleteness(double k, size_t num_quantitative,
                                        double minsup) {
-  QARM_CHECK_GT(k, 1.0);
-  QARM_CHECK_GT(minsup, 0.0);
+  QARM_DCHECK(k > 1.0);
+  QARM_DCHECK(minsup > 0.0);
   if (num_quantitative == 0) return 1;
   double raw = 2.0 * static_cast<double>(num_quantitative) /
                (minsup * (k - 1.0));
+  // A tiny minsup or a k barely above 1 can push Equation 2 beyond the
+  // integer range; converting such a double to size_t is undefined
+  // behaviour, so saturate. Callers only compare the result against
+  // per-attribute distinct-value counts, which are far smaller.
+  constexpr double kMaxIntervals = 1e18;  // < 2^63, exactly representable
+  if (!(raw < kMaxIntervals)) {          // also catches NaN/inf
+    return static_cast<size_t>(kMaxIntervals);
+  }
   size_t n = static_cast<size_t>(std::ceil(raw - 1e-9));
   return n < 1 ? 1 : n;
 }
 
 double AchievedPartialCompleteness(double max_multi_value_interval_support,
                                    size_t num_quantitative, double minsup) {
-  QARM_CHECK_GT(minsup, 0.0);
-  QARM_CHECK_GE(max_multi_value_interval_support, 0.0);
+  QARM_DCHECK(minsup > 0.0);
+  QARM_DCHECK(max_multi_value_interval_support >= 0.0);
   return 1.0 + 2.0 * static_cast<double>(num_quantitative) *
                    max_multi_value_interval_support / minsup;
 }
@@ -41,7 +55,7 @@ double MaxMultiValueIntervalSupport(const std::vector<Interval>& intervals,
 }
 
 double ScaledMinConfidence(double minconf, double k) {
-  QARM_CHECK_GE(k, 1.0);
+  QARM_DCHECK(k >= 1.0);
   return minconf / k;
 }
 

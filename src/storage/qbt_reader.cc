@@ -47,12 +47,22 @@ class MetaCursor {
     return true;
   }
   size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
 
  private:
   const uint8_t* data_;
   size_t size_;
   size_t pos_ = 0;
 };
+
+// Minimum encoded bytes of one attribute: name length (4) + four flag
+// bytes + three element counts (4 each). Used to bound declared counts
+// against the metadata section before any allocation, so a bit-flipped
+// count can never trigger a multi-gigabyte resize.
+constexpr size_t kMinAttrBytes = 4 + 4 + 4 + 4 + 4;
+constexpr size_t kMinLabelBytes = 4;       // u32 length
+constexpr size_t kIntervalBytes = 8 + 8;   // f64 lo + f64 hi
+constexpr size_t kMinTaxonomyBytes = 4 + 4 + 4;  // name length + lo + hi
 
 Status Corrupt(const std::string& path, const std::string& what) {
   return Status::IOError("'" + path + "' is not a valid QBT file: " + what);
@@ -62,6 +72,12 @@ Result<std::vector<MappedAttribute>> DecodeAttributes(
     const std::string& path, const uint8_t* data, size_t size,
     uint32_t num_attrs) {
   MetaCursor cur(data, size);
+  if (static_cast<uint64_t>(num_attrs) * kMinAttrBytes > size) {
+    return Corrupt(path,
+                   StrFormat("%u attributes cannot fit in %zu metadata "
+                             "bytes",
+                             num_attrs, size));
+  }
   std::vector<MappedAttribute> attrs;
   attrs.reserve(num_attrs);
   for (uint32_t a = 0; a < num_attrs; ++a) {
@@ -85,6 +101,12 @@ Result<std::vector<MappedAttribute>> DecodeAttributes(
     if (!cur.ReadU32(&count)) {
       return Corrupt(path, StrFormat("truncated labels of attribute %u", a));
     }
+    if (static_cast<uint64_t>(count) * kMinLabelBytes > cur.remaining()) {
+      return Corrupt(path,
+                     StrFormat("attribute %u declares %u labels, more than "
+                               "the metadata can hold",
+                               a, count));
+    }
     attr.labels.resize(count);
     for (uint32_t i = 0; i < count; ++i) {
       if (!cur.ReadString(&attr.labels[i])) {
@@ -94,6 +116,12 @@ Result<std::vector<MappedAttribute>> DecodeAttributes(
     if (!cur.ReadU32(&count)) {
       return Corrupt(path,
                      StrFormat("truncated intervals of attribute %u", a));
+    }
+    if (static_cast<uint64_t>(count) * kIntervalBytes > cur.remaining()) {
+      return Corrupt(path,
+                     StrFormat("attribute %u declares %u intervals, more "
+                               "than the metadata can hold",
+                               a, count));
     }
     attr.intervals.resize(count);
     for (uint32_t i = 0; i < count; ++i) {
@@ -106,6 +134,12 @@ Result<std::vector<MappedAttribute>> DecodeAttributes(
     if (!cur.ReadU32(&count)) {
       return Corrupt(path,
                      StrFormat("truncated taxonomy of attribute %u", a));
+    }
+    if (static_cast<uint64_t>(count) * kMinTaxonomyBytes > cur.remaining()) {
+      return Corrupt(path,
+                     StrFormat("attribute %u declares %u taxonomy nodes, "
+                               "more than the metadata can hold",
+                               a, count));
     }
     attr.taxonomy_ranges.resize(count);
     for (uint32_t i = 0; i < count; ++i) {
@@ -182,6 +216,11 @@ Result<std::unique_ptr<QbtReader>> QbtReader::Open(const std::string& path) {
           ? 0
           : (reader->num_rows_ + reader->rows_per_block_ - 1) /
                 reader->rows_per_block_;
+  // Guard the footer_size product: a header-declared row count near 2^64
+  // would otherwise wrap it around and alias a tiny (or empty) footer.
+  if (num_blocks > (size - kQbtTailSize) / kQbtBlockIndexEntrySize) {
+    return Corrupt(path, "block index does not match the row count");
+  }
   const uint64_t footer_size = num_blocks * kQbtBlockIndexEntrySize;
   if (footer_offset > size - kQbtTailSize ||
       size - kQbtTailSize - footer_offset != footer_size) {
@@ -199,13 +238,15 @@ Result<std::unique_ptr<QbtReader>> QbtReader::Open(const std::string& path) {
     block.offset = QbtReadU64(entry);
     block.num_rows = QbtReadU32(entry + 8);
     block.crc32 = QbtReadU32(entry + 12);
-    const uint64_t block_bytes = static_cast<uint64_t>(block.num_rows) *
-                                 num_attrs * sizeof(int32_t);
+    // The size check divides instead of multiplying out block_bytes so an
+    // attacker-chosen row count cannot overflow the comparison.
     if (block.num_rows == 0 || block.num_rows > reader->rows_per_block_ ||
         block.offset % sizeof(int32_t) != 0 ||
         block.offset < kQbtHeaderSize + metadata_size ||
         block.offset > footer_offset ||
-        footer_offset - block.offset < block_bytes) {
+        (num_attrs != 0 &&
+         (footer_offset - block.offset) / sizeof(int32_t) / num_attrs <
+             block.num_rows)) {
       return Corrupt(path, StrFormat("block %zu index entry out of bounds",
                                      b));
     }

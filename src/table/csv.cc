@@ -1,6 +1,7 @@
 #include "table/csv.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -121,6 +122,13 @@ Result<Value> ParseField(const RawField& raw, ValueType type, size_t line) {
       if (errno != 0 || end == field.c_str() || *end != '\0') {
         return Status::InvalidArgument(
             StrFormat("line %zu: '%s' is not a double", line, field.c_str()));
+      }
+      // strtod accepts "nan"/"inf"; neither can be partitioned (NaN breaks
+      // the ordering the interval assignment relies on), so reject them as
+      // malformed data rather than letting them poison the mapper.
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(StrFormat(
+            "line %zu: '%s' is not a finite number", line, field.c_str()));
       }
       return Value(v);
     }

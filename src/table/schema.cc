@@ -40,6 +40,47 @@ Result<Schema> Schema::Make(std::vector<AttributeDef> attributes) {
   return schema;
 }
 
+Result<Schema> Schema::Parse(const std::string& spec) {
+  std::vector<AttributeDef> defs;
+  for (const std::string& field : Split(spec, ',')) {
+    std::vector<std::string> parts = Split(field, ':');
+    if (parts.size() < 2) {
+      return Status::InvalidArgument("schema entry needs NAME:KIND: '" +
+                                     field + "'");
+    }
+    if (parts.size() > 3) {
+      return Status::InvalidArgument("schema entry has too many ':' parts: '" +
+                                     field + "'");
+    }
+    AttributeDef def;
+    def.name = std::string(StripWhitespace(parts[0]));
+    std::string kind(StripWhitespace(parts[1]));
+    if (kind == "quant" || kind == "quantitative") {
+      def.kind = AttributeKind::kQuantitative;
+      def.type = ValueType::kInt64;
+      if (parts.size() > 2) {
+        std::string type(StripWhitespace(parts[2]));
+        if (type == "double") {
+          def.type = ValueType::kDouble;
+        } else if (type != "int") {
+          return Status::InvalidArgument("unknown quantitative type: " + type);
+        }
+      }
+    } else if (kind == "cat" || kind == "categorical") {
+      if (parts.size() > 2) {
+        return Status::InvalidArgument(
+            "categorical attribute takes no type suffix: '" + field + "'");
+      }
+      def.kind = AttributeKind::kCategorical;
+      def.type = ValueType::kString;
+    } else {
+      return Status::InvalidArgument("unknown attribute kind: " + kind);
+    }
+    defs.push_back(std::move(def));
+  }
+  return Make(std::move(defs));
+}
+
 Result<size_t> Schema::IndexOf(const std::string& name) const {
   for (size_t i = 0; i < attributes_.size(); ++i) {
     if (attributes_[i].name == name) return i;

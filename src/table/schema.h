@@ -37,6 +37,14 @@ class Schema {
   // Validates and builds a schema: unique names, quantitative => numeric.
   static Result<Schema> Make(std::vector<AttributeDef> attributes);
 
+  // Parses the user-facing schema-spec string, a comma-separated list of
+  // NAME:KIND entries where KIND is "quant"/"quantitative" (optionally
+  // ":int" or ":double", default int) or "cat"/"categorical". Whitespace
+  // around names and kinds is stripped. Never aborts on malformed text:
+  // every defect — missing kind, unknown kind or numeric type, empty or
+  // duplicate name — comes back as InvalidArgument.
+  static Result<Schema> Parse(const std::string& spec);
+
   size_t num_attributes() const { return attributes_.size(); }
   const AttributeDef& attribute(size_t i) const { return attributes_[i]; }
   const std::vector<AttributeDef>& attributes() const { return attributes_; }

@@ -1,0 +1,109 @@
+// MinerOptions::Validate: the library-path half of the input boundary.
+// Every bad range an embedder (or the CLI) can pass must come back as
+// InvalidArgument — never reach a QARM_CHECK abort deeper in the miner.
+#include "core/options.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace qarm {
+namespace {
+
+TEST(MinerOptionsValidateTest, DefaultsAreValid) {
+  EXPECT_TRUE(MinerOptions().Validate().ok());
+}
+
+TEST(MinerOptionsValidateTest, MinsupRange) {
+  MinerOptions options;
+  for (double bad : {0.0, -0.1, 1.5, std::nan(""),
+                     std::numeric_limits<double>::infinity()}) {
+    options.minsup = bad;
+    EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument)
+        << "minsup=" << bad;
+  }
+  options.minsup = 1.0;
+  options.max_support = 1.0;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(MinerOptionsValidateTest, MinconfRange) {
+  MinerOptions options;
+  for (double bad : {-0.01, 1.01, std::nan("")}) {
+    options.minconf = bad;
+    EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument)
+        << "minconf=" << bad;
+  }
+}
+
+TEST(MinerOptionsValidateTest, MaxSupportConsistency) {
+  MinerOptions options;
+  options.minsup = 0.3;
+  options.max_support = 0.2;  // below minsup
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.max_support = 0.0;  // 0 sentinel stays allowed
+  EXPECT_TRUE(options.Validate().ok());
+  options.max_support = 1.5;  // above 1
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.max_support = std::nan("");
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MinerOptionsValidateTest, PartialCompletenessMustExceedOne) {
+  MinerOptions options;
+  for (double bad : {1.0, 0.5, -2.0, std::nan(""),
+                     std::numeric_limits<double>::infinity()}) {
+    options.partial_completeness = bad;
+    EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument)
+        << "k=" << bad;
+  }
+  // With an explicit interval override, Equation 2 is bypassed and k <= 1
+  // is tolerated — but non-finite k is still rejected.
+  options.num_intervals_override = 4;
+  options.partial_completeness = 1.0;
+  EXPECT_TRUE(options.Validate().ok());
+  options.partial_completeness = std::nan("");
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MinerOptionsValidateTest, InterestLevelAndThreads) {
+  MinerOptions options;
+  options.interest_level = -1.0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.interest_level = std::nan("");
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.interest_level = 2.0;
+  options.num_threads = MinerOptions::kMaxThreads + 1;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.num_threads = MinerOptions::kMaxThreads;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+// The historical crash from the issue: k=1 (or NaN minsup) used to reach
+// QARM_CHECK_GT in partial_completeness.cc through Mine() and abort the
+// process. Both must now fail softly.
+TEST(MinerOptionsValidateTest, MineRejectsBadOptionsInsteadOfAborting) {
+  auto schema = Schema::Parse("Age:quant,Married:cat");
+  ASSERT_TRUE(schema.ok());
+  Table table(*schema);
+  table.AppendRow({Value(int64_t{23}), Value(std::string("no"))});
+  table.AppendRow({Value(int64_t{31}), Value(std::string("yes"))});
+
+  MinerOptions options;
+  options.partial_completeness = 1.0;
+  auto result = QuantitativeRuleMiner(options).Mine(table);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  options.partial_completeness = 2.0;
+  options.minsup = std::nan("");
+  result = QuantitativeRuleMiner(options).Mine(table);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace qarm

@@ -85,6 +85,19 @@ TEST(CsvTest, RejectsBadDouble) {
   EXPECT_FALSE(table.ok());
 }
 
+// nan/inf parse as doubles but poison the partitioner's ordering (NaN
+// breaks sort/lower_bound invariants downstream), so the reader rejects
+// them at the boundary.
+TEST(CsvTest, RejectsNonFiniteDouble) {
+  for (const char* bad : {"nan", "NaN", "inf", "-inf", "1e999"}) {
+    auto table = ReadCsvString(
+        std::string("Age,Married,Score\n23,No,") + bad + "\n",
+        PeopleSchema());
+    EXPECT_FALSE(table.ok()) << "value: " << bad;
+    EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
 TEST(CsvTest, RoundTripThroughString) {
   auto table = ReadCsvString(
       "Age,Married,Score\n"

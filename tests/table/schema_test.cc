@@ -51,6 +51,26 @@ TEST(SchemaTest, IndexOf) {
   EXPECT_EQ(schema->IndexOf("C").status().code(), StatusCode::kNotFound);
 }
 
+TEST(SchemaTest, ParseValidSpec) {
+  auto schema = Schema::Parse("Age:quant,Married:cat,Score:quant:double");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->num_attributes(), 3u);
+  EXPECT_EQ(schema->attribute(0).kind, AttributeKind::kQuantitative);
+  EXPECT_EQ(schema->attribute(0).type, ValueType::kInt64);
+  EXPECT_EQ(schema->attribute(1).kind, AttributeKind::kCategorical);
+  EXPECT_EQ(schema->attribute(2).type, ValueType::kDouble);
+}
+
+TEST(SchemaTest, ParseRejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", "Age", "Age:", ":quant", "Age:quant:float", "Age:wat",
+        "Age:cat:int", "Age:quant:int:extra", "A:quant,A:cat", ","}) {
+    auto schema = Schema::Parse(bad);
+    EXPECT_FALSE(schema.ok()) << "spec: '" << bad << "'";
+    EXPECT_EQ(schema.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
 TEST(SchemaTest, EqualityAndToString) {
   auto a = Schema::Make(
       {{"A", AttributeKind::kQuantitative, ValueType::kInt64}});

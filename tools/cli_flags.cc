@@ -1,0 +1,154 @@
+#include "tools/cli_flags.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace qarm {
+namespace {
+
+const char kUsage[] =
+    "qarm — quantitative association rule miner (Srikant & Agrawal, SIGMOD "
+    "'96)\n\n"
+    "mine (default command):\n"
+    "  --input=FILE          CSV file (header row required)\n"
+    "  --input-qbt=FILE      mine a converted QBT file, streaming its blocks\n"
+    "                        (bounded memory; no --schema needed)\n"
+    "  --schema=SPEC         comma list: NAME:quant[:int|:double] | NAME:cat\n"
+    "  --minsup=F            minimum support fraction        (default 0.10)\n"
+    "  --minconf=F           minimum confidence              (default 0.50)\n"
+    "  --maxsup=F            range-combination cap           (default 0.40)\n"
+    "  --k=F                 partial completeness level, > 1 (default 2.0)\n"
+    "  --interest=F          interest level R; 0 = off       (default 0)\n"
+    "  --intervals=N         override Eq.2 interval count    (default auto)\n"
+    "  --threads=N           scan threads; 0 = all cores     (default 1)\n"
+    "  --block-rows=N        rows per in-memory scan block   (default 65536)\n"
+    "  --method=depth|width|kmeans  partitioning method      (default depth)\n"
+    "  --format=text|json|csv  output format                 (default text)\n"
+    "  --interesting-only    print only interesting rules\n"
+    "  --itemsets            also print frequent itemsets\n"
+    "  --stats               print run statistics (incl. per-pass I/O)\n"
+    "\n"
+    "qarm convert — partition, map, and write a CSV as a QBT file:\n"
+    "  --input=FILE --schema=SPEC --output=FILE.qbt\n"
+    "  [--minsup --k --intervals --method]   partitioning (fixed at convert)\n"
+    "  [--block-rows=N]                      rows per QBT block (default "
+    "65536)\n"
+    "\n"
+    "qarm gen — stream the synthetic financial dataset to CSV:\n"
+    "  --output=FILE.csv --records=N [--seed=N]\n";
+
+bool MatchFlag(const char* arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+Status FlagError(const std::string& flag, const Status& cause) {
+  return Status::InvalidArgument("bad --" + flag + ": " + cause.message());
+}
+
+}  // namespace
+
+const char* CliUsage() { return kUsage; }
+
+Result<double> ParseDoubleFlag(const std::string& flag,
+                               const std::string& value) {
+  Result<double> parsed = ParseDouble(value);
+  if (!parsed.ok()) return FlagError(flag, parsed.status());
+  return *parsed;
+}
+
+Result<size_t> ParseSizeFlag(const std::string& flag,
+                             const std::string& value) {
+  Result<uint64_t> parsed = ParseUint64(value);
+  if (!parsed.ok()) return FlagError(flag, parsed.status());
+  // size_t is 64-bit on every supported host (the storage layer already
+  // requires one), so the cast cannot truncate.
+  return static_cast<size_t>(*parsed);
+}
+
+Result<CliFlags> ParseCliArgs(int argc, char* const* argv, int first_arg) {
+  CliFlags flags;
+  for (int i = first_arg; i < argc; ++i) {
+    std::string value;
+    if (MatchFlag(argv[i], "input", &value)) {
+      flags.input = value;
+    } else if (MatchFlag(argv[i], "input-qbt", &value)) {
+      flags.input_qbt = value;
+    } else if (MatchFlag(argv[i], "output", &value)) {
+      flags.output = value;
+    } else if (MatchFlag(argv[i], "block-rows", &value)) {
+      QARM_ASSIGN_OR_RETURN(flags.block_rows,
+                            ParseSizeFlag("block-rows", value));
+    } else if (MatchFlag(argv[i], "records", &value)) {
+      QARM_ASSIGN_OR_RETURN(flags.records, ParseSizeFlag("records", value));
+    } else if (MatchFlag(argv[i], "seed", &value)) {
+      Result<uint64_t> seed = ParseUint64(value);
+      if (!seed.ok()) return FlagError("seed", seed.status());
+      flags.seed = *seed;
+    } else if (MatchFlag(argv[i], "schema", &value)) {
+      flags.schema = value;
+    } else if (MatchFlag(argv[i], "minsup", &value)) {
+      QARM_ASSIGN_OR_RETURN(flags.minsup, ParseDoubleFlag("minsup", value));
+    } else if (MatchFlag(argv[i], "minconf", &value)) {
+      QARM_ASSIGN_OR_RETURN(flags.minconf, ParseDoubleFlag("minconf", value));
+    } else if (MatchFlag(argv[i], "maxsup", &value)) {
+      QARM_ASSIGN_OR_RETURN(flags.maxsup, ParseDoubleFlag("maxsup", value));
+    } else if (MatchFlag(argv[i], "k", &value)) {
+      QARM_ASSIGN_OR_RETURN(flags.k, ParseDoubleFlag("k", value));
+    } else if (MatchFlag(argv[i], "interest", &value)) {
+      QARM_ASSIGN_OR_RETURN(flags.interest,
+                            ParseDoubleFlag("interest", value));
+    } else if (MatchFlag(argv[i], "intervals", &value)) {
+      QARM_ASSIGN_OR_RETURN(flags.intervals,
+                            ParseSizeFlag("intervals", value));
+    } else if (MatchFlag(argv[i], "threads", &value)) {
+      QARM_ASSIGN_OR_RETURN(flags.threads, ParseSizeFlag("threads", value));
+    } else if (MatchFlag(argv[i], "method", &value)) {
+      if (value != "depth" && value != "width" && value != "kmeans") {
+        return Status::InvalidArgument("unknown --method: " + value);
+      }
+      flags.method = value;
+    } else if (MatchFlag(argv[i], "format", &value)) {
+      if (value != "text" && value != "json" && value != "csv") {
+        return Status::InvalidArgument("unknown --format: " + value);
+      }
+      flags.format = value;
+    } else if (std::strcmp(argv[i], "--interesting-only") == 0) {
+      flags.interesting_only = true;
+    } else if (std::strcmp(argv[i], "--itemsets") == 0) {
+      flags.show_itemsets = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      flags.show_stats = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      flags.help = true;
+    } else {
+      return Status::InvalidArgument(std::string("unknown flag: ") + argv[i]);
+    }
+  }
+  return flags;
+}
+
+Result<MinerOptions> MinerOptionsFromFlags(const CliFlags& flags) {
+  MinerOptions options;
+  options.minsup = flags.minsup;
+  options.minconf = flags.minconf;
+  options.max_support = flags.maxsup;
+  options.partial_completeness = flags.k;
+  options.interest_level = flags.interest;
+  options.num_intervals_override = flags.intervals;
+  options.num_threads = flags.threads;
+  if (flags.block_rows > 0) options.stream_block_rows = flags.block_rows;
+  if (flags.method == "width") {
+    options.partition_method = PartitionMethod::kEquiWidth;
+  } else if (flags.method == "kmeans") {
+    options.partition_method = PartitionMethod::kKMeans;
+  }
+  QARM_RETURN_NOT_OK(options.Validate());
+  return options;
+}
+
+}  // namespace qarm

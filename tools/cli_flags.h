@@ -1,0 +1,62 @@
+// Command-line flag parsing for the qarm binary, split out of main() so the
+// whole argv -> MinerOptions path is unit-testable and fuzzable. Parsing is
+// strict: numeric flags go through ParseDoubleFlag/ParseSizeFlag, which
+// reject non-numeric text, trailing garbage, signs on unsigned flags, and
+// out-of-range magnitudes instead of silently taking strtod/strtoull
+// defaults.
+#ifndef QARM_TOOLS_CLI_FLAGS_H_
+#define QARM_TOOLS_CLI_FLAGS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/options.h"
+
+namespace qarm {
+
+struct CliFlags {
+  std::string input;
+  std::string input_qbt;
+  std::string output;
+  std::string schema;
+  double minsup = 0.10;
+  double minconf = 0.50;
+  double maxsup = 0.40;
+  double k = 2.0;
+  double interest = 0.0;
+  size_t intervals = 0;
+  size_t threads = 1;
+  size_t block_rows = 0;  // 0 = default (writer: 64K; miner: option default)
+  size_t records = 0;
+  uint64_t seed = 42;
+  std::string method = "depth";
+  std::string format = "text";
+  bool interesting_only = false;
+  bool show_itemsets = false;
+  bool show_stats = false;
+  bool help = false;
+};
+
+// The usage text printed by --help and appended to flag errors.
+const char* CliUsage();
+
+// Strict numeric flag values. `flag` names the flag in the error message.
+Result<double> ParseDoubleFlag(const std::string& flag,
+                               const std::string& value);
+Result<size_t> ParseSizeFlag(const std::string& flag,
+                             const std::string& value);
+
+// Parses argv[first_arg..argc) into flags. Unknown flags, malformed
+// numeric values, and unknown --method/--format names are InvalidArgument.
+Result<CliFlags> ParseCliArgs(int argc, char* const* argv, int first_arg);
+
+// Builds the MinerOptions the flags describe and validates them
+// (MinerOptions::Validate), so --k=1, --minsup=0, or --maxsup < --minsup
+// come back as InvalidArgument with the offending range in the message.
+Result<MinerOptions> MinerOptionsFromFlags(const CliFlags& flags);
+
+}  // namespace qarm
+
+#endif  // QARM_TOOLS_CLI_FLAGS_H_

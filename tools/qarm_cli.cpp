@@ -19,10 +19,14 @@
 // writes the binary columnar QBT file; mining it with --input-qbt streams
 // the file block by block, so tables larger than RAM mine in bounded
 // memory.
-#include <cstdint>
+//
+// Every input is untrusted: flag parsing, option validation, schema-spec
+// parsing, the CSV reader, and the QBT reader all return Status instead of
+// aborting, so a bad flag or a corrupt file always exits with a diagnostic
+// (exit code 1 or 2), never a crash. cli_flags.{h,cc} holds the parsing so
+// tests and the fuzz harnesses drive the same code path.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,192 +40,32 @@
 #include "storage/record_source.h"
 #include "table/csv.h"
 #include "table/datagen.h"
+#include "tools/cli_flags.h"
 
 namespace qarm {
 namespace {
 
-struct CliFlags {
-  std::string input;
-  std::string input_qbt;
-  std::string output;
-  std::string schema;
-  double minsup = 0.10;
-  double minconf = 0.50;
-  double maxsup = 0.40;
-  double k = 2.0;
-  double interest = 0.0;
-  size_t intervals = 0;
-  size_t threads = 1;
-  size_t block_rows = 0;  // 0 = default (writer: 64K; miner: option default)
-  size_t records = 0;
-  uint64_t seed = 42;
-  std::string method = "depth";
-  std::string format = "text";
-  bool interesting_only = false;
-  bool show_itemsets = false;
-  bool show_stats = false;
-  bool help = false;
-};
-
-const char kUsage[] =
-    "qarm — quantitative association rule miner (Srikant & Agrawal, SIGMOD "
-    "'96)\n\n"
-    "mine (default command):\n"
-    "  --input=FILE          CSV file (header row required)\n"
-    "  --input-qbt=FILE      mine a converted QBT file, streaming its blocks\n"
-    "                        (bounded memory; no --schema needed)\n"
-    "  --schema=SPEC         comma list: NAME:quant[:int|:double] | NAME:cat\n"
-    "  --minsup=F            minimum support fraction        (default 0.10)\n"
-    "  --minconf=F           minimum confidence              (default 0.50)\n"
-    "  --maxsup=F            range-combination cap           (default 0.40)\n"
-    "  --k=F                 partial completeness level      (default 2.0)\n"
-    "  --interest=F          interest level R; 0 = off       (default 0)\n"
-    "  --intervals=N         override Eq.2 interval count    (default auto)\n"
-    "  --threads=N           scan threads; 0 = all cores     (default 1)\n"
-    "  --block-rows=N        rows per in-memory scan block   (default 65536)\n"
-    "  --method=depth|width|kmeans  partitioning method      (default depth)\n"
-    "  --format=text|json|csv  output format                 (default text)\n"
-    "  --interesting-only    print only interesting rules\n"
-    "  --itemsets            also print frequent itemsets\n"
-    "  --stats               print run statistics (incl. per-pass I/O)\n"
-    "\n"
-    "qarm convert — partition, map, and write a CSV as a QBT file:\n"
-    "  --input=FILE --schema=SPEC --output=FILE.qbt\n"
-    "  [--minsup --k --intervals --method]   partitioning (fixed at convert)\n"
-    "  [--block-rows=N]                      rows per QBT block (default "
-    "65536)\n"
-    "\n"
-    "qarm gen — stream the synthetic financial dataset to CSV:\n"
-    "  --output=FILE.csv --records=N [--seed=N]\n";
-
-bool ParseFlag(const char* arg, const char* name, std::string* out) {
-  std::string prefix = std::string("--") + name + "=";
-  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
-  *out = arg + prefix.size();
-  return true;
-}
-
-Result<CliFlags> ParseArgs(int argc, char** argv, int first_arg) {
-  CliFlags flags;
-  for (int i = first_arg; i < argc; ++i) {
-    std::string value;
-    if (ParseFlag(argv[i], "input", &value)) {
-      flags.input = value;
-    } else if (ParseFlag(argv[i], "input-qbt", &value)) {
-      flags.input_qbt = value;
-    } else if (ParseFlag(argv[i], "output", &value)) {
-      flags.output = value;
-    } else if (ParseFlag(argv[i], "block-rows", &value)) {
-      flags.block_rows = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(argv[i], "records", &value)) {
-      flags.records = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(argv[i], "seed", &value)) {
-      flags.seed = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(argv[i], "schema", &value)) {
-      flags.schema = value;
-    } else if (ParseFlag(argv[i], "minsup", &value)) {
-      flags.minsup = std::strtod(value.c_str(), nullptr);
-    } else if (ParseFlag(argv[i], "minconf", &value)) {
-      flags.minconf = std::strtod(value.c_str(), nullptr);
-    } else if (ParseFlag(argv[i], "maxsup", &value)) {
-      flags.maxsup = std::strtod(value.c_str(), nullptr);
-    } else if (ParseFlag(argv[i], "k", &value)) {
-      flags.k = std::strtod(value.c_str(), nullptr);
-    } else if (ParseFlag(argv[i], "interest", &value)) {
-      flags.interest = std::strtod(value.c_str(), nullptr);
-    } else if (ParseFlag(argv[i], "intervals", &value)) {
-      flags.intervals = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(argv[i], "threads", &value)) {
-      flags.threads = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (ParseFlag(argv[i], "method", &value)) {
-      flags.method = value;
-    } else if (ParseFlag(argv[i], "format", &value)) {
-      flags.format = value;
-    } else if (std::strcmp(argv[i], "--interesting-only") == 0) {
-      flags.interesting_only = true;
-    } else if (std::strcmp(argv[i], "--itemsets") == 0) {
-      flags.show_itemsets = true;
-    } else if (std::strcmp(argv[i], "--stats") == 0) {
-      flags.show_stats = true;
-    } else if (std::strcmp(argv[i], "--help") == 0 ||
-               std::strcmp(argv[i], "-h") == 0) {
-      flags.help = true;
-    } else {
-      return Status::InvalidArgument(std::string("unknown flag: ") + argv[i]);
-    }
-  }
-  return flags;
-}
-
-Result<Schema> ParseSchema(const std::string& spec) {
-  std::vector<AttributeDef> defs;
-  for (const std::string& field : Split(spec, ',')) {
-    std::vector<std::string> parts = Split(field, ':');
-    if (parts.size() < 2) {
-      return Status::InvalidArgument("schema entry needs NAME:KIND: '" +
-                                     field + "'");
-    }
-    AttributeDef def;
-    def.name = std::string(StripWhitespace(parts[0]));
-    std::string kind(StripWhitespace(parts[1]));
-    if (kind == "quant" || kind == "quantitative") {
-      def.kind = AttributeKind::kQuantitative;
-      def.type = ValueType::kInt64;
-      if (parts.size() > 2) {
-        std::string type(StripWhitespace(parts[2]));
-        if (type == "double") {
-          def.type = ValueType::kDouble;
-        } else if (type != "int") {
-          return Status::InvalidArgument("unknown quantitative type: " + type);
-        }
-      }
-    } else if (kind == "cat" || kind == "categorical") {
-      def.kind = AttributeKind::kCategorical;
-      def.type = ValueType::kString;
-    } else {
-      return Status::InvalidArgument("unknown attribute kind: " + kind);
-    }
-    defs.push_back(std::move(def));
-  }
-  return Schema::Make(std::move(defs));
-}
-
-// Builds MinerOptions (mining) or the partitioning subset (convert) from
-// the parsed flags. Returns false on an unknown --method.
-bool FillOptions(const CliFlags& flags, MinerOptions* options) {
-  options->minsup = flags.minsup;
-  options->minconf = flags.minconf;
-  options->max_support = flags.maxsup;
-  options->partial_completeness = flags.k;
-  options->interest_level = flags.interest;
-  options->num_intervals_override = flags.intervals;
-  options->num_threads = flags.threads;
-  if (flags.block_rows > 0) options->stream_block_rows = flags.block_rows;
-  if (flags.method == "width") {
-    options->partition_method = PartitionMethod::kEquiWidth;
-  } else if (flags.method == "kmeans") {
-    options->partition_method = PartitionMethod::kKMeans;
-  } else if (flags.method != "depth") {
-    std::fprintf(stderr, "unknown --method: %s\n", flags.method.c_str());
-    return false;
-  }
-  return true;
+// Prints a flag/validation error with a usage hint; exit code 2.
+int UsageError(const Status& status) {
+  std::fprintf(stderr, "%s\nRun 'qarm --help' for usage.\n",
+               status.ToString().c_str());
+  return 2;
 }
 
 // `qarm convert`: CSV -> partition/map -> QBT.
 int RunConvert(const CliFlags& flags) {
   if (flags.input.empty() || flags.schema.empty() || flags.output.empty()) {
     std::fprintf(stderr,
-                 "convert needs --input, --schema, and --output\n%s", kUsage);
+                 "convert needs --input, --schema, and --output\n%s",
+                 CliUsage());
     return 2;
   }
-  MinerOptions options;
-  if (!FillOptions(flags, &options)) return 2;
-  auto schema = ParseSchema(flags.schema);
+  auto options = MinerOptionsFromFlags(flags);
+  if (!options.ok()) return UsageError(options.status());
+  auto schema = Schema::Parse(flags.schema);
   if (!schema.ok()) {
-    std::fprintf(stderr, "bad --schema: %s\n",
-                 schema.status().ToString().c_str());
-    return 2;
+    return UsageError(Status::InvalidArgument("bad --schema: " +
+                                              schema.status().message()));
   }
   auto table = ReadCsv(flags.input, *schema);
   if (!table.ok()) {
@@ -230,10 +74,10 @@ int RunConvert(const CliFlags& flags) {
     return 1;
   }
   MapOptions map_options;
-  map_options.partial_completeness = options.partial_completeness;
-  map_options.minsup = options.minsup;
-  map_options.method = options.partition_method;
-  map_options.num_intervals_override = options.num_intervals_override;
+  map_options.partial_completeness = options->partial_completeness;
+  map_options.minsup = options->minsup;
+  map_options.method = options->partition_method;
+  map_options.num_intervals_override = options->num_intervals_override;
   auto mapped = MapTable(*table, map_options);
   if (!mapped.ok()) {
     std::fprintf(stderr, "cannot map %s: %s\n", flags.input.c_str(),
@@ -242,6 +86,11 @@ int RunConvert(const CliFlags& flags) {
   }
   QbtWriteOptions write_options;
   if (flags.block_rows > 0) {
+    if (flags.block_rows > std::numeric_limits<uint32_t>::max()) {
+      return UsageError(Status::InvalidArgument(StrFormat(
+          "--block-rows=%zu exceeds the QBT per-block limit (%u)",
+          flags.block_rows, std::numeric_limits<uint32_t>::max())));
+    }
     write_options.rows_per_block = static_cast<uint32_t>(flags.block_rows);
   }
   QbtWriteInfo info;
@@ -262,7 +111,7 @@ int RunConvert(const CliFlags& flags) {
 // `qarm gen`: stream the synthetic financial dataset to CSV.
 int RunGen(const CliFlags& flags) {
   if (flags.output.empty() || flags.records == 0) {
-    std::fprintf(stderr, "gen needs --output and --records\n%s", kUsage);
+    std::fprintf(stderr, "gen needs --output and --records\n%s", CliUsage());
     return 2;
   }
   Status status =
@@ -285,33 +134,34 @@ int Run(int argc, char** argv) {
     command = argv[1];
     first_arg = 2;
   }
-  auto flags_or = ParseArgs(argc, argv, first_arg);
+  auto flags_or = ParseCliArgs(argc, argv, first_arg);
   if (!flags_or.ok()) {
     std::fprintf(stderr, "%s\n%s", flags_or.status().ToString().c_str(),
-                 kUsage);
+                 CliUsage());
     return 2;
   }
   const CliFlags& flags = *flags_or;
   if (flags.help) {
-    std::printf("%s", kUsage);
+    std::printf("%s", CliUsage());
     return 0;
   }
   if (command == "convert") return RunConvert(flags);
   if (command == "gen") return RunGen(flags);
   if (!command.empty()) {
-    std::fprintf(stderr, "unknown command: %s\n%s", command.c_str(), kUsage);
+    std::fprintf(stderr, "unknown command: %s\n%s", command.c_str(),
+                 CliUsage());
     return 2;
   }
   const bool csv_mode = !flags.input.empty() && !flags.schema.empty();
   const bool qbt_mode = !flags.input_qbt.empty();
   if (csv_mode == qbt_mode) {  // neither, or conflicting
-    std::fprintf(stderr, "%s", kUsage);
+    std::fprintf(stderr, "%s", CliUsage());
     return 2;
   }
 
-  MinerOptions options;
-  if (!FillOptions(flags, &options)) return 2;
-  QuantitativeRuleMiner miner(options);
+  auto options = MinerOptionsFromFlags(flags);
+  if (!options.ok()) return UsageError(options.status());
+  QuantitativeRuleMiner miner(*options);
 
   Result<MiningResult> result = [&]() -> Result<MiningResult> {
     if (qbt_mode) {
@@ -319,7 +169,7 @@ int Run(int argc, char** argv) {
                             QbtFileSource::Open(flags.input_qbt));
       return miner.MineStreamed(*source);
     }
-    QARM_ASSIGN_OR_RETURN(Schema schema, ParseSchema(flags.schema));
+    QARM_ASSIGN_OR_RETURN(Schema schema, Schema::Parse(flags.schema));
     QARM_ASSIGN_OR_RETURN(Table table, ReadCsv(flags.input, schema));
     return miner.Mine(table);
   }();
@@ -339,9 +189,6 @@ int Run(int argc, char** argv) {
       to_print.push_back(rule);
     }
     std::printf("%s", RulesToCsv(to_print, result->mapped).c_str());
-  } else if (flags.format != "text") {
-    std::fprintf(stderr, "unknown --format: %s\n", flags.format.c_str());
-    return 2;
   }
 
   if (flags.format == "text" && flags.show_itemsets) {
