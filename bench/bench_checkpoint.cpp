@@ -1,0 +1,165 @@
+// Per-pass checkpoint overhead: the same mining run with checkpointing off
+// and on (every pass boundary), at 1 and 4 threads. The delta is the whole
+// price of crash safety — serializing the catalog plus every completed
+// pass's itemsets, CRC, fsync, and atomic rename, once per pass. Also
+// reports the resume win: wall time of a run restarted from the last-pass
+// checkpoint versus mining from scratch.
+//
+//   $ ./bench_checkpoint [--records=N] [--seed=S] [--reps=R] [--out=FILE]
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/miner.h"
+#include "table/datagen.h"
+
+namespace {
+
+using namespace qarm;
+
+MinerOptions BaseOptions(size_t threads) {
+  MinerOptions options;
+  options.minsup = 0.15;
+  options.minconf = 0.40;
+  options.max_support = 0.45;
+  options.partial_completeness = 3.0;
+  options.num_threads = threads;
+  return options;
+}
+
+MiningResult MustMine(const MinerOptions& options, const Table& table) {
+  Result<MiningResult> result = QuantitativeRuleMiner(options).Mine(table);
+  QARM_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t records = bench::FlagU64(argc, argv, "records", 100000);
+  const uint64_t seed = bench::FlagU64(argc, argv, "seed", 42);
+  const size_t reps = bench::FlagU64(argc, argv, "reps", 3);
+  std::string out = "BENCH_checkpoint.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+  }
+
+  const Table data = MakeFinancialDataset(records, seed);
+  const std::string qcp = out + ".qcp";
+
+  std::printf("Checkpoint overhead: financial dataset, %zu records, best of "
+              "%zu reps\n\n",
+              records, reps);
+  std::vector<int> widths = {8, 12, 12, 10, 12, 12};
+  bench::PrintRow({"threads", "plain (s)", "ckpt (s)", "ovh (%)",
+                   "write (s)", "ckpt bytes"},
+                  widths);
+  bench::PrintSeparator(widths);
+
+  struct Point {
+    size_t threads = 0;
+    double plain_seconds = 0;
+    double ckpt_seconds = 0;
+    double write_seconds = 0;
+    double resume_seconds = 0;
+    uint64_t checkpoint_bytes = 0;
+    size_t checkpoints_written = 0;
+    size_t passes = 0;
+  };
+  std::vector<Point> points;
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    Point p;
+    p.threads = threads;
+    size_t plain_rules = 0;
+    size_t ckpt_rules = 0;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      const MiningResult plain = MustMine(BaseOptions(threads), data);
+      if (rep == 0 || plain.stats.total_seconds < p.plain_seconds) {
+        p.plain_seconds = plain.stats.total_seconds;
+      }
+      plain_rules = plain.rules.size();
+      p.passes = plain.stats.passes.size();
+
+      MinerOptions with_ckpt = BaseOptions(threads);
+      with_ckpt.checkpoint_path = qcp;
+      const MiningResult ckpt = MustMine(with_ckpt, data);
+      if (rep == 0 || ckpt.stats.total_seconds < p.ckpt_seconds) {
+        p.ckpt_seconds = ckpt.stats.total_seconds;
+        p.write_seconds = ckpt.stats.checkpoint.write_seconds;
+        p.checkpoint_bytes = ckpt.stats.checkpoint.last_checkpoint_bytes;
+        p.checkpoints_written = ckpt.stats.checkpoint.checkpoints_written;
+      }
+      ckpt_rules = ckpt.rules.size();
+    }
+    if (plain_rules != ckpt_rules) {
+      std::fprintf(stderr,
+                   "FATAL: checkpointed run changed the output "
+                   "(%zu vs %zu rules)\n",
+                   ckpt_rules, plain_rules);
+      return 1;
+    }
+
+    // Resume win: interrupt after the second-to-last pass, then time the
+    // resumed completion against the from-scratch run.
+    if (p.passes >= 2) {
+      MinerOptions interrupted = BaseOptions(threads);
+      interrupted.checkpoint_path = qcp;
+      interrupted.stop_after_pass = p.passes - 1;
+      Result<MiningResult> killed =
+          QuantitativeRuleMiner(interrupted).Mine(data);
+      QARM_CHECK(!killed.ok());
+      MinerOptions resume = BaseOptions(threads);
+      resume.checkpoint_path = qcp;
+      const MiningResult resumed = MustMine(resume, data);
+      QARM_CHECK(resumed.stats.checkpoint.resumed);
+      p.resume_seconds = resumed.stats.total_seconds;
+    }
+
+    const double overhead =
+        (p.ckpt_seconds - p.plain_seconds) / p.plain_seconds * 100.0;
+    bench::PrintRow({StrFormat("%zu", p.threads),
+                     StrFormat("%.4f", p.plain_seconds),
+                     StrFormat("%.4f", p.ckpt_seconds),
+                     StrFormat("%.1f", overhead),
+                     StrFormat("%.4f", p.write_seconds),
+                     StrFormat("%llu", static_cast<unsigned long long>(
+                                           p.checkpoint_bytes))},
+                    widths);
+    points.push_back(p);
+  }
+
+  std::string json = "{\n";
+  json += StrFormat(
+      "  \"bench\": \"checkpoint\",\n  \"records\": %zu,\n"
+      "  \"seed\": %llu,\n  \"reps\": %zu,\n  \"points\": [",
+      records, static_cast<unsigned long long>(seed), reps);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    json += StrFormat(
+        "%s\n    {\"threads\": %zu, \"passes\": %zu,"
+        " \"plain_seconds\": %.6f, \"checkpoint_seconds\": %.6f,"
+        " \"checkpoint_write_seconds\": %.6f,"
+        " \"resume_seconds\": %.6f,"
+        " \"checkpoints_written\": %zu, \"checkpoint_bytes\": %llu}",
+        i > 0 ? "," : "", p.threads, p.passes, p.plain_seconds,
+        p.ckpt_seconds, p.write_seconds, p.resume_seconds,
+        p.checkpoints_written,
+        static_cast<unsigned long long>(p.checkpoint_bytes));
+  }
+  json += "\n  ]\n}\n";
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

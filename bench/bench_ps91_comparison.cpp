@@ -56,7 +56,9 @@ int main(int argc, char** argv) {
   options.num_intervals_override = 10;
   QuantitativeRuleMiner miner(options);
   timer.Reset();
-  MiningResult result = miner.MineMapped(*mapped);
+  Result<MiningResult> mine_result = miner.MineMapped(*mapped);
+  QARM_CHECK(mine_result.ok());
+  MiningResult& result = *mine_result;
   double quant_seconds = timer.ElapsedSeconds();
 
   size_t range_rules = 0, multi_attr = 0;

@@ -16,6 +16,18 @@
 
 namespace qarm {
 
+// splitmix64: the statistically strong 64->64-bit mixer this header's
+// hashes finalize with. Also used directly wherever a cheap deterministic
+// stream of well-mixed bits is needed from a structured key (fault-injection
+// schedules, retry jitter): SplitMix64(seed ^ f(key)) is stateless and
+// identical across platforms and thread schedules.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 // FNV-1a over 32-bit words, finalized with splitmix64's mixer.
 inline uint64_t HashInt32Words(const int32_t* data, size_t n) {
   uint64_t h = 1469598103934665603ULL;

@@ -1,0 +1,76 @@
+// RetryPolicy: bounded retries with exponential backoff and deterministic
+// jitter for transient I/O failures (a flaky block read, an injected fault
+// from storage/fault_injection.h). The jitter draws from SplitMix64 keyed by
+// (seed, key, attempt), so a given policy retries at identical delays on
+// every run and on every platform — retried runs stay reproducible.
+#ifndef QARM_COMMON_RETRY_H_
+#define QARM_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace qarm {
+
+struct RetryPolicy {
+  // Total attempts, including the first; 1 (the default) disables retries.
+  size_t max_attempts = 1;
+  // Delay before retry r (1-based) is
+  //   min(initial_backoff_ms * backoff_multiplier^(r-1), max_backoff_ms)
+  // scaled by a deterministic jitter factor in [0.5, 1.0).
+  double initial_backoff_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 100.0;
+  uint64_t jitter_seed = 0x7261746c72796aULL;
+};
+
+// Backoff (milliseconds) to sleep before retry `retry` (1-based) of the
+// operation identified by `key` (e.g. a block index). Deterministic in
+// (policy, retry, key).
+inline double RetryBackoffMs(const RetryPolicy& policy, size_t retry,
+                             uint64_t key) {
+  double delay = policy.initial_backoff_ms;
+  for (size_t i = 1; i < retry && delay < policy.max_backoff_ms; ++i) {
+    delay *= policy.backoff_multiplier;
+  }
+  delay = std::min(delay, policy.max_backoff_ms);
+  const uint64_t h =
+      SplitMix64(policy.jitter_seed ^ (key * 0x9e3779b97f4a7c15ULL) ^ retry);
+  // 53 mantissa bits -> uniform [0, 1); jitter scales into [0.5, 1.0) so
+  // backoff never collapses to zero and concurrent retriers desynchronize.
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return delay * (0.5 + 0.5 * u);
+}
+
+// Runs `fn` (a Status-returning callable) until it succeeds or
+// `policy.max_attempts` attempts are exhausted, sleeping the jittered
+// backoff between attempts. Returns the final Status (the last failure
+// verbatim — messages stay intact for matching and logging). Each retry
+// performed is counted into `*retries` when non-null; the caller surfaces
+// the total through its stats.
+template <typename Fn>
+Status RetryWithBackoff(const RetryPolicy& policy, uint64_t key,
+                        uint64_t* retries, Fn&& fn) {
+  const size_t max_attempts = std::max<size_t>(1, policy.max_attempts);
+  Status status;
+  for (size_t attempt = 1;; ++attempt) {
+    status = fn();
+    if (status.ok() || attempt >= max_attempts) return status;
+    if (retries != nullptr) ++*retries;
+    const double delay_ms = RetryBackoffMs(policy, attempt, key);
+    if (delay_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+  }
+}
+
+}  // namespace qarm
+
+#endif  // QARM_COMMON_RETRY_H_

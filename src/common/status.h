@@ -20,6 +20,7 @@ enum class StatusCode {
   kOutOfRange,
   kIOError,
   kInternal,
+  kCancelled,
 };
 
 // Human-readable name of a status code, e.g. "InvalidArgument".
@@ -47,6 +48,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  // A run stopped on purpose before completing (SIGINT, a crash-test stop
+  // point) — distinct from an error so callers can exit cleanly.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -24,18 +24,33 @@ FrequentItemsetResult MineFrequentItemsets(const MappedTable& table,
 
 Result<FrequentItemsetResult> MineFrequentItemsets(
     const RecordSource& source, const ItemCatalog& catalog,
-    const MinerOptions& options) {
+    const MinerOptions& options, const FrequentItemsetResult* resume_from,
+    const AfterPassFn& after_pass) {
   FrequentItemsetResult result;
   const size_t num_rows = source.num_rows();
   uint64_t min_count = static_cast<uint64_t>(
       std::ceil(options.minsup * static_cast<double>(num_rows) - 1e-9));
   if (min_count == 0) min_count = 1;
 
-  // L1: the frequent items themselves (their supports are known from the
-  // catalog's marginals; no counting pass is needed).
   Timer timer;
+  size_t k = 0;
   ItemsetSet frequent(1);
-  {
+  if (resume_from != nullptr && !resume_from->passes.empty()) {
+    // Skip the completed levels and rebuild the frontier from the last
+    // one; its itemsets were checkpointed in generation (lexicographic)
+    // order, which GenerateCandidates requires.
+    result = *resume_from;
+    const size_t last_k = result.passes.back().k;
+    frequent = ItemsetSet(last_k);
+    for (const FrequentItemset& itemset : result.itemsets) {
+      if (itemset.items.size() == last_k) {
+        frequent.AppendVector(itemset.items);
+      }
+    }
+    k = last_k + 1;
+  } else {
+    // L1: the frequent items themselves (their supports are known from the
+    // catalog's marginals; no counting pass is needed).
     PassStats pass;
     pass.k = 1;
     pass.num_candidates = catalog.num_items();
@@ -49,9 +64,10 @@ Result<FrequentItemsetResult> MineFrequentItemsets(
     pass.num_frequent = frequent.size();
     pass.seconds = timer.ElapsedSeconds();
     result.passes.push_back(pass);
+    if (after_pass) QARM_RETURN_NOT_OK(after_pass(result));
+    k = 2;
   }
 
-  size_t k = 2;
   while (!frequent.empty() &&
          (options.max_itemset_size == 0 || k <= options.max_itemset_size)) {
     timer.Reset();
@@ -64,6 +80,7 @@ Result<FrequentItemsetResult> MineFrequentItemsets(
     if (candidates.empty()) {
       pass.seconds = timer.ElapsedSeconds();
       result.passes.push_back(pass);
+      if (after_pass) QARM_RETURN_NOT_OK(after_pass(result));
       break;
     }
     QARM_ASSIGN_OR_RETURN(
@@ -81,6 +98,7 @@ Result<FrequentItemsetResult> MineFrequentItemsets(
     pass.num_frequent = next.size();
     pass.seconds = timer.ElapsedSeconds();
     result.passes.push_back(pass);
+    if (after_pass) QARM_RETURN_NOT_OK(after_pass(result));
     frequent = std::move(next);
     ++k;
   }

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/candidate_gen.h"
@@ -36,13 +37,29 @@ struct FrequentItemsetResult {
   std::vector<PassStats> passes;
 };
 
+// Called after every completed pass with the result accumulated so far
+// (the last entry of `passes` is the pass that just finished). This is the
+// checkpoint hook: a non-OK return stops the run and propagates —
+// Cancelled for deliberate stops (SIGINT, a crash-test stop point), so
+// callers can distinguish a clean interruption from a failure.
+using AfterPassFn = std::function<Status(const FrequentItemsetResult&)>;
+
 // Runs the level-wise algorithm, streaming every counting pass over
 // `source`. `catalog` must have been built from the same records with the
 // same options. Fails only when a block read fails (e.g. a QBT checksum
-// mismatch).
+// mismatch) or `after_pass` asks to stop.
+//
+// When `resume_from` is non-null it holds the itemsets and passes of a
+// prior run's completed levels (restored from a checkpoint): those passes
+// are skipped, the frontier is rebuilt from the last completed level, and
+// mining continues at the next one. The counts are exact and candidate
+// generation is deterministic, so a resumed run's remaining passes — and
+// therefore its rules — are bit-identical to an uninterrupted run's.
 Result<FrequentItemsetResult> MineFrequentItemsets(
     const RecordSource& source, const ItemCatalog& catalog,
-    const MinerOptions& options);
+    const MinerOptions& options,
+    const FrequentItemsetResult* resume_from = nullptr,
+    const AfterPassFn& after_pass = nullptr);
 
 // Same over an in-memory table (reads cannot fail).
 FrequentItemsetResult MineFrequentItemsets(const MappedTable& table,

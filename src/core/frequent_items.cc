@@ -203,6 +203,100 @@ Result<ItemCatalog> ItemCatalog::Build(const RecordSource& source,
   return catalog;
 }
 
+CheckpointCatalog ItemCatalog::Snapshot() const {
+  CheckpointCatalog saved;
+  saved.num_records = num_records_;
+  saved.items_pruned_by_interest = items_pruned_by_interest_;
+  saved.item_words.reserve(items_.size() * 3);
+  for (const RangeItem& item : items_) {
+    saved.item_words.push_back(item.attr);
+    saved.item_words.push_back(item.lo);
+    saved.item_words.push_back(item.hi);
+  }
+  saved.item_counts = item_counts_;
+  saved.value_counts = value_counts_;
+  return saved;
+}
+
+Result<ItemCatalog> ItemCatalog::Restore(const RecordSource& source,
+                                         const CheckpointCatalog& saved) {
+  const size_t num_attrs = source.num_attributes();
+  if (saved.value_counts.size() != num_attrs) {
+    return Status::InvalidArgument(
+        "checkpoint catalog does not match the source's attribute count");
+  }
+  for (size_t a = 0; a < num_attrs; ++a) {
+    if (saved.value_counts[a].size() != source.attribute(a).domain_size()) {
+      return Status::InvalidArgument(
+          "checkpoint catalog does not match an attribute's domain size");
+    }
+  }
+  if (saved.item_words.size() != saved.item_counts.size() * 3) {
+    return Status::InvalidArgument(
+        "checkpoint catalog item words/counts out of sync");
+  }
+  if (saved.num_records != source.num_rows()) {
+    return Status::InvalidArgument(
+        "checkpoint catalog does not match the source's row count");
+  }
+
+  ItemCatalog catalog;
+  catalog.num_records_ = static_cast<size_t>(saved.num_records);
+  catalog.items_pruned_by_interest_ =
+      static_cast<size_t>(saved.items_pruned_by_interest);
+  catalog.value_counts_ = saved.value_counts;
+
+  catalog.items_.reserve(saved.item_counts.size());
+  for (size_t i = 0; i < saved.item_counts.size(); ++i) {
+    const int32_t attr = saved.item_words[i * 3];
+    const int32_t lo = saved.item_words[i * 3 + 1];
+    const int32_t hi = saved.item_words[i * 3 + 2];
+    if (attr < 0 || static_cast<size_t>(attr) >= num_attrs || lo < 0 ||
+        lo > hi ||
+        static_cast<size_t>(hi) >=
+            source.attribute(static_cast<size_t>(attr)).domain_size()) {
+      return Status::InvalidArgument(
+          "checkpoint catalog item out of the source's domain");
+    }
+    catalog.items_.push_back(RangeItem{attr, lo, hi});
+    if (i > 0 && !(catalog.items_[i - 1] < catalog.items_[i])) {
+      return Status::InvalidArgument("checkpoint catalog items unsorted");
+    }
+  }
+  catalog.item_counts_ = saved.item_counts;
+
+  catalog.prefix_counts_.resize(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    const auto& counts = catalog.value_counts_[a];
+    auto& prefix = catalog.prefix_counts_[a];
+    prefix.resize(counts.size());
+    uint64_t sum = 0;
+    for (size_t v = 0; v < counts.size(); ++v) {
+      sum += counts[v];
+      prefix[v] = sum;
+    }
+  }
+
+  catalog.categorical_item_ids_.resize(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    if (source.attribute(a).kind == AttributeKind::kCategorical &&
+        !source.attribute(a).ranged()) {
+      catalog.categorical_item_ids_[a].assign(
+          source.attribute(a).domain_size(), -1);
+    }
+  }
+  for (size_t i = 0; i < catalog.items_.size(); ++i) {
+    const RangeItem& item = catalog.items_[i];
+    const size_t a = static_cast<size_t>(item.attr);
+    if (source.attribute(a).kind == AttributeKind::kCategorical &&
+        !source.attribute(a).ranged()) {
+      catalog.categorical_item_ids_[a][static_cast<size_t>(item.lo)] =
+          static_cast<int32_t>(i);
+    }
+  }
+  return catalog;
+}
+
 RangeItemset ItemCatalog::Decode(const std::vector<int32_t>& ids) const {
   RangeItemset itemset;
   itemset.reserve(ids.size());

@@ -14,6 +14,7 @@
 #include "core/item.h"
 #include "core/options.h"
 #include "partition/mapped_table.h"
+#include "storage/checkpoint_format.h"
 #include "storage/record_source.h"
 
 namespace qarm {
@@ -34,6 +35,16 @@ class ItemCatalog {
   // fail).
   static ItemCatalog Build(const MappedTable& table,
                            const MinerOptions& options);
+
+  // Checkpoint support: Snapshot captures the catalog's full state as the
+  // storage-neutral checkpoint structure; Restore rebuilds a catalog from
+  // that structure without re-scanning the data (the derived prefix sums
+  // and categorical lookups are recomputed from the saved value counts and
+  // `source`'s attribute schema). Restore rejects a snapshot whose shape
+  // does not match `source`.
+  CheckpointCatalog Snapshot() const;
+  static Result<ItemCatalog> Restore(const RecordSource& source,
+                                     const CheckpointCatalog& saved);
 
   size_t num_items() const { return items_.size(); }
   const RangeItem& item(int32_t id) const {

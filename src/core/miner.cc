@@ -1,12 +1,20 @@
 #include "core/miner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <utility>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/interest.h"
+#include "core/mining_checkpoint.h"
 #include "partition/partial_completeness.h"
+#include "storage/fault_injection.h"
 
 namespace qarm {
 
@@ -37,13 +45,15 @@ Result<MiningResult> QuantitativeRuleMiner::Mine(const Table& table) const {
   map_options.taxonomies = options_.taxonomies;
   QARM_ASSIGN_OR_RETURN(MappedTable mapped, MapTable(table, map_options));
   double map_seconds = timer.ElapsedSeconds();
-  MiningResult result = MineMapped(std::move(mapped));
+  QARM_ASSIGN_OR_RETURN(MiningResult result, MineMapped(std::move(mapped)));
   result.stats.map_seconds = map_seconds;
   result.stats.total_seconds += map_seconds;
   return result;
 }
 
-MiningResult QuantitativeRuleMiner::MineMapped(MappedTable mapped) const {
+Result<MiningResult> QuantitativeRuleMiner::MineMapped(
+    MappedTable mapped) const {
+  QARM_RETURN_NOT_OK(ValidateOptions());
   MiningResult result(std::move(mapped));
   // The scan source wraps the table owned by the result, so the reference
   // stays valid for the whole run.
@@ -51,8 +61,7 @@ MiningResult QuantitativeRuleMiner::MineMapped(MappedTable mapped) const {
       result.mapped, PickBlockRows(result.mapped.num_rows(),
                                    ResolveNumThreads(options_.num_threads),
                                    options_.stream_block_rows));
-  Status status = MineWithSource(source, &result);
-  QARM_CHECK(status.ok());  // in-memory block reads cannot fail
+  QARM_RETURN_NOT_OK(MineWithSource(source, &result));
   return result;
 }
 
@@ -66,21 +75,88 @@ Result<MiningResult> QuantitativeRuleMiner::MineStreamed(
   return result;
 }
 
-Status QuantitativeRuleMiner::MineWithSource(const RecordSource& source,
+Status QuantitativeRuleMiner::MineWithSource(const RecordSource& base_source,
                                              MiningResult* result) const {
   Timer total_timer;
   Timer timer;
   MiningStats& stats = result->stats;
+
+  // Deterministic fault injection, when requested, wraps the source for the
+  // whole run — the pass-1 catalog scan and every counting pass read
+  // through it.
+  std::unique_ptr<FaultInjectingRecordSource> faulty;
+  const RecordSource* source_ptr = &base_source;
+  if (!options_.inject_faults_spec.empty()) {
+    QARM_ASSIGN_OR_RETURN(FaultInjectionConfig fault_config,
+                          ParseFaultSpec(options_.inject_faults_spec));
+    faulty = std::make_unique<FaultInjectingRecordSource>(base_source,
+                                                          fault_config);
+    source_ptr = faulty.get();
+  }
+  const RecordSource& source = *source_ptr;
+
   const size_t num_rows = source.num_rows();
   stats.num_records = num_rows;
   stats.num_threads = ResolveNumThreads(options_.num_threads);
 
-  // Step 3a: frequent items.
-  QARM_ASSIGN_OR_RETURN(
-      ItemCatalog catalog,
-      ItemCatalog::Build(source, options_, &stats.pass1_io));
-  stats.num_frequent_items = catalog.num_items();
-  stats.items_pruned_by_interest = catalog.items_pruned_by_interest();
+  const bool checkpointing = !options_.checkpoint_path.empty();
+  stats.checkpoint.enabled = checkpointing;
+  const uint64_t fingerprint =
+      checkpointing ? ComputeMiningFingerprint(options_, source) : 0;
+
+  // Step 3a: frequent items — restored from a valid checkpoint of this
+  // exact run when one exists, otherwise built by the pass-1 scan. Any
+  // problem with the checkpoint (corrupt, truncated, different run) only
+  // costs the resume: mining restarts from scratch with a warning.
+  std::optional<ItemCatalog> catalog;
+  FrequentItemsetResult resume_progress;
+  bool resumed = false;
+  if (checkpointing) {
+    Result<CheckpointState> loaded =
+        ReadCheckpoint(options_.checkpoint_path);
+    if (loaded.ok()) {
+      if (loaded->fingerprint != fingerprint) {
+        QARM_LOG(Warning)
+            << "ignoring checkpoint '" << options_.checkpoint_path
+            << "': it belongs to a different run (options or data "
+               "changed); restarting from scratch";
+      } else {
+        Result<ItemCatalog> restored =
+            ItemCatalog::Restore(source, loaded->catalog);
+        Status progress_status =
+            restored.ok() ? RestoreCheckpointProgress(*loaded, *restored,
+                                                      &resume_progress)
+                          : restored.status();
+        if (progress_status.ok()) {
+          catalog.emplace(std::move(restored).value());
+          resumed = true;
+          stats.checkpoint.resumed = true;
+          stats.checkpoint.resumed_passes = resume_progress.passes.size();
+          QARM_LOG(Info) << "resuming from checkpoint '"
+                         << options_.checkpoint_path << "' after pass "
+                         << resume_progress.passes.back().k;
+        } else {
+          QARM_LOG(Warning)
+              << "ignoring checkpoint '" << options_.checkpoint_path
+              << "': " << progress_status.ToString()
+              << "; restarting from scratch";
+        }
+      }
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      QARM_LOG(Warning) << "ignoring checkpoint '"
+                        << options_.checkpoint_path
+                        << "': " << loaded.status().ToString()
+                        << "; restarting from scratch";
+    }
+  }
+  if (!catalog.has_value()) {
+    QARM_ASSIGN_OR_RETURN(
+        ItemCatalog built,
+        ItemCatalog::Build(source, options_, &stats.pass1_io));
+    catalog.emplace(std::move(built));
+  }
+  stats.num_frequent_items = catalog->num_items();
+  stats.items_pruned_by_interest = catalog->items_pruned_by_interest();
   stats.pass1_seconds = timer.ElapsedSeconds();
 
   // Achieved partial completeness (Equation 1) from the realized partitions.
@@ -94,7 +170,7 @@ Status QuantitativeRuleMiner::MineWithSource(const RecordSource& source,
       if (attr.kind != AttributeKind::kQuantitative || !attr.partitioned) {
         continue;
       }
-      const std::vector<uint64_t>& counts = catalog.value_counts(a);
+      const std::vector<uint64_t>& counts = catalog->value_counts(a);
       std::vector<size_t> size_counts(counts.begin(), counts.end());
       max_support = std::max(
           max_support, MaxMultiValueIntervalSupport(attr.intervals,
@@ -108,10 +184,59 @@ Status QuantitativeRuleMiner::MineWithSource(const RecordSource& source,
                                           options_.minsup);
   }
 
-  // Step 3b: frequent itemsets.
+  // Step 3b: frequent itemsets, checkpointing at pass boundaries.
   timer.Reset();
-  QARM_ASSIGN_OR_RETURN(FrequentItemsetResult frequent,
-                        MineFrequentItemsets(source, catalog, options_));
+  AfterPassFn after_pass;
+  if (checkpointing || options_.stop_after_pass > 0 ||
+      options_.cancel_flag != nullptr) {
+    after_pass = [&](const FrequentItemsetResult& progress) -> Status {
+      const size_t k = progress.passes.back().k;
+      const bool cancelled =
+          options_.cancel_flag != nullptr &&
+          options_.cancel_flag->load(std::memory_order_relaxed);
+      const bool stop_here =
+          options_.stop_after_pass > 0 && k >= options_.stop_after_pass;
+      // Cancellation still checkpoints first, so an interrupted run loses
+      // no completed pass.
+      if (checkpointing &&
+          (cancelled || stop_here ||
+           k % options_.checkpoint_every_pass == 0)) {
+        Timer write_timer;
+        const CheckpointState state =
+            BuildCheckpointState(fingerprint, source, *catalog, progress);
+        uint64_t bytes = 0;
+        const Status written =
+            WriteCheckpoint(state, options_.checkpoint_path, &bytes);
+        if (written.ok()) {
+          ++stats.checkpoint.checkpoints_written;
+          stats.checkpoint.last_checkpoint_bytes = bytes;
+        } else {
+          // Graceful degradation: a failed checkpoint write must not kill
+          // a healthy mining run — it only loses this resume point.
+          QARM_LOG(Warning)
+              << "checkpoint write to '" << options_.checkpoint_path
+              << "' failed: " << written.ToString()
+              << "; mining continues without it";
+        }
+        stats.checkpoint.write_seconds += write_timer.ElapsedSeconds();
+      }
+      if (cancelled) {
+        return Status::Cancelled(
+            StrFormat("mining interrupted after pass %zu", k));
+      }
+      if (stop_here) {
+        return Status::Cancelled(
+            StrFormat("mining stopped after pass %zu (stop_after_pass)",
+                      k));
+      }
+      return Status::OK();
+    };
+  }
+  QARM_ASSIGN_OR_RETURN(
+      FrequentItemsetResult frequent,
+      MineFrequentItemsets(source, *catalog, options_,
+                           resumed ? &resume_progress : nullptr,
+                           after_pass));
   stats.passes = frequent.passes;
   stats.itemset_seconds = timer.ElapsedSeconds();
   for (const PassStats& pass : frequent.passes) {
@@ -123,7 +248,7 @@ Status QuantitativeRuleMiner::MineWithSource(const RecordSource& source,
   // Step 4: rules.
   timer.Reset();
   result->rules =
-      GenerateQuantRules(frequent.itemsets, catalog, num_rows,
+      GenerateQuantRules(frequent.itemsets, *catalog, num_rows,
                          options_.minconf, options_.num_threads,
                          &stats.rulegen_threads_used);
   stats.num_rules = result->rules.size();
@@ -132,7 +257,7 @@ Status QuantitativeRuleMiner::MineWithSource(const RecordSource& source,
   // Step 5: interest.
   timer.Reset();
   if (options_.interest_level > 0.0) {
-    InterestEvaluator evaluator(&catalog, &frequent.itemsets,
+    InterestEvaluator evaluator(&*catalog, &frequent.itemsets,
                                 options_.interest_level,
                                 options_.interest_mode);
     evaluator.EvaluateRules(&result->rules, options_.num_threads,
@@ -152,7 +277,7 @@ Status QuantitativeRuleMiner::MineWithSource(const RecordSource& source,
     for (size_t i = begin; i < end; ++i) {
       const FrequentItemset& f = frequent.itemsets[i];
       FrequentRangeItemset& decoded = result->frequent_itemsets[i];
-      decoded.items = catalog.Decode(f.items);
+      decoded.items = catalog->Decode(f.items);
       decoded.count = f.count;
       decoded.support = n > 0 ? static_cast<double>(f.count) / n : 0.0;
     }
@@ -169,6 +294,13 @@ Status QuantitativeRuleMiner::MineWithSource(const RecordSource& source,
     pool.ParallelFor(shards.size(), [&](size_t s) {
       decode_range(shards[s].begin, shards[s].end);
     });
+  }
+
+  // The run completed: the checkpoint has served its purpose, and leaving
+  // it behind would make a future run with the same flags "resume" into an
+  // instant no-op instead of mining fresh data.
+  if (checkpointing) {
+    std::remove(options_.checkpoint_path.c_str());
   }
 
   stats.total_seconds = total_timer.ElapsedSeconds();

@@ -22,6 +22,7 @@
 
 #include "common/status.h"
 #include "core/apriori_quant.h"
+#include "core/mining_checkpoint.h"
 #include "core/options.h"
 #include "core/rules.h"
 #include "partition/mapped_table.h"
@@ -52,6 +53,8 @@ struct MiningStats {
   // I/O of the pass-1 catalog scan (per-pass counting I/O lives in
   // passes[k].counting.io). Zero for in-memory runs.
   ScanIoStats pass1_io;
+  // Checkpoint activity (writes, resume) of this run.
+  CheckpointRunStats checkpoint;
   double map_seconds = 0.0;
   double pass1_seconds = 0.0;
   double itemset_seconds = 0.0;
@@ -94,8 +97,10 @@ class QuantitativeRuleMiner {
   Result<MiningResult> Mine(const Table& table) const;
 
   // Steps 3-5 on an already-mapped table (ownership of `mapped` moves into
-  // the result).
-  MiningResult MineMapped(MappedTable mapped) const;
+  // the result). Fails on invalid options, a cancelled run (SIGINT or
+  // stop_after_pass — Status::Cancelled), or a failing block read when
+  // fault injection is active.
+  Result<MiningResult> MineMapped(MappedTable mapped) const;
 
   // Steps 3-5 streaming block-by-block over `source` (e.g. a QbtFileSource
   // of a larger-than-RAM table). The result's `mapped` table carries only

@@ -1,0 +1,135 @@
+#include "core/mining_checkpoint.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace qarm {
+namespace {
+
+// Incremental SplitMix64 chaining: order-sensitive, so permuted option
+// values cannot collide by accident.
+class FingerprintHasher {
+ public:
+  void Mix(uint64_t value) { state_ = SplitMix64(state_ ^ value); }
+  void MixDouble(double value) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    Mix(bits);
+  }
+  uint64_t digest() const { return state_; }
+
+ private:
+  uint64_t state_ = 0x51434b5054464e47ULL;  // "QCKPTFNG"
+};
+
+}  // namespace
+
+uint64_t ComputeMiningFingerprint(const MinerOptions& options,
+                                  const RecordSource& source) {
+  FingerprintHasher h;
+  h.MixDouble(options.minsup);
+  h.MixDouble(options.minconf);
+  h.MixDouble(options.max_support);
+  h.MixDouble(options.partial_completeness);
+  h.Mix(static_cast<uint64_t>(options.partition_method));
+  h.Mix(options.num_intervals_override);
+  h.Mix(options.max_quantitative_per_rule);
+  h.MixDouble(options.interest_level);
+  h.Mix(static_cast<uint64_t>(options.interest_mode));
+  h.Mix(options.interest_item_prune ? 1 : 0);
+  h.Mix(options.max_itemset_size);
+
+  h.Mix(source.num_rows());
+  h.Mix(source.num_attributes());
+  for (size_t a = 0; a < source.num_attributes(); ++a) {
+    const MappedAttribute& attr = source.attribute(a);
+    h.Mix(static_cast<uint64_t>(attr.kind));
+    h.Mix(attr.domain_size());
+    h.Mix(attr.partitioned ? 1 : 0);
+    // Taxonomy structure changes which generalized items exist, so it is
+    // part of the run's identity even though taxonomies arrive via options.
+    h.Mix(attr.taxonomy_ranges.size());
+    for (const Taxonomy::NodeRange& node : attr.taxonomy_ranges) {
+      h.Mix(static_cast<uint64_t>(static_cast<uint32_t>(node.lo)) << 32 |
+            static_cast<uint32_t>(node.hi));
+    }
+  }
+  return h.digest();
+}
+
+CheckpointState BuildCheckpointState(uint64_t fingerprint,
+                                     const RecordSource& source,
+                                     const ItemCatalog& catalog,
+                                     const FrequentItemsetResult& progress) {
+  CheckpointState state;
+  state.fingerprint = fingerprint;
+  state.num_rows = source.num_rows();
+  state.num_attributes = static_cast<uint32_t>(source.num_attributes());
+  state.catalog = catalog.Snapshot();
+
+  state.passes.reserve(progress.passes.size());
+  for (const PassStats& pass : progress.passes) {
+    CheckpointPass saved;
+    saved.k = static_cast<uint32_t>(pass.k);
+    saved.num_candidates = pass.num_candidates;
+    state.passes.push_back(std::move(saved));
+  }
+  // Itemsets are stored grouped by level in generation order — the order
+  // the resumed run's frontier must preserve.
+  for (const FrequentItemset& itemset : progress.itemsets) {
+    const size_t k = itemset.items.size();
+    QARM_CHECK_GE(k, 1u);
+    QARM_CHECK_LE(k, state.passes.size());
+    CheckpointPass& saved = state.passes[k - 1];
+    saved.itemsets.insert(saved.itemsets.end(), itemset.items.begin(),
+                          itemset.items.end());
+    saved.counts.push_back(itemset.count);
+  }
+  return state;
+}
+
+Status RestoreCheckpointProgress(const CheckpointState& state,
+                                 const ItemCatalog& catalog,
+                                 FrequentItemsetResult* progress) {
+  progress->itemsets.clear();
+  progress->passes.clear();
+  if (state.passes.empty()) {
+    return Status::InvalidArgument("checkpoint records no completed passes");
+  }
+  const int32_t num_items = static_cast<int32_t>(catalog.num_items());
+  for (size_t p = 0; p < state.passes.size(); ++p) {
+    const CheckpointPass& saved = state.passes[p];
+    // Levels are consecutive from 1: pass p holds the (p+1)-itemsets.
+    if (saved.k != p + 1) {
+      return Status::InvalidArgument(
+          "checkpoint passes are not consecutive levels");
+    }
+    if (saved.itemsets.size() != saved.counts.size() * saved.k) {
+      return Status::InvalidArgument(
+          "checkpoint pass itemsets/counts out of sync");
+    }
+    for (int32_t id : saved.itemsets) {
+      if (id < 0 || id >= num_items) {
+        return Status::InvalidArgument(
+            "checkpoint itemset references an unknown item");
+      }
+    }
+    PassStats pass;
+    pass.k = saved.k;
+    pass.num_candidates = static_cast<size_t>(saved.num_candidates);
+    pass.num_frequent = saved.counts.size();
+    progress->passes.push_back(pass);
+    for (size_t i = 0; i < saved.counts.size(); ++i) {
+      FrequentItemset itemset;
+      itemset.items.assign(saved.itemsets.begin() + i * saved.k,
+                           saved.itemsets.begin() + (i + 1) * saved.k);
+      itemset.count = saved.counts[i];
+      progress->itemsets.push_back(std::move(itemset));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace qarm

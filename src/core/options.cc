@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "storage/fault_injection.h"
 
 namespace qarm {
 
@@ -42,6 +43,23 @@ Status MinerOptions::Validate() const {
     return Status::InvalidArgument(
         StrFormat("num_threads must be at most %zu, got %zu", kMaxThreads,
                   num_threads));
+  }
+  if (!checkpoint_path.empty()) {
+    if (checkpoint_every_pass == 0) {
+      return Status::InvalidArgument(
+          "checkpoint_every_pass must be >= 1 when a checkpoint path is "
+          "set");
+    }
+    if (checkpoint_path.back() == '/') {
+      return Status::InvalidArgument(
+          "checkpoint path must name a file, not a directory: '" +
+          checkpoint_path + "'");
+    }
+  }
+  if (!inject_faults_spec.empty()) {
+    // Surface a malformed spec here, at options time, rather than as a
+    // mysterious failure mid-pass.
+    QARM_RETURN_NOT_OK(ParseFaultSpec(inject_faults_spec).status());
   }
   return Status::OK();
 }

@@ -2,6 +2,7 @@
 #ifndef QARM_CORE_OPTIONS_H_
 #define QARM_CORE_OPTIONS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -95,6 +96,32 @@ struct MinerOptions {
   // files carry their own block size chosen at write time; this option does
   // not re-block them.
   size_t stream_block_rows = 65536;
+
+  // Crash safety: when non-empty, the miner writes a checkpoint (QCP file,
+  // see storage/checkpoint_format.h) to this path at pass boundaries and,
+  // on start, resumes from it when it is valid and matches this run's
+  // fingerprint (same output-affecting options, same data shape). A
+  // mismatched, corrupt, or truncated checkpoint is ignored and mining
+  // restarts from scratch. The file is deleted after a successful run.
+  std::string checkpoint_path;
+
+  // Write a checkpoint after every Nth completed pass (1 = every pass).
+  // The final state is always checkpointed on a clean stop regardless.
+  size_t checkpoint_every_pass = 1;
+
+  // Debug/testing: stop cleanly (Status::Cancelled) after checkpointing
+  // pass N, simulating a crash at that boundary. 0 = run to completion.
+  size_t stop_after_pass = 0;
+
+  // Deterministic I/O fault injection spec (see storage/fault_injection.h
+  // for the grammar), applied to the record source for the whole run.
+  // Empty = disabled. Testing/chaos-engineering only.
+  std::string inject_faults_spec;
+
+  // Cooperative cancellation (the CLI points this at its SIGINT flag).
+  // Checked at pass boundaries: when set, the miner writes a final
+  // checkpoint (if configured) and returns Status::Cancelled.
+  const std::atomic<bool>* cancel_flag = nullptr;
 
   // Taxonomies over categorical attributes, keyed by attribute name
   // (Section 1.1 / [SA95]): interior nodes become generalized categorical

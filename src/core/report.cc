@@ -119,10 +119,22 @@ std::string StatsToJson(const MiningStats& stats) {
       stats.interest_threads_used);
   out += StrFormat(
       ",\"pass1_io\":{\"blocks_read\":%llu,\"bytes_read\":%llu,"
-      "\"checksum_seconds\":%.6f}",
+      "\"checksum_seconds\":%.6f,\"read_retries\":%llu,"
+      "\"faults_injected\":%llu}",
       static_cast<unsigned long long>(stats.pass1_io.blocks_read),
       static_cast<unsigned long long>(stats.pass1_io.bytes_read),
-      stats.pass1_io.checksum_seconds);
+      stats.pass1_io.checksum_seconds,
+      static_cast<unsigned long long>(stats.pass1_io.read_retries),
+      static_cast<unsigned long long>(stats.pass1_io.faults_injected));
+  out += StrFormat(
+      ",\"checkpoint\":{\"enabled\":%s,\"resumed\":%s,"
+      "\"resumed_passes\":%zu,\"checkpoints_written\":%zu,"
+      "\"last_checkpoint_bytes\":%llu,\"write_seconds\":%.6f}",
+      stats.checkpoint.enabled ? "true" : "false",
+      stats.checkpoint.resumed ? "true" : "false",
+      stats.checkpoint.resumed_passes, stats.checkpoint.checkpoints_written,
+      static_cast<unsigned long long>(stats.checkpoint.last_checkpoint_bytes),
+      stats.checkpoint.write_seconds);
   out += ",\"passes\":[";
   for (size_t i = 0; i < stats.passes.size(); ++i) {
     const PassStats& pass = stats.passes[i];
@@ -134,12 +146,14 @@ std::string StatsToJson(const MiningStats& stats) {
         "\"join_seconds\":%.6f,\"prune_seconds\":%.6f,\"seconds\":%.6f},"
         "\"super_candidates\":%zu,\"array_counters\":%zu,"
         "\"tree_counters\":%zu,\"direct_counters\":%zu,"
+        "\"degraded_counters\":%zu,"
         "\"atomic_shared_counters\":%zu,\"threads_used\":%zu,"
         "\"counter_bytes\":%llu,\"replicated_bytes\":%llu,"
         "\"group_seconds\":%.6f,\"build_seconds\":%.6f,"
         "\"scan_seconds\":%.6f,\"reduce_seconds\":%.6f,"
         "\"io\":{\"blocks_read\":%llu,\"bytes_read\":%llu,"
-        "\"checksum_seconds\":%.6f},"
+        "\"checksum_seconds\":%.6f,\"read_retries\":%llu,"
+        "\"faults_injected\":%llu},"
         "\"seconds\":%.6f}",
         pass.k, pass.num_candidates, pass.num_frequent,
         pass.candgen.threads_used, pass.candgen.join_candidates,
@@ -147,6 +161,7 @@ std::string StatsToJson(const MiningStats& stats) {
         pass.candgen.seconds,
         counting.num_super_candidates, counting.num_array_counters,
         counting.num_tree_counters, counting.num_direct,
+        counting.num_degraded,
         counting.num_atomic_shared, counting.threads_used,
         static_cast<unsigned long long>(counting.counter_bytes),
         static_cast<unsigned long long>(counting.replicated_bytes),
@@ -154,7 +169,10 @@ std::string StatsToJson(const MiningStats& stats) {
         counting.scan_seconds, counting.reduce_seconds,
         static_cast<unsigned long long>(counting.io.blocks_read),
         static_cast<unsigned long long>(counting.io.bytes_read),
-        counting.io.checksum_seconds, pass.seconds);
+        counting.io.checksum_seconds,
+        static_cast<unsigned long long>(counting.io.read_retries),
+        static_cast<unsigned long long>(counting.io.faults_injected),
+        pass.seconds);
   }
   out += "]}";
   return out;

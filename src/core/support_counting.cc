@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/macros.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -23,8 +24,15 @@ struct SuperCandidate {
   std::vector<uint32_t> members;      // candidate indices
   std::unique_ptr<NDimArray> array;
   std::unique_ptr<RStarTree> tree;
-  std::vector<uint32_t> tree_counts;  // parallel to members (tree mode)
+  // Parallel to members; used by both the tree mode and the degraded
+  // direct-scan mode below.
+  std::vector<uint32_t> tree_counts;
   uint64_t direct_count = 0;          // purely categorical
+  // Degraded mode (counter budget exhausted): no counting structure at
+  // all — each record is tested against every member's rectangle, stored
+  // flat here as lo/hi pairs per dimension.
+  bool degraded_scan = false;
+  std::vector<int32_t> member_rects;
   // Parallel scan: grid shared across workers, updated atomically (its
   // per-thread replicas would not fit the replication budget).
   bool atomic_shared = false;
@@ -131,6 +139,7 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
   // grid of this pass against counter_memory_budget_bytes, so total counter
   // memory stays bounded no matter how many super-candidates a pass has.
   uint64_t array_bytes_total = 0;
+  uint64_t tree_bytes_total = 0;
   uint64_t replicated_bytes_total = 0;
   for (SuperCandidate& sc : groups) {
     if (sc.quant_attrs.empty()) {
@@ -177,8 +186,22 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
         }
       }
     } else {
-      sc.tree = std::make_unique<RStarTree>(sc.quant_attrs.size());
+      // Trees are budgeted cumulatively too, as a high-water mark: a tree
+      // is admitted while the running tree total is still within budget
+      // (so a pass always gets at least one), and once the total crosses
+      // it the remaining super-candidates degrade to a structure-free
+      // linear scan of their member rectangles — much slower per record
+      // but near-zero memory, so the pass always completes.
+      const bool tree_fits =
+          tree_bytes_total <= options.counter_memory_budget_bytes;
       sc.tree_counts.assign(sc.members.size(), 0);
+      if (tree_fits) {
+        sc.tree = std::make_unique<RStarTree>(sc.quant_attrs.size());
+      } else {
+        sc.degraded_scan = true;
+        sc.member_rects.reserve(sc.members.size() * dim_sizes.size() * 2);
+        ++local_stats.num_degraded;
+      }
       for (size_t m = 0; m < sc.members.size(); ++m) {
         const int32_t* ids = candidates.itemset(sc.members[m]);
         RStarRect rect;
@@ -186,17 +209,35 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
         for (size_t i = 0; i < k; ++i) {
           const RangeItem& item = catalog.item(ids[i]);
           if (!is_ranged(item.attr)) continue;
-          rect.lo[d] = static_cast<double>(item.lo);
-          rect.hi[d] = static_cast<double>(item.hi);
+          if (sc.degraded_scan) {
+            sc.member_rects.push_back(item.lo);
+            sc.member_rects.push_back(item.hi);
+          } else {
+            rect.lo[d] = static_cast<double>(item.lo);
+            rect.hi[d] = static_cast<double>(item.hi);
+          }
           ++d;
         }
-        sc.tree->Insert(rect, static_cast<int32_t>(m));
+        if (!sc.degraded_scan) {
+          sc.tree->Insert(rect, static_cast<int32_t>(m));
+        }
       }
-      local_stats.counter_bytes += tree_bytes;
-      ++local_stats.num_tree_counters;
+      if (tree_fits) {
+        tree_bytes_total += tree_bytes;
+        local_stats.counter_bytes += tree_bytes;
+        ++local_stats.num_tree_counters;
+      }
     }
   }
   local_stats.replicated_bytes = replicated_bytes_total;
+  if (local_stats.num_degraded > 0) {
+    QARM_LOG(Warning) << "counter memory budget ("
+                      << options.counter_memory_budget_bytes
+                      << " bytes) exhausted: " << local_stats.num_degraded
+                      << " of " << groups.size()
+                      << " super-candidates degrade to direct-scan "
+                         "counting this pass";
+  }
 
   // --- Hash tree over the categorical parts. ---
   // Built once here; the scan only probes it (ForEachSubset with per-worker
@@ -250,7 +291,7 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
         } else {
           sc.array->Increment(point);
         }
-      } else {
+      } else if (sc.tree != nullptr) {
         for (size_t d = 0; d < dims; ++d) {
           dpoint[d] = static_cast<double>(point[d]);
         }
@@ -260,6 +301,24 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
         sc.tree->ForEachContaining(dpoint, [&tree_counts](int32_t m) {
           ++tree_counts[static_cast<size_t>(m)];
         });
+      } else {
+        // Degraded mode: test the point against every member rectangle.
+        std::vector<uint32_t>& member_counts =
+            local != nullptr ? local->tree_counts[static_cast<size_t>(g)]
+                             : sc.tree_counts;
+        const int32_t* rects = sc.member_rects.data();
+        const size_t num_members = sc.members.size();
+        for (size_t m = 0; m < num_members; ++m) {
+          const int32_t* rect = rects + m * dims * 2;
+          bool inside = true;
+          for (size_t d = 0; d < dims; ++d) {
+            if (point[d] < rect[2 * d] || point[d] > rect[2 * d + 1]) {
+              inside = false;
+              break;
+            }
+          }
+          if (inside) ++member_counts[m];
+        }
       }
     };
 
@@ -308,7 +367,7 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
         wc.arrays.resize(groups.size());
         for (size_t g = 0; g < groups.size(); ++g) {
           const SuperCandidate& sc = groups[g];
-          if (sc.tree != nullptr) {
+          if (sc.tree != nullptr || sc.degraded_scan) {
             wc.tree_counts[g].assign(sc.members.size(), 0);
           } else if (sc.array != nullptr && !sc.atomic_shared) {
             wc.arrays[g] = std::make_unique<NDimArray>(sc.array->dim_sizes());
@@ -331,7 +390,7 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
     for (size_t g = 0; g < groups.size(); ++g) {
       SuperCandidate& sc = groups[g];
       sc.direct_count += wc.direct[g];
-      if (sc.tree != nullptr) {
+      if (sc.tree != nullptr || sc.degraded_scan) {
         for (size_t m = 0; m < sc.tree_counts.size(); ++m) {
           sc.tree_counts[m] += wc.tree_counts[g][m];
         }
@@ -353,7 +412,7 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
       counts[sc.members[0]] = static_cast<uint32_t>(sc.direct_count);
       continue;
     }
-    if (sc.tree != nullptr) {
+    if (sc.tree != nullptr || sc.degraded_scan) {
       for (size_t m = 0; m < sc.members.size(); ++m) {
         counts[sc.members[m]] = sc.tree_counts[m];
       }

@@ -29,6 +29,10 @@ struct CountingStats {
   size_t num_array_counters = 0;  // super-candidates counted via NDimArray
   size_t num_tree_counters = 0;   // via R*-tree
   size_t num_direct = 0;          // purely categorical super-candidates
+  // Graceful degradation: super-candidates whose R*-tree no longer fit the
+  // counter memory budget and fell back to a linear scan of their member
+  // rectangles (slower, near-zero memory). The pass logs one warning.
+  size_t num_degraded = 0;
   // Array super-candidates whose grid stayed shared across scan workers
   // (atomic increments) because per-thread replicas would have blown the
   // replication budget. Always 0 on a serial scan.

@@ -1,0 +1,115 @@
+// QCP ("Quantitative Checkpoint") — the on-disk snapshot the miner writes
+// at pass boundaries so a crashed or killed run resumes at pass k+1 instead
+// of restarting from scratch. The level-wise algorithm makes pass
+// boundaries natural durable points: the item catalog plus the frequent
+// itemsets of every completed pass fully determine the rest of the run, so
+// a resumed run emits bit-identical rules to an uninterrupted one.
+//
+// The checkpoint is expressed in storage-neutral vectors (item triples,
+// flat id sequences) rather than core types, keeping this layer free of
+// core dependencies; src/core/mining_checkpoint.{h,cc} converts to and from
+// the miner's structures.
+//
+// Layout (version 1, all integers little-endian via the QBT helpers):
+//
+//   Header (24 bytes)
+//     [0]  u8[4]  magic "QCP1"
+//     [4]  u32    endian marker 0x0A0B0C0D (shared with QBT)
+//     [8]  u32    format version (kCheckpointVersion)
+//     [12] u32    reserved (0)
+//     [16] u64    payload_size
+//
+//   Payload (payload_size bytes)
+//     u64 fingerprint        run identity: output-affecting options + the
+//                            source's shape (rows, attributes, domains);
+//                            a mismatch means the checkpoint is stale
+//     u64 num_rows
+//     u32 num_attributes
+//     -- catalog --
+//     u64 num_records
+//     u64 items_pruned_by_interest
+//     u64 num_items
+//       per item: i32 attr, i32 lo, i32 hi
+//       per item: u64 count
+//     u32 value-count vector count (== num_attributes)
+//       per attribute: u64 size, then u64 per value
+//     -- completed passes --
+//     u32 num_passes
+//       per pass: u32 k, u64 num_candidates, u64 num_frequent,
+//                 i32 * (k * num_frequent) item ids,
+//                 u64 * num_frequent supports
+//
+//   Tail (8 bytes)
+//     u32    CRC-32 of the payload bytes
+//     u8[4]  end magic "QCPE"
+//
+// Writes are atomic: the writer streams to "<path>.tmp", flushes and (on
+// POSIX) fsyncs, then renames over <path>, so a crash mid-write leaves the
+// previous checkpoint intact. The reader validates magic, version,
+// endianness, every declared count against the actual byte budget (in
+// division form, before any allocation), and the payload CRC; any mismatch
+// is a clean Status and the miner restarts from scratch.
+#ifndef QARM_STORAGE_CHECKPOINT_FORMAT_H_
+#define QARM_STORAGE_CHECKPOINT_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/qbt_format.h"
+
+namespace qarm {
+
+inline constexpr char kCheckpointMagic[4] = {'Q', 'C', 'P', '1'};
+inline constexpr char kCheckpointEndMagic[4] = {'Q', 'C', 'P', 'E'};
+inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr size_t kCheckpointHeaderSize = 4 + 4 + 4 + 4 + 8;
+inline constexpr size_t kCheckpointTailSize = 4 + 4;
+
+// The item catalog's serialized state (see core/frequent_items.h).
+struct CheckpointCatalog {
+  uint64_t num_records = 0;
+  uint64_t items_pruned_by_interest = 0;
+  std::vector<int32_t> item_words;    // 3 per item: attr, lo, hi
+  std::vector<uint64_t> item_counts;  // parallel to items
+  std::vector<std::vector<uint64_t>> value_counts;  // per attribute
+};
+
+// One completed pass: its frequent k-itemsets (flat, k item ids each) with
+// their support counts. The last entry's itemsets are the frontier the
+// resumed run continues from.
+struct CheckpointPass {
+  uint32_t k = 0;
+  uint64_t num_candidates = 0;
+  std::vector<int32_t> itemsets;  // k ids per itemset
+  std::vector<uint64_t> counts;   // one per itemset
+};
+
+struct CheckpointState {
+  uint64_t fingerprint = 0;
+  uint64_t num_rows = 0;
+  uint32_t num_attributes = 0;
+  CheckpointCatalog catalog;
+  std::vector<CheckpointPass> passes;
+};
+
+// Serializes `state` and writes it atomically (temp file + rename) to
+// `path`. The file size lands in `*bytes_written` when non-null. IOError on
+// any filesystem failure; the previous checkpoint at `path`, if any, is
+// left untouched on failure.
+Status WriteCheckpoint(const CheckpointState& state, const std::string& path,
+                       uint64_t* bytes_written = nullptr);
+
+// Parses a checkpoint from an in-memory buffer (the fuzz entry point; the
+// file reader delegates here). Every declared size is validated against the
+// remaining bytes before allocation.
+Result<CheckpointState> ParseCheckpoint(const uint8_t* data, size_t size);
+
+// Reads and validates the checkpoint at `path`.
+Result<CheckpointState> ReadCheckpoint(const std::string& path);
+
+}  // namespace qarm
+
+#endif  // QARM_STORAGE_CHECKPOINT_FORMAT_H_

@@ -1,0 +1,207 @@
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "common/string_util.h"
+#include "storage/checkpoint_format.h"
+#include "storage/crc32.h"
+
+namespace qarm {
+namespace {
+
+// Bounded cursor over the payload. Every Read* call checks the remaining
+// byte budget first, so a hostile or truncated checkpoint can neither read
+// out of bounds nor trigger an oversized allocation: element counts are
+// validated in division form (count <= remaining / element_size) before any
+// vector is resized.
+class PayloadCursor {
+ public:
+  PayloadCursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  Status ReadU32(uint32_t* out) {
+    QARM_RETURN_NOT_OK(Need(4));
+    *out = QbtReadU32(data_ + pos_);
+    pos_ += 4;
+    return Status::OK();
+  }
+  Status ReadU64(uint64_t* out) {
+    QARM_RETURN_NOT_OK(Need(8));
+    *out = QbtReadU64(data_ + pos_);
+    pos_ += 8;
+    return Status::OK();
+  }
+  Status ReadI32Array(size_t count, std::vector<int32_t>* out) {
+    QARM_RETURN_NOT_OK(NeedCount(count, 4));
+    out->resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      (*out)[i] = QbtReadI32(data_ + pos_ + i * 4);
+    }
+    pos_ += count * 4;
+    return Status::OK();
+  }
+  Status ReadU64Array(size_t count, std::vector<uint64_t>* out) {
+    QARM_RETURN_NOT_OK(NeedCount(count, 8));
+    out->resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      (*out)[i] = QbtReadU64(data_ + pos_ + i * 8);
+    }
+    pos_ += count * 8;
+    return Status::OK();
+  }
+  // Count declared for elements of `element_size` bytes each; rejects
+  // counts the remaining payload cannot possibly hold.
+  Status NeedCount(uint64_t count, size_t element_size) const {
+    if (count > remaining() / element_size) {
+      return Status::InvalidArgument(StrFormat(
+          "checkpoint declares %llu elements but only %zu bytes remain",
+          static_cast<unsigned long long>(count), remaining()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t bytes) const {
+    if (remaining() < bytes) {
+      return Status::InvalidArgument("checkpoint payload truncated");
+    }
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Status ParsePayload(const uint8_t* data, size_t size, CheckpointState* state) {
+  PayloadCursor cursor(data, size);
+  QARM_RETURN_NOT_OK(cursor.ReadU64(&state->fingerprint));
+  QARM_RETURN_NOT_OK(cursor.ReadU64(&state->num_rows));
+  QARM_RETURN_NOT_OK(cursor.ReadU32(&state->num_attributes));
+
+  CheckpointCatalog& catalog = state->catalog;
+  QARM_RETURN_NOT_OK(cursor.ReadU64(&catalog.num_records));
+  QARM_RETURN_NOT_OK(cursor.ReadU64(&catalog.items_pruned_by_interest));
+  uint64_t num_items = 0;
+  QARM_RETURN_NOT_OK(cursor.ReadU64(&num_items));
+  QARM_RETURN_NOT_OK(cursor.NeedCount(num_items, 3 * 4 + 8));
+  QARM_RETURN_NOT_OK(
+      cursor.ReadI32Array(static_cast<size_t>(num_items) * 3,
+                          &catalog.item_words));
+  QARM_RETURN_NOT_OK(cursor.ReadU64Array(static_cast<size_t>(num_items),
+                                         &catalog.item_counts));
+  uint32_t num_value_vectors = 0;
+  QARM_RETURN_NOT_OK(cursor.ReadU32(&num_value_vectors));
+  if (num_value_vectors != state->num_attributes) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint has %u value-count vectors for %u attributes",
+        num_value_vectors, state->num_attributes));
+  }
+  QARM_RETURN_NOT_OK(cursor.NeedCount(num_value_vectors, 8));
+  catalog.value_counts.resize(num_value_vectors);
+  for (std::vector<uint64_t>& counts : catalog.value_counts) {
+    uint64_t num_values = 0;
+    QARM_RETURN_NOT_OK(cursor.ReadU64(&num_values));
+    QARM_RETURN_NOT_OK(
+        cursor.ReadU64Array(static_cast<size_t>(num_values), &counts));
+  }
+
+  uint32_t num_passes = 0;
+  QARM_RETURN_NOT_OK(cursor.ReadU32(&num_passes));
+  QARM_RETURN_NOT_OK(cursor.NeedCount(num_passes, 4 + 8 + 8));
+  state->passes.resize(num_passes);
+  for (CheckpointPass& pass : state->passes) {
+    QARM_RETURN_NOT_OK(cursor.ReadU32(&pass.k));
+    if (pass.k == 0) {
+      return Status::InvalidArgument("checkpoint pass has k == 0");
+    }
+    QARM_RETURN_NOT_OK(cursor.ReadU64(&pass.num_candidates));
+    uint64_t num_frequent = 0;
+    QARM_RETURN_NOT_OK(cursor.ReadU64(&num_frequent));
+    // Each itemset costs k * 4 bytes of ids plus 8 bytes of count.
+    QARM_RETURN_NOT_OK(
+        cursor.NeedCount(num_frequent, static_cast<size_t>(pass.k) * 4 + 8));
+    QARM_RETURN_NOT_OK(
+        cursor.ReadI32Array(static_cast<size_t>(num_frequent) * pass.k,
+                            &pass.itemsets));
+    QARM_RETURN_NOT_OK(
+        cursor.ReadU64Array(static_cast<size_t>(num_frequent), &pass.counts));
+  }
+  if (cursor.remaining() != 0) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint payload has %zu trailing bytes",
+                  cursor.remaining()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CheckpointState> ParseCheckpoint(const uint8_t* data, size_t size) {
+  if (size < kCheckpointHeaderSize + kCheckpointTailSize) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint too small: %zu bytes", size));
+  }
+  if (std::memcmp(data, kCheckpointMagic, sizeof(kCheckpointMagic)) != 0) {
+    return Status::InvalidArgument("not a QCP checkpoint (bad magic)");
+  }
+  if (QbtReadU32(data + 4) != kQbtEndianMarker) {
+    return Status::InvalidArgument(
+        "checkpoint endianness does not match this host");
+  }
+  const uint32_t version = QbtReadU32(data + 8);
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "unsupported checkpoint version %u (expected %u)", version,
+        kCheckpointVersion));
+  }
+  const uint64_t payload_size = QbtReadU64(data + 16);
+  if (payload_size !=
+      size - kCheckpointHeaderSize - kCheckpointTailSize) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint payload size %llu does not match file size %zu",
+        static_cast<unsigned long long>(payload_size), size));
+  }
+  const uint8_t* payload = data + kCheckpointHeaderSize;
+  const uint8_t* tail = payload + payload_size;
+  if (std::memcmp(tail + 4, kCheckpointEndMagic,
+                  sizeof(kCheckpointEndMagic)) != 0) {
+    return Status::InvalidArgument("checkpoint end magic missing");
+  }
+  const uint32_t expected_crc = QbtReadU32(tail);
+  const uint32_t actual_crc = Crc32(payload, static_cast<size_t>(payload_size));
+  if (expected_crc != actual_crc) {
+    return Status::IOError(StrFormat(
+        "checkpoint payload checksum mismatch (stored %08x, computed %08x)",
+        expected_crc, actual_crc));
+  }
+
+  CheckpointState state;
+  QARM_RETURN_NOT_OK(
+      ParsePayload(payload, static_cast<size_t>(payload_size), &state));
+  return state;
+}
+
+Result<CheckpointState> ReadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::NotFound("cannot open checkpoint '" + path + "'");
+  }
+  const std::streamoff size = in.tellg();
+  if (size < 0) {
+    return Status::IOError("cannot stat checkpoint '" + path + "'");
+  }
+  std::string bytes(static_cast<size_t>(size), '\0');
+  in.seekg(0);
+  if (!bytes.empty() &&
+      !in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
+    return Status::IOError("cannot read checkpoint '" + path + "'");
+  }
+  return ParseCheckpoint(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+}
+
+}  // namespace qarm

@@ -1,0 +1,107 @@
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "storage/checkpoint_format.h"
+#include "storage/crc32.h"
+
+namespace qarm {
+namespace {
+
+std::string EncodePayload(const CheckpointState& state) {
+  std::string out;
+  QbtAppendU64(&out, state.fingerprint);
+  QbtAppendU64(&out, state.num_rows);
+  QbtAppendU32(&out, state.num_attributes);
+
+  const CheckpointCatalog& catalog = state.catalog;
+  QbtAppendU64(&out, catalog.num_records);
+  QbtAppendU64(&out, catalog.items_pruned_by_interest);
+  QbtAppendU64(&out, catalog.item_counts.size());
+  for (int32_t word : catalog.item_words) QbtAppendI32(&out, word);
+  for (uint64_t count : catalog.item_counts) QbtAppendU64(&out, count);
+  QbtAppendU32(&out, static_cast<uint32_t>(catalog.value_counts.size()));
+  for (const std::vector<uint64_t>& counts : catalog.value_counts) {
+    QbtAppendU64(&out, counts.size());
+    for (uint64_t count : counts) QbtAppendU64(&out, count);
+  }
+
+  QbtAppendU32(&out, static_cast<uint32_t>(state.passes.size()));
+  for (const CheckpointPass& pass : state.passes) {
+    QbtAppendU32(&out, pass.k);
+    QbtAppendU64(&out, pass.num_candidates);
+    QbtAppendU64(&out, pass.counts.size());
+    for (int32_t id : pass.itemsets) QbtAppendI32(&out, id);
+    for (uint64_t count : pass.counts) QbtAppendU64(&out, count);
+  }
+  return out;
+}
+
+// stdio instead of ofstream: the file descriptor is needed for fsync, and
+// a checkpoint that the OS never flushed is exactly the crash window this
+// file exists to close.
+Status WriteFile(const std::string& path, const std::string& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+  ok = std::fflush(file) == 0 && ok;
+#if defined(__unix__) || defined(__APPLE__)
+  ok = fsync(fileno(file)) == 0 && ok;
+#endif
+  ok = std::fclose(file) == 0 && ok;
+  if (!ok) {
+    std::remove(path.c_str());
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteCheckpoint(const CheckpointState& state, const std::string& path,
+                       uint64_t* bytes_written) {
+  if (state.catalog.item_words.size() !=
+      state.catalog.item_counts.size() * 3) {
+    return Status::InvalidArgument(
+        "checkpoint catalog item words/counts out of sync");
+  }
+  for (const CheckpointPass& pass : state.passes) {
+    if (pass.k == 0 || pass.itemsets.size() != pass.counts.size() * pass.k) {
+      return Status::InvalidArgument(
+          "checkpoint pass itemsets/counts out of sync");
+    }
+  }
+
+  const std::string payload = EncodePayload(state);
+  std::string bytes;
+  bytes.reserve(kCheckpointHeaderSize + payload.size() + kCheckpointTailSize);
+  bytes.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  QbtAppendU32(&bytes, kQbtEndianMarker);
+  QbtAppendU32(&bytes, kCheckpointVersion);
+  QbtAppendU32(&bytes, 0);  // reserved
+  QbtAppendU64(&bytes, payload.size());
+  bytes.append(payload);
+  QbtAppendU32(&bytes, Crc32(payload.data(), payload.size()));
+  bytes.append(kCheckpointEndMagic, sizeof(kCheckpointEndMagic));
+
+  // Atomic replace: a crash before the rename leaves the previous
+  // checkpoint valid; a crash after it leaves the new one.
+  const std::string tmp_path = path + ".tmp";
+  QARM_RETURN_NOT_OK(WriteFile(tmp_path, bytes));
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot rename '" + tmp_path + "' to '" + path +
+                           "'");
+  }
+  if (bytes_written != nullptr) *bytes_written = bytes.size();
+  return Status::OK();
+}
+
+}  // namespace qarm

@@ -1,0 +1,110 @@
+// Deterministic I/O fault injection for crash-safety testing.
+//
+// FaultInjectingRecordSource decorates any RecordSource and fails a seeded,
+// reproducible subset of block reads before delegating to the inner source.
+// Whether block b is faulted — and with which fault kind — is a pure
+// function of (seed, b), so a given spec produces the same fault schedule
+// at any thread count and on every run. Each faulted block fails its first
+// `fails` read attempts and then succeeds, modeling a transient device
+// error; `fails` larger than the retry budget models a permanent failure
+// (the read error escapes to the miner, like a crash mid-pass).
+//
+// The decorator retries its own injected failures with a RetryPolicy, the
+// way a block-device driver retries below the filesystem: the inner
+// QbtFileSource's retry loop sits underneath the injection point and never
+// sees these faults. Recovered faults are invisible to the mining output;
+// only ScanIoStats records them.
+//
+// Spec grammar (CLI `--inject-faults=SPEC` and tests), comma-separated
+// key=value pairs, all optional:
+//
+//   seed=N        schedule seed (default 1)
+//   rate=F        fraction of blocks faulted, 0..1 (default 0.05)
+//   fails=N       failed attempts per faulted block, >= 1 (default 1)
+//   after=N       suppress injection for the first N block reads, letting a
+//                 fault target a later pass (default 0)
+//   kinds=K+K     subset of eio, short, crc (default all three)
+//   attempts=N    decorator retry budget, >= 1 (default 4)
+//   backoff=F     initial retry backoff in ms, >= 0 (default 0.01)
+#ifndef QARM_STORAGE_FAULT_INJECTION_H_
+#define QARM_STORAGE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "storage/record_source.h"
+
+namespace qarm {
+
+// Which error a faulted read reports. The decorator cannot corrupt the
+// inner source's mapped bytes, so each kind surfaces as the Status that the
+// real failure would produce.
+enum class FaultKind : uint32_t {
+  kEio = 1u << 0,        // device read error (EIO)
+  kShortRead = 1u << 1,  // block truncated mid-read
+  kCrc = 1u << 2,        // block checksum mismatch
+};
+
+struct FaultInjectionConfig {
+  uint64_t seed = 1;
+  double rate = 0.05;
+  uint64_t fails_per_block = 1;
+  uint64_t after_reads = 0;
+  uint32_t kinds = static_cast<uint32_t>(FaultKind::kEio) |
+                   static_cast<uint32_t>(FaultKind::kShortRead) |
+                   static_cast<uint32_t>(FaultKind::kCrc);
+  RetryPolicy retry{/*max_attempts=*/4, /*initial_backoff_ms=*/0.01,
+                    /*backoff_multiplier=*/2.0, /*max_backoff_ms=*/1.0};
+};
+
+// Parses the `--inject-faults` spec grammar above.
+Result<FaultInjectionConfig> ParseFaultSpec(std::string_view spec);
+
+class FaultInjectingRecordSource : public RecordSource {
+ public:
+  // Non-owning: `inner` must outlive this source.
+  FaultInjectingRecordSource(const RecordSource& inner,
+                             const FaultInjectionConfig& config);
+  // Owning variant for call sites that hand over the inner source.
+  FaultInjectingRecordSource(std::unique_ptr<RecordSource> inner,
+                             const FaultInjectionConfig& config);
+
+  const std::vector<MappedAttribute>& attributes() const override {
+    return inner_->attributes();
+  }
+  size_t num_rows() const override { return inner_->num_rows(); }
+  size_t num_blocks() const override { return inner_->num_blocks(); }
+  size_t block_rows(size_t b) const override { return inner_->block_rows(b); }
+  size_t block_row_begin(size_t b) const override {
+    return inner_->block_row_begin(b);
+  }
+  Status ReadBlock(size_t b, BlockView* view) const override;
+  ScanIoStats io_stats() const override;
+
+  // True when the schedule faults block b (independent of `after_reads`).
+  bool BlockIsFaulted(size_t b) const;
+  // The kind block b fails with, if faulted.
+  FaultKind BlockFaultKind(size_t b) const;
+
+ private:
+  Status InjectOrRead(size_t b, BlockView* view) const;
+
+  const RecordSource* inner_;
+  std::unique_ptr<RecordSource> owned_;
+  FaultInjectionConfig config_;
+  // Per-block failed-attempt counters; atomics because scans read blocks
+  // from many workers at once.
+  std::unique_ptr<std::atomic<uint64_t>[]> block_failures_;
+  mutable std::atomic<uint64_t> total_reads_{0};
+  mutable std::atomic<uint64_t> faults_injected_{0};
+  mutable std::atomic<uint64_t> read_retries_{0};
+};
+
+}  // namespace qarm
+
+#endif  // QARM_STORAGE_FAULT_INJECTION_H_

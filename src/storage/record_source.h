@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "partition/mapped_table.h"
 #include "storage/qbt_reader.h"
@@ -35,16 +36,22 @@ struct ScanIoStats {
   uint64_t blocks_read = 0;
   uint64_t bytes_read = 0;         // bytes mapped & checksummed
   double checksum_seconds = 0.0;   // wall time spent validating CRCs
+  uint64_t read_retries = 0;       // block reads retried after a failure
+  uint64_t faults_injected = 0;    // injected faults (fault_injection.h)
 
   ScanIoStats operator-(const ScanIoStats& other) const {
     return ScanIoStats{blocks_read - other.blocks_read,
                        bytes_read - other.bytes_read,
-                       checksum_seconds - other.checksum_seconds};
+                       checksum_seconds - other.checksum_seconds,
+                       read_retries - other.read_retries,
+                       faults_injected - other.faults_injected};
   }
   ScanIoStats& operator+=(const ScanIoStats& other) {
     blocks_read += other.blocks_read;
     bytes_read += other.bytes_read;
     checksum_seconds += other.checksum_seconds;
+    read_retries += other.read_retries;
+    faults_injected += other.faults_injected;
     return *this;
   }
 };
@@ -149,16 +156,28 @@ class QbtFileSource : public RecordSource {
 
   const QbtReader& reader() const { return *reader_; }
 
+  // Policy for retrying failed block reads (transient device errors). The
+  // default allows two retries with a short backoff; a policy with
+  // max_attempts == 1 restores fail-fast behavior. A persistent failure
+  // (e.g. real on-disk corruption) still surfaces the final read's Status
+  // verbatim.
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
  private:
   explicit QbtFileSource(std::unique_ptr<QbtReader> reader)
       : reader_(std::move(reader)) {}
 
   std::unique_ptr<QbtReader> reader_;
+  RetryPolicy retry_policy_{/*max_attempts=*/3, /*initial_backoff_ms=*/0.5,
+                            /*backoff_multiplier=*/2.0,
+                            /*max_backoff_ms=*/10.0};
   // Relaxed: the counters are statistics, not synchronization; scans read
   // them only before and after a pass (pool joins order those reads).
   mutable std::atomic<uint64_t> blocks_read_{0};
   mutable std::atomic<uint64_t> bytes_read_{0};
   mutable std::atomic<uint64_t> checksum_nanos_{0};
+  mutable std::atomic<uint64_t> read_retries_{0};
 };
 
 }  // namespace qarm

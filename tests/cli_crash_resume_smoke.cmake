@@ -1,0 +1,61 @@
+# The acceptance criterion for crash-safe mining, end to end through the
+# real binary: a run hard-killed (SIGKILL via --kill-after-pass) after pass
+# 2 and restarted with the same flags resumes from the checkpoint and
+# prints bit-identical rules to an uninterrupted run.
+set(DATA "${WORK_DIR}/crash_resume.csv")
+set(QCP "${WORK_DIR}/crash_resume.qcp")
+set(FLAGS
+  --input=${DATA}
+  --schema=monthly_income:quant,credit_limit:quant,current_balance:quant,ytd_balance:quant,ytd_interest:quant:double,employee_category:cat,marital_status:cat
+  --minsup=0.2 --minconf=0.4 --maxsup=0.45 --k=3)
+
+execute_process(
+  COMMAND ${QARM} gen --output=${DATA} --records=1500 --seed=42
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "qarm gen exited with ${rc}")
+endif()
+
+# Uninterrupted baseline.
+execute_process(
+  COMMAND ${QARM} ${FLAGS}
+  OUTPUT_VARIABLE baseline
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "baseline run exited with ${rc}")
+endif()
+
+# Crash after pass 2: the process dies by SIGKILL, leaving the checkpoint.
+file(REMOVE "${QCP}")
+execute_process(
+  COMMAND ${QARM} ${FLAGS} --checkpoint=${QCP} --kill-after-pass=2
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--kill-after-pass=2 run was expected to die, got 0")
+endif()
+if(NOT EXISTS "${QCP}")
+  message(FATAL_ERROR "killed run left no checkpoint at ${QCP}")
+endif()
+
+# Restart with the same flags: resumes after pass 2, same rules, and the
+# consumed checkpoint is cleaned up.
+execute_process(
+  COMMAND ${QARM} ${FLAGS} --checkpoint=${QCP} --stats
+  OUTPUT_VARIABLE resumed
+  ERROR_VARIABLE resumed_stats
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed run exited with ${rc}")
+endif()
+if(NOT resumed STREQUAL baseline)
+  message(FATAL_ERROR
+    "resumed rules differ from the uninterrupted run\n--- baseline\n"
+    "${baseline}\n--- resumed\n${resumed}")
+endif()
+if(NOT resumed_stats MATCHES "resumed_passes=2")
+  message(FATAL_ERROR "resumed run did not report resumed_passes=2:\n"
+    "${resumed_stats}")
+endif()
+if(EXISTS "${QCP}")
+  message(FATAL_ERROR "completed run should have removed ${QCP}")
+endif()

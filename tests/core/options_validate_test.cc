@@ -84,6 +84,35 @@ TEST(MinerOptionsValidateTest, InterestLevelAndThreads) {
   EXPECT_TRUE(options.Validate().ok());
 }
 
+TEST(MinerOptionsValidateTest, CheckpointKnobs) {
+  MinerOptions options;
+  options.checkpoint_path = "/tmp/run.qcp";
+  EXPECT_TRUE(options.Validate().ok());
+  options.checkpoint_every_pass = 0;  // would never checkpoint: reject
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.checkpoint_every_pass = 3;
+  EXPECT_TRUE(options.Validate().ok());
+  options.checkpoint_path = "/tmp/checkpoints/";  // a directory, not a file
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  // Without a checkpoint path the cadence knob is inert and unvalidated.
+  options.checkpoint_path.clear();
+  options.checkpoint_every_pass = 0;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(MinerOptionsValidateTest, InjectFaultsSpec) {
+  MinerOptions options;
+  options.inject_faults_spec = "seed=3,rate=0.5,fails=2,kinds=eio+crc";
+  EXPECT_TRUE(options.Validate().ok());
+  for (const char* bad : {"rate=2", "fails=0", "kinds=bogus", "nope=1"}) {
+    options.inject_faults_spec = bad;
+    EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument)
+        << "spec accepted: " << bad;
+  }
+  options.inject_faults_spec.clear();  // empty = injection off, valid
+  EXPECT_TRUE(options.Validate().ok());
+}
+
 // The historical crash from the issue: k=1 (or NaN minsup) used to reach
 // QARM_CHECK_GT in partial_completeness.cc through Mine() and abort the
 // process. Both must now fail softly.

@@ -59,7 +59,10 @@ TEST_P(RuleCompletenessTest, MinerMatchesBruteForce) {
   options.minconf = 0.55;
   options.max_support = 0.75;
   QuantitativeRuleMiner miner(options);
-  MiningResult result = miner.MineMapped(table.Head(rows.size()));
+  Result<MiningResult> mine_result =
+      miner.MineMapped(table.Head(rows.size()));
+  ASSERT_TRUE(mine_result.ok()) << mine_result.status().ToString();
+  MiningResult& result = *mine_result;
 
   std::set<RuleKey, RuleKeyLess> mined;
   for (const QuantRule& r : result.rules) {

@@ -235,13 +235,17 @@ TEST_P(RulePipelineTest, EndToEndMinerMatchesSerial) {
   serial_options.minconf = 0.3;
   serial_options.interest_level = 1.1;
   serial_options.num_threads = 1;
-  MiningResult serial =
+  Result<MiningResult> serial_result =
       QuantitativeRuleMiner(serial_options).MineMapped(table);
+  ASSERT_TRUE(serial_result.ok()) << serial_result.status().ToString();
+  MiningResult& serial = *serial_result;
 
   MinerOptions parallel_options = serial_options;
   parallel_options.num_threads = num_threads;
-  MiningResult parallel =
+  Result<MiningResult> parallel_result =
       QuantitativeRuleMiner(parallel_options).MineMapped(table);
+  ASSERT_TRUE(parallel_result.ok()) << parallel_result.status().ToString();
+  MiningResult& parallel = *parallel_result;
 
   ASSERT_EQ(parallel.frequent_itemsets.size(),
             serial.frequent_itemsets.size());
@@ -271,7 +275,10 @@ TEST(RulePipelineTest, StatsJsonCarriesPhaseFields) {
   options.minconf = 0.3;
   options.interest_level = 1.1;
   options.num_threads = 2;
-  MiningResult result = QuantitativeRuleMiner(options).MineMapped(table);
+  Result<MiningResult> mine_result =
+      QuantitativeRuleMiner(options).MineMapped(table);
+  ASSERT_TRUE(mine_result.ok()) << mine_result.status().ToString();
+  MiningResult& result = *mine_result;
   const std::string json = StatsToJson(result.stats);
   for (const char* field :
        {"\"candgen_seconds\":", "\"rulegen_seconds\":",

@@ -46,7 +46,10 @@ void ExpectStreamedMatchesInMemory(size_t num_threads) {
   ASSERT_TRUE(WriteQbt(*mapped, path, write_options).ok());
 
   QuantitativeRuleMiner miner(options);
-  MiningResult in_memory = miner.MineMapped(std::move(mapped).value());
+  Result<MiningResult> in_memory_result =
+      miner.MineMapped(std::move(mapped).value());
+  ASSERT_TRUE(in_memory_result.ok()) << in_memory_result.status().ToString();
+  MiningResult& in_memory = *in_memory_result;
 
   auto source = QbtFileSource::Open(path);
   ASSERT_TRUE(source.ok()) << source.status().ToString();

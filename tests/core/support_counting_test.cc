@@ -184,6 +184,56 @@ TEST(SupportCountingTest, ArrayAndTreeAgree) {
   EXPECT_EQ(array_counts, tree_counts);
 }
 
+// Graceful degradation: once the first R*-tree has consumed the counter
+// budget, later tree-mode groups fall back to a direct scan of their member
+// rectangles — slower, but bit-identical counts.
+TEST(SupportCountingTest, DegradedGroupsMatchBruteForce) {
+  MappedTable table = RandomTable(13, 300);
+  MinerOptions options;
+  options.minsup = 0.05;
+  options.max_support = 0.8;
+  options.counter_memory_budget_bytes = 1;  // grids never fit; 1 tree max
+  ItemCatalog catalog = ItemCatalog::Build(table, options);
+  ItemsetSet l1(1);
+  for (size_t i = 0; i < catalog.num_items(); ++i) {
+    l1.AppendVector({static_cast<int32_t>(i)});
+  }
+  ItemsetSet c2 = GenerateCandidates(catalog, l1);
+  ASSERT_GT(c2.size(), 0u);
+
+  CountingStats stats;
+  std::vector<uint32_t> counts =
+      CountSupports(table, catalog, c2, options, &stats);
+  // The high-water-mark budget admits the first tree and degrades the rest:
+  // both engines ran in the same pass.
+  EXPECT_GT(stats.num_tree_counters, 0u);
+  EXPECT_GT(stats.num_degraded, 0u);
+  for (size_t c = 0; c < c2.size(); ++c) {
+    EXPECT_EQ(counts[c],
+              BruteForceSupport(table, catalog.Decode(c2.itemset_vector(c))))
+        << "candidate " << c;
+  }
+
+  // The sharded parallel scan reduces degraded counters exactly like tree
+  // counters.
+  MinerOptions parallel_options = options;
+  parallel_options.num_threads = 4;
+  CountingStats parallel_stats;
+  std::vector<uint32_t> parallel_counts =
+      CountSupports(table, catalog, c2, parallel_options, &parallel_stats);
+  EXPECT_GT(parallel_stats.num_degraded, 0u);
+  EXPECT_EQ(parallel_counts, counts);
+
+  // An unconstrained budget produces the same counts without degrading.
+  MinerOptions roomy = options;
+  roomy.counter_memory_budget_bytes = MinerOptions().counter_memory_budget_bytes;
+  CountingStats roomy_stats;
+  std::vector<uint32_t> roomy_counts =
+      CountSupports(table, catalog, c2, roomy, &roomy_stats);
+  EXPECT_EQ(roomy_stats.num_degraded, 0u);
+  EXPECT_EQ(roomy_counts, counts);
+}
+
 TEST(SupportCountingTest, EmptyCandidates) {
   MappedTable table = RandomTable(8, 50);
   MinerOptions options;

@@ -48,7 +48,9 @@ TEST(EndToEndTest, CategoricalOnlyMatchesBooleanApriori) {
   options.minsup = 0.1;
   options.minconf = 0.6;
   QuantitativeRuleMiner miner(options);
-  MiningResult result = miner.MineMapped(*mapped);
+  Result<MiningResult> mine_result = miner.MineMapped(*mapped);
+  ASSERT_TRUE(mine_result.ok()) << mine_result.status().ToString();
+  MiningResult& result = *mine_result;
 
   // Boolean bridge.
   BridgeResult bridge = MineViaBooleanBridge(*mapped, 0.1, 0.6);
@@ -144,7 +146,9 @@ TEST(EndToEndTest, Ps91RulesAreSubsumed) {
   options.max_support = 0.4;
   options.partial_completeness = 2.0;
   QuantitativeRuleMiner miner(options);
-  MiningResult result = miner.MineMapped(*mapped);
+  Result<MiningResult> mine_result = miner.MineMapped(*mapped);
+  ASSERT_TRUE(mine_result.ok()) << mine_result.status().ToString();
+  MiningResult& result = *mine_result;
 
   std::set<std::string> mined;
   for (const QuantRule& r : result.rules) {

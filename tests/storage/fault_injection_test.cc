@@ -1,0 +1,178 @@
+// FaultInjectingRecordSource: the spec grammar, the determinism of the
+// fault schedule, and the transient-vs-permanent failure behavior its
+// internal retry loop produces.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "partition/mapper.h"
+#include "storage/fault_injection.h"
+#include "storage/record_source.h"
+#include "table/datagen.h"
+
+namespace qarm {
+namespace {
+
+// A small mapped table as the inner source; its reads never fail, so every
+// failure seen through the decorator is an injected one.
+class FaultFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table raw = MakeFinancialDataset(640, 3);
+    Result<MappedTable> mapped = MapTable(raw, MapOptions{});
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    table_ = std::make_unique<MappedTable>(std::move(mapped).value());
+    source_ = std::make_unique<MappedTableSource>(*table_, /*block_rows=*/64);
+    ASSERT_GE(source_->num_blocks(), 10u);
+  }
+
+  std::unique_ptr<MappedTable> table_;
+  std::unique_ptr<MappedTableSource> source_;
+};
+
+TEST(ParseFaultSpecTest, FullGrammar) {
+  Result<FaultInjectionConfig> config = ParseFaultSpec(
+      "seed=7,rate=0.25,fails=2,after=3,kinds=eio+crc,attempts=5,backoff=0");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->seed, 7u);
+  EXPECT_DOUBLE_EQ(config->rate, 0.25);
+  EXPECT_EQ(config->fails_per_block, 2u);
+  EXPECT_EQ(config->after_reads, 3u);
+  EXPECT_EQ(config->kinds, static_cast<uint32_t>(FaultKind::kEio) |
+                               static_cast<uint32_t>(FaultKind::kCrc));
+  EXPECT_EQ(config->retry.max_attempts, 5u);
+  EXPECT_DOUBLE_EQ(config->retry.initial_backoff_ms, 0.0);
+}
+
+TEST(ParseFaultSpecTest, DefaultsFromSingleKey) {
+  Result<FaultInjectionConfig> config = ParseFaultSpec("seed=9");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->seed, 9u);
+  EXPECT_DOUBLE_EQ(config->rate, 0.05);
+  EXPECT_EQ(config->fails_per_block, 1u);
+  EXPECT_EQ(config->kinds, static_cast<uint32_t>(FaultKind::kEio) |
+                               static_cast<uint32_t>(FaultKind::kShortRead) |
+                               static_cast<uint32_t>(FaultKind::kCrc));
+}
+
+TEST(ParseFaultSpecTest, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", "   ", "seed", "seed=", "seed=x", "rate=0", "rate=1.5",
+        "rate=-0.1", "fails=0", "attempts=0", "kinds=", "kinds=disk",
+        "kinds=eio+bogus", "backoff=-1", "bogus=1", "rate=0.5,bogus=1"}) {
+    Result<FaultInjectionConfig> config = ParseFaultSpec(bad);
+    EXPECT_FALSE(config.ok()) << "spec accepted: '" << bad << "'";
+    EXPECT_EQ(config.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(FaultFixture, ScheduleIsDeterministic) {
+  FaultInjectionConfig config;
+  config.seed = 11;
+  config.rate = 0.4;
+  const FaultInjectingRecordSource a(*source_, config);
+  const FaultInjectingRecordSource b(*source_, config);
+  size_t faulted = 0;
+  for (size_t blk = 0; blk < source_->num_blocks(); ++blk) {
+    EXPECT_EQ(a.BlockIsFaulted(blk), b.BlockIsFaulted(blk));
+    if (a.BlockIsFaulted(blk)) {
+      ++faulted;
+      EXPECT_EQ(a.BlockFaultKind(blk), b.BlockFaultKind(blk));
+    }
+  }
+  // rate=0.4 over >= 10 blocks: the schedule actually faults something but
+  // not everything.
+  EXPECT_GT(faulted, 0u);
+  EXPECT_LT(faulted, source_->num_blocks());
+
+  FaultInjectionConfig other = config;
+  other.seed = 12;
+  const FaultInjectingRecordSource c(*source_, other);
+  size_t differs = 0;
+  for (size_t blk = 0; blk < source_->num_blocks(); ++blk) {
+    if (a.BlockIsFaulted(blk) != c.BlockIsFaulted(blk)) ++differs;
+  }
+  EXPECT_GT(differs, 0u) << "seed must change the schedule";
+}
+
+TEST_F(FaultFixture, TransientFaultsRecoverThroughRetry) {
+  FaultInjectionConfig config;
+  config.seed = 5;
+  config.rate = 1.0;   // every block faulted
+  config.fails_per_block = 2;
+  config.retry.max_attempts = 4;  // retry budget > fails: all reads recover
+  config.retry.initial_backoff_ms = 0.0;
+  const FaultInjectingRecordSource faulty(*source_, config);
+
+  for (size_t blk = 0; blk < source_->num_blocks(); ++blk) {
+    BlockView view;
+    Status status = faulty.ReadBlock(blk, &view);
+    ASSERT_TRUE(status.ok()) << "block " << blk << ": " << status.ToString();
+    EXPECT_EQ(view.num_rows(), source_->block_rows(blk));
+  }
+  const ScanIoStats stats = faulty.io_stats();
+  EXPECT_EQ(stats.faults_injected, 2 * source_->num_blocks());
+  EXPECT_EQ(stats.read_retries, 2 * source_->num_blocks());
+
+  // A second pass over the same blocks is clean: the "device" recovered.
+  for (size_t blk = 0; blk < source_->num_blocks(); ++blk) {
+    BlockView view;
+    ASSERT_TRUE(faulty.ReadBlock(blk, &view).ok());
+  }
+  EXPECT_EQ(faulty.io_stats().faults_injected, stats.faults_injected);
+}
+
+TEST_F(FaultFixture, PermanentFaultEscapesTheRetryBudget) {
+  FaultInjectionConfig config;
+  config.seed = 5;
+  config.rate = 1.0;
+  config.fails_per_block = 100;   // far beyond the retry budget
+  config.retry.max_attempts = 3;
+  config.retry.initial_backoff_ms = 0.0;
+  config.kinds = static_cast<uint32_t>(FaultKind::kEio);
+  const FaultInjectingRecordSource faulty(*source_, config);
+
+  BlockView view;
+  Status status = faulty.ReadBlock(0, &view);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_NE(status.message().find("injected EIO"), std::string::npos);
+  EXPECT_EQ(faulty.io_stats().faults_injected, 3u);  // one per attempt
+}
+
+TEST_F(FaultFixture, AfterReadsSuppressesEarlyInjection) {
+  FaultInjectionConfig config;
+  config.seed = 5;
+  config.rate = 1.0;
+  config.fails_per_block = 1000;  // permanent, once injection starts
+  config.retry.max_attempts = 1;
+  config.retry.initial_backoff_ms = 0.0;
+  config.after_reads = 3;
+  const FaultInjectingRecordSource faulty(*source_, config);
+
+  // The first 3 reads are clean; the 4th injects.
+  for (size_t i = 0; i < 3; ++i) {
+    BlockView view;
+    ASSERT_TRUE(faulty.ReadBlock(i, &view).ok()) << "read " << i;
+  }
+  BlockView view;
+  EXPECT_FALSE(faulty.ReadBlock(3, &view).ok());
+}
+
+TEST_F(FaultFixture, StatsPassThroughToInnerSource) {
+  FaultInjectionConfig config;
+  config.rate = 0.5;
+  const FaultInjectingRecordSource faulty(*source_, config);
+  EXPECT_EQ(faulty.num_rows(), source_->num_rows());
+  EXPECT_EQ(faulty.num_blocks(), source_->num_blocks());
+  EXPECT_EQ(faulty.attributes().size(), source_->attributes().size());
+  for (size_t blk = 0; blk < source_->num_blocks(); ++blk) {
+    EXPECT_EQ(faulty.block_rows(blk), source_->block_rows(blk));
+    EXPECT_EQ(faulty.block_row_begin(blk), source_->block_row_begin(blk));
+  }
+}
+
+}  // namespace
+}  // namespace qarm

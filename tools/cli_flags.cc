@@ -25,6 +25,10 @@ const char kUsage[] =
     "  --block-rows=N        rows per in-memory scan block   (default 65536)\n"
     "  --method=depth|width|kmeans  partitioning method      (default depth)\n"
     "  --format=text|json|csv  output format                 (default text)\n"
+    "  --checkpoint=FILE     write a resumable checkpoint at each pass\n"
+    "                        boundary; a rerun with the same flags resumes\n"
+    "                        from it (SIGINT also checkpoints before exit)\n"
+    "  --checkpoint-every=N  checkpoint every Nth pass       (default 1)\n"
     "  --interesting-only    print only interesting rules\n"
     "  --itemsets            also print frequent itemsets\n"
     "  --stats               print run statistics (incl. per-pass I/O)\n"
@@ -111,6 +115,20 @@ Result<CliFlags> ParseCliArgs(int argc, char* const* argv, int first_arg) {
         return Status::InvalidArgument("unknown --method: " + value);
       }
       flags.method = value;
+    } else if (MatchFlag(argv[i], "checkpoint", &value)) {
+      flags.checkpoint = value;
+    } else if (MatchFlag(argv[i], "checkpoint-every", &value)) {
+      QARM_ASSIGN_OR_RETURN(flags.checkpoint_every,
+                            ParseSizeFlag("checkpoint-every", value));
+    } else if (MatchFlag(argv[i], "inject-faults", &value)) {
+      // Hidden (absent from --help): deterministic I/O fault injection for
+      // recovery testing. Spec grammar lives in storage/fault_injection.h.
+      flags.inject_faults = value;
+    } else if (MatchFlag(argv[i], "kill-after-pass", &value)) {
+      // Hidden: raise SIGKILL right after pass N's checkpoint, simulating a
+      // hard crash for the crash-resume smoke test.
+      QARM_ASSIGN_OR_RETURN(flags.kill_after_pass,
+                            ParseSizeFlag("kill-after-pass", value));
     } else if (MatchFlag(argv[i], "format", &value)) {
       if (value != "text" && value != "json" && value != "csv") {
         return Status::InvalidArgument("unknown --format: " + value);
@@ -147,6 +165,12 @@ Result<MinerOptions> MinerOptionsFromFlags(const CliFlags& flags) {
   } else if (flags.method == "kmeans") {
     options.partition_method = PartitionMethod::kKMeans;
   }
+  options.checkpoint_path = flags.checkpoint;
+  options.checkpoint_every_pass = flags.checkpoint_every;
+  options.inject_faults_spec = flags.inject_faults;
+  // --kill-after-pass stops mining cleanly after pass N (the checkpoint is
+  // written first); the CLI then turns the stop into a real SIGKILL.
+  options.stop_after_pass = flags.kill_after_pass;
   QARM_RETURN_NOT_OK(options.Validate());
   return options;
 }

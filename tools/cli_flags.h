@@ -33,6 +33,10 @@ struct CliFlags {
   uint64_t seed = 42;
   std::string method = "depth";
   std::string format = "text";
+  std::string checkpoint;        // pass-boundary checkpoint file; "" = off
+  size_t checkpoint_every = 1;   // checkpoint every Nth completed pass
+  std::string inject_faults;     // hidden: deterministic I/O fault spec
+  size_t kill_after_pass = 0;    // hidden: raise SIGKILL after pass N
   bool interesting_only = false;
   bool show_itemsets = false;
   bool show_stats = false;

@@ -25,6 +25,8 @@
 // aborting, so a bad flag or a corrupt file always exits with a diagnostic
 // (exit code 1 or 2), never a crash. cli_flags.{h,cc} holds the parsing so
 // tests and the fuzz harnesses drive the same code path.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <limits>
 #include <memory>
@@ -44,6 +46,14 @@
 
 namespace qarm {
 namespace {
+
+// Set by the SIGINT handler and polled by the miner at pass boundaries, so
+// Ctrl-C writes a final checkpoint and exits cleanly instead of losing the
+// run. sig_atomic_t-free: std::atomic<bool> is lock-free on every supported
+// host and safe to set from a signal handler.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void HandleSigint(int) { g_interrupted.store(true); }
 
 // Prints a flag/validation error with a usage hint; exit code 2.
 int UsageError(const Status& status) {
@@ -161,6 +171,10 @@ int Run(int argc, char** argv) {
 
   auto options = MinerOptionsFromFlags(flags);
   if (!options.ok()) return UsageError(options.status());
+  if (!options->checkpoint_path.empty()) {
+    options->cancel_flag = &g_interrupted;
+    std::signal(SIGINT, HandleSigint);
+  }
   QuantitativeRuleMiner miner(*options);
 
   Result<MiningResult> result = [&]() -> Result<MiningResult> {
@@ -174,6 +188,20 @@ int Run(int argc, char** argv) {
     return miner.Mine(table);
   }();
   if (!result.ok()) {
+    if (result.status().code() == StatusCode::kCancelled) {
+      if (flags.kill_after_pass > 0) {
+        // Crash simulation for the resume smoke test: the checkpoint for
+        // the final completed pass is on disk; die without any cleanup.
+        std::raise(SIGKILL);
+      }
+      std::fprintf(stderr, "interrupted: %s\n",
+                   result.status().message().c_str());
+      if (!flags.checkpoint.empty()) {
+        std::fprintf(stderr, "rerun with the same flags to resume from %s\n",
+                     flags.checkpoint.c_str());
+      }
+      return 130;  // 128 + SIGINT, the conventional Ctrl-C exit code
+    }
     std::fprintf(stderr, "mining failed: %s\n",
                  result.status().ToString().c_str());
     return 1;
@@ -231,6 +259,21 @@ int Run(int argc, char** argv) {
                    io.checksum_seconds,
                    static_cast<unsigned long long>(
                        stats.pass1_io.blocks_read));
+    }
+    if (io.read_retries > 0 || io.faults_injected > 0) {
+      std::fprintf(stderr, "# io-faults: injected=%llu retries=%llu\n",
+                   static_cast<unsigned long long>(io.faults_injected),
+                   static_cast<unsigned long long>(io.read_retries));
+    }
+    if (stats.checkpoint.enabled) {
+      std::fprintf(stderr,
+                   "# checkpoint: written=%zu resumed_passes=%zu "
+                   "last_bytes=%llu write=%.3fs\n",
+                   stats.checkpoint.checkpoints_written,
+                   stats.checkpoint.resumed_passes,
+                   static_cast<unsigned long long>(
+                       stats.checkpoint.last_checkpoint_bytes),
+                   stats.checkpoint.write_seconds);
     }
   }
   return printed > 0 ? 0 : 3;
