@@ -1,0 +1,56 @@
+// Runtime CPU dispatch for the SIMD counting kernels. The scan and reduce
+// hot paths come in up to three implementations — scalar (the original
+// row-at-a-time code, kept as the bit-identical oracle), SSE4.2, and AVX2 —
+// and the one that runs is chosen once per process from cpuid, overridable
+// with the QARM_FORCE_ISA environment variable (scalar|sse42|avx2) for A/B
+// measurement and for running the determinism suite against every path.
+//
+// Determinism contract: every ISA produces byte-identical mined rules. The
+// kernels only ever compute integer comparisons, integer sums, and
+// popcounts, all of which are exact, so this holds structurally; the ISA
+// determinism tests enforce it end to end.
+#ifndef QARM_COMMON_CPU_DISPATCH_H_
+#define QARM_COMMON_CPU_DISPATCH_H_
+
+#include <string_view>
+
+namespace qarm {
+
+// Instruction sets the counting kernels are specialized for, in strictly
+// increasing capability order (a CPU supporting a level supports all lower
+// ones, which makes clamping a forced level well defined).
+enum class SimdIsa : int {
+  kScalar = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+};
+
+// Display name: "scalar", "sse42", "avx2".
+const char* IsaName(SimdIsa isa);
+
+// Parses an ISA name (the QARM_FORCE_ISA grammar). Returns false on an
+// unrecognized name.
+bool ParseIsaName(std::string_view name, SimdIsa* isa);
+
+// Best ISA this CPU supports, detected once via cpuid (always kScalar on
+// non-x86 builds). Never affected by overrides.
+SimdIsa DetectCpuIsa();
+
+// The ISA the kernels dispatch to: DetectCpuIsa(), unless QARM_FORCE_ISA or
+// a test override lowers it. A forced level above what the CPU supports is
+// clamped down (with a warning) rather than crashing on an illegal
+// instruction. Cheap enough for per-pass calls (one atomic load after
+// initialization).
+SimdIsa ActiveIsa();
+
+// Test-only override of ActiveIsa(), taking precedence over QARM_FORCE_ISA.
+// Clamped to DetectCpuIsa() like the environment override. Not thread-safe
+// against concurrent passes; call between mining runs only.
+void SetIsaForTest(SimdIsa isa);
+
+// Removes the test override; ActiveIsa() falls back to env/detection.
+void ClearIsaForTest();
+
+}  // namespace qarm
+
+#endif  // QARM_COMMON_CPU_DISPATCH_H_

@@ -1,16 +1,19 @@
 #include "core/support_counting.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <unordered_map>
 #include <utility>
 
+#include "common/cpu_dispatch.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/count_kernels.h"
 #include "index/hash_tree.h"
 #include "index/ndim_array.h"
 #include "index/rstar_tree.h"
@@ -36,6 +39,12 @@ struct SuperCandidate {
   // Parallel scan: grid shared across workers, updated atomically (its
   // per-thread replicas would not fit the replication budget).
   bool atomic_shared = false;
+  // Counted by the block-kernel path (SIMD compare masks over whole column
+  // slices) instead of the row-at-a-time hash-tree probe.
+  bool kernel = false;
+  // Grid strides as int32, for the vectorized flat-index computation; only
+  // filled for kernel array groups (gated on FlatIndexFitsInt32).
+  std::vector<int32_t> grid_strides;
 };
 
 // Thread-local accumulators of one scan worker. Worker 0 writes directly
@@ -48,6 +57,26 @@ struct WorkerCounters {
   std::vector<uint64_t> direct;                     // per group
   HashTree::SubsetScratch scratch;
 };
+
+// Per-worker scratch of the block-kernel scan path: row masks sized to the
+// largest block, the vectorized flat-index buffer, and (for row-major
+// sources) the slab the needed columns are materialized into.
+struct KernelScratch {
+  std::vector<uint64_t> base_mask;
+  std::vector<uint64_t> tmp_mask;
+  std::vector<int32_t> flat_idx;
+  std::vector<int32_t> columns;           // kernel_attrs.size() * max_rows
+  std::vector<const int32_t*> col_ptr;    // per attribute, null if unused
+};
+
+// Cat-bearing super-candidates run the block kernels only while the group
+// count is modest: every kernel group touches each block, so with G groups
+// the kernel path is O(G * rows) compares, whereas the hash tree prunes to
+// the groups a record can match. Boolean-heavy workloads (thousands of
+// purely categorical groups) therefore stay on the probe path; quantitative
+// passes (few groups, wide rectangles) vectorize. Pure-quant groups match
+// every record, so the tree never prunes them and they always kernel.
+constexpr size_t kMaxKernelCatGroups = 512;
 
 }  // namespace
 
@@ -239,15 +268,84 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
                          "counting this pass";
   }
 
-  // --- Hash tree over the categorical parts. ---
-  // Built once here; the scan only probes it (ForEachSubset with per-worker
-  // scratch), which is mutation-free and safe to run concurrently.
-  HashTree hash_tree(/*leaf_capacity=*/16, /*fanout=*/64);
+  // --- Kernel plan: block-kernel path vs row-at-a-time hash-tree path. ---
+  // Under the scalar ISA every group takes the original row-at-a-time path,
+  // which doubles as the oracle the vector ISAs are tested against.
+  const CountKernels& kern = CountKernels::Active();
+  local_stats.isa = kern.isa;
+  std::vector<int32_t> kernel_group_ids;
+  std::vector<size_t> kernel_attrs;  // sorted unique attrs the kernels read
   for (size_t g = 0; g < groups.size(); ++g) {
-    hash_tree.Insert(groups[g].cat_item_ids, static_cast<int32_t>(g));
+    SuperCandidate& sc = groups[g];
+    if (kern.isa == SimdIsa::kScalar) continue;
+    if (!sc.cat_item_ids.empty() && groups.size() > kMaxKernelCatGroups) {
+      continue;
+    }
+    // The vectorized flat-index scatter needs int32 indices; grids beyond
+    // 2^31 cells (8 GiB+, far past any counter budget) stay on the row
+    // path rather than carrying a 64-bit kernel variant.
+    if (sc.array != nullptr && !sc.array->FlatIndexFitsInt32()) continue;
+    sc.kernel = true;
+    kernel_group_ids.push_back(static_cast<int32_t>(g));
+    if (sc.array != nullptr) {
+      sc.grid_strides.reserve(sc.array->strides().size());
+      for (uint64_t s : sc.array->strides()) {
+        sc.grid_strides.push_back(static_cast<int32_t>(s));
+      }
+    }
+    for (int32_t id : sc.cat_item_ids) {
+      kernel_attrs.push_back(static_cast<size_t>(catalog.item(id).attr));
+    }
+    for (int32_t attr : sc.quant_attrs) {
+      kernel_attrs.push_back(static_cast<size_t>(attr));
+    }
+  }
+  std::sort(kernel_attrs.begin(), kernel_attrs.end());
+  kernel_attrs.erase(std::unique(kernel_attrs.begin(), kernel_attrs.end()),
+                     kernel_attrs.end());
+  local_stats.num_kernel_groups = kernel_group_ids.size();
+  local_stats.num_hash_groups = groups.size() - kernel_group_ids.size();
+
+  // --- Hash tree over the categorical parts of the non-kernel groups. ---
+  // Built and frozen once here; the scan only probes it (ForEachSubset with
+  // per-worker scratch), which is mutation-free and safe to run
+  // concurrently. When every group kernels, the tree (and the whole
+  // row-at-a-time loop) is skipped.
+  const bool any_hash_groups = local_stats.num_hash_groups > 0;
+  HashTree hash_tree(/*leaf_capacity=*/16, /*fanout=*/64);
+  if (any_hash_groups) {
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g].kernel) continue;
+      hash_tree.Insert(groups[g].cat_item_ids, static_cast<int32_t>(g));
+    }
+    hash_tree.Freeze();
   }
   local_stats.build_seconds = phase_timer.ElapsedSeconds();
   phase_timer.Reset();
+
+  // The scan's per-row point buffers below are kRStarMaxDims wide; the
+  // per-group check in the build loop bounds each group, but guard the
+  // whole pass explicitly before any buffer is indexed.
+  size_t max_dims = 0;
+  for (const SuperCandidate& sc : groups) {
+    max_dims = std::max(max_dims, sc.quant_attrs.size());
+  }
+  QARM_CHECK_LE(max_dims, kRStarMaxDims);
+
+  // Satellite of the kernel path: the per-row transaction build only ever
+  // looks at plain categorical attributes, so resolve that set once per
+  // pass instead of re-testing attribute kinds on every row.
+  const size_t num_attrs = source.num_attributes();
+  std::vector<size_t> plain_cat_attrs;
+  for (size_t a = 0; a < num_attrs; ++a) {
+    const MappedAttribute& attr = source.attribute(a);
+    if (attr.kind == AttributeKind::kCategorical && !attr.ranged()) {
+      plain_cat_attrs.push_back(a);
+    }
+  }
+
+  const size_t max_block_rows =
+      kernel_group_ids.empty() ? 0 : source.max_block_rows();
 
   // --- The pass over the database, sharded across workers. ---
   // Each worker streams a contiguous *block* range through its own
@@ -256,7 +354,13 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
   // groups' primary structures (worker 0, and the whole serial path);
   // otherwise increments go to the worker's own replicas. Grids flagged
   // atomic_shared are written by every worker via relaxed atomic adds.
-  const size_t num_attrs = source.num_attributes();
+  //
+  // Kernel groups are counted per *block*: one bitmask over the block's
+  // rows per group — vectorized equality compares for the categorical
+  // items, missing-value compares per dimension — then the mode-specific
+  // finish (popcount, flat-index scatter, tree probe of surviving rows, or
+  // per-member range masks). Hash groups run the original row-at-a-time
+  // probe over the same block afterwards.
   auto scan_blocks = [&](size_t block_begin, size_t block_end,
                          WorkerCounters* local,
                          HashTree::SubsetScratch* scratch) -> Status {
@@ -265,6 +369,109 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
     int32_t point[kRStarMaxDims];
     double dpoint[kRStarMaxDims];
     BlockView view;
+
+    KernelScratch ks;
+    if (!kernel_group_ids.empty()) {
+      ks.base_mask.resize(MaskWords(max_block_rows));
+      ks.tmp_mask.resize(MaskWords(max_block_rows));
+      ks.flat_idx.resize(max_block_rows);
+      ks.col_ptr.assign(num_attrs, nullptr);
+    }
+
+    // One kernel group over one block of n rows.
+    auto scan_kernel_group = [&](int32_t g, size_t n) {
+      SuperCandidate& sc = groups[static_cast<size_t>(g)];
+      const size_t dims = sc.quant_attrs.size();
+      uint64_t* mask = ks.base_mask.data();
+      kern.fill_ones(mask, n);
+      for (int32_t id : sc.cat_item_ids) {
+        const RangeItem& item = catalog.item(id);
+        // A categorical item pins attr to one value; missing (-1) never
+        // equals a mapped value (>= 0), so the compare also filters nulls.
+        kern.mask_eq(mask, ks.col_ptr[static_cast<size_t>(item.attr)], n,
+                     item.lo);
+      }
+      for (size_t d = 0; d < dims; ++d) {
+        // A record lacking any dimension supports no member.
+        kern.mask_neq(mask, ks.col_ptr[static_cast<size_t>(sc.quant_attrs[d])],
+                      n, kMissingValue);
+      }
+      const uint64_t matches = kern.popcount(mask, n);
+      if (dims == 0) {
+        if (local != nullptr) {
+          local->direct[static_cast<size_t>(g)] += matches;
+        } else {
+          sc.direct_count += matches;
+        }
+        return;
+      }
+      if (matches == 0) return;
+      const size_t words = MaskWords(n);
+      if (sc.array != nullptr) {
+        const int32_t* cols[kRStarMaxDims];
+        for (size_t d = 0; d < dims; ++d) {
+          cols[d] = ks.col_ptr[static_cast<size_t>(sc.quant_attrs[d])];
+        }
+        kern.flat_index(ks.flat_idx.data(), cols, sc.grid_strides.data(),
+                        dims, n);
+        NDimArray* grid = sc.atomic_shared || local == nullptr
+                              ? sc.array.get()
+                              : local->arrays[static_cast<size_t>(g)].get();
+        const int32_t* idx = ks.flat_idx.data();
+        for (size_t w = 0; w < words; ++w) {
+          uint64_t bits = mask[w];
+          while (bits != 0) {
+            const size_t r =
+                w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            const size_t cell = static_cast<size_t>(
+                static_cast<uint32_t>(idx[r]));
+            if (sc.atomic_shared) {
+              grid->AtomicIncrementFlat(cell);
+            } else {
+              grid->IncrementFlat(cell);
+            }
+          }
+        }
+      } else if (sc.tree != nullptr) {
+        std::vector<uint32_t>& tree_counts =
+            local != nullptr ? local->tree_counts[static_cast<size_t>(g)]
+                             : sc.tree_counts;
+        for (size_t w = 0; w < words; ++w) {
+          uint64_t bits = mask[w];
+          while (bits != 0) {
+            const size_t r =
+                w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            for (size_t d = 0; d < dims; ++d) {
+              dpoint[d] = static_cast<double>(
+                  ks.col_ptr[static_cast<size_t>(sc.quant_attrs[d])][r]);
+            }
+            sc.tree->ForEachContaining(dpoint, [&tree_counts](int32_t m) {
+              ++tree_counts[static_cast<size_t>(m)];
+            });
+          }
+        }
+      } else {
+        // Degraded mode, vectorized: per member, refine a copy of the base
+        // mask with one range compare per dimension and popcount it.
+        std::vector<uint32_t>& member_counts =
+            local != nullptr ? local->tree_counts[static_cast<size_t>(g)]
+                             : sc.tree_counts;
+        const int32_t* rects = sc.member_rects.data();
+        uint64_t* tmp = ks.tmp_mask.data();
+        for (size_t m = 0; m < sc.members.size(); ++m) {
+          const int32_t* rect = rects + m * dims * 2;
+          std::memcpy(tmp, mask, words * sizeof(uint64_t));
+          for (size_t d = 0; d < dims; ++d) {
+            kern.mask_range(tmp,
+                            ks.col_ptr[static_cast<size_t>(sc.quant_attrs[d])],
+                            n, rect[2 * d], rect[2 * d + 1]);
+          }
+          member_counts[m] += static_cast<uint32_t>(kern.popcount(tmp, n));
+        }
+      }
+    };
 
     auto visit = [&](int32_t g, size_t r) {
       SuperCandidate& sc = groups[static_cast<size_t>(g)];
@@ -325,13 +532,37 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
     for (size_t b = block_begin; b < block_end; ++b) {
       QARM_RETURN_NOT_OK(source.ReadBlock(b, &view));
       const size_t block_rows = view.num_rows();
+
+      if (!kernel_group_ids.empty()) {
+        // Resolve contiguous column slices: columnar blocks (QBT) are read
+        // in place; row-major blocks materialize the needed attributes
+        // into the worker's slab once per block.
+        if (view.columnar()) {
+          for (size_t a : kernel_attrs) ks.col_ptr[a] = view.column(a);
+        } else {
+          if (ks.columns.size() < kernel_attrs.size() * max_block_rows) {
+            ks.columns.resize(kernel_attrs.size() * max_block_rows);
+          }
+          const size_t stride = view.stride();
+          for (size_t i = 0; i < kernel_attrs.size(); ++i) {
+            const size_t a = kernel_attrs[i];
+            const int32_t* src = view.column(a);
+            int32_t* dst = ks.columns.data() + i * max_block_rows;
+            for (size_t r = 0; r < block_rows; ++r) {
+              dst[r] = src[r * stride];
+            }
+            ks.col_ptr[a] = dst;
+          }
+        }
+        for (int32_t g : kernel_group_ids) {
+          scan_kernel_group(g, block_rows);
+        }
+      }
+
+      if (!any_hash_groups) continue;
       for (size_t r = 0; r < block_rows; ++r) {
         cat_transaction.clear();
-        for (size_t a = 0; a < num_attrs; ++a) {
-          const MappedAttribute& attr = source.attribute(a);
-          if (attr.kind != AttributeKind::kCategorical || attr.ranged()) {
-            continue;
-          }
+        for (size_t a : plain_cat_attrs) {
           const int32_t v = view.value(r, a);
           if (v == kMissingValue) continue;
           int32_t id = catalog.CategoricalItemId(a, v);
@@ -348,6 +579,10 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
     return Status::OK();
   };
 
+  // One pool serves both the scan and the reduce below.
+  std::unique_ptr<ThreadPool> pool;
+  if (threads_used > 1) pool = std::make_unique<ThreadPool>(threads_used);
+
   std::vector<WorkerCounters> workers;
   if (threads_used == 1) {
     QARM_RETURN_NOT_OK(scan_blocks(0, source.num_blocks(),
@@ -357,8 +592,7 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
     const std::vector<IndexRange> shards =
         SplitRange(source.num_blocks(), threads_used);
     std::vector<Status> statuses(shards.size());
-    ThreadPool pool(threads_used);
-    pool.ParallelFor(shards.size(), [&](size_t w) {
+    pool->ParallelFor(shards.size(), [&](size_t w) {
       WorkerCounters& wc = workers[w];
       if (w > 0) {
         // Allocate the replicas on the worker itself (first-touch locality).
@@ -384,60 +618,99 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
   local_stats.scan_seconds = phase_timer.ElapsedSeconds();
   phase_timer.Reset();
 
-  // --- Reduce worker counters into the groups. ---
-  for (size_t w = 1; w < workers.size(); ++w) {
-    WorkerCounters& wc = workers[w];
-    for (size_t g = 0; g < groups.size(); ++g) {
-      SuperCandidate& sc = groups[g];
-      sc.direct_count += wc.direct[g];
-      if (sc.tree != nullptr || sc.degraded_scan) {
-        for (size_t m = 0; m < sc.tree_counts.size(); ++m) {
-          sc.tree_counts[m] += wc.tree_counts[g][m];
+  // --- Reduce worker shards and collect per-candidate counts. ---
+  // One task per super-candidate: merge its worker shards (a pairwise tree
+  // in fixed order — merging shards while both are cache-warm), build the
+  // grid's prefix sums, then decode the members' rectangles in chunks and
+  // count them batched (NDimArray::CountRects, vectorized for 1-d/2-d
+  // grids). Every task writes a disjoint slice of `counts` and only its own
+  // group's shards, so the parallel schedule cannot affect the result; the
+  // merges themselves are exact integer sums, identical in any order.
+  const size_t num_workers = workers.size();
+  auto reduce_group = [&](size_t g) {
+    SuperCandidate& sc = groups[g];
+
+    if (num_workers > 1) {
+      if (sc.quant_attrs.empty()) {
+        for (size_t w = 1; w < num_workers; ++w) {
+          sc.direct_count += workers[w].direct[g];
         }
-      } else if (wc.arrays[g] != nullptr) {
-        sc.array->AddFrom(*wc.arrays[g]);
-        wc.arrays[g].reset();
+      } else if (sc.tree != nullptr || sc.degraded_scan) {
+        // Shard 0 is the group's own counts; shards 1..T-1 the workers'.
+        auto shard = [&](size_t s) -> uint32_t* {
+          return s == 0 ? sc.tree_counts.data()
+                        : workers[s].tree_counts[g].data();
+        };
+        const size_t len = sc.tree_counts.size();
+        for (size_t step = 1; step < num_workers; step *= 2) {
+          for (size_t i = 0; i + step < num_workers; i += 2 * step) {
+            kern.add_u32(shard(i), shard(i + step), len);
+          }
+        }
+      } else if (sc.array != nullptr && !sc.atomic_shared) {
+        auto shard = [&](size_t s) -> NDimArray* {
+          return s == 0 ? sc.array.get() : workers[s].arrays[g].get();
+        };
+        for (size_t step = 1; step < num_workers; step *= 2) {
+          for (size_t i = 0; i + step < num_workers; i += 2 * step) {
+            shard(i)->AddFrom(*shard(i + step));
+          }
+        }
+        for (size_t w = 1; w < num_workers; ++w) {
+          workers[w].arrays[g].reset();
+        }
       }
     }
-  }
-  workers.clear();
 
-  // --- Collect per-candidate counts. ---
-  IntRect rect;
-  for (SuperCandidate& sc : groups) {
     if (sc.quant_attrs.empty()) {
       // Counts are bounded by the record count, but that invariant lives far
       // from here (in the scan workers); guard the narrowing explicitly.
       QARM_CHECK_LE(sc.direct_count, std::numeric_limits<uint32_t>::max());
       counts[sc.members[0]] = static_cast<uint32_t>(sc.direct_count);
-      continue;
+      return;
     }
     if (sc.tree != nullptr || sc.degraded_scan) {
       for (size_t m = 0; m < sc.members.size(); ++m) {
         counts[sc.members[m]] = sc.tree_counts[m];
       }
-      continue;
+      return;
     }
     sc.array->BuildPrefixSums();
     const size_t dims = sc.quant_attrs.size();
-    rect.lo.resize(dims);
-    rect.hi.resize(dims);
-    for (uint32_t member : sc.members) {
-      const int32_t* ids = candidates.itemset(member);
-      size_t d = 0;
-      for (size_t i = 0; i < k; ++i) {
-        const RangeItem& item = catalog.item(ids[i]);
-        if (!is_ranged(item.attr)) continue;
-        rect.lo[d] = item.lo;
-        rect.hi[d] = item.hi;
-        ++d;
+    // Chunked batched collect: decode member rectangles into dim-major SoA
+    // bounds, then count the whole chunk in one call.
+    constexpr size_t kChunk = 2048;
+    const size_t chunk = std::min(kChunk, sc.members.size());
+    std::vector<int32_t> los(dims * chunk);
+    std::vector<int32_t> his(dims * chunk);
+    std::vector<uint32_t> out(chunk);
+    for (size_t begin = 0; begin < sc.members.size(); begin += chunk) {
+      const size_t num = std::min(chunk, sc.members.size() - begin);
+      for (size_t m = 0; m < num; ++m) {
+        const int32_t* ids = candidates.itemset(sc.members[begin + m]);
+        size_t d = 0;
+        for (size_t i = 0; i < k; ++i) {
+          const RangeItem& item = catalog.item(ids[i]);
+          if (!is_ranged(item.attr)) continue;
+          los[d * num + m] = item.lo;
+          his[d * num + m] = item.hi;
+          ++d;
+        }
       }
-      const uint64_t rect_count = sc.array->CountRect(rect);
-      QARM_CHECK_LE(rect_count, std::numeric_limits<uint32_t>::max());
-      counts[member] = static_cast<uint32_t>(rect_count);
+      sc.array->CountRects(los.data(), his.data(), num, out.data());
+      for (size_t m = 0; m < num; ++m) {
+        counts[sc.members[begin + m]] = out[m];
+      }
     }
     sc.array.reset();  // release the grid before the next group collects
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(groups.size(), reduce_group);
+  } else {
+    for (size_t g = 0; g < groups.size(); ++g) reduce_group(g);
   }
+  workers.clear();
   local_stats.reduce_seconds = phase_timer.ElapsedSeconds();
   local_stats.io = source.io_stats() - io_before;
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cpu_dispatch.h"
 #include "common/status.h"
 #include "core/candidate_gen.h"
 #include "core/frequent_items.h"
@@ -41,6 +42,16 @@ struct CountingStats {
   // Threads that actually scanned (<= the resolved option: capped by the
   // number of blocks of the scanned source).
   size_t threads_used = 1;
+
+  // The SIMD instruction set the pass's kernels dispatched to (detection
+  // clamped by QARM_FORCE_ISA). kScalar means the original row-at-a-time
+  // scan ran; any other ISA selects the block-kernel path for eligible
+  // super-candidates. Results are bit-identical either way.
+  SimdIsa isa = SimdIsa::kScalar;
+  // Super-candidates counted by the block-kernel path vs the row-at-a-time
+  // hash-tree probe path this pass.
+  size_t num_kernel_groups = 0;
+  size_t num_hash_groups = 0;
 
   // I/O performed by this pass's scan (zero for in-memory sources).
   ScanIoStats io;

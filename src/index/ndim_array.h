@@ -45,6 +45,9 @@ class NDimArray {
   size_t dims() const { return dim_sizes_.size(); }
   uint64_t num_cells() const { return cells_.size(); }
   const std::vector<int32_t>& dim_sizes() const { return dim_sizes_; }
+  // Row-major strides (last dimension contiguous). The kernel scan derives
+  // its int32 strides from these after checking FlatIndexFitsInt32().
+  const std::vector<uint64_t>& strides() const { return strides_; }
 
   // Bytes this grid's cells occupy.
   uint64_t bytes() const { return cells_.size() * sizeof(uint32_t); }
@@ -56,6 +59,15 @@ class NDimArray {
 
   // Increments the cell at `point` (dims() coordinates).
   void Increment(const int32_t* point);
+
+  // Flat-index increments for the SIMD scan kernels, which compute the cell
+  // index vectorized (count_kernels.h flat_index) and scatter scalar.
+  void IncrementFlat(size_t index) { ++cells_[index]; }
+  void AtomicIncrementFlat(size_t index);
+
+  // True when every flat index fits an int32 — the precondition of the
+  // vectorized index computation (strides then fit int32 too).
+  bool FlatIndexFitsInt32() const { return cells_.size() <= 0x7fffffffu; }
 
   // Thread-safe increment for grids shared across scan workers: a relaxed
   // atomic add on the cell. All concurrent writers of a grid must use this
@@ -78,6 +90,17 @@ class NDimArray {
   // inclusion-exclusion when BuildPrefixSums() has run, a sweep otherwise.
   uint64_t CountRect(const IntRect& rect) const;
 
+  // Batched CountRect over `num` rectangles given dimension-major
+  // ("structure of arrays") bounds: rectangle m spans [los[d * num + m],
+  // his[d * num + m]] in dimension d. Requires BuildPrefixSums(); results
+  // are exactly CountRect of each rectangle (counts fit uint32 because the
+  // cells are uint32). The hot path of the per-pass collect phase: the 1-
+  // and 2-dimensional cases run vectorized (AVX2 gathers) when the active
+  // ISA allows, with a scalar allocation-free fallback elsewhere — every
+  // path is exact, so results never depend on the ISA.
+  void CountRects(const int32_t* los, const int32_t* his, size_t num,
+                  uint32_t* out) const;
+
   // Raw cell accessor (tests; invalid after BuildPrefixSums).
   uint64_t CellAt(const int32_t* point) const;
 
@@ -85,8 +108,9 @@ class NDimArray {
   size_t FlatIndex(const int32_t* point) const;
   uint64_t CountRectSweep(const std::vector<int32_t>& lo,
                           const std::vector<int32_t>& hi) const;
-  uint64_t CountRectPrefix(const std::vector<int32_t>& lo,
-                           const std::vector<int32_t>& hi) const;
+  // Allocation-free inclusion-exclusion over pre-clipped bounds (lo[d] >= 0,
+  // hi[d] < dim_sizes_[d], lo[d] <= hi[d]).
+  uint64_t CountRectPrefix(const int32_t* lo, const int32_t* hi) const;
 
   std::vector<int32_t> dim_sizes_;
   std::vector<uint64_t> strides_;

@@ -15,6 +15,7 @@
 #ifndef QARM_STORAGE_RECORD_SOURCE_H_
 #define QARM_STORAGE_RECORD_SOURCE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -72,6 +73,9 @@ class BlockView {
   // Base pointer and element stride of one attribute's values.
   const int32_t* column(size_t attr) const { return columns_[attr]; }
   size_t stride() const { return stride_; }
+  // True when each column is a contiguous slice (stride 1) — the SIMD scan
+  // kernels then read it in place instead of materializing a copy.
+  bool columnar() const { return stride_ == 1; }
 
  private:
   friend class MappedTableSource;
@@ -103,6 +107,16 @@ class RecordSource {
 
   size_t num_attributes() const { return attributes().size(); }
   const MappedAttribute& attribute(size_t a) const { return attributes()[a]; }
+
+  // Largest block_rows(b) over all blocks. Sizes per-worker kernel scratch
+  // (row masks, materialized columns) once per scan.
+  size_t max_block_rows() const {
+    size_t rows = 0;
+    for (size_t b = 0; b < num_blocks(); ++b) {
+      rows = std::max(rows, block_rows(b));
+    }
+    return rows;
+  }
 };
 
 // Rows per block for scanning an in-memory table: at most `max_block_rows`,

@@ -1,0 +1,150 @@
+// The hard acceptance gate for the SIMD counting kernels: mined rules must
+// be byte-identical across QARM_FORCE_ISA=scalar/sse42/avx2 at every thread
+// count, on both the in-memory and the QBT-streamed path. The scalar
+// row-at-a-time scan is the oracle; any vector-path divergence fails here
+// before it can ship.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cpu_dispatch.h"
+#include "common/macros.h"
+#include "core/miner.h"
+#include "core/report.h"
+#include "partition/mapper.h"
+#include "storage/qbt_writer.h"
+#include "storage/record_source.h"
+#include "table/datagen.h"
+
+namespace qarm {
+namespace {
+
+MinerOptions BaseOptions(size_t num_threads) {
+  MinerOptions options;
+  options.minsup = 0.20;
+  options.minconf = 0.40;
+  options.max_support = 0.40;
+  options.partial_completeness = 3.0;
+  options.interest_level = 1.2;
+  options.num_threads = num_threads;
+  return options;
+}
+
+class IsaDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ClearIsaForTest(); }
+};
+
+// One dataset, shared by every combination: mapped once, written to QBT
+// once, mined under each forced ISA.
+struct Corpus {
+  Table raw = MakeFinancialDataset(1500, 91);
+  std::string qbt_path;
+
+  Corpus() {
+    // Must match BaseOptions: Mine() re-maps the raw table with the same
+    // parameters, and the QBT snapshot has to partition identically.
+    MapOptions map_options;
+    map_options.partial_completeness = 3.0;
+    map_options.minsup = 0.20;
+    auto mapped = MapTable(raw, map_options);
+    QARM_CHECK(mapped.ok());
+    qbt_path = ::testing::TempDir() + "/isa_determinism.qbt";
+    QbtWriteOptions write_options;
+    write_options.rows_per_block = 256;  // enough blocks to shard over
+    QARM_CHECK(WriteQbt(*mapped, qbt_path, write_options).ok());
+  }
+};
+
+Corpus& GetCorpus() {
+  static Corpus* corpus = new Corpus();
+  return *corpus;
+}
+
+std::vector<std::string> MineToJson(size_t num_threads, bool streamed) {
+  Corpus& corpus = GetCorpus();
+  QuantitativeRuleMiner miner(BaseOptions(num_threads));
+  Result<MiningResult> result = [&]() -> Result<MiningResult> {
+    if (streamed) {
+      auto source = QbtFileSource::Open(corpus.qbt_path);
+      QARM_CHECK(source.ok());
+      return miner.MineStreamed(**source);
+    }
+    return miner.Mine(corpus.raw);
+  }();
+  // A mining failure under a forced ISA is itself a determinism bug.
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  std::vector<std::string> json;
+  if (!result.ok()) return json;
+  json.reserve(result->rules.size());
+  for (const auto& rule : result->rules) {
+    json.push_back(RuleToJson(rule, result->mapped));
+  }
+  // An empty result would make every cross-ISA comparison vacuous.
+  EXPECT_GT(json.size(), 0u);
+  return json;
+}
+
+TEST_F(IsaDeterminismTest, RulesByteIdenticalAcrossIsasAndThreads) {
+  // Baseline: the scalar oracle, serial, in memory.
+  SetIsaForTest(SimdIsa::kScalar);
+  const std::vector<std::string> baseline = MineToJson(1, /*streamed=*/false);
+  ASSERT_FALSE(baseline.empty());
+
+  const SimdIsa detected = DetectCpuIsa();
+  for (SimdIsa isa : {SimdIsa::kScalar, SimdIsa::kSse42, SimdIsa::kAvx2}) {
+    if (static_cast<int>(isa) > static_cast<int>(detected)) continue;
+    SetIsaForTest(isa);
+    ASSERT_EQ(ActiveIsa(), isa);
+    for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+      for (bool streamed : {false, true}) {
+        SCOPED_TRACE(std::string(IsaName(isa)) + " threads=" +
+                     std::to_string(threads) +
+                     (streamed ? " streamed" : " in-memory"));
+        const std::vector<std::string> got = MineToJson(threads, streamed);
+        ASSERT_EQ(got.size(), baseline.size());
+        for (size_t i = 0; i < baseline.size(); ++i) {
+          ASSERT_EQ(got[i], baseline[i]) << "rule " << i;
+        }
+      }
+    }
+  }
+}
+
+// The counting pass must report the ISA it actually ran and route eligible
+// super-candidates through the kernels when a vector ISA is active.
+TEST_F(IsaDeterminismTest, StatsReportForcedIsa) {
+  Corpus& corpus = GetCorpus();
+  const SimdIsa best = DetectCpuIsa();
+  SetIsaForTest(best);
+  QuantitativeRuleMiner miner(BaseOptions(1));
+  auto result = miner.Mine(corpus.raw);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  bool saw_counting_pass = false;
+  for (const PassStats& pass : result->stats.passes) {
+    if (pass.k < 2 || pass.num_candidates == 0) continue;
+    saw_counting_pass = true;
+    EXPECT_EQ(pass.counting.isa, best);
+    if (best != SimdIsa::kScalar) {
+      EXPECT_GT(pass.counting.num_kernel_groups, 0u);
+    } else {
+      EXPECT_EQ(pass.counting.num_kernel_groups, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_counting_pass);
+
+  SetIsaForTest(SimdIsa::kScalar);
+  auto scalar_result = miner.Mine(corpus.raw);
+  ASSERT_TRUE(scalar_result.ok());
+  for (const PassStats& pass : scalar_result->stats.passes) {
+    if (pass.k < 2 || pass.num_candidates == 0) continue;
+    EXPECT_EQ(pass.counting.isa, SimdIsa::kScalar);
+    EXPECT_EQ(pass.counting.num_kernel_groups, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace qarm

@@ -1,8 +1,12 @@
 #include "core/support_counting.h"
 
+#include <algorithm>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "index/rstar_tree.h"
 #include "testutil.h"
 
 namespace qarm {
@@ -188,17 +192,47 @@ TEST(SupportCountingTest, ArrayAndTreeAgree) {
 // budget, later tree-mode groups fall back to a direct scan of their member
 // rectangles — slower, but bit-identical counts.
 TEST(SupportCountingTest, DegradedGroupsMatchBruteForce) {
-  MappedTable table = RandomTable(13, 300);
+  // Three wide-domain attributes: every attribute pair forms its own
+  // super-candidate whose 40x40 grid (6.4 KB) loses to the R*-tree
+  // estimate for a handful of members, so all three groups want a tree.
+  // The 1-byte high-water-mark budget admits only the first and degrades
+  // the rest: both engines run in the same pass.
+  Rng rng(13);
+  std::vector<std::vector<int32_t>> rows;
+  for (size_t r = 0; r < 300; ++r) {
+    rows.push_back({static_cast<int32_t>(rng.UniformInt(0, 39)),
+                    static_cast<int32_t>(rng.UniformInt(0, 39)),
+                    static_cast<int32_t>(rng.UniformInt(0, 39))});
+  }
+  MappedTable table = MakeMappedTable(
+      {QuantAttr("q1", 40), QuantAttr("q2", 40), QuantAttr("q3", 40)}, rows);
   MinerOptions options;
   options.minsup = 0.05;
-  options.max_support = 0.8;
+  options.max_support = 0.30;
   options.counter_memory_budget_bytes = 1;  // grids never fit; 1 tree max
   ItemCatalog catalog = ItemCatalog::Build(table, options);
-  ItemsetSet l1(1);
+  std::vector<std::vector<int32_t>> by_attr(3);
   for (size_t i = 0; i < catalog.num_items(); ++i) {
-    l1.AppendVector({static_cast<int32_t>(i)});
+    by_attr[static_cast<size_t>(catalog.item(static_cast<int32_t>(i)).attr)]
+        .push_back(static_cast<int32_t>(i));
   }
-  ItemsetSet c2 = GenerateCandidates(catalog, l1);
+  ItemsetSet c2(2);
+  for (size_t a = 0; a < 3; ++a) {
+    const std::vector<int32_t>& first = by_attr[a];
+    const std::vector<int32_t>& second = by_attr[(a + 1) % 3];
+    ASSERT_FALSE(first.empty());
+    ASSERT_FALSE(second.empty());
+    for (size_t i = 0; i < first.size() && i < 3; ++i) {
+      for (size_t j = 0; j < second.size() && j < 3; ++j) {
+        // Itemsets are sorted by item id.
+        if (first[i] < second[j]) {
+          c2.AppendVector({first[i], second[j]});
+        } else {
+          c2.AppendVector({second[j], first[i]});
+        }
+      }
+    }
+  }
   ASSERT_GT(c2.size(), 0u);
 
   CountingStats stats;
@@ -232,6 +266,63 @@ TEST(SupportCountingTest, DegradedGroupsMatchBruteForce) {
       CountSupports(table, catalog, c2, roomy, &roomy_stats);
   EXPECT_EQ(roomy_stats.num_degraded, 0u);
   EXPECT_EQ(roomy_counts, counts);
+}
+
+// A candidate spanning exactly kRStarMaxDims quantitative attributes: the
+// scan's fixed per-row point buffers are sized for this maximum and guarded
+// by a QARM_CHECK_LE, so the widest legal candidate must count correctly
+// (serially and sharded) rather than overflow.
+TEST(SupportCountingTest, CandidateAtMaxDimsCounts) {
+  Rng rng(17);
+  std::vector<std::vector<int32_t>> rows;
+  for (size_t r = 0; r < 200; ++r) {
+    std::vector<int32_t> row;
+    for (size_t a = 0; a < kRStarMaxDims; ++a) {
+      row.push_back(static_cast<int32_t>(rng.UniformInt(0, 1)));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::vector<MappedAttribute> attrs;
+  for (size_t a = 0; a < kRStarMaxDims; ++a) {
+    std::string name = "q";  // GCC 12 -Wrestrict misfires on "q" + to_string
+    name += std::to_string(a);
+    attrs.push_back(QuantAttr(name, 2));
+  }
+  MappedTable table = MakeMappedTable(attrs, rows);
+  MinerOptions options;
+  options.minsup = 0.0001;  // a 16-way conjunction is rare by construction
+  options.max_support = 0.6;
+  ItemCatalog catalog = ItemCatalog::Build(table, options);
+
+  // One item per attribute, lowest item id first (itemsets are id-sorted).
+  std::vector<int32_t> member;
+  std::vector<bool> taken(kRStarMaxDims, false);
+  for (size_t i = 0; i < catalog.num_items(); ++i) {
+    size_t attr =
+        static_cast<size_t>(catalog.item(static_cast<int32_t>(i)).attr);
+    if (!taken[attr]) {
+      taken[attr] = true;
+      member.push_back(static_cast<int32_t>(i));
+    }
+  }
+  ASSERT_EQ(member.size(), kRStarMaxDims);
+  std::sort(member.begin(), member.end());
+  ItemsetSet candidates(kRStarMaxDims);
+  candidates.AppendVector(member);
+
+  CountingStats stats;
+  std::vector<uint32_t> counts =
+      CountSupports(table, catalog, candidates, options, &stats);
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0],
+            BruteForceSupport(table,
+                              catalog.Decode(candidates.itemset_vector(0))));
+
+  MinerOptions parallel_options = options;
+  parallel_options.num_threads = 4;
+  std::vector<uint32_t> parallel_counts =
+      CountSupports(table, catalog, candidates, parallel_options, nullptr);
+  EXPECT_EQ(parallel_counts, counts);
 }
 
 TEST(SupportCountingTest, EmptyCandidates) {

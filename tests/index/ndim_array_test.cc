@@ -1,5 +1,7 @@
 #include "index/ndim_array.h"
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -139,6 +141,55 @@ TEST_P(NDimArrayRandomTest, CountsMatchBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NDimArrayRandomTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// The batched collect path (CountRects, possibly AVX2-gathered for 1 and 2
+// dimensions) against per-rectangle CountRect, including rectangles that
+// poke outside the grid and must clip identically.
+class NDimArrayCountRectsTest
+    : public ::testing::TestWithParam<std::vector<int32_t>> {};
+
+TEST_P(NDimArrayCountRectsTest, MatchesCountRect) {
+  const std::vector<int32_t> dims = GetParam();
+  Rng rng(static_cast<uint64_t>(dims.size()) * 31 + 5);
+  NDimArray array(dims);
+  for (int i = 0; i < 400; ++i) {
+    std::vector<int32_t> p;
+    for (int32_t d : dims) {
+      p.push_back(static_cast<int32_t>(rng.UniformInt(0, d - 1)));
+    }
+    array.Increment(p.data());
+  }
+  array.BuildPrefixSums();
+
+  // Batch sizes around the vector width, plus a big one.
+  for (size_t num : {size_t{1}, size_t{7}, size_t{8}, size_t{9}, size_t{130}}) {
+    std::vector<int32_t> los(dims.size() * num), his(dims.size() * num);
+    std::vector<IntRect> rects(num);
+    for (size_t m = 0; m < num; ++m) {
+      for (size_t d = 0; d < dims.size(); ++d) {
+        // Bounds deliberately range outside the grid on both sides.
+        int32_t a = static_cast<int32_t>(rng.UniformInt(-3, dims[d] + 2));
+        int32_t b = static_cast<int32_t>(rng.UniformInt(-3, dims[d] + 2));
+        if (a > b) std::swap(a, b);
+        los[d * num + m] = a;
+        his[d * num + m] = b;
+        rects[m].lo.push_back(a);
+        rects[m].hi.push_back(b);
+      }
+    }
+    std::vector<uint32_t> batched(num);
+    array.CountRects(los.data(), his.data(), num, batched.data());
+    for (size_t m = 0; m < num; ++m) {
+      EXPECT_EQ(batched[m], array.CountRect(rects[m]))
+          << "rect " << m << " of " << num;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, NDimArrayCountRectsTest,
+    ::testing::Values(std::vector<int32_t>{40}, std::vector<int32_t>{9, 11},
+                      std::vector<int32_t>{5, 4, 6}));
 
 }  // namespace
 }  // namespace qarm
