@@ -1,0 +1,326 @@
+// Closed-loop load generator for the serving engine: mine the financial
+// dataset, index the rules, start the real HTTP server in-process, and
+// hammer it with a configurable number of keep-alive clients issuing a
+// mixed /match //topk //rules workload. Reports p50/p95/p99 latency and
+// QPS with the result cache off and on, verifies cache byte-identity
+// along the way, and writes everything (including the serving counters)
+// to BENCH_serve.json.
+//
+//   $ ./bench_serve [--records=N] [--seed=S] [--clients=C]
+//       [--requests=R_per_client] [--cache-mb=M] [--server-threads=T]
+//       [--out=FILE]
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/miner.h"
+#include "core/rules_export.h"
+#include "serve/http_client.h"
+#include "serve/http_server.h"
+#include "serve/rule_catalog.h"
+#include "serve/rule_service.h"
+#include "table/datagen.h"
+
+namespace {
+
+using namespace qarm;
+
+// Builds a pool of query targets from the catalog's own decode metadata,
+// so the workload stays meaningful for any mined rule set: /match records
+// draw real labels and in-interval numeric values, /topk cycles metrics,
+// /rules pages with filters. The mix is ~50% match, 30% topk, 20% rules.
+std::vector<std::string> BuildTargetPool(const RuleCatalog& catalog,
+                                         std::mt19937_64& rng, size_t size) {
+  const std::vector<MappedAttribute>& attrs = catalog.attributes();
+  std::vector<std::string> pool;
+  pool.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    const uint64_t pick = rng() % 10;
+    std::string target;
+    if (pick < 5) {
+      target = "/match?";
+      bool first = true;
+      for (const MappedAttribute& attr : attrs) {
+        if (rng() % 3 == 0) continue;  // record lacks this attribute
+        if (!first) target += "&";
+        first = false;
+        target += attr.name;
+        target += "=";
+        if (attr.kind == AttributeKind::kCategorical) {
+          target += attr.labels[rng() % attr.labels.size()];
+        } else {
+          const Interval& iv = attr.intervals[rng() % attr.intervals.size()];
+          target += StrFormat("%.0f", iv.lo);
+        }
+      }
+      if (first) target += "mode=rule";  // degenerate: no fields at all
+      if (rng() % 4 == 0) target += "&mode=antecedent";
+    } else if (pick < 8) {
+      target = "/topk?metric=";
+      target += RankMeasureName(static_cast<RankMeasure>(rng() % 3));
+      target += StrFormat("&k=%llu",
+                          static_cast<unsigned long long>(1 + rng() % 20));
+      if (rng() % 3 == 0) {
+        target += "&attr=";
+        target += attrs[rng() % attrs.size()].name;
+      }
+    } else {
+      target = StrFormat("/rules?offset=%llu&limit=%llu",
+                         static_cast<unsigned long long>(rng() % 16),
+                         static_cast<unsigned long long>(1 + rng() % 25));
+      if (rng() % 2 == 0) {
+        target += StrFormat("&min_conf=0.%llu",
+                            static_cast<unsigned long long>(rng() % 10));
+      }
+    }
+    pool.push_back(std::move(target));
+  }
+  return pool;
+}
+
+struct RunStats {
+  size_t cache_mb = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t total_requests = 0;
+  uint64_t errors = 0;
+  ResultCacheStats cache;  // zeroed when the cache is off
+};
+
+double Percentile(const std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+// One closed-loop run: `clients` threads, each with its own keep-alive
+// connection, issuing `requests` targets drawn from the pool.
+RunStats RunLoad(std::shared_ptr<const RuleCatalog> catalog,
+                 const std::vector<std::string>& pool, size_t clients,
+                 size_t requests, size_t cache_mb, size_t server_threads) {
+  RuleServiceOptions service_options;
+  service_options.cache_bytes = cache_mb * (size_t{1} << 20);
+  auto service = std::make_shared<RuleService>(catalog, service_options);
+  HttpServerOptions server_options;
+  server_options.port = 0;
+  server_options.num_threads = server_threads;
+  auto server = HttpServer::Start(
+      server_options, [service](const HttpRequest& request) {
+        return service->Handle(request);
+      });
+  QARM_CHECK(server.ok());
+  const uint16_t port = (*server)->port();
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<uint64_t> errors{0};
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::mt19937_64 rng(0x5EE5ull * (c + 1));
+      auto client = HttpClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        errors.fetch_add(requests);
+        return;
+      }
+      latencies[c].reserve(requests);
+      for (size_t i = 0; i < requests; ++i) {
+        const std::string& target = pool[rng() % pool.size()];
+        Timer per_request;
+        auto response = (*client)->Get(target);
+        if (!response.ok() || response->status >= 500) {
+          errors.fetch_add(1);
+          continue;
+        }
+        latencies[c].push_back(per_request.ElapsedMillis());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  RunStats stats;
+  stats.cache_mb = cache_mb;
+  stats.wall_seconds = wall.ElapsedSeconds();
+  stats.errors = errors.load();
+  std::vector<double> merged;
+  for (const auto& per_client : latencies) {
+    merged.insert(merged.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  stats.total_requests = merged.size();
+  stats.qps = stats.wall_seconds > 0.0
+                  ? static_cast<double>(merged.size()) / stats.wall_seconds
+                  : 0.0;
+  stats.p50_ms = Percentile(merged, 0.50);
+  stats.p95_ms = Percentile(merged, 0.95);
+  stats.p99_ms = Percentile(merged, 0.99);
+  if (service->cache_manager() != nullptr) {
+    stats.cache = service->cache_manager()->TotalStats();
+  }
+  (*server)->Stop();
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t records = bench::FlagU64(argc, argv, "records", 20000);
+  const uint64_t seed = bench::FlagU64(argc, argv, "seed", 42);
+  const size_t clients = bench::FlagU64(argc, argv, "clients", 8);
+  const size_t requests = bench::FlagU64(argc, argv, "requests", 2000);
+  const size_t cache_mb = bench::FlagU64(argc, argv, "cache-mb", 16);
+  const size_t server_threads =
+      bench::FlagU64(argc, argv, "server-threads", 4);
+  std::string out = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+  }
+
+  // Mine the financial dataset with the paper's interest machinery on, so
+  // the served rule set carries lift and the interesting flag.
+  const Table data = MakeFinancialDataset(records, seed);
+  MinerOptions options;
+  options.minsup = 0.30;
+  options.minconf = 0.60;
+  options.partial_completeness = 3.0;
+  options.interest_level = 1.1;
+  Timer mine_timer;
+  Result<MiningResult> mined = QuantitativeRuleMiner(options).Mine(data);
+  QARM_CHECK(mined.ok());
+  const double mine_seconds = mine_timer.ElapsedSeconds();
+  StoredRuleSet set = ExportRuleSet(*mined, options);
+
+  auto catalog = RuleCatalog::Build(std::move(set));
+  QARM_CHECK(catalog.ok());
+  const RuleCatalogStats& cat_stats = (*catalog)->stats();
+  std::printf("bench_serve: %zu records -> %zu rules (mine %.3fs, index "
+              "%.4fs, %zu index bytes)\n",
+              records, cat_stats.num_rules, mine_seconds,
+              cat_stats.build_seconds, cat_stats.index_bytes);
+
+  std::mt19937_64 rng(seed);
+  const std::vector<std::string> pool =
+      BuildTargetPool(**catalog, rng, /*size=*/512);
+
+  // Byte-identity: every pool target answered by a cached and an uncached
+  // service must produce identical bytes, twice (the second round hits).
+  {
+    RuleServiceOptions cached_options;
+    cached_options.cache_bytes = cache_mb * (size_t{1} << 20);
+    RuleService cached(*catalog, cached_options);
+    RuleServiceOptions uncached_options;
+    uncached_options.cache_bytes = 0;
+    RuleService uncached(*catalog, uncached_options);
+    for (int round = 0; round < 2; ++round) {
+      for (const std::string& target : pool) {
+        HttpRequest request;
+        const size_t q = target.find('?');
+        request.path = target.substr(0, q);
+        if (q != std::string::npos) {
+          for (const std::string& pair :
+               Split(target.substr(q + 1), '&')) {
+            const size_t eq = pair.find('=');
+            request.params.emplace_back(pair.substr(0, eq),
+                                        eq == std::string::npos
+                                            ? ""
+                                            : pair.substr(eq + 1));
+          }
+        }
+        const HttpResponse a = cached.Handle(request);
+        const HttpResponse b = uncached.Handle(request);
+        if (a.body != b.body) {
+          std::fprintf(stderr,
+                       "FATAL: cache changed the bytes of %s (round %d)\n",
+                       target.c_str(), round);
+          return 1;
+        }
+      }
+    }
+    std::printf("byte identity: %zu targets x 2 rounds, cached == uncached\n",
+                pool.size());
+  }
+
+  std::vector<RunStats> runs;
+  for (const size_t mb : {size_t{0}, cache_mb}) {
+    runs.push_back(
+        RunLoad(*catalog, pool, clients, requests, mb, server_threads));
+  }
+
+  std::printf("\n%zu clients x %zu requests, %zu server threads\n\n",
+              clients, requests, server_threads);
+  std::vector<int> widths = {10, 10, 10, 10, 10, 10, 10};
+  bench::PrintRow({"cache", "qps", "p50 ms", "p95 ms", "p99 ms", "hits",
+                   "evicts"},
+                  widths);
+  bench::PrintSeparator(widths);
+  for (const RunStats& run : runs) {
+    bench::PrintRow(
+        {run.cache_mb == 0 ? "off" : StrFormat("%zu MB", run.cache_mb),
+         StrFormat("%.0f", run.qps), StrFormat("%.3f", run.p50_ms),
+         StrFormat("%.3f", run.p95_ms), StrFormat("%.3f", run.p99_ms),
+         StrFormat("%llu", static_cast<unsigned long long>(run.cache.hits)),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(run.cache.evictions))},
+        widths);
+  }
+
+  std::string json = StrFormat(
+      "{\n  \"bench\": \"serve\",\n  \"records\": %zu,\n"
+      "  \"seed\": %llu,\n  \"clients\": %zu,\n"
+      "  \"requests_per_client\": %zu,\n  \"server_threads\": %zu,\n"
+      "  \"num_rules\": %zu,\n  \"interval_entries\": %zu,\n"
+      "  \"index_bytes\": %zu,\n  \"index_build_seconds\": %.6f,\n"
+      "  \"mine_seconds\": %.6f,\n"
+      "  \"byte_identity_targets\": %zu,\n  \"points\": [",
+      records, static_cast<unsigned long long>(seed), clients, requests,
+      server_threads, cat_stats.num_rules, cat_stats.interval_entries,
+      cat_stats.index_bytes, cat_stats.build_seconds, mine_seconds,
+      pool.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunStats& run = runs[i];
+    json += StrFormat(
+        "%s\n    {\"cache_mb\": %zu, \"wall_seconds\": %.6f,"
+        " \"qps\": %.1f, \"p50_ms\": %.4f, \"p95_ms\": %.4f,"
+        " \"p99_ms\": %.4f, \"total_requests\": %llu, \"errors\": %llu,"
+        " \"cache\": {\"hits\": %llu, \"misses\": %llu,"
+        " \"insertions\": %llu, \"evictions\": %llu,"
+        " \"oversized_rejects\": %llu, \"bytes_used\": %llu,"
+        " \"byte_budget\": %llu}}",
+        i > 0 ? "," : "", run.cache_mb, run.wall_seconds, run.qps,
+        run.p50_ms, run.p95_ms, run.p99_ms,
+        static_cast<unsigned long long>(run.total_requests),
+        static_cast<unsigned long long>(run.errors),
+        static_cast<unsigned long long>(run.cache.hits),
+        static_cast<unsigned long long>(run.cache.misses),
+        static_cast<unsigned long long>(run.cache.insertions),
+        static_cast<unsigned long long>(run.cache.evictions),
+        static_cast<unsigned long long>(run.cache.oversized_rejects),
+        static_cast<unsigned long long>(run.cache.bytes_used),
+        static_cast<unsigned long long>(run.cache.byte_budget));
+  }
+  json += "\n  ]\n}\n";
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

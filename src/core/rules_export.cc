@@ -1,0 +1,56 @@
+#include "core/rules_export.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace qarm {
+namespace {
+
+std::vector<StoredItem> ToStoredItems(const RangeItemset& side) {
+  std::vector<StoredItem> items;
+  items.reserve(side.size());
+  for (const RangeItem& item : side) {
+    items.push_back(StoredItem{item.attr, item.lo, item.hi});
+  }
+  return items;
+}
+
+}  // namespace
+
+StoredRuleSet ExportRuleSet(const MiningResult& result,
+                            const MinerOptions& options) {
+  StoredRuleSet set;
+  set.attributes = result.mapped.attributes();
+  set.num_records = result.stats.num_records;
+  set.minsup = options.minsup;
+  set.minconf = options.minconf;
+  set.interest_level = options.interest_level;
+
+  // Consequent-support lookup for the lift measure. RangeItemset orders
+  // lexicographically (RangeItem has a total order), so a std::map keys on
+  // it directly.
+  std::map<RangeItemset, double> support_of;
+  for (const FrequentRangeItemset& frequent : result.frequent_itemsets) {
+    support_of.emplace(frequent.items, frequent.support);
+  }
+
+  set.rules.reserve(result.rules.size());
+  for (const QuantRule& rule : result.rules) {
+    StoredRule stored;
+    stored.antecedent = ToStoredItems(rule.antecedent);
+    stored.consequent = ToStoredItems(rule.consequent);
+    stored.count = rule.count;
+    stored.support = rule.support;
+    stored.confidence = rule.confidence;
+    stored.interesting = rule.interesting;
+    auto it = support_of.find(rule.consequent);
+    if (it != support_of.end() && it->second > 0.0) {
+      stored.lift = rule.confidence / it->second;
+    }
+    set.rules.push_back(std::move(stored));
+  }
+  return set;
+}
+
+}  // namespace qarm

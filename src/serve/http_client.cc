@@ -1,0 +1,150 @@
+#include "serve/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace qarm {
+namespace {
+
+// Case-insensitive "does `line` start with `prefix`".
+bool StartsWithIgnoreCase(const std::string& line, const char* prefix) {
+  const size_t n = std::strlen(prefix);
+  if (line.size() < n) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::tolower(static_cast<unsigned char>(line[i])) !=
+        std::tolower(static_cast<unsigned char>(prefix[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HttpClient>> HttpClient::Connect(
+    const std::string& host, uint16_t port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  timeval timeout{};
+  timeout.tv_sec = timeout_ms / 1000;
+  timeout.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + error);
+  }
+  auto client = std::unique_ptr<HttpClient>(new HttpClient());
+  client->fd_ = fd;
+  return client;
+}
+
+HttpClient::~HttpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<HttpResponse> HttpClient::Get(const std::string& target) {
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: qarm\r\nConnection: "
+                              "keep-alive\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd_, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  // Read the response head.
+  size_t head_end;
+  while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return Status::IOError(n == 0 ? "connection closed mid-response"
+                                    : std::string("recv: ") +
+                                          std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  const std::string head = buffer_.substr(0, head_end);
+  buffer_.erase(0, head_end + 4);
+
+  HttpResponse response;
+  // Status line: HTTP/1.1 NNN reason.
+  const size_t sp = head.find(' ');
+  if (sp == std::string::npos || head.size() < sp + 4) {
+    return Status::IOError("malformed status line: " + head.substr(0, 32));
+  }
+  Result<uint64_t> code = ParseUint64(head.substr(sp + 1, 3));
+  if (!code.ok()) {
+    return Status::IOError("malformed status code in: " + head.substr(0, 32));
+  }
+  response.status = static_cast<int>(*code);
+
+  size_t content_length = std::string::npos;
+  for (const std::string& line : Split(head, '\n')) {
+    std::string trimmed(StripWhitespace(line));
+    if (StartsWithIgnoreCase(trimmed, "content-length:")) {
+      Result<uint64_t> length = ParseUint64(
+          StripWhitespace(trimmed.substr(std::strlen("content-length:"))));
+      if (!length.ok()) return Status::IOError("bad Content-Length");
+      content_length = static_cast<size_t>(*length);
+    } else if (StartsWithIgnoreCase(trimmed, "content-type:")) {
+      response.content_type = std::string(StripWhitespace(
+          trimmed.substr(std::strlen("content-type:"))));
+    }
+  }
+  if (content_length == std::string::npos) {
+    return Status::IOError("response without Content-Length");
+  }
+  while (buffer_.size() < content_length) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return Status::IOError(n == 0 ? "connection closed mid-body"
+                                    : std::string("recv: ") +
+                                          std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  response.body = buffer_.substr(0, content_length);
+  buffer_.erase(0, content_length);
+  return response;
+}
+
+Result<HttpResponse> HttpGet(const std::string& host, uint16_t port,
+                             const std::string& target, int timeout_ms) {
+  QARM_ASSIGN_OR_RETURN(std::unique_ptr<HttpClient> client,
+                        HttpClient::Connect(host, port, timeout_ms));
+  return client->Get(target);
+}
+
+}  // namespace qarm

@@ -1,0 +1,389 @@
+#include "serve/rule_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace qarm {
+namespace {
+
+// Serving-side JSON string escaping (matches the report writer's rules).
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+using Params = std::vector<std::pair<std::string, std::string>>;
+
+// Last occurrence wins, matching common query-string semantics.
+const std::string* FindParam(const Params& params, const std::string& key) {
+  const std::string* found = nullptr;
+  for (const auto& [k, v] : params) {
+    if (k == key) found = &v;
+  }
+  return found;
+}
+
+Result<double> DoubleParam(const Params& params, const std::string& key,
+                           double fallback) {
+  const std::string* raw = FindParam(params, key);
+  if (raw == nullptr) return fallback;
+  Result<double> value = ParseDouble(*raw);
+  if (!value.ok()) {
+    return Status::InvalidArgument("bad " + key + ": '" + *raw + "'");
+  }
+  return *value;
+}
+
+Result<size_t> SizeParam(const Params& params, const std::string& key,
+                         size_t fallback, size_t max_value) {
+  const std::string* raw = FindParam(params, key);
+  if (raw == nullptr) return fallback;
+  Result<uint64_t> value = ParseUint64(*raw);
+  if (!value.ok()) {
+    return Status::InvalidArgument("bad " + key + ": '" + *raw + "'");
+  }
+  return static_cast<size_t>(std::min<uint64_t>(*value, max_value));
+}
+
+bool BoolParam(const Params& params, const std::string& key) {
+  const std::string* raw = FindParam(params, key);
+  return raw != nullptr && *raw != "0" && *raw != "false" && !raw->empty();
+}
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = "{\"error\":" + JsonString(message) + "}";
+  return response;
+}
+
+HttpResponse JsonOk(std::string body) {
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+std::string CacheStatsJson(const ResultCacheStats& stats) {
+  return StrFormat(
+      "{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
+      "\"evictions\":%llu,\"oversized_rejects\":%llu,\"entries\":%zu,"
+      "\"bytes_used\":%zu,\"byte_budget\":%zu}",
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.misses),
+      static_cast<unsigned long long>(stats.insertions),
+      static_cast<unsigned long long>(stats.evictions),
+      static_cast<unsigned long long>(stats.oversized_rejects),
+      stats.entries, stats.bytes_used, stats.byte_budget);
+}
+
+}  // namespace
+
+RuleService::RuleService(std::shared_ptr<const RuleCatalog> catalog,
+                         const RuleServiceOptions& options)
+    : catalog_(std::move(catalog)) {
+  if (options.cache_bytes > 0) {
+    cache_manager_ =
+        std::make_unique<ResultCacheManager>(options.cache_bytes);
+    // /match dominates the query mix, so it takes half the budget.
+    match_cache_ =
+        *cache_manager_->CreateCache("match", options.cache_bytes / 2);
+    topk_cache_ =
+        *cache_manager_->CreateCache("topk", options.cache_bytes / 4);
+    rules_cache_ = *cache_manager_->CreateCache(
+        "rules", options.cache_bytes - options.cache_bytes / 2 -
+                     options.cache_bytes / 4);
+  }
+}
+
+std::string RuleService::CanonicalKey(const HttpRequest& request) {
+  Params sorted = request.params;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::string key = request.path;
+  key += '?';
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += '&';
+    key += UrlEncode(sorted[i].first);
+    key += '=';
+    key += UrlEncode(sorted[i].second);
+  }
+  return key;
+}
+
+std::string RuleService::RuleToJson(uint32_t rule_id) const {
+  const StoredRule& rule = catalog_->rules()[rule_id];
+  const std::vector<MappedAttribute>& attrs = catalog_->attributes();
+  auto side_json = [&](const std::vector<StoredItem>& side) {
+    std::string out = "[";
+    for (size_t i = 0; i < side.size(); ++i) {
+      if (i > 0) out += ',';
+      const StoredItem& item = side[i];
+      const MappedAttribute& attr = attrs[static_cast<size_t>(item.attr)];
+      out += "{\"attribute\":" + JsonString(attr.name);
+      out += ",\"kind\":";
+      out += attr.kind == AttributeKind::kQuantitative ? "\"quantitative\""
+                                                       : "\"categorical\"";
+      if (attr.kind == AttributeKind::kQuantitative) {
+        Interval raw = attr.RawInterval(item.lo, item.hi);
+        out += ",\"lo\":" + FormatDouble(raw.lo);
+        out += ",\"hi\":" + FormatDouble(raw.hi);
+      } else {
+        out += ",\"value\":" + JsonString(attr.DecodeRange(item.lo, item.hi));
+      }
+      out += ",\"display\":" + JsonString(attr.DecodeRange(item.lo, item.hi));
+      out += '}';
+    }
+    out += ']';
+    return out;
+  };
+  std::string out = StrFormat("{\"id\":%u,\"antecedent\":", rule_id);
+  out += side_json(rule.antecedent);
+  out += ",\"consequent\":";
+  out += side_json(rule.consequent);
+  out += StrFormat(
+      ",\"support\":%s,\"confidence\":%s,\"lift\":%s,\"count\":%llu,"
+      "\"interesting\":%s}",
+      FormatDouble(rule.support).c_str(),
+      FormatDouble(rule.confidence).c_str(),
+      FormatDouble(rule.lift).c_str(),
+      static_cast<unsigned long long>(rule.count),
+      rule.interesting ? "true" : "false");
+  return out;
+}
+
+HttpResponse RuleService::Handle(const HttpRequest& request) {
+  HttpResponse response;
+  if (request.path == "/match") {
+    match_requests_.fetch_add(1, std::memory_order_relaxed);
+    if (match_cache_ != nullptr) {
+      const std::string key = CanonicalKey(request);
+      if (auto hit = match_cache_->Lookup(key)) {
+        return JsonOk(std::move(*hit));
+      }
+      response = HandleMatch(request.params);
+      if (response.status == 200) match_cache_->Insert(key, response.body);
+    } else {
+      response = HandleMatch(request.params);
+    }
+  } else if (request.path == "/topk") {
+    topk_requests_.fetch_add(1, std::memory_order_relaxed);
+    if (topk_cache_ != nullptr) {
+      const std::string key = CanonicalKey(request);
+      if (auto hit = topk_cache_->Lookup(key)) {
+        return JsonOk(std::move(*hit));
+      }
+      response = HandleTopK(request.params);
+      if (response.status == 200) topk_cache_->Insert(key, response.body);
+    } else {
+      response = HandleTopK(request.params);
+    }
+  } else if (request.path == "/rules") {
+    rules_requests_.fetch_add(1, std::memory_order_relaxed);
+    if (rules_cache_ != nullptr) {
+      const std::string key = CanonicalKey(request);
+      if (auto hit = rules_cache_->Lookup(key)) {
+        return JsonOk(std::move(*hit));
+      }
+      response = HandleRules(request.params);
+      if (response.status == 200) rules_cache_->Insert(key, response.body);
+    } else {
+      response = HandleRules(request.params);
+    }
+  } else if (request.path == "/statz") {
+    statz_requests_.fetch_add(1, std::memory_order_relaxed);
+    response = HandleStatz();
+  } else if (request.path == "/healthz") {
+    response = JsonOk("{\"status\":\"ok\"}");
+  } else {
+    response = ErrorResponse(404, "no such endpoint: " + request.path);
+  }
+  if (response.status != 200) {
+    error_responses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+HttpResponse RuleService::HandleMatch(const Params& params) {
+  MatchMode mode = MatchMode::kRule;
+  if (const std::string* raw = FindParam(params, "mode")) {
+    if (*raw == "antecedent") {
+      mode = MatchMode::kAntecedent;
+    } else if (*raw != "rule") {
+      return ErrorResponse(400, "bad mode: '" + *raw +
+                                    "' (expected rule|antecedent)");
+    }
+  }
+  Result<size_t> limit = SizeParam(params, "limit", 100, 100000);
+  if (!limit.ok()) {
+    return ErrorResponse(400, std::string(limit.status().message()));
+  }
+  Params fields;
+  for (const auto& [key, value] : params) {
+    if (key == "mode" || key == "limit") continue;
+    fields.emplace_back(key, value);
+  }
+  Result<std::vector<int32_t>> record = catalog_->ParseRecord(fields);
+  if (!record.ok()) {
+    return ErrorResponse(400, std::string(record.status().message()));
+  }
+  thread_local MatchScratch scratch;
+  std::vector<uint32_t> matched;
+  catalog_->MatchRules(*record, mode, &scratch, &matched);
+
+  std::string body =
+      StrFormat("{\"count\":%zu,\"rules\":[", matched.size());
+  const size_t shown = std::min(matched.size(), *limit);
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) body += ',';
+    body += RuleToJson(matched[i]);
+  }
+  body += "]}";
+  return JsonOk(std::move(body));
+}
+
+HttpResponse RuleService::HandleTopK(const Params& params) {
+  RankMeasure measure = RankMeasure::kConfidence;
+  if (const std::string* raw = FindParam(params, "metric")) {
+    Result<RankMeasure> parsed = ParseRankMeasure(*raw);
+    if (!parsed.ok()) {
+      return ErrorResponse(400, std::string(parsed.status().message()));
+    }
+    measure = *parsed;
+  }
+  Result<size_t> k = SizeParam(params, "k", 10, 100000);
+  if (!k.ok()) return ErrorResponse(400, std::string(k.status().message()));
+  int32_t attr = -1;
+  if (const std::string* raw = FindParam(params, "attr")) {
+    Result<int32_t> index = catalog_->AttributeIndex(*raw);
+    if (!index.ok()) {
+      return ErrorResponse(404, std::string(index.status().message()));
+    }
+    attr = *index;
+  }
+  const std::vector<uint32_t> top =
+      catalog_->TopK(measure, attr, *k, BoolParam(params, "interesting"));
+  std::string body = StrFormat("{\"metric\":\"%s\",\"count\":%zu,\"rules\":[",
+                               RankMeasureName(measure), top.size());
+  for (size_t i = 0; i < top.size(); ++i) {
+    if (i > 0) body += ',';
+    body += RuleToJson(top[i]);
+  }
+  body += "]}";
+  return JsonOk(std::move(body));
+}
+
+HttpResponse RuleService::HandleRules(const Params& params) {
+  BrowseFilter filter;
+  Result<double> min_conf = DoubleParam(params, "min_conf", 0.0);
+  Result<double> min_sup = DoubleParam(params, "min_sup", 0.0);
+  Result<double> min_lift = DoubleParam(params, "min_lift", 0.0);
+  Result<size_t> offset = SizeParam(params, "offset", 0, SIZE_MAX / 2);
+  Result<size_t> limit = SizeParam(params, "limit", 50, 100000);
+  for (const Status& status :
+       {min_conf.status(), min_sup.status(), min_lift.status(),
+        offset.status(), limit.status()}) {
+    if (!status.ok()) return ErrorResponse(400, std::string(status.message()));
+  }
+  filter.min_confidence = *min_conf;
+  filter.min_support = *min_sup;
+  filter.min_lift = *min_lift;
+  filter.interesting_only = BoolParam(params, "interesting");
+  if (const std::string* raw = FindParam(params, "attr")) {
+    Result<int32_t> index = catalog_->AttributeIndex(*raw);
+    if (!index.ok()) {
+      return ErrorResponse(404, std::string(index.status().message()));
+    }
+    filter.attr = *index;
+  }
+  size_t total = 0;
+  const std::vector<uint32_t> page =
+      catalog_->Browse(filter, *offset, *limit, &total);
+  std::string body = StrFormat(
+      "{\"total\":%zu,\"offset\":%zu,\"limit\":%zu,\"rules\":[", total,
+      *offset, *limit);
+  for (size_t i = 0; i < page.size(); ++i) {
+    if (i > 0) body += ',';
+    body += RuleToJson(page[i]);
+  }
+  body += "]}";
+  return JsonOk(std::move(body));
+}
+
+HttpResponse RuleService::HandleStatz() {
+  const double uptime = uptime_.ElapsedSeconds();
+  const uint64_t match = match_requests_.load(std::memory_order_relaxed);
+  const uint64_t topk = topk_requests_.load(std::memory_order_relaxed);
+  const uint64_t rules = rules_requests_.load(std::memory_order_relaxed);
+  const uint64_t statz = statz_requests_.load(std::memory_order_relaxed);
+  const uint64_t total = match + topk + rules + statz;
+  const RuleCatalogStats& cat = catalog_->stats();
+
+  std::string body = StrFormat(
+      "{\"uptime_seconds\":%s,\"qps\":%s,"
+      "\"requests\":{\"match\":%llu,\"topk\":%llu,\"rules\":%llu,"
+      "\"statz\":%llu,\"total\":%llu,\"errors\":%llu}",
+      FormatDouble(uptime, 3).c_str(),
+      FormatDouble(uptime > 0 ? static_cast<double>(total) / uptime : 0.0, 3)
+          .c_str(),
+      static_cast<unsigned long long>(match),
+      static_cast<unsigned long long>(topk),
+      static_cast<unsigned long long>(rules),
+      static_cast<unsigned long long>(statz),
+      static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(
+          error_responses_.load(std::memory_order_relaxed)));
+  body += StrFormat(
+      ",\"catalog\":{\"num_rules\":%zu,\"num_attributes\":%zu,"
+      "\"num_records\":%llu,\"interval_entries\":%zu,\"grid_cells\":%zu,"
+      "\"grid_attributes\":%zu,\"scan_attributes\":%zu,"
+      "\"index_bytes\":%zu,\"build_seconds\":%s}",
+      cat.num_rules, cat.num_attributes,
+      static_cast<unsigned long long>(catalog_->num_records()),
+      cat.interval_entries, cat.grid_cells, cat.grid_attributes,
+      cat.scan_attributes, cat.index_bytes,
+      FormatDouble(cat.build_seconds, 6).c_str());
+  body += ",\"cache\":{\"enabled\":";
+  if (cache_manager_ == nullptr) {
+    body += "false}";
+  } else {
+    body += "true,\"total\":" + CacheStatsJson(cache_manager_->TotalStats());
+    for (const auto& [name, stats] : cache_manager_->AllStats()) {
+      body += ",\"" + name + "\":" + CacheStatsJson(stats);
+    }
+    body += '}';
+  }
+  body += '}';
+  return JsonOk(std::move(body));
+}
+
+}  // namespace qarm

@@ -5,41 +5,10 @@
 #include <fstream>
 #include <vector>
 
+#include "storage/attr_metadata.h"
 #include "storage/crc32.h"
 
 namespace qarm {
-namespace {
-
-// Attribute metadata section (see qbt_format.h).
-std::string EncodeAttributes(const MappedTable& table) {
-  std::string out;
-  for (size_t a = 0; a < table.num_attributes(); ++a) {
-    const MappedAttribute& attr = table.attribute(a);
-    QbtAppendString(&out, attr.name);
-    out.push_back(static_cast<char>(attr.kind));
-    out.push_back(static_cast<char>(attr.source_type));
-    out.push_back(attr.partitioned ? 1 : 0);
-    out.push_back(0);
-    QbtAppendU32(&out, static_cast<uint32_t>(attr.labels.size()));
-    for (const std::string& label : attr.labels) {
-      QbtAppendString(&out, label);
-    }
-    QbtAppendU32(&out, static_cast<uint32_t>(attr.intervals.size()));
-    for (const Interval& interval : attr.intervals) {
-      QbtAppendF64(&out, interval.lo);
-      QbtAppendF64(&out, interval.hi);
-    }
-    QbtAppendU32(&out, static_cast<uint32_t>(attr.taxonomy_ranges.size()));
-    for (const Taxonomy::NodeRange& node : attr.taxonomy_ranges) {
-      QbtAppendString(&out, node.name);
-      QbtAppendI32(&out, node.lo);
-      QbtAppendI32(&out, node.hi);
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 Status WriteQbt(const MappedTable& table, const std::string& path,
                 const QbtWriteOptions& options, QbtWriteInfo* info) {
@@ -59,7 +28,7 @@ Status WriteQbt(const MappedTable& table, const std::string& path,
   const size_t num_attrs = table.num_attributes();
   const uint64_t num_rows = table.num_rows();
   const uint32_t rows_per_block = options.rows_per_block;
-  std::string metadata = EncodeAttributes(table);
+  std::string metadata = EncodeAttributeMetadata(table.attributes());
   // Pad to 4 bytes so every block (and hence every int32 column slice) is
   // naturally aligned in the mapping.
   while (metadata.size() % sizeof(int32_t) != 0) metadata.push_back('\0');

@@ -1,0 +1,115 @@
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/string_util.h"
+#include "storage/attr_metadata.h"
+#include "storage/crc32.h"
+#include "storage/qbt_format.h"
+#include "storage/rules_format.h"
+
+namespace qarm {
+namespace {
+
+void AppendItems(std::string* out, const std::vector<StoredItem>& items) {
+  for (const StoredItem& item : items) {
+    QbtAppendI32(out, item.attr);
+    QbtAppendI32(out, item.lo);
+    QbtAppendI32(out, item.hi);
+  }
+}
+
+std::string EncodePayload(const StoredRuleSet& set) {
+  std::string out;
+  QbtAppendF64(&out, set.minsup);
+  QbtAppendF64(&out, set.minconf);
+  QbtAppendF64(&out, set.interest_level);
+  const std::string metadata = EncodeAttributeMetadata(set.attributes);
+  QbtAppendU64(&out, metadata.size());
+  out.append(metadata);
+  QbtAppendU64(&out, set.rules.size());
+  for (const StoredRule& rule : set.rules) {
+    out.push_back(static_cast<char>(rule.antecedent.size()));
+    out.push_back(static_cast<char>(rule.consequent.size()));
+    out.push_back(rule.interesting ? 1 : 0);
+    out.push_back(0);
+    AppendItems(&out, rule.antecedent);
+    AppendItems(&out, rule.consequent);
+    QbtAppendU64(&out, rule.count);
+    QbtAppendF64(&out, rule.support);
+    QbtAppendF64(&out, rule.confidence);
+    QbtAppendF64(&out, rule.lift);
+  }
+  return out;
+}
+
+// stdio instead of ofstream: the file descriptor is needed for fsync; a
+// rule set the OS never flushed would vanish in the same crash window the
+// checkpoint writer closes.
+Status WriteFile(const std::string& path, const std::string& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+  ok = std::fflush(file) == 0 && ok;
+#if defined(__unix__) || defined(__APPLE__)
+  ok = fsync(fileno(file)) == 0 && ok;
+#endif
+  ok = std::fclose(file) == 0 && ok;
+  if (!ok) {
+    std::remove(path.c_str());
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteRuleSet(const StoredRuleSet& set, const std::string& path,
+                    uint64_t* bytes_written) {
+  for (size_t i = 0; i < set.rules.size(); ++i) {
+    const StoredRule& rule = set.rules[i];
+    if (rule.antecedent.empty() || rule.consequent.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("rule %zu has an empty side", i));
+    }
+    if (rule.antecedent.size() > 255 || rule.consequent.size() > 255) {
+      return Status::InvalidArgument(
+          StrFormat("rule %zu has more than 255 items per side", i));
+    }
+  }
+
+  const std::string payload = EncodePayload(set);
+  std::string bytes;
+  bytes.reserve(kQrsHeaderSize + payload.size() + kQrsTailSize);
+  bytes.append(kQrsMagic, sizeof(kQrsMagic));
+  QbtAppendU32(&bytes, kQbtEndianMarker);
+  QbtAppendU32(&bytes, kQrsVersion);
+  QbtAppendU32(&bytes, static_cast<uint32_t>(set.attributes.size()));
+  QbtAppendU64(&bytes, payload.size());
+  QbtAppendU64(&bytes, set.num_records);
+  bytes.append(payload);
+  QbtAppendU32(&bytes, Crc32(payload.data(), payload.size()));
+  bytes.append(kQrsEndMagic, sizeof(kQrsEndMagic));
+
+  // Atomic replace, same as the checkpoint writer: a crash before the
+  // rename leaves any previous rule set valid.
+  const std::string tmp_path = path + ".tmp";
+  QARM_RETURN_NOT_OK(WriteFile(tmp_path, bytes));
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot rename '" + tmp_path + "' to '" + path +
+                           "'");
+  }
+  if (bytes_written != nullptr) *bytes_written = bytes.size();
+  return Status::OK();
+}
+
+}  // namespace qarm

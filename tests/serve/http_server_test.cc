@@ -1,0 +1,238 @@
+// End-to-end serving tests: RuleService semantics through a real HTTP
+// server and client, cache byte-identity (enabled vs disabled), counters
+// in /statz, and the concurrent mixed-query workload (>= 8 threads, a
+// TSan target) with the cache under a tiny byte budget.
+#include <atomic>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/http_client.h"
+#include "serve/http_server.h"
+#include "serve/rule_catalog.h"
+#include "serve/rule_service.h"
+#include "serve/serve_testutil.h"
+
+namespace qarm {
+namespace {
+
+struct Harness {
+  std::shared_ptr<const RuleCatalog> catalog;
+  std::shared_ptr<RuleService> service;
+  std::unique_ptr<HttpServer> server;
+};
+
+Harness StartHarness(size_t cache_bytes, size_t threads = 2) {
+  Harness h;
+  auto catalog = RuleCatalog::Build(servetest::MakeRuleSet());
+  EXPECT_TRUE(catalog.ok());
+  h.catalog = *catalog;
+  RuleServiceOptions options;
+  options.cache_bytes = cache_bytes;
+  h.service = std::make_shared<RuleService>(h.catalog, options);
+  HttpServerOptions server_options;
+  server_options.port = 0;
+  server_options.num_threads = threads;
+  auto server = HttpServer::Start(
+      server_options,
+      [service = h.service](const HttpRequest& request) {
+        return service->Handle(request);
+      });
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  h.server = std::move(*server);
+  return h;
+}
+
+TEST(ServeHttpTest, HealthzAndNotFound) {
+  Harness h = StartHarness(0);
+  auto ok = HttpGet("127.0.0.1", h.server->port(), "/healthz");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->status, 200);
+  EXPECT_EQ(ok->body, "{\"status\":\"ok\"}");
+
+  auto missing = HttpGet("127.0.0.1", h.server->port(), "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+}
+
+TEST(ServeHttpTest, MatchOverHttpEqualsDirectService) {
+  Harness h = StartHarness(0);
+  const std::string target = "/match?married=yes&cars=1";
+  auto http = HttpGet("127.0.0.1", h.server->port(), target);
+  ASSERT_TRUE(http.ok()) << http.status().ToString();
+  EXPECT_EQ(http->status, 200);
+
+  HttpRequest direct;
+  direct.path = "/match";
+  direct.params = {{"married", "yes"}, {"cars", "1"}};
+  EXPECT_EQ(http->body, h.service->Handle(direct).body);
+  // married=yes & cars=1 matches rule 0 (married=yes => cars[0..1]).
+  EXPECT_NE(http->body.find("\"count\":1"), std::string::npos) << http->body;
+}
+
+TEST(ServeHttpTest, BadParamsAre400) {
+  Harness h = StartHarness(0);
+  const uint16_t port = h.server->port();
+  EXPECT_EQ(HttpGet("127.0.0.1", port, "/match?age=old")->status, 400);
+  EXPECT_EQ(HttpGet("127.0.0.1", port, "/match?nope=1")->status, 400);
+  EXPECT_EQ(HttpGet("127.0.0.1", port, "/match?mode=sideways")->status, 400);
+  EXPECT_EQ(HttpGet("127.0.0.1", port, "/topk?metric=coolness")->status,
+            400);
+  EXPECT_EQ(HttpGet("127.0.0.1", port, "/topk?attr=nope")->status, 404);
+  EXPECT_EQ(HttpGet("127.0.0.1", port, "/rules?min_conf=x")->status, 400);
+}
+
+TEST(ServeHttpTest, KeepAliveServesManyRequestsOneConnection) {
+  Harness h = StartHarness(0);
+  auto client = HttpClient::Connect("127.0.0.1", h.server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  for (int i = 0; i < 20; ++i) {
+    auto response = (*client)->Get("/topk?k=2&metric=support");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, 200);
+  }
+  // All 20 requests rode one connection.
+  EXPECT_EQ(h.server->connections_accepted(), 1u);
+}
+
+// Acceptance criterion: /match results byte-identical with the cache
+// enabled vs disabled — including across param orderings, which
+// canonicalization folds into one cache entry.
+TEST(ServeHttpTest, CacheByteIdentity) {
+  Harness cached = StartHarness(4 * 1024 * 1024);
+  Harness uncached = StartHarness(0);
+  const std::vector<std::string> targets = {
+      "/match?married=yes&cars=1",
+      "/match?cars=1&married=yes",  // same query, different spelling
+      "/match?age=25&married=no&cars=2",
+      "/match?age=0&cars=2&mode=antecedent",
+      "/topk?metric=lift&k=3",
+      "/rules?min_conf=0.7&limit=2",
+  };
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string& target : targets) {
+      auto a = HttpGet("127.0.0.1", cached.server->port(), target);
+      auto b = HttpGet("127.0.0.1", uncached.server->port(), target);
+      ASSERT_TRUE(a.ok() && b.ok()) << target;
+      EXPECT_EQ(a->body, b->body) << target << " round " << round;
+    }
+  }
+  const ResultCacheStats stats = cached.service->cache_manager()->TotalStats();
+  EXPECT_GT(stats.hits, 0u) << "repeat queries never hit the cache";
+  // The two spellings of the first query share one canonical entry.
+  const auto all = cached.service->cache_manager()->AllStats();
+  for (const auto& [name, cache_stats] : all) {
+    if (name == "match") {
+      EXPECT_EQ(cache_stats.insertions, 3u)
+          << "canonicalization failed to fold equivalent queries";
+    }
+  }
+}
+
+TEST(ServeHttpTest, StatzCountsRequestsAndCache) {
+  Harness h = StartHarness(1024 * 1024);
+  const uint16_t port = h.server->port();
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(HttpGet("127.0.0.1", port, "/match?married=yes").ok());
+    ASSERT_TRUE(HttpGet("127.0.0.1", port, "/topk?k=1").ok());
+  }
+  auto statz = HttpGet("127.0.0.1", port, "/statz");
+  ASSERT_TRUE(statz.ok());
+  const std::string& body = statz->body;
+  EXPECT_NE(body.find("\"match\":2"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"topk\":2"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"qps\":"), std::string::npos);
+  EXPECT_NE(body.find("\"hits\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"index_bytes\":"), std::string::npos);
+  EXPECT_NE(body.find("\"build_seconds\":"), std::string::npos);
+  EXPECT_NE(body.find("\"num_rules\":4"), std::string::npos);
+}
+
+TEST(ServeHttpTest, UrlEncodedParamsDecode) {
+  Harness h = StartHarness(0);
+  // %6d%61%72%72%69%65%64 = "married", '+' = space (stripped values are
+  // not — the label must match exactly, so "yes" encoded oddly).
+  auto response = HttpGet("127.0.0.1", h.server->port(),
+                          "/match?%6d%61%72%72%69%65%64=%79es&cars=1");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_NE(response->body.find("\"count\":1"), std::string::npos)
+      << response->body;
+}
+
+// Acceptance criterion: a concurrent mixed-query workload (>= 8 threads)
+// against one server with a deliberately tiny cache budget. Every
+// response must equal the uncached server's answer (byte identity under
+// eviction pressure), the budget must hold, and evictions must occur.
+TEST(ServeHttpTest, ConcurrentMixedQueriesWithTinyCache) {
+  Harness cached = StartHarness(8 * 1024, /*threads=*/4);
+  Harness uncached = StartHarness(0, /*threads=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 120;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(1000 + t);
+      auto cached_client =
+          HttpClient::Connect("127.0.0.1", cached.server->port());
+      auto uncached_client =
+          HttpClient::Connect("127.0.0.1", uncached.server->port());
+      if (!cached_client.ok() || !uncached_client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      const std::vector<std::string> married = {"yes", "no"};
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        std::string target;
+        switch (rng() % 3) {
+          case 0:
+            target = "/match?married=" + married[rng() % 2] +
+                     "&cars=" + std::to_string(rng() % 4) +
+                     "&age=" + std::to_string(rng() % 100);
+            break;
+          case 1:
+            target = "/topk?metric=" +
+                     std::string(RankMeasureName(
+                         static_cast<RankMeasure>(rng() % 3))) +
+                     "&k=" + std::to_string(1 + rng() % 5);
+            break;
+          default:
+            target = "/rules?offset=" + std::to_string(rng() % 4) +
+                     "&limit=" + std::to_string(1 + rng() % 4);
+        }
+        auto a = (*cached_client)->Get(target);
+        auto b = (*uncached_client)->Get(target);
+        if (!a.ok() || !b.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (a->body != b->body) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  const ResultCacheStats stats = cached.service->cache_manager()->TotalStats();
+  EXPECT_LE(stats.bytes_used, stats.byte_budget)
+      << "cache exceeded its byte budget";
+  EXPECT_GT(stats.evictions, 0u)
+      << "tiny budget saw no evictions — budget not enforced?";
+}
+
+TEST(ServeHttpTest, StopIsIdempotentAndPromptly) {
+  Harness h = StartHarness(0);
+  ASSERT_TRUE(HttpGet("127.0.0.1", h.server->port(), "/healthz").ok());
+  h.server->Stop();
+  h.server->Stop();  // second call is a no-op
+  EXPECT_FALSE(HttpGet("127.0.0.1", h.server->port(), "/healthz", 500).ok());
+}
+
+}  // namespace
+}  // namespace qarm

@@ -1,0 +1,123 @@
+// QRS write -> read roundtrips: every field of a rule set survives the
+// trip through the file (and through ParseRuleSet on the raw bytes).
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/serve_testutil.h"
+#include "storage/rules_format.h"
+
+namespace qarm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void ExpectSameRuleSet(const StoredRuleSet& got, const StoredRuleSet& want) {
+  EXPECT_EQ(got.num_records, want.num_records);
+  EXPECT_DOUBLE_EQ(got.minsup, want.minsup);
+  EXPECT_DOUBLE_EQ(got.minconf, want.minconf);
+  EXPECT_DOUBLE_EQ(got.interest_level, want.interest_level);
+  ASSERT_EQ(got.attributes.size(), want.attributes.size());
+  for (size_t a = 0; a < want.attributes.size(); ++a) {
+    EXPECT_EQ(got.attributes[a].name, want.attributes[a].name);
+    EXPECT_EQ(got.attributes[a].kind, want.attributes[a].kind);
+    EXPECT_EQ(got.attributes[a].labels, want.attributes[a].labels);
+    EXPECT_EQ(got.attributes[a].intervals.size(),
+              want.attributes[a].intervals.size());
+    EXPECT_EQ(got.attributes[a].domain_size(),
+              want.attributes[a].domain_size());
+  }
+  ASSERT_EQ(got.rules.size(), want.rules.size());
+  for (size_t r = 0; r < want.rules.size(); ++r) {
+    EXPECT_EQ(got.rules[r].antecedent, want.rules[r].antecedent) << r;
+    EXPECT_EQ(got.rules[r].consequent, want.rules[r].consequent) << r;
+    EXPECT_EQ(got.rules[r].count, want.rules[r].count) << r;
+    EXPECT_DOUBLE_EQ(got.rules[r].support, want.rules[r].support) << r;
+    EXPECT_DOUBLE_EQ(got.rules[r].confidence, want.rules[r].confidence) << r;
+    EXPECT_DOUBLE_EQ(got.rules[r].lift, want.rules[r].lift) << r;
+    EXPECT_EQ(got.rules[r].interesting, want.rules[r].interesting) << r;
+  }
+}
+
+TEST(QrsRoundtripTest, HandcraftedSetSurvives) {
+  const StoredRuleSet set = servetest::MakeRuleSet();
+  const std::string path = TempPath("roundtrip.qrs");
+  uint64_t bytes = 0;
+  ASSERT_TRUE(WriteRuleSet(set, path, &bytes).ok());
+  EXPECT_GT(bytes, kQrsHeaderSize + kQrsTailSize);
+
+  auto read = ReadRuleSet(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ExpectSameRuleSet(*read, set);
+  std::remove(path.c_str());
+}
+
+TEST(QrsRoundtripTest, EmptyRuleListSurvives) {
+  StoredRuleSet set = servetest::MakeRuleSet();
+  set.rules.clear();
+  const std::string path = TempPath("roundtrip_empty.qrs");
+  ASSERT_TRUE(WriteRuleSet(set, path).ok());
+  auto read = ReadRuleSet(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read->rules.empty());
+  EXPECT_EQ(read->attributes.size(), set.attributes.size());
+  std::remove(path.c_str());
+}
+
+TEST(QrsRoundtripTest, ParseMatchesFileReader) {
+  const StoredRuleSet set = servetest::MakeRuleSet();
+  const std::string path = TempPath("roundtrip_parse.qrs");
+  ASSERT_TRUE(WriteRuleSet(set, path).ok());
+  const std::string bytes = ReadFileBytes(path);
+  auto parsed = ParseRuleSet(
+      reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectSameRuleSet(*parsed, set);
+  std::remove(path.c_str());
+}
+
+TEST(QrsRoundtripTest, RandomizedSetsSurvive) {
+  std::mt19937_64 rng(20260809);
+  for (int round = 0; round < 10; ++round) {
+    const StoredRuleSet set =
+        servetest::RandomRuleSet(rng, 2 + round % 5, 1 + round * 7);
+    const std::string path = TempPath("roundtrip_rand.qrs");
+    ASSERT_TRUE(WriteRuleSet(set, path).ok()) << "round " << round;
+    auto read = ReadRuleSet(path);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    ExpectSameRuleSet(*read, set);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(QrsRoundtripTest, WriterRejectsInvalidRules) {
+  StoredRuleSet set = servetest::MakeRuleSet();
+  set.rules[0].antecedent.clear();  // empty side
+  const std::string path = TempPath("roundtrip_bad.qrs");
+  EXPECT_FALSE(WriteRuleSet(set, path).ok());
+
+  set = servetest::MakeRuleSet();
+  set.rules[1].consequent.assign(300, StoredItem{0, 0, 0});  // > 255 items
+  EXPECT_FALSE(WriteRuleSet(set, path).ok());
+}
+
+TEST(QrsRoundtripTest, MissingFileIsIOError) {
+  auto read = ReadRuleSet(TempPath("does_not_exist.qrs"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace qarm

@@ -1,0 +1,172 @@
+// Shared fixtures for the serving tests: handcrafted and randomized
+// StoredRuleSets, plus a brute-force match oracle the indexed paths are
+// compared against.
+#ifndef QARM_TESTS_SERVE_SERVE_TESTUTIL_H_
+#define QARM_TESTS_SERVE_SERVE_TESTUTIL_H_
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "serve/rule_catalog.h"
+#include "storage/rules_format.h"
+#include "testutil.h"
+
+namespace qarm {
+namespace servetest {
+
+// Three attributes covering the matching edge cases: a plain categorical,
+// a single-value-interval quantitative, and a partitioned quantitative
+// with real multi-value base intervals.
+inline std::vector<MappedAttribute> MakeAttrs() {
+  MappedAttribute age;
+  age.name = "age";
+  age.kind = AttributeKind::kQuantitative;
+  age.source_type = ValueType::kInt64;
+  age.partitioned = true;
+  age.intervals = {{0, 19}, {20, 39}, {40, 59}, {60, 79}, {80, 99}};
+  return {testutil::CatAttr("married", {"no", "yes"}),
+          testutil::QuantAttr("cars", 4), age};
+}
+
+// A small handcrafted rule set over MakeAttrs() whose matches are easy to
+// reason about in the edge-case tests.
+//   rule 0: married=yes                    => cars[0..1]
+//   rule 1: age[1..3] (raw 20..79)         => married=yes
+//   rule 2: cars[2..2] AND age[0..0]       => married=no   (single points)
+//   rule 3: married=no AND cars[1..3]      => age[2..4]
+inline StoredRuleSet MakeRuleSet() {
+  StoredRuleSet set;
+  set.attributes = MakeAttrs();
+  set.num_records = 1000;
+  set.minsup = 0.1;
+  set.minconf = 0.5;
+  set.interest_level = 1.1;
+  set.rules = {
+      {{{0, 1, 1}}, {{1, 0, 1}}, 300, 0.30, 0.75, 1.5, true},
+      {{{2, 1, 3}}, {{0, 1, 1}}, 250, 0.25, 0.62, 0.0, false},
+      {{{1, 2, 2}, {2, 0, 0}}, {{0, 0, 0}}, 120, 0.12, 0.80, 2.0, true},
+      {{{0, 0, 0}, {1, 1, 3}}, {{2, 2, 4}}, 110, 0.11, 0.55, 1.1, false},
+  };
+  return set;
+}
+
+// Randomized rule set over mixed attribute kinds; `rng` drives every
+// choice so failures replay from the seed.
+inline StoredRuleSet RandomRuleSet(std::mt19937_64& rng, size_t num_attrs,
+                                   size_t num_rules) {
+  StoredRuleSet set;
+  set.num_records = 10000;
+  set.minsup = 0.05;
+  set.minconf = 0.5;
+  for (size_t a = 0; a < num_attrs; ++a) {
+    const int32_t domain =
+        static_cast<int32_t>(2 + rng() % 9);  // 2..10 values
+    std::string name = "attr";
+    name += std::to_string(a);
+    if (rng() % 2 == 0) {
+      std::vector<std::string> labels;
+      for (int32_t v = 0; v < domain; ++v) {
+        std::string label = "v";
+        label += std::to_string(v);
+        labels.push_back(label);
+      }
+      set.attributes.push_back(testutil::CatAttr(name, labels));
+    } else {
+      set.attributes.push_back(testutil::QuantAttr(name, domain));
+    }
+  }
+  for (size_t r = 0; r < num_rules; ++r) {
+    // Pick 2..min(4, num_attrs) distinct attributes, split into sides.
+    std::vector<int32_t> chosen(num_attrs);
+    for (size_t a = 0; a < num_attrs; ++a) {
+      chosen[a] = static_cast<int32_t>(a);
+    }
+    std::shuffle(chosen.begin(), chosen.end(), rng);
+    const size_t take =
+        2 + (num_attrs > 2 ? rng() % std::min<size_t>(3, num_attrs - 1)
+                           : 0);
+    chosen.resize(std::min(take, num_attrs));
+    const size_t num_ante = 1 + rng() % (chosen.size() - 1);
+    StoredRule rule;
+    for (size_t i = 0; i < chosen.size(); ++i) {
+      const int32_t attr = chosen[i];
+      const auto domain = static_cast<int32_t>(
+          set.attributes[static_cast<size_t>(attr)].domain_size());
+      // Categorical items are single values; ranged items span ids.
+      int32_t lo = static_cast<int32_t>(rng()) % domain;
+      if (lo < 0) lo += domain;
+      int32_t hi = lo;
+      if (set.attributes[static_cast<size_t>(attr)].ranged()) {
+        hi = lo + static_cast<int32_t>(rng() % 3);
+        if (hi >= domain) hi = domain - 1;
+      }
+      StoredItem item{attr, lo, hi};
+      if (i < num_ante) {
+        rule.antecedent.push_back(item);
+      } else {
+        rule.consequent.push_back(item);
+      }
+    }
+    auto by_attr = [](const StoredItem& a, const StoredItem& b) {
+      return a.attr < b.attr;
+    };
+    std::sort(rule.antecedent.begin(), rule.antecedent.end(), by_attr);
+    std::sort(rule.consequent.begin(), rule.consequent.end(), by_attr);
+    rule.count = rng() % (set.num_records + 1);
+    rule.support =
+        static_cast<double>(rule.count) / static_cast<double>(set.num_records);
+    rule.confidence = static_cast<double>(rng() % 1001) / 1000.0;
+    rule.lift = static_cast<double>(rng() % 4001) / 1000.0;
+    rule.interesting = rng() % 3 == 0;
+    set.rules.push_back(std::move(rule));
+  }
+  return set;
+}
+
+// A random record over `attrs`: each attribute missing with probability
+// ~1/4, otherwise a uniform mapped value.
+inline std::vector<int32_t> RandomRecord(
+    std::mt19937_64& rng, const std::vector<MappedAttribute>& attrs) {
+  std::vector<int32_t> record(attrs.size(), kMissingValue);
+  for (size_t a = 0; a < attrs.size(); ++a) {
+    if (rng() % 4 == 0) continue;
+    record[a] = static_cast<int32_t>(rng() % attrs[a].domain_size());
+  }
+  return record;
+}
+
+// Brute-force oracle: does `record` support every item of `side`?
+inline bool SupportsSide(const std::vector<int32_t>& record,
+                         const std::vector<StoredItem>& side) {
+  for (const StoredItem& item : side) {
+    const int32_t value = record[static_cast<size_t>(item.attr)];
+    if (value == kMissingValue || value < item.lo || value > item.hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Brute-force MatchRules: scan every rule; ids ascending by construction.
+inline std::vector<uint32_t> BruteForceMatch(
+    const StoredRuleSet& set, const std::vector<int32_t>& record,
+    MatchMode mode) {
+  std::vector<uint32_t> out;
+  for (size_t r = 0; r < set.rules.size(); ++r) {
+    const StoredRule& rule = set.rules[r];
+    const bool matched =
+        mode == MatchMode::kRule
+            ? SupportsSide(record, rule.antecedent) &&
+                  SupportsSide(record, rule.consequent)
+            : SupportsSide(record, rule.antecedent);
+    if (matched) out.push_back(static_cast<uint32_t>(r));
+  }
+  return out;
+}
+
+}  // namespace servetest
+}  // namespace qarm
+
+#endif  // QARM_TESTS_SERVE_SERVE_TESTUTIL_H_

@@ -40,7 +40,29 @@ const char kUsage[] =
     "65536)\n"
     "\n"
     "qarm gen — stream the synthetic financial dataset to CSV:\n"
-    "  --output=FILE.csv --records=N [--seed=N]\n";
+    "  --output=FILE.csv --records=N [--seed=N]\n"
+    "\n"
+    "mine extras:\n"
+    "  --output-rules=FILE.qrs  also write the mined rule set as a binary\n"
+    "                        QRS file for `qarm serve` / `qarm rules dump`\n"
+    "\n"
+    "qarm serve — serve a mined rule set over HTTP:\n"
+    "  --rules=FILE.qrs      rule set to load (required)\n"
+    "  [--host=ADDR]         bind address                  (default "
+    "127.0.0.1)\n"
+    "  [--port=N]            port; 0 = ephemeral           (default 8080)\n"
+    "  [--serve-threads=N]   HTTP server threads           (default 4)\n"
+    "  [--cache-mb=N]        result-cache budget in MiB; 0 disables\n"
+    "                                                      (default 64)\n"
+    "  [--port-file=FILE]    write the bound port here once listening\n"
+    "  [--serve-seconds=F]   stop after F seconds; 0 = run until SIGINT\n"
+    "  endpoints: /match /topk /rules /statz /healthz\n"
+    "\n"
+    "qarm rules dump FILE.qrs — inspect a rule-set file:\n"
+    "  [--format=text|json]  output format                 (default text)\n"
+    "  [--min-conf=F]        only rules with confidence >= F\n"
+    "  [--attr=NAME]         only rules mentioning the attribute\n"
+    "  [--interesting-only]  only rules past the interest filter\n";
 
 bool MatchFlag(const char* arg, const char* name, std::string* out) {
   std::string prefix = std::string("--") + name + "=";
@@ -83,6 +105,33 @@ Result<CliFlags> ParseCliArgs(int argc, char* const* argv, int first_arg) {
       flags.input_qbt = value;
     } else if (MatchFlag(argv[i], "output", &value)) {
       flags.output = value;
+    } else if (MatchFlag(argv[i], "output-rules", &value)) {
+      flags.output_rules = value;
+    } else if (MatchFlag(argv[i], "rules", &value)) {
+      flags.rules_file = value;
+    } else if (MatchFlag(argv[i], "host", &value)) {
+      flags.host = value;
+    } else if (MatchFlag(argv[i], "port", &value)) {
+      QARM_ASSIGN_OR_RETURN(flags.port, ParseSizeFlag("port", value));
+      if (flags.port > 65535) {
+        return Status::InvalidArgument("bad --port: " + value +
+                                       " (max 65535)");
+      }
+    } else if (MatchFlag(argv[i], "serve-threads", &value)) {
+      QARM_ASSIGN_OR_RETURN(flags.serve_threads,
+                            ParseSizeFlag("serve-threads", value));
+    } else if (MatchFlag(argv[i], "cache-mb", &value)) {
+      QARM_ASSIGN_OR_RETURN(flags.cache_mb, ParseSizeFlag("cache-mb", value));
+    } else if (MatchFlag(argv[i], "port-file", &value)) {
+      flags.port_file = value;
+    } else if (MatchFlag(argv[i], "serve-seconds", &value)) {
+      QARM_ASSIGN_OR_RETURN(flags.serve_seconds,
+                            ParseDoubleFlag("serve-seconds", value));
+    } else if (MatchFlag(argv[i], "min-conf", &value)) {
+      QARM_ASSIGN_OR_RETURN(flags.min_conf,
+                            ParseDoubleFlag("min-conf", value));
+    } else if (MatchFlag(argv[i], "attr", &value)) {
+      flags.attr = value;
     } else if (MatchFlag(argv[i], "block-rows", &value)) {
       QARM_ASSIGN_OR_RETURN(flags.block_rows,
                             ParseSizeFlag("block-rows", value));
@@ -143,6 +192,13 @@ Result<CliFlags> ParseCliArgs(int argc, char* const* argv, int first_arg) {
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       flags.help = true;
+    } else if (argv[i][0] != '-') {
+      // One bare argument, e.g. the file of `qarm rules dump FILE.qrs`.
+      if (!flags.positional.empty()) {
+        return Status::InvalidArgument(
+            std::string("unexpected argument: ") + argv[i]);
+      }
+      flags.positional = argv[i];
     } else {
       return Status::InvalidArgument(std::string("unknown flag: ") + argv[i]);
     }

@@ -20,7 +20,20 @@ struct CliFlags {
   std::string input;
   std::string input_qbt;
   std::string output;
+  std::string output_rules;  // mine: also write the rule set as QRS
   std::string schema;
+  // serve / rules dump:
+  std::string rules_file;          // --rules=FILE.qrs (or positional)
+  std::string host = "127.0.0.1";  // serve bind address
+  size_t port = 8080;              // serve port; 0 = ephemeral
+  size_t serve_threads = 4;        // HTTP server threads
+  size_t cache_mb = 64;            // result-cache budget; 0 disables
+  std::string port_file;           // write the bound port here at startup
+  double serve_seconds = 0;        // auto-stop after N seconds; 0 = run
+  double min_conf = 0.0;           // rules dump filter
+  std::string attr;                // rules dump / filter attribute name
+  // One bare (non --flag) argument, e.g. `qarm rules dump FILE.qrs`.
+  std::string positional;
   double minsup = 0.10;
   double minconf = 0.50;
   double maxsup = 0.40;

@@ -1,0 +1,46 @@
+// qarm_http_get — tiny HTTP GET helper for smoke scripts (the cmake -P
+// runners have no portable HTTP client). Prints the response body to
+// stdout; exit 0 only for a 200 response.
+//
+// Usage: qarm_http_get HOST PORT TARGET [TIMEOUT_MS]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/string_util.h"
+#include "serve/http_client.h"
+
+int main(int argc, char** argv) {
+  if (argc < 4 || argc > 5) {
+    std::fprintf(stderr,
+                 "usage: qarm_http_get HOST PORT TARGET [TIMEOUT_MS]\n");
+    return 2;
+  }
+  auto port = qarm::ParseUint64(argv[2]);
+  if (!port.ok() || *port > 65535) {
+    std::fprintf(stderr, "bad port: %s\n", argv[2]);
+    return 2;
+  }
+  int timeout_ms = 5000;
+  if (argc == 5) {
+    auto t = qarm::ParseUint64(argv[4]);
+    if (!t.ok()) {
+      std::fprintf(stderr, "bad timeout: %s\n", argv[4]);
+      return 2;
+    }
+    timeout_ms = static_cast<int>(*t);
+  }
+  auto response = qarm::HttpGet(argv[1], static_cast<uint16_t>(*port),
+                                argv[3], timeout_ms);
+  if (!response.ok()) {
+    std::fprintf(stderr, "GET %s failed: %s\n", argv[3],
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->body.c_str());
+  if (response->status != 200) {
+    std::fprintf(stderr, "HTTP %d\n", response->status);
+    return 1;
+  }
+  return 0;
+}

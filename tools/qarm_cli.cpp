@@ -26,20 +26,28 @@
 // (exit code 1 or 2), never a crash. cli_flags.{h,cc} holds the parsing so
 // tests and the fuzz harnesses drive the same code path.
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "core/miner.h"
 #include "core/report.h"
 #include "core/rules.h"
+#include "core/rules_export.h"
 #include "partition/mapper.h"
+#include "serve/http_server.h"
+#include "serve/rule_catalog.h"
+#include "serve/rule_service.h"
 #include "storage/qbt_writer.h"
 #include "storage/record_source.h"
+#include "storage/rules_format.h"
 #include "table/csv.h"
 #include "table/datagen.h"
 #include "tools/cli_flags.h"
@@ -137,12 +145,201 @@ int RunGen(const CliFlags& flags) {
   return 0;
 }
 
+// Writes the bound port to `path` atomically (temp + rename), so a smoke
+// script polling for the file never reads a half-written value.
+Status WritePortFile(const std::string& path, uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot write " + tmp);
+  }
+  std::fprintf(f, "%u\n", port);
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+// One rule as display text: "Age[20..29] AND Married=Yes => NumCars[0..2]
+// (conf 71.2%, sup 12.3%, lift 1.35, count 123)".
+std::string StoredRuleToText(const StoredRule& rule,
+                             const std::vector<MappedAttribute>& attrs) {
+  auto side_text = [&](const std::vector<StoredItem>& side) {
+    std::string out;
+    for (size_t i = 0; i < side.size(); ++i) {
+      if (i > 0) out += " AND ";
+      const StoredItem& item = side[i];
+      const MappedAttribute& attr = attrs[static_cast<size_t>(item.attr)];
+      if (attr.kind == AttributeKind::kQuantitative) {
+        out += attr.name + "[" + attr.DecodeRange(item.lo, item.hi) + "]";
+      } else {
+        out += attr.name + "=" + attr.DecodeRange(item.lo, item.hi);
+      }
+    }
+    return out;
+  };
+  std::string out = side_text(rule.antecedent);
+  out += " => ";
+  out += side_text(rule.consequent);
+  out += StrFormat(" (conf %.1f%%, sup %.1f%%", rule.confidence * 100,
+                   rule.support * 100);
+  if (rule.lift > 0) out += StrFormat(", lift %.2f", rule.lift);
+  out += StrFormat(", count %llu)",
+                   static_cast<unsigned long long>(rule.count));
+  if (rule.interesting) out += "  [interesting]";
+  return out;
+}
+
+// `qarm rules dump FILE.qrs`: inspect a rule-set file with the same
+// reader, filters, and JSON renderer the server uses.
+int RunRulesDump(const CliFlags& flags) {
+  const std::string path =
+      !flags.positional.empty() ? flags.positional : flags.rules_file;
+  if (path.empty()) {
+    std::fprintf(stderr, "rules dump needs a FILE.qrs argument\n%s",
+                 CliUsage());
+    return 2;
+  }
+  auto catalog = RuleCatalog::Load(path);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                 catalog.status().ToString().c_str());
+    return 1;
+  }
+  BrowseFilter filter;
+  filter.min_confidence = flags.min_conf;
+  filter.interesting_only = flags.interesting_only;
+  if (!flags.attr.empty()) {
+    auto attr = (*catalog)->AttributeIndex(flags.attr);
+    if (!attr.ok()) {
+      std::fprintf(stderr, "%s\n", attr.status().ToString().c_str());
+      return 1;
+    }
+    filter.attr = *attr;
+  }
+  size_t total = 0;
+  const std::vector<uint32_t> selected = (*catalog)->Browse(
+      filter, 0, std::numeric_limits<size_t>::max(), &total);
+  if (flags.format == "json") {
+    RuleServiceOptions service_options;
+    service_options.cache_bytes = 0;
+    RuleService service(*catalog, service_options);
+    std::printf("{\"file\":\"%s\",\"num_rules\":%zu,\"selected\":%zu,"
+                "\"rules\":[",
+                path.c_str(), (*catalog)->rules().size(), total);
+    for (size_t i = 0; i < selected.size(); ++i) {
+      std::printf("%s%s", i > 0 ? "," : "",
+                  service.RuleToJson(selected[i]).c_str());
+    }
+    std::printf("]}\n");
+  } else {
+    std::fprintf(stderr,
+                 "# %s: %zu rules over %zu attributes, %llu records "
+                 "(minsup %.3f, minconf %.3f); showing %zu\n",
+                 path.c_str(), (*catalog)->rules().size(),
+                 (*catalog)->attributes().size(),
+                 static_cast<unsigned long long>((*catalog)->num_records()),
+                 (*catalog)->minsup(), (*catalog)->minconf(), total);
+    for (uint32_t rule_id : selected) {
+      std::printf("%s\n",
+                  StoredRuleToText((*catalog)->rules()[rule_id],
+                                   (*catalog)->attributes())
+                      .c_str());
+    }
+  }
+  return 0;
+}
+
+// `qarm serve`: load a QRS file and serve it over HTTP until SIGINT (or
+// --serve-seconds elapses).
+int RunServe(const CliFlags& flags) {
+  const std::string path =
+      !flags.rules_file.empty() ? flags.rules_file : flags.positional;
+  if (path.empty()) {
+    std::fprintf(stderr, "serve needs --rules=FILE.qrs\n%s", CliUsage());
+    return 2;
+  }
+  Timer load_timer;
+  auto catalog = RuleCatalog::Load(path);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                 catalog.status().ToString().c_str());
+    return 1;
+  }
+  const RuleCatalogStats& stats = (*catalog)->stats();
+  std::fprintf(stderr,
+               "# loaded %s: %zu rules, %zu attributes, %zu index entries "
+               "(%zu KiB) in %.3fs\n",
+               path.c_str(), stats.num_rules, stats.num_attributes,
+               stats.interval_entries, stats.index_bytes / 1024,
+               load_timer.ElapsedSeconds());
+
+  RuleServiceOptions service_options;
+  service_options.cache_bytes = flags.cache_mb * size_t{1024} * 1024;
+  auto service =
+      std::make_shared<RuleService>(*catalog, service_options);
+
+  HttpServerOptions server_options;
+  server_options.host = flags.host;
+  server_options.port = static_cast<uint16_t>(flags.port);
+  server_options.num_threads = flags.serve_threads == 0
+                                   ? 1
+                                   : flags.serve_threads;
+  auto server = HttpServer::Start(
+      server_options,
+      [service](const HttpRequest& request) {
+        return service->Handle(request);
+      });
+  if (!server.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "# listening on http://%s:%u (threads=%zu cache=%zu "
+               "MiB)\n",
+               flags.host.c_str(), (*server)->port(),
+               server_options.num_threads, flags.cache_mb);
+  if (!flags.port_file.empty()) {
+    Status status = WritePortFile(flags.port_file, (*server)->port());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGTERM, HandleSigint);
+  Timer uptime;
+  while (!g_interrupted.load()) {
+    if (flags.serve_seconds > 0 &&
+        uptime.ElapsedSeconds() >= flags.serve_seconds) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  (*server)->Stop();
+  std::fprintf(stderr, "# served %llu connections in %.1fs; shut down "
+               "cleanly\n",
+               static_cast<unsigned long long>(
+                   (*server)->connections_accepted()),
+               uptime.ElapsedSeconds());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   int first_arg = 1;
   std::string command;
   if (argc > 1 && argv[1][0] != '-') {
     command = argv[1];
     first_arg = 2;
+  }
+  // `qarm rules dump ...` is a two-word command.
+  if (command == "rules" && argc > 2 &&
+      std::string(argv[2]) == "dump") {
+    command = "rules dump";
+    first_arg = 3;
   }
   auto flags_or = ParseCliArgs(argc, argv, first_arg);
   if (!flags_or.ok()) {
@@ -157,6 +354,8 @@ int Run(int argc, char** argv) {
   }
   if (command == "convert") return RunConvert(flags);
   if (command == "gen") return RunGen(flags);
+  if (command == "serve") return RunServe(flags);
+  if (command == "rules dump") return RunRulesDump(flags);
   if (!command.empty()) {
     std::fprintf(stderr, "unknown command: %s\n%s", command.c_str(),
                  CliUsage());
@@ -205,6 +404,20 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "mining failed: %s\n",
                  result.status().ToString().c_str());
     return 1;
+  }
+
+  if (!flags.output_rules.empty()) {
+    StoredRuleSet rule_set = ExportRuleSet(*result, *options);
+    uint64_t bytes = 0;
+    Status status = WriteRuleSet(rule_set, flags.output_rules, &bytes);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n",
+                   flags.output_rules.c_str(), status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "# wrote %s: %zu rules, %llu bytes\n",
+                 flags.output_rules.c_str(), rule_set.rules.size(),
+                 static_cast<unsigned long long>(bytes));
   }
 
   if (flags.format == "json") {
