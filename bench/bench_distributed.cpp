@@ -1,0 +1,214 @@
+// Distributed mining scale-up: the same QBT mined at 1/2/4/8 worker
+// processes. Every sharded run is checked byte-identical to the
+// single-process rules before its timing counts — a wrong fast answer
+// fails the bench. Reports per-pass exchange volume (the QCP-style shard
+// snapshots and count merges crossing the socketpairs) and coordinator
+// merge time, the two costs the single-process miner does not pay.
+//
+//   $ ./bench_distributed [--records=N] [--seed=S] [--reps=R]
+//                         [--block-rows=N] [--threads=N]
+//                         [--minsup=F] [--maxsup=F] [--out=FILE]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/miner.h"
+#include "core/report.h"
+#include "dist/dist_miner.h"
+#include "partition/mapper.h"
+#include "storage/qbt_writer.h"
+#include "storage/record_source.h"
+#include "table/datagen.h"
+
+namespace {
+
+using namespace qarm;
+
+MinerOptions BaseOptions(size_t threads, double minsup, double maxsup) {
+  MinerOptions options;
+  options.minsup = minsup;
+  options.minconf = 0.40;
+  options.max_support = maxsup;
+  options.partial_completeness = 3.0;
+  options.num_threads = threads;
+  return options;
+}
+
+std::vector<std::string> RulesAsJson(const MiningResult& result) {
+  std::vector<std::string> out;
+  out.reserve(result.rules.size());
+  for (const QuantRule& rule : result.rules) {
+    out.push_back(RuleToJson(rule, result.mapped));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t records = bench::FlagU64(argc, argv, "records", 500000);
+  const uint64_t seed = bench::FlagU64(argc, argv, "seed", 42);
+  const size_t reps = bench::FlagU64(argc, argv, "reps", 3);
+  const size_t block_rows = bench::FlagU64(argc, argv, "block-rows", 8192);
+  const size_t threads = bench::FlagU64(argc, argv, "threads", 1);
+  double minsup = 0.15;
+  double maxsup = 0.45;
+  std::string out = "BENCH_distributed.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+    if (std::strncmp(argv[i], "--minsup=", 9) == 0) {
+      minsup = std::atof(argv[i] + 9);
+    }
+    if (std::strncmp(argv[i], "--maxsup=", 9) == 0) {
+      maxsup = std::atof(argv[i] + 9);
+    }
+  }
+
+  const Table data = MakeFinancialDataset(records, seed);
+  MapOptions map_options;
+  map_options.partial_completeness = 3.0;
+  map_options.minsup = minsup;
+  Result<MappedTable> mapped = MapTable(data, map_options);
+  QARM_CHECK(mapped.ok());
+  const std::string qbt = out + ".qbt";
+  QbtWriteOptions write_options;
+  write_options.rows_per_block = block_rows;
+  QARM_CHECK(WriteQbt(*mapped, qbt, write_options).ok());
+  Result<std::unique_ptr<QbtFileSource>> source = QbtFileSource::Open(qbt);
+  QARM_CHECK(source.ok());
+  const size_t num_blocks = (*source)->num_blocks();
+
+  const size_t cpus = std::thread::hardware_concurrency();
+  std::printf(
+      "Distributed scale-up: financial dataset, %zu records, %zu blocks of "
+      "%zu rows, %zu threads/worker, %zu cpus, best of %zu reps\n",
+      records, num_blocks, block_rows, threads, cpus, reps);
+  if (cpus < 2) {
+    std::printf(
+        "NOTE: single-cpu host — workers time-slice one core, so the sweep "
+        "measures coordination overhead (exchange bytes, merge time), not "
+        "scale-up.\n");
+  }
+  std::printf("\n");
+  std::vector<int> widths = {8, 10, 9, 11, 11, 11, 10, 9};
+  bench::PrintRow({"workers", "wall (s)", "speedup", "sent (KB)",
+                   "recv (KB)", "exch (s)", "merge (s)", "respawns"},
+                  widths);
+  bench::PrintSeparator(widths);
+
+  struct Point {
+    size_t workers = 0;
+    double wall_seconds = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_received = 0;
+    double exchange_seconds = 0;
+    double merge_seconds = 0;
+    size_t respawned = 0;
+    std::vector<DistPassStats> passes;
+  };
+  std::vector<Point> points;
+  std::vector<std::string> baseline_rules;
+
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    if (workers > num_blocks) {
+      std::printf("(skipping workers=%zu: only %zu blocks)\n", workers,
+                  num_blocks);
+      continue;
+    }
+    Point p;
+    p.workers = workers;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      MinerOptions options = BaseOptions(threads, minsup, maxsup);
+      options.num_workers = workers;
+      Result<MiningResult> result = MineDistributedQbt(qbt, options);
+      QARM_CHECK(result.ok());
+      if (baseline_rules.empty()) {
+        baseline_rules = RulesAsJson(*result);
+        QARM_CHECK(!baseline_rules.empty());
+      } else if (RulesAsJson(*result) != baseline_rules) {
+        std::fprintf(stderr,
+                     "FATAL: workers=%zu changed the mined rules\n", workers);
+        return 1;
+      }
+      if (rep == 0 || result->stats.total_seconds < p.wall_seconds) {
+        p.wall_seconds = result->stats.total_seconds;
+        p.bytes_sent = 0;
+        p.bytes_received = 0;
+        p.exchange_seconds = 0;
+        p.merge_seconds = 0;
+        p.passes = result->stats.dist.passes;
+        p.respawned = result->stats.dist.workers_respawned;
+        for (const DistPassStats& pass : p.passes) {
+          p.bytes_sent += pass.bytes_sent;
+          p.bytes_received += pass.bytes_received;
+          p.exchange_seconds += pass.exchange_seconds;
+          p.merge_seconds += pass.merge_seconds;
+        }
+      }
+    }
+    const double speedup =
+        points.empty() ? 1.0 : points.front().wall_seconds / p.wall_seconds;
+    bench::PrintRow(
+        {StrFormat("%zu", p.workers), StrFormat("%.4f", p.wall_seconds),
+         StrFormat("%.2fx", speedup),
+         StrFormat("%.1f", p.bytes_sent / 1024.0),
+         StrFormat("%.1f", p.bytes_received / 1024.0),
+         StrFormat("%.4f", p.exchange_seconds),
+         StrFormat("%.4f", p.merge_seconds), StrFormat("%zu", p.respawned)},
+        widths);
+    points.push_back(p);
+  }
+  std::remove(qbt.c_str());
+
+  std::string json = "{\n";
+  json += StrFormat(
+      "  \"bench\": \"distributed\",\n  \"records\": %zu,\n"
+      "  \"seed\": %llu,\n  \"reps\": %zu,\n  \"block_rows\": %zu,\n"
+      "  \"num_blocks\": %zu,\n  \"threads_per_worker\": %zu,\n"
+      "  \"cpus\": %zu,\n  \"minsup\": %.3f,\n  \"maxsup\": %.3f,\n"
+      "  \"rules\": %zu,\n  \"points\": [",
+      records, static_cast<unsigned long long>(seed), reps, block_rows,
+      num_blocks, threads, cpus, minsup, maxsup, baseline_rules.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    json += StrFormat(
+        "%s\n    {\"workers\": %zu, \"wall_seconds\": %.6f,"
+        " \"speedup\": %.4f, \"bytes_sent\": %llu,"
+        " \"bytes_received\": %llu, \"exchange_seconds\": %.6f,"
+        " \"merge_seconds\": %.6f, \"workers_respawned\": %zu,"
+        " \"passes\": [",
+        i > 0 ? "," : "", p.workers, p.wall_seconds,
+        points.front().wall_seconds / p.wall_seconds,
+        static_cast<unsigned long long>(p.bytes_sent),
+        static_cast<unsigned long long>(p.bytes_received),
+        p.exchange_seconds, p.merge_seconds, p.respawned);
+    for (size_t j = 0; j < p.passes.size(); ++j) {
+      const DistPassStats& pass = p.passes[j];
+      json += StrFormat(
+          "%s{\"k\": %zu, \"bytes_sent\": %llu, \"bytes_received\": %llu,"
+          " \"exchange_seconds\": %.6f, \"merge_seconds\": %.6f}",
+          j > 0 ? ", " : "", pass.k,
+          static_cast<unsigned long long>(pass.bytes_sent),
+          static_cast<unsigned long long>(pass.bytes_received),
+          pass.exchange_seconds, pass.merge_seconds);
+    }
+    json += "]}";
+  }
+  json += "\n  ]\n}\n";
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

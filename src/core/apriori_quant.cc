@@ -1,6 +1,7 @@
 #include "core/apriori_quant.h"
 
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "common/thread_pool.h"
@@ -22,10 +23,29 @@ FrequentItemsetResult MineFrequentItemsets(const MappedTable& table,
   return std::move(result).value();
 }
 
+namespace {
+
+// Pass 2's frontier is all of L1 exactly when it lists every catalog item
+// in id order — always true for runs the miner produced (pass 1 emits the
+// whole catalog), but a restored checkpoint earns a linear verify before
+// the implicit cross product substitutes for the materialized join.
+bool FrontierIsWholeCatalog(const ItemsetSet& frequent,
+                            const ItemCatalog& catalog) {
+  if (frequent.k() != 1 || frequent.size() != catalog.num_items()) {
+    return false;
+  }
+  for (size_t i = 0; i < frequent.size(); ++i) {
+    if (frequent.itemset(i)[0] != static_cast<int32_t>(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 Result<FrequentItemsetResult> MineFrequentItemsets(
     const RecordSource& source, const ItemCatalog& catalog,
     const MinerOptions& options, const FrequentItemsetResult* resume_from,
-    const AfterPassFn& after_pass) {
+    const AfterPassFn& after_pass, const CountSupportsFn& count_supports) {
   FrequentItemsetResult result;
   const size_t num_rows = source.num_rows();
   uint64_t min_count = static_cast<uint64_t>(
@@ -73,11 +93,27 @@ Result<FrequentItemsetResult> MineFrequentItemsets(
     timer.Reset();
     PassStats pass;
     pass.k = k;
-    ItemsetSet candidates = GenerateCandidates(catalog, frequent,
-                                               options.num_threads,
-                                               &pass.candgen);
-    pass.num_candidates = candidates.size();
-    if (candidates.empty()) {
+    // Pass 2 streams the implicit cross product of L1 (bounded chunks, no
+    // 3.4M-candidate materialization); every later pass materializes its
+    // join as before and wraps it in a stream view.
+    ItemsetSet materialized(k);
+    std::unique_ptr<CandidateStream> candidates;
+    if (k == 2 && FrontierIsWholeCatalog(frequent, catalog)) {
+      Timer gen_timer;
+      auto pairs = std::make_unique<ImplicitPairStream>(catalog);
+      pass.candgen.join_candidates = pairs->size();
+      pass.candgen.peak_materialized =
+          std::min(pairs->size(), ImplicitPairStream::kDefaultChunkRows);
+      pass.candgen.join_seconds = gen_timer.ElapsedSeconds();
+      pass.candgen.seconds = pass.candgen.join_seconds;
+      candidates = std::move(pairs);
+    } else {
+      materialized = GenerateCandidates(catalog, frequent,
+                                        options.num_threads, &pass.candgen);
+      candidates = std::make_unique<ItemsetStreamView>(materialized);
+    }
+    pass.num_candidates = candidates->size();
+    if (candidates->size() == 0) {
       pass.seconds = timer.ElapsedSeconds();
       result.passes.push_back(pass);
       if (after_pass) QARM_RETURN_NOT_OK(after_pass(result));
@@ -85,16 +121,25 @@ Result<FrequentItemsetResult> MineFrequentItemsets(
     }
     QARM_ASSIGN_OR_RETURN(
         std::vector<uint32_t> counts,
-        CountSupports(source, catalog, candidates, options, &pass.counting));
+        count_supports
+            ? count_supports(*candidates, &pass.counting)
+            : CountSupports(source, catalog, *candidates, options,
+                            &pass.counting));
+    if (counts.size() != candidates->size()) {
+      return Status::Internal("support counts do not match candidate count");
+    }
 
     ItemsetSet next(k);
-    for (size_t c = 0; c < candidates.size(); ++c) {
-      if (counts[c] >= min_count) {
-        result.itemsets.push_back(
-            FrequentItemset{candidates.itemset_vector(c), counts[c]});
-        next.Append(candidates.itemset(c));
+    candidates->ForEachChunk([&](size_t first, const ItemsetSet& chunk) {
+      for (size_t i = 0; i < chunk.size(); ++i) {
+        const size_t c = first + i;
+        if (counts[c] >= min_count) {
+          result.itemsets.push_back(
+              FrequentItemset{chunk.itemset_vector(i), counts[c]});
+          next.Append(chunk.itemset(i));
+        }
       }
-    }
+    });
     pass.num_frequent = next.size();
     pass.seconds = timer.ElapsedSeconds();
     result.passes.push_back(pass);

@@ -44,6 +44,15 @@ struct FrequentItemsetResult {
 // callers can distinguish a clean interruption from a failure.
 using AfterPassFn = std::function<Status(const FrequentItemsetResult&)>;
 
+// Replaces the per-pass CountSupports call. Distributed mining hooks in
+// here: the coordinator broadcasts the pass's candidates to its workers,
+// each counts its own block range (with CountSupports, unchanged), and the
+// merged per-candidate sums come back through this function. Must return
+// counts parallel to `candidates`; `stats` receives the pass's counting
+// stats (whatever breakdown the delegate can attribute).
+using CountSupportsFn = std::function<Result<std::vector<uint32_t>>(
+    const CandidateStream& candidates, CountingStats* stats)>;
+
 // Runs the level-wise algorithm, streaming every counting pass over
 // `source`. `catalog` must have been built from the same records with the
 // same options. Fails only when a block read fails (e.g. a QBT checksum
@@ -59,7 +68,8 @@ Result<FrequentItemsetResult> MineFrequentItemsets(
     const RecordSource& source, const ItemCatalog& catalog,
     const MinerOptions& options,
     const FrequentItemsetResult* resume_from = nullptr,
-    const AfterPassFn& after_pass = nullptr);
+    const AfterPassFn& after_pass = nullptr,
+    const CountSupportsFn& count_supports = nullptr);
 
 // Same over an in-memory table (reads cannot fail).
 FrequentItemsetResult MineFrequentItemsets(const MappedTable& table,

@@ -161,6 +161,7 @@ ItemsetSet GenerateCandidates(const ItemCatalog& catalog,
     for (const ItemsetSet& p : partial) candidates.AppendAll(p);
   }
   local_stats.join_candidates = candidates.size();
+  local_stats.peak_materialized = candidates.size();
   local_stats.join_seconds = phase_timer.ElapsedSeconds();
   phase_timer.Reset();
 
@@ -192,6 +193,68 @@ ItemsetSet GenerateCandidates(const ItemCatalog& catalog,
   local_stats.seconds = total_timer.ElapsedSeconds();
   if (stats != nullptr) *stats = local_stats;
   return candidates;
+}
+
+ImplicitPairStream::ImplicitPairStream(const ItemCatalog& catalog,
+                                       size_t chunk_rows)
+    : chunk_rows_(chunk_rows == 0 ? 1 : chunk_rows) {
+  const size_t n = catalog.num_items();
+  partner_begin_.resize(n);
+  prefix_.resize(n + 1);
+  // Item ids are sorted by attribute; one sweep finds each attribute's end,
+  // which is every member's first valid partner.
+  size_t run_start = 0;
+  while (run_start < n) {
+    const int32_t attr = catalog.item(static_cast<int32_t>(run_start)).attr;
+    size_t end = run_start + 1;
+    while (end < n &&
+           catalog.item(static_cast<int32_t>(end)).attr == attr) {
+      ++end;
+    }
+    for (size_t i = run_start; i < end; ++i) {
+      partner_begin_[i] = static_cast<int32_t>(end);
+    }
+    run_start = end;
+  }
+  prefix_[0] = 0;
+  for (size_t i = 0; i < n; ++i) {
+    prefix_[i + 1] =
+        prefix_[i] + (n - static_cast<size_t>(partner_begin_[i]));
+  }
+  total_ = static_cast<size_t>(prefix_[n]);
+}
+
+void ImplicitPairStream::ForEachChunk(
+    const std::function<void(size_t, const ItemsetSet&)>& fn) const {
+  const size_t n = partner_begin_.size();
+  ItemsetSet chunk(2);
+  chunk.Reserve(std::min(chunk_rows_, total_));
+  size_t first = 0;
+  int32_t pair[2];
+  for (size_t i = 0; i < n; ++i) {
+    pair[0] = static_cast<int32_t>(i);
+    for (int32_t j = partner_begin_[i]; j < static_cast<int32_t>(n); ++j) {
+      pair[1] = j;
+      chunk.Append(pair);
+      if (chunk.size() == chunk_rows_) {
+        fn(first, chunk);
+        first += chunk.size();
+        chunk.Clear();
+      }
+    }
+  }
+  if (!chunk.empty()) fn(first, chunk);
+}
+
+void ImplicitPairStream::Get(size_t c, int32_t* ids) const {
+  // Pairs with outer item i occupy [prefix_[i], prefix_[i+1]); upper_bound
+  // lands past the owning range (skipping items with no partners, whose
+  // ranges are empty).
+  const auto it =
+      std::upper_bound(prefix_.begin(), prefix_.end(), static_cast<uint64_t>(c));
+  const size_t i = static_cast<size_t>(it - prefix_.begin()) - 1;
+  ids[0] = static_cast<int32_t>(i);
+  ids[1] = partner_begin_[i] + static_cast<int32_t>(c - prefix_[i]);
 }
 
 }  // namespace qarm

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/frequent_items.h"
@@ -37,6 +38,8 @@ class ItemsetSet {
 
   void Append(const int32_t* ids) { flat_.insert(flat_.end(), ids, ids + k_); }
   void AppendVector(const std::vector<int32_t>& ids) { Append(ids.data()); }
+  // Drops the itemsets but keeps the capacity (chunk buffer reuse).
+  void Clear() { flat_.clear(); }
   // Concatenates another set of the same k (shard reduction).
   void AppendAll(const ItemsetSet& other);
   void Reserve(size_t n) { flat_.reserve(n * k_); }
@@ -55,9 +58,90 @@ struct CandidateGenStats {
   size_t threads_used = 1;
   // Candidates out of the join phase (before the subset prune).
   size_t join_candidates = 0;
+  // Largest number of candidates resident at once. Equal to
+  // join_candidates when the join materializes its output (k >= 3); bounded
+  // by the chunk size when pass 2 streams the implicit cross product.
+  size_t peak_materialized = 0;
   double join_seconds = 0.0;
   double prune_seconds = 0.0;
   double seconds = 0.0;
+};
+
+// A read-only sequence of k-itemset candidates in their serial generation
+// order. Counting consumes candidates two ways — one sequential sweep to
+// group them into super-candidates, then random-access decodes while
+// building counters and collecting results — and this interface serves both
+// without requiring the whole set to be resident. Pass 2's cross product
+// (the largest candidate set of a run by far) streams in bounded chunks;
+// every other pass wraps its materialized ItemsetSet for free.
+class CandidateStream {
+ public:
+  virtual ~CandidateStream() = default;
+
+  virtual size_t k() const = 0;
+  virtual size_t size() const = 0;
+
+  // Calls fn(first, chunk) for consecutive chunks covering all candidates
+  // in order: `chunk` holds candidates [first, first + chunk.size()). The
+  // chunk buffer is only valid during the call.
+  virtual void ForEachChunk(
+      const std::function<void(size_t first, const ItemsetSet& chunk)>& fn)
+      const = 0;
+
+  // Decodes candidate c into ids[0..k).
+  virtual void Get(size_t c, int32_t* ids) const = 0;
+};
+
+// Non-owning CandidateStream over a materialized ItemsetSet (single chunk,
+// zero copies). The set must outlive the view.
+class ItemsetStreamView : public CandidateStream {
+ public:
+  explicit ItemsetStreamView(const ItemsetSet& set) : set_(set) {}
+
+  size_t k() const override { return set_.k(); }
+  size_t size() const override { return set_.size(); }
+  void ForEachChunk(
+      const std::function<void(size_t, const ItemsetSet&)>& fn) const override {
+    if (!set_.empty()) fn(0, set_);
+  }
+  void Get(size_t c, int32_t* ids) const override {
+    const int32_t* p = set_.itemset(c);
+    for (size_t i = 0; i < set_.k(); ++i) ids[i] = p[i];
+  }
+
+ private:
+  const ItemsetSet& set_;
+};
+
+// The pass-2 candidate set as a virtual cross product. L1 is always every
+// catalog item, so C2 is exactly the pairs (i, j), i < j, with differing
+// attributes — the same sequence GenerateCandidates' join emits, derived
+// here from the catalog's per-attribute item ranges instead of being
+// materialized (3.4M candidates on the financial benchmark was the largest
+// single allocation of a run). Chunks materialize at most `chunk_rows`
+// candidates at a time; Get is a binary search over per-outer-item prefix
+// sums. The catalog must outlive the stream.
+class ImplicitPairStream : public CandidateStream {
+ public:
+  static constexpr size_t kDefaultChunkRows = 65536;
+
+  explicit ImplicitPairStream(const ItemCatalog& catalog,
+                              size_t chunk_rows = kDefaultChunkRows);
+
+  size_t k() const override { return 2; }
+  size_t size() const override { return total_; }
+  void ForEachChunk(const std::function<void(size_t, const ItemsetSet&)>& fn)
+      const override;
+  void Get(size_t c, int32_t* ids) const override;
+
+ private:
+  // partner_begin_[i]: first partner of outer item i (the end of i's
+  // attribute's item range — ids are sorted by attribute, so everything
+  // from there on differs in attribute). prefix_[i]: pairs with outer < i.
+  std::vector<int32_t> partner_begin_;
+  std::vector<uint64_t> prefix_;
+  size_t total_ = 0;
+  size_t chunk_rows_;
 };
 
 // apriori-gen over quantitative items: returns C_k from L_{k-1}.

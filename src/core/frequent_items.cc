@@ -20,14 +20,10 @@ ItemCatalog ItemCatalog::Build(const MappedTable& table,
   return std::move(catalog).value();
 }
 
-Result<ItemCatalog> ItemCatalog::Build(const RecordSource& source,
-                                       const MinerOptions& options,
-                                       ScanIoStats* io) {
-  ItemCatalog catalog;
+Result<std::vector<std::vector<uint64_t>>> ItemCatalog::ScanValueCounts(
+    const RecordSource& source, size_t num_threads, ScanIoStats* io) {
   const size_t num_attrs = source.num_attributes();
-  const size_t num_rows = source.num_rows();
   const size_t num_blocks = source.num_blocks();
-  catalog.num_records_ = num_rows;
   const ScanIoStats io_before = source.io_stats();
 
   // Per-attribute value counts in one block-streamed scan, sharded across
@@ -35,9 +31,9 @@ Result<ItemCatalog> ItemCatalog::Build(const RecordSource& source,
   // Each worker accumulates into its own grids which are then summed in
   // shard order; integer addition is order-independent, so the counts are
   // identical to the serial scan.
-  catalog.value_counts_.resize(num_attrs);
+  std::vector<std::vector<uint64_t>> value_counts(num_attrs);
   for (size_t a = 0; a < num_attrs; ++a) {
-    catalog.value_counts_[a].assign(source.attribute(a).domain_size(), 0);
+    value_counts[a].assign(source.attribute(a).domain_size(), 0);
   }
   auto scan_blocks = [&](size_t block_begin, size_t block_end,
                          std::vector<std::vector<uint64_t>>& counts)
@@ -59,17 +55,16 @@ Result<ItemCatalog> ItemCatalog::Build(const RecordSource& source,
     }
     return Status::OK();
   };
-  const size_t num_threads =
-      std::max<size_t>(1, std::min(ResolveNumThreads(options.num_threads),
-                                   num_blocks));
-  if (num_threads == 1) {
-    QARM_RETURN_NOT_OK(scan_blocks(0, num_blocks, catalog.value_counts_));
+  const size_t threads =
+      std::max<size_t>(1,
+                       std::min(ResolveNumThreads(num_threads), num_blocks));
+  if (threads == 1) {
+    QARM_RETURN_NOT_OK(scan_blocks(0, num_blocks, value_counts));
   } else {
-    const std::vector<IndexRange> shards =
-        SplitRange(num_blocks, num_threads);
+    const std::vector<IndexRange> shards = SplitRange(num_blocks, threads);
     std::vector<std::vector<std::vector<uint64_t>>> partials(shards.size());
     std::vector<Status> statuses(shards.size());
-    ThreadPool pool(num_threads);
+    ThreadPool pool(threads);
     pool.ParallelFor(shards.size(), [&](size_t s) {
       std::vector<std::vector<uint64_t>>& local = partials[s];
       local.resize(num_attrs);
@@ -84,12 +79,41 @@ Result<ItemCatalog> ItemCatalog::Build(const RecordSource& source,
     for (const auto& local : partials) {
       for (size_t a = 0; a < num_attrs; ++a) {
         for (size_t v = 0; v < local[a].size(); ++v) {
-          catalog.value_counts_[a][v] += local[a][v];
+          value_counts[a][v] += local[a][v];
         }
       }
     }
   }
   if (io != nullptr) *io = source.io_stats() - io_before;
+  return value_counts;
+}
+
+Result<ItemCatalog> ItemCatalog::Build(const RecordSource& source,
+                                       const MinerOptions& options,
+                                       ScanIoStats* io) {
+  QARM_ASSIGN_OR_RETURN(std::vector<std::vector<uint64_t>> value_counts,
+                        ScanValueCounts(source, options.num_threads, io));
+  return BuildFromValueCounts(source, options, std::move(value_counts));
+}
+
+Result<ItemCatalog> ItemCatalog::BuildFromValueCounts(
+    const RecordSource& source, const MinerOptions& options,
+    std::vector<std::vector<uint64_t>> value_counts) {
+  const size_t num_attrs = source.num_attributes();
+  const size_t num_rows = source.num_rows();
+  if (value_counts.size() != num_attrs) {
+    return Status::InvalidArgument(
+        "value counts do not match the source's attribute count");
+  }
+  for (size_t a = 0; a < num_attrs; ++a) {
+    if (value_counts[a].size() != source.attribute(a).domain_size()) {
+      return Status::InvalidArgument(
+          "value counts do not match an attribute's domain size");
+    }
+  }
+  ItemCatalog catalog;
+  catalog.num_records_ = num_rows;
+  catalog.value_counts_ = std::move(value_counts);
   catalog.prefix_counts_.resize(num_attrs);
   for (size_t a = 0; a < num_attrs; ++a) {
     const auto& counts = catalog.value_counts_[a];

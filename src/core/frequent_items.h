@@ -36,6 +36,25 @@ class ItemCatalog {
   static ItemCatalog Build(const MappedTable& table,
                            const MinerOptions& options);
 
+  // The two halves of Build, split so distributed mining can run them on
+  // different processes: each worker scans its block range's value counts
+  // (ScanValueCounts over a BlockRangeSource), the coordinator sums the
+  // per-shard counts in worker order and derives the catalog once.
+  //
+  // ScanValueCounts returns one count vector per attribute (indexed by
+  // mapped value), sharded across `num_threads` workers.
+  static Result<std::vector<std::vector<uint64_t>>> ScanValueCounts(
+      const RecordSource& source, size_t num_threads,
+      ScanIoStats* io = nullptr);
+
+  // Derives the catalog from already-merged value counts. `source` supplies
+  // the schema and total row count (min-support thresholds come from the
+  // full table, not a shard). Rejects counts whose shape does not match the
+  // source. Consumes `value_counts`.
+  static Result<ItemCatalog> BuildFromValueCounts(
+      const RecordSource& source, const MinerOptions& options,
+      std::vector<std::vector<uint64_t>> value_counts);
+
   // Checkpoint support: Snapshot captures the catalog's full state as the
   // storage-neutral checkpoint structure; Restore rebuilds a catalog from
   // that structure without re-scanning the data (the derived prefix sums

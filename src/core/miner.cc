@@ -75,8 +75,17 @@ Result<MiningResult> QuantitativeRuleMiner::MineStreamed(
   return result;
 }
 
+Result<MiningResult> QuantitativeRuleMiner::MineStreamed(
+    const RecordSource& source, const MiningHooks& hooks) const {
+  QARM_RETURN_NOT_OK(ValidateOptions());
+  MiningResult result(MappedTable(source.attributes(), /*num_rows=*/0));
+  QARM_RETURN_NOT_OK(MineWithSource(source, &result, &hooks));
+  return result;
+}
+
 Status QuantitativeRuleMiner::MineWithSource(const RecordSource& base_source,
-                                             MiningResult* result) const {
+                                             MiningResult* result,
+                                             const MiningHooks* hooks) const {
   Timer total_timer;
   Timer timer;
   MiningStats& stats = result->stats;
@@ -150,10 +159,24 @@ Status QuantitativeRuleMiner::MineWithSource(const RecordSource& base_source,
     }
   }
   if (!catalog.has_value()) {
-    QARM_ASSIGN_OR_RETURN(
-        ItemCatalog built,
-        ItemCatalog::Build(source, options_, &stats.pass1_io));
-    catalog.emplace(std::move(built));
+    if (hooks != nullptr && hooks->scan_value_counts) {
+      // Distributed pass 1: the workers scan their shards, the hook hands
+      // back the merged value counts, and only the derivation runs here.
+      QARM_ASSIGN_OR_RETURN(std::vector<std::vector<uint64_t>> value_counts,
+                            hooks->scan_value_counts(&stats.pass1_io));
+      QARM_ASSIGN_OR_RETURN(ItemCatalog built,
+                            ItemCatalog::BuildFromValueCounts(
+                                source, options_, std::move(value_counts)));
+      catalog.emplace(std::move(built));
+    } else {
+      QARM_ASSIGN_OR_RETURN(
+          ItemCatalog built,
+          ItemCatalog::Build(source, options_, &stats.pass1_io));
+      catalog.emplace(std::move(built));
+    }
+  }
+  if (hooks != nullptr && hooks->publish_catalog) {
+    QARM_RETURN_NOT_OK(hooks->publish_catalog(*catalog, resumed));
   }
   stats.num_frequent_items = catalog->num_items();
   stats.items_pruned_by_interest = catalog->items_pruned_by_interest();
@@ -235,8 +258,9 @@ Status QuantitativeRuleMiner::MineWithSource(const RecordSource& base_source,
   QARM_ASSIGN_OR_RETURN(
       FrequentItemsetResult frequent,
       MineFrequentItemsets(source, *catalog, options_,
-                           resumed ? &resume_progress : nullptr,
-                           after_pass));
+                           resumed ? &resume_progress : nullptr, after_pass,
+                           hooks != nullptr ? hooks->count_supports
+                                            : CountSupportsFn()));
   stats.passes = frequent.passes;
   stats.itemset_seconds = timer.ElapsedSeconds();
   for (const PassStats& pass : frequent.passes) {

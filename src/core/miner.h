@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -35,6 +36,23 @@ struct FrequentRangeItemset {
   RangeItemset items;
   uint64_t count = 0;
   double support = 0.0;
+};
+
+// Per-pass coordinator-side accounting of one distributed counting
+// exchange (pass 1's value-count scan appears as k == 1).
+struct DistPassStats {
+  size_t k = 0;
+  uint64_t bytes_sent = 0;      // coordinator -> workers, framed
+  uint64_t bytes_received = 0;  // workers -> coordinator, framed
+  double exchange_seconds = 0.0;  // send requests + await all replies
+  double merge_seconds = 0.0;     // fixed-order merge of shard counts
+};
+
+// Distributed-run statistics (num_workers == 0 for ordinary runs).
+struct DistRunStats {
+  size_t num_workers = 0;
+  size_t workers_respawned = 0;
+  std::vector<DistPassStats> passes;
 };
 
 // Aggregate run statistics.
@@ -71,6 +89,8 @@ struct MiningStats {
   size_t candgen_threads_used = 1;
   size_t rulegen_threads_used = 1;
   size_t interest_threads_used = 1;
+  // Distributed-mode accounting (empty unless --workers > 1).
+  DistRunStats dist;
 };
 
 // Everything a mining run produces. `mapped` carries the decode metadata
@@ -85,6 +105,28 @@ struct MiningResult {
 
   // The rules flagged interesting (all rules when no interest level is set).
   std::vector<QuantRule> InterestingRules() const;
+};
+
+// Delegates that let a driver (the distributed coordinator) substitute its
+// own implementations for the phases that scan records, while the miner
+// keeps running everything else — checkpointing, rule generation, interest,
+// decode — unchanged. Any member may be left empty to keep the default.
+struct MiningHooks {
+  // Replaces the pass-1 value-count scan: must return one count vector per
+  // attribute (indexed by mapped value) covering the *whole* source.
+  // `io`, when non-null, receives the scan's aggregate I/O.
+  std::function<Result<std::vector<std::vector<uint64_t>>>(ScanIoStats* io)>
+      scan_value_counts;
+
+  // Called once the item catalog exists — freshly built or restored from a
+  // checkpoint (`restored`) — and before any counting pass. The distributed
+  // coordinator broadcasts the catalog to its workers here. A non-OK return
+  // aborts the run.
+  std::function<Status(const ItemCatalog& catalog, bool restored)>
+      publish_catalog;
+
+  // Replaces each pass's CountSupports call (see apriori_quant.h).
+  CountSupportsFn count_supports;
 };
 
 class QuantitativeRuleMiner {
@@ -109,12 +151,20 @@ class QuantitativeRuleMiner {
   // a failing block read (e.g. a QBT checksum mismatch).
   Result<MiningResult> MineStreamed(const RecordSource& source) const;
 
+  // MineStreamed with the record-scanning phases delegated through `hooks`
+  // (distributed mining). `source` still supplies the schema, row count,
+  // and checkpoint fingerprint; with all hooks set the coordinator never
+  // reads a data block itself.
+  Result<MiningResult> MineStreamed(const RecordSource& source,
+                                    const MiningHooks& hooks) const;
+
  private:
   Status ValidateOptions() const;
-  // Shared steps 3-5 driver; scans go through `source`, stats/output land
-  // in `result` (whose `mapped` member only provides decode metadata here).
-  Status MineWithSource(const RecordSource& source, MiningResult* result)
-      const;
+  // Shared steps 3-5 driver; scans go through `source` (or the hooks, when
+  // `hooks` is non-null and populated), stats/output land in `result`
+  // (whose `mapped` member only provides decode metadata here).
+  Status MineWithSource(const RecordSource& source, MiningResult* result,
+                        const MiningHooks* hooks = nullptr) const;
 
   MinerOptions options_;
 };

@@ -28,6 +28,11 @@ class FingerprintHasher {
 
 uint64_t ComputeMiningFingerprint(const MinerOptions& options,
                                   const RecordSource& source) {
+  // Only output-affecting options are mixed in. Execution knobs —
+  // num_threads, num_workers, memory budgets, fault specs — are excluded
+  // on purpose: counts are exact and merges happen in a fixed order, so a
+  // run checkpointed at one thread/worker count resumes at any other with
+  // bit-identical rules.
   FingerprintHasher h;
   h.MixDouble(options.minsup);
   h.MixDouble(options.minconf);

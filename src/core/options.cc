@@ -44,6 +44,11 @@ Status MinerOptions::Validate() const {
         StrFormat("num_threads must be at most %zu, got %zu", kMaxThreads,
                   num_threads));
   }
+  if (num_workers > kMaxWorkers) {
+    return Status::InvalidArgument(
+        StrFormat("num_workers must be at most %zu, got %zu", kMaxWorkers,
+                  num_workers));
+  }
   if (!checkpoint_path.empty()) {
     if (checkpoint_every_pass == 0) {
       return Status::InvalidArgument(

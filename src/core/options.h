@@ -81,6 +81,16 @@ struct MinerOptions {
   // outputs never depend on this setting.
   size_t num_threads = 1;
 
+  // Worker *processes* for distributed mining over a sharded QBT file
+  // (tools/qarm mine --workers=N). The coordinator forks this many workers,
+  // assigns each a contiguous range of QBT blocks, and merges their
+  // per-shard counts in fixed worker order, so — like num_threads — the
+  // mined rules never depend on this setting. 1 (or 0) = the ordinary
+  // single-process path. Only the QBT-streamed entry points honour it;
+  // it is an execution knob, excluded from the checkpoint fingerprint, so
+  // a run checkpointed at one worker count resumes at any other.
+  size_t num_workers = 1;
+
   // Budget for the *extra* per-thread replicas of dense counting grids that
   // a parallel scan allocates (one replica per worker beyond the first).
   // Grids whose replicas do not fit — accounted cumulatively in group
@@ -133,12 +143,17 @@ struct MinerOptions {
   // process with thread stacks.
   static constexpr size_t kMaxThreads = 4096;
 
+  // Upper bound accepted for num_workers; forked processes are far more
+  // expensive than threads, so the cap is correspondingly smaller.
+  static constexpr size_t kMaxWorkers = 256;
+
   // Checks every numeric option for range and mutual consistency:
   // non-finite values (NaN/inf from a lenient parser) are rejected, minsup
   // must be in (0,1], minconf in [0,1], max_support in [0,1] and — unless 0
   // — at least minsup, partial_completeness > 1 whenever Equation 2 is in
   // effect (num_intervals_override == 0), interest_level >= 0, and
-  // num_threads <= kMaxThreads. Every entry point that accepts untrusted
+  // num_threads <= kMaxThreads (and num_workers <= kMaxWorkers). Every
+  // entry point that accepts untrusted
   // options (Mine, MineStreamed, the CLI) calls this and propagates the
   // InvalidArgument instead of aborting.
   Status Validate() const;

@@ -144,6 +144,7 @@ std::string StatsToJson(const MiningStats& stats) {
     out += StrFormat(
         "{\"k\":%zu,\"candidates\":%zu,\"frequent\":%zu,"
         "\"candgen\":{\"threads_used\":%zu,\"join_candidates\":%zu,"
+        "\"peak_materialized\":%zu,"
         "\"join_seconds\":%.6f,\"prune_seconds\":%.6f,\"seconds\":%.6f},"
         "\"super_candidates\":%zu,\"array_counters\":%zu,"
         "\"tree_counters\":%zu,\"direct_counters\":%zu,"
@@ -159,6 +160,7 @@ std::string StatsToJson(const MiningStats& stats) {
         "\"seconds\":%.6f}",
         pass.k, pass.num_candidates, pass.num_frequent,
         pass.candgen.threads_used, pass.candgen.join_candidates,
+        pass.candgen.peak_materialized,
         pass.candgen.join_seconds, pass.candgen.prune_seconds,
         pass.candgen.seconds,
         counting.num_super_candidates, counting.num_array_counters,
@@ -178,7 +180,25 @@ std::string StatsToJson(const MiningStats& stats) {
         static_cast<unsigned long long>(counting.io.faults_injected),
         pass.seconds);
   }
-  out += "]}";
+  out += "]";
+  if (stats.dist.num_workers > 0) {
+    out += StrFormat(
+        ",\"distributed\":{\"num_workers\":%zu,\"workers_respawned\":%zu,"
+        "\"passes\":[",
+        stats.dist.num_workers, stats.dist.workers_respawned);
+    for (size_t i = 0; i < stats.dist.passes.size(); ++i) {
+      const DistPassStats& pass = stats.dist.passes[i];
+      if (i > 0) out += ',';
+      out += StrFormat(
+          "{\"k\":%zu,\"bytes_sent\":%llu,\"bytes_received\":%llu,"
+          "\"exchange_seconds\":%.6f,\"merge_seconds\":%.6f}",
+          pass.k, static_cast<unsigned long long>(pass.bytes_sent),
+          static_cast<unsigned long long>(pass.bytes_received),
+          pass.exchange_seconds, pass.merge_seconds);
+    }
+    out += "]}";
+  }
+  out += "}";
   return out;
 }
 

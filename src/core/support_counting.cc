@@ -107,6 +107,15 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
                                             const ItemsetSet& candidates,
                                             const MinerOptions& options,
                                             CountingStats* stats) {
+  return CountSupports(source, catalog, ItemsetStreamView(candidates),
+                       options, stats);
+}
+
+Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
+                                            const ItemCatalog& catalog,
+                                            const CandidateStream& candidates,
+                                            const MinerOptions& options,
+                                            CountingStats* stats) {
   const size_t num_candidates = candidates.size();
   const size_t k = candidates.k();
   std::vector<uint32_t> counts(num_candidates, 0);
@@ -126,32 +135,39 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
   // --- Group candidates into super-candidates. ---
   // Key: [quantitative attrs..., -1, categorical item ids...]. Categorical
   // items pin both attribute and value, exactly the paper's grouping.
+  // The chunked sweep visits candidates in their exact serial generation
+  // order, so group creation order and member order — and therefore every
+  // downstream count — are identical whether the stream is materialized or
+  // implicit.
   std::unordered_map<std::vector<int32_t>, size_t, GroupKeyHash> group_index;
   std::vector<SuperCandidate> groups;
   std::vector<int32_t> key;
-  for (size_t c = 0; c < num_candidates; ++c) {
-    const int32_t* ids = candidates.itemset(c);
-    key.clear();
-    for (size_t i = 0; i < k; ++i) {
-      const RangeItem& item = catalog.item(ids[i]);
-      if (is_ranged(item.attr)) key.push_back(item.attr);
+  candidates.ForEachChunk([&](size_t first, const ItemsetSet& chunk) {
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      const int32_t* ids = chunk.itemset(i);
+      const size_t c = first + i;
+      key.clear();
+      for (size_t p = 0; p < k; ++p) {
+        const RangeItem& item = catalog.item(ids[p]);
+        if (is_ranged(item.attr)) key.push_back(item.attr);
+      }
+      key.push_back(-1);
+      for (size_t p = 0; p < k; ++p) {
+        const RangeItem& item = catalog.item(ids[p]);
+        if (!is_ranged(item.attr)) key.push_back(ids[p]);
+      }
+      auto [it, inserted] = group_index.emplace(key, groups.size());
+      if (inserted) {
+        SuperCandidate sc;
+        size_t sep = 0;
+        while (key[sep] != -1) ++sep;
+        sc.quant_attrs.assign(key.begin(), key.begin() + sep);
+        sc.cat_item_ids.assign(key.begin() + sep + 1, key.end());
+        groups.push_back(std::move(sc));
+      }
+      groups[it->second].members.push_back(static_cast<uint32_t>(c));
     }
-    key.push_back(-1);
-    for (size_t i = 0; i < k; ++i) {
-      const RangeItem& item = catalog.item(ids[i]);
-      if (!is_ranged(item.attr)) key.push_back(ids[i]);
-    }
-    auto [it, inserted] = group_index.emplace(key, groups.size());
-    if (inserted) {
-      SuperCandidate sc;
-      size_t sep = 0;
-      while (key[sep] != -1) ++sep;
-      sc.quant_attrs.assign(key.begin(), key.begin() + sep);
-      sc.cat_item_ids.assign(key.begin() + sep + 1, key.end());
-      groups.push_back(std::move(sc));
-    }
-    groups[it->second].members.push_back(static_cast<uint32_t>(c));
-  }
+  });
   local_stats.num_super_candidates = groups.size();
   local_stats.group_seconds = phase_timer.ElapsedSeconds();
   phase_timer.Reset();
@@ -231,8 +247,9 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
         sc.member_rects.reserve(sc.members.size() * dim_sizes.size() * 2);
         ++local_stats.num_degraded;
       }
+      std::vector<int32_t> ids(k);
       for (size_t m = 0; m < sc.members.size(); ++m) {
-        const int32_t* ids = candidates.itemset(sc.members[m]);
+        candidates.Get(sc.members[m], ids.data());
         RStarRect rect;
         size_t d = 0;
         for (size_t i = 0; i < k; ++i) {
@@ -684,10 +701,11 @@ Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
     std::vector<int32_t> los(dims * chunk);
     std::vector<int32_t> his(dims * chunk);
     std::vector<uint32_t> out(chunk);
+    std::vector<int32_t> ids(k);
     for (size_t begin = 0; begin < sc.members.size(); begin += chunk) {
       const size_t num = std::min(chunk, sc.members.size() - begin);
       for (size_t m = 0; m < num; ++m) {
-        const int32_t* ids = candidates.itemset(sc.members[begin + m]);
+        candidates.Get(sc.members[begin + m], ids.data());
         size_t d = 0;
         for (size_t i = 0; i < k; ++i) {
           const RangeItem& item = catalog.item(ids[i]);

@@ -81,7 +81,17 @@ struct GroupKeyHash {
 // bounded by the record count). Fails only when a block read fails (e.g. a
 // QBT checksum mismatch). Workers shard over contiguous *block* ranges, so
 // a larger-than-RAM source streams through with memory bounded by the
-// blocks in flight plus the counting structures.
+// blocks in flight plus the counting structures. The candidates arrive as
+// a CandidateStream: grouping consumes one sequential chunked sweep, and
+// only member decodes touch individual candidates afterwards, so pass 2's
+// implicit cross product never materializes.
+Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
+                                            const ItemCatalog& catalog,
+                                            const CandidateStream& candidates,
+                                            const MinerOptions& options,
+                                            CountingStats* stats);
+
+// Convenience overload for materialized candidate sets (tests, k >= 3).
 Result<std::vector<uint32_t>> CountSupports(const RecordSource& source,
                                             const ItemCatalog& catalog,
                                             const ItemsetSet& candidates,

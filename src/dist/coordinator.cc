@@ -1,0 +1,244 @@
+#include "dist/coordinator.h"
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "dist/framing.h"
+
+namespace qarm {
+
+Result<std::unique_ptr<DistWorkerPool>> DistWorkerPool::Start(
+    const DistWorkerConfig& base, const std::vector<IndexRange>& shards) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("worker pool needs at least one shard");
+  }
+  // No public constructor, so no make_unique.
+  std::unique_ptr<DistWorkerPool> pool(new DistWorkerPool());
+  pool->workers_.resize(shards.size());
+  for (size_t w = 0; w < shards.size(); ++w) {
+    Worker& worker = pool->workers_[w];
+    worker.config = base;
+    worker.config.worker_id = static_cast<uint32_t>(w);
+    worker.config.generation = 0;
+    worker.config.block_begin = shards[w].begin;
+    worker.config.block_end = shards[w].end;
+    QARM_RETURN_NOT_OK(pool->Fork(w));
+  }
+  return pool;
+}
+
+DistWorkerPool::~DistWorkerPool() {
+  for (Worker& worker : workers_) {
+    if (worker.fd >= 0) {
+      // Best-effort clean shutdown; the close right after guarantees the
+      // worker sees EOF and exits even if the frame never lands.
+      const Status sent =
+          SendFrame(worker.fd,
+                    static_cast<uint32_t>(DistMessageType::kShutdown), "");
+      (void)sent;
+      ::close(worker.fd);
+      worker.fd = -1;
+    }
+  }
+  for (Worker& worker : workers_) {
+    if (worker.pid > 0) {
+      int wstatus = 0;
+      ::waitpid(worker.pid, &wstatus, 0);
+      worker.pid = -1;
+    }
+  }
+}
+
+Status DistWorkerPool::Fork(size_t w) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::IOError("socketpair failed for worker channel");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return Status::IOError("fork failed for distributed worker");
+  }
+  if (pid == 0) {
+    // Child: drop the coordinator end and every sibling channel, then serve
+    // requests until shutdown. _Exit skips the coordinator's atexit state —
+    // this process must never run coordinator teardown.
+    ::close(fds[0]);
+    for (const Worker& other : workers_) {
+      if (other.fd >= 0) ::close(other.fd);
+    }
+    std::_Exit(RunDistWorker(fds[1], workers_[w].config));
+  }
+  ::close(fds[1]);
+  workers_[w].fd = fds[0];
+  workers_[w].pid = pid;
+  return Status::OK();
+}
+
+Status DistWorkerPool::RespawnAndReplay(size_t w,
+                                        DistMessageType request_type,
+                                        const std::string& request_payload,
+                                        DistPassStats* stats) {
+  Worker& worker = workers_[w];
+  if (worker.fd >= 0) {
+    ::close(worker.fd);
+    worker.fd = -1;
+  }
+  if (worker.pid > 0) {
+    int wstatus = 0;
+    ::waitpid(worker.pid, &wstatus, 0);
+    worker.pid = -1;
+  }
+  if (worker.config.generation >= kMaxRespawnsPerWorker) {
+    return Status::IOError(StrFormat(
+        "worker %u died %zu times; giving up",
+        worker.config.worker_id, static_cast<size_t>(kMaxRespawnsPerWorker)));
+  }
+  ++worker.config.generation;
+  ++workers_respawned_;
+  QARM_LOG(Warning) << "distributed worker " << worker.config.worker_id
+                    << " died; respawning (generation "
+                    << worker.config.generation << ") and replaying blocks ["
+                    << worker.config.block_begin << ", "
+                    << worker.config.block_end << ")";
+  QARM_RETURN_NOT_OK(Fork(w));
+  uint64_t* sent = stats != nullptr ? &stats->bytes_sent : nullptr;
+  // Replay: the catalog (when one was published) restores the worker's only
+  // cross-request state, then the in-flight request re-runs its shard scan.
+  if (!catalog_payload_.empty()) {
+    QARM_RETURN_NOT_OK(
+        SendFrame(worker.fd, static_cast<uint32_t>(DistMessageType::kCatalog),
+                  catalog_payload_, sent));
+  }
+  return SendFrame(worker.fd, static_cast<uint32_t>(request_type),
+                   request_payload, sent);
+}
+
+Status DistWorkerPool::SendToWorker(size_t w, DistMessageType type,
+                                    const std::string& payload,
+                                    DistPassStats* stats) {
+  uint64_t* sent = stats != nullptr ? &stats->bytes_sent : nullptr;
+  const Status status = SendFrame(workers_[w].fd,
+                                  static_cast<uint32_t>(type), payload, sent);
+  if (status.ok()) return status;
+  // The worker died between requests; the replay resends this request.
+  return RespawnAndReplay(w, type, payload, stats);
+}
+
+Status DistWorkerPool::ReceiveReply(size_t w, DistMessageType request_type,
+                                    const std::string& request_payload,
+                                    DistMessageType reply_type,
+                                    DistPassStats* stats,
+                                    std::string* reply_payload) {
+  for (;;) {
+    uint64_t* received = stats != nullptr ? &stats->bytes_received : nullptr;
+    Result<DistFrame> frame = RecvFrame(workers_[w].fd, received);
+    if (frame.ok()) {
+      if (frame->type == static_cast<uint32_t>(reply_type)) {
+        *reply_payload = std::move(frame->payload);
+        return Status::OK();
+      }
+      if (frame->type == static_cast<uint32_t>(DistMessageType::kError)) {
+        // A clean worker-side failure is deterministic; do not respawn.
+        return Status::IOError(StrFormat("worker %u failed: %s",
+                                         workers_[w].config.worker_id,
+                                         frame->payload.c_str()));
+      }
+      return Status::Internal(
+          StrFormat("unexpected reply type %u from worker %u", frame->type,
+                    workers_[w].config.worker_id));
+    }
+    // Transport failure: the worker process is gone. Respawn, replay, and
+    // wait for the fresh incarnation's reply (budget enforced inside).
+    QARM_RETURN_NOT_OK(
+        RespawnAndReplay(w, request_type, request_payload, stats));
+  }
+}
+
+Result<std::vector<std::string>> DistWorkerPool::Exchange(
+    DistMessageType request_type, const std::string& payload,
+    DistMessageType reply_type, DistPassStats* stats) {
+  Timer timer;
+  // Fan the request out to every worker before reading any reply, so the
+  // shards count concurrently; then collect strictly in worker order.
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    QARM_RETURN_NOT_OK(SendToWorker(w, request_type, payload, stats));
+  }
+  std::vector<std::string> replies(workers_.size());
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    QARM_RETURN_NOT_OK(ReceiveReply(w, request_type, payload, reply_type,
+                                    stats, &replies[w]));
+  }
+  if (stats != nullptr) stats->exchange_seconds += timer.ElapsedSeconds();
+  return replies;
+}
+
+Result<std::vector<ShardSnapshot>> DistWorkerPool::ScanShards(
+    DistPassStats* stats) {
+  QARM_ASSIGN_OR_RETURN(
+      std::vector<std::string> replies,
+      Exchange(DistMessageType::kPass1Request, "",
+               DistMessageType::kPass1Reply, stats));
+  std::vector<ShardSnapshot> snapshots;
+  snapshots.reserve(replies.size());
+  for (size_t w = 0; w < replies.size(); ++w) {
+    QARM_ASSIGN_OR_RETURN(
+        ShardSnapshot snapshot,
+        ParseShardSnapshot(
+            reinterpret_cast<const uint8_t*>(replies[w].data()),
+            replies[w].size()));
+    const Worker& worker = workers_[w];
+    if (snapshot.worker_id != worker.config.worker_id ||
+        snapshot.fingerprint != worker.config.fingerprint ||
+        snapshot.block_begin != worker.config.block_begin ||
+        snapshot.block_end != worker.config.block_end) {
+      return Status::Internal(StrFormat(
+          "shard snapshot from worker %u does not match its assignment",
+          worker.config.worker_id));
+    }
+    snapshots.push_back(std::move(snapshot));
+  }
+  return snapshots;
+}
+
+Status DistWorkerPool::PublishCatalog(std::string payload,
+                                      DistPassStats* stats) {
+  catalog_payload_ = std::move(payload);
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    QARM_RETURN_NOT_OK(SendToWorker(w, DistMessageType::kCatalog,
+                                    catalog_payload_, stats));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<DistCountReply>> DistWorkerPool::CountShards(
+    const DistCountRequest& request, DistPassStats* stats) {
+  std::string payload;
+  EncodeCountRequest(request, &payload);
+  QARM_ASSIGN_OR_RETURN(std::vector<std::string> replies,
+                        Exchange(DistMessageType::kCountRequest, payload,
+                                 DistMessageType::kCountReply, stats));
+  std::vector<DistCountReply> parsed;
+  parsed.reserve(replies.size());
+  for (size_t w = 0; w < replies.size(); ++w) {
+    QARM_ASSIGN_OR_RETURN(
+        DistCountReply reply,
+        ParseCountReply(reinterpret_cast<const uint8_t*>(replies[w].data()),
+                        replies[w].size()));
+    if (reply.worker_id != workers_[w].config.worker_id) {
+      return Status::Internal("count reply arrived out of worker order");
+    }
+    parsed.push_back(std::move(reply));
+  }
+  return parsed;
+}
+
+}  // namespace qarm

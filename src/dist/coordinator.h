@@ -1,0 +1,104 @@
+// Coordinator side of distributed mining: owns the forked worker
+// processes, their socketpair channels, and the lockstep request/reply
+// exchanges. Failure model: a worker that vanishes (EOF/EPIPE on its
+// channel) is respawned with generation + 1 and replayed — the catalog (if
+// already published) plus the in-flight request — under a per-worker
+// respawn budget; a worker that *answers* with a kError frame fails the
+// run instead, because a respawned worker would deterministically hit the
+// same error. Replies are always collected in worker order, so merged
+// counts never depend on worker scheduling.
+#ifndef QARM_DIST_COORDINATOR_H_
+#define QARM_DIST_COORDINATOR_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/miner.h"
+#include "dist/messages.h"
+#include "dist/worker.h"
+#include "storage/checkpoint_format.h"
+
+namespace qarm {
+
+class DistWorkerPool {
+ public:
+  // One worker survives this many respawns before the pool declares it
+  // permanently dead and fails the run. Each respawn raises the worker's
+  // generation, so any kill-fault schedule with fails_per_block <= this
+  // bound is ridden out.
+  static constexpr size_t kMaxRespawnsPerWorker = 5;
+
+  // Forks one worker per shard (worker w counts blocks
+  // [shards[w].begin, shards[w].end) of base.qbt_path). `base` supplies
+  // everything except worker_id/generation/block range. Must be called
+  // while the calling process has no live threads (thread pools in this
+  // codebase are ephemeral, so any point between phases qualifies).
+  static Result<std::unique_ptr<DistWorkerPool>> Start(
+      const DistWorkerConfig& base, const std::vector<IndexRange>& shards);
+
+  // Shuts down and reaps every worker (close -> EOF -> worker exits).
+  ~DistWorkerPool();
+
+  DistWorkerPool(const DistWorkerPool&) = delete;
+  DistWorkerPool& operator=(const DistWorkerPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+  size_t workers_respawned() const { return workers_respawned_; }
+
+  // Pass 1: every worker scans its shard's value counts; returns the shard
+  // snapshots in worker order, cross-checked against the expected
+  // fingerprint and block ranges.
+  Result<std::vector<ShardSnapshot>> ScanShards(DistPassStats* stats);
+
+  // Broadcasts the item catalog (QCP catalog encoding) and retains the
+  // payload so a respawned worker can be replayed into the same state.
+  Status PublishCatalog(std::string payload, DistPassStats* stats);
+
+  // One counting pass: broadcasts `request`, returns the per-shard replies
+  // in worker order.
+  Result<std::vector<DistCountReply>> CountShards(
+      const DistCountRequest& request, DistPassStats* stats);
+
+ private:
+  struct Worker {
+    DistWorkerConfig config;
+    int fd = -1;
+    pid_t pid = -1;
+  };
+
+  DistWorkerPool() = default;
+
+  Status Fork(size_t w);
+  // Kills the bookkeeping for a vanished worker, forks generation + 1, and
+  // replays the catalog plus the in-flight request.
+  Status RespawnAndReplay(size_t w, DistMessageType request_type,
+                          const std::string& request_payload,
+                          DistPassStats* stats);
+  Status SendToWorker(size_t w, DistMessageType type,
+                      const std::string& payload, DistPassStats* stats);
+  // Reads worker w's reply to the in-flight request, respawning and
+  // replaying through transport failures until the budget runs out.
+  Status ReceiveReply(size_t w, DistMessageType request_type,
+                      const std::string& request_payload,
+                      DistMessageType reply_type, DistPassStats* stats,
+                      std::string* reply_payload);
+  Result<std::vector<std::string>> Exchange(DistMessageType request_type,
+                                            const std::string& payload,
+                                            DistMessageType reply_type,
+                                            DistPassStats* stats);
+
+  std::vector<Worker> workers_;
+  std::string catalog_payload_;  // retained for respawn replay
+  size_t workers_respawned_ = 0;
+};
+
+}  // namespace qarm
+
+#endif  // QARM_DIST_COORDINATOR_H_

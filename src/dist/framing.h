@@ -1,0 +1,50 @@
+// Length-prefixed, CRC-framed messages over a local byte stream (the
+// socketpair between the distributed-mining coordinator and a forked
+// worker). One frame:
+//
+//   [0]  u8[4]  magic "QDF1"
+//   [4]  u32    message type (DistMessageType)
+//   [8]  u64    payload_size
+//   [16] ...    payload bytes
+//   [..] u32    CRC-32 of the payload
+//
+// All integers little-endian (the QBT helpers). The transport is a kernel
+// pipe between processes on one host, so a CRC mismatch means a program
+// bug, not line noise — the coordinator treats it like a dead worker and
+// respawns. Reads and writes retry EINTR and handle short transfers; a
+// clean EOF mid-frame surfaces as IOError (the peer died).
+#ifndef QARM_DIST_FRAMING_H_
+#define QARM_DIST_FRAMING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace qarm {
+
+inline constexpr char kDistFrameMagic[4] = {'Q', 'D', 'F', '1'};
+inline constexpr size_t kDistFrameHeaderSize = 4 + 4 + 8;
+
+// Guard against a corrupt length prefix allocating the moon. Generous:
+// the largest real payload is one pass's merged counts (a few MB).
+inline constexpr uint64_t kDistMaxPayload = 1ull << 32;
+
+struct DistFrame {
+  uint32_t type = 0;
+  std::string payload;
+};
+
+// Writes one frame to `fd`. `bytes_sent`, when non-null, is incremented by
+// the framed size (header + payload + CRC).
+Status SendFrame(int fd, uint32_t type, const std::string& payload,
+                 uint64_t* bytes_sent = nullptr);
+
+// Reads one frame from `fd`, validating magic and CRC. EOF before any
+// byte, EOF mid-frame, and CRC mismatch all return IOError — to the
+// coordinator they mean the same thing (the worker is gone).
+Result<DistFrame> RecvFrame(int fd, uint64_t* bytes_received = nullptr);
+
+}  // namespace qarm
+
+#endif  // QARM_DIST_FRAMING_H_

@@ -1,0 +1,169 @@
+#include "dist/worker.h"
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/candidate_gen.h"
+#include "core/frequent_items.h"
+#include "core/support_counting.h"
+#include "dist/framing.h"
+#include "dist/messages.h"
+#include "storage/checkpoint_format.h"
+#include "storage/fault_injection.h"
+#include "storage/record_source.h"
+
+namespace qarm {
+namespace {
+
+// Answers the current request with a kError frame carrying the status
+// message. A failed send means the coordinator is gone; the caller's next
+// RecvFrame will see the same and exit.
+void SendError(int fd, const Status& status) {
+  const Status sent = SendFrame(
+      fd, static_cast<uint32_t>(DistMessageType::kError), status.ToString());
+  (void)sent;
+}
+
+Status HandlePass1(int fd, const DistWorkerConfig& config,
+                   const RecordSource& shard) {
+  ScanIoStats io;
+  QARM_ASSIGN_OR_RETURN(
+      std::vector<std::vector<uint64_t>> value_counts,
+      ItemCatalog::ScanValueCounts(shard, config.options.num_threads, &io));
+  ShardSnapshot snapshot;
+  snapshot.fingerprint = config.fingerprint;
+  snapshot.worker_id = config.worker_id;
+  snapshot.block_begin = config.block_begin;
+  snapshot.block_end = config.block_end;
+  snapshot.num_rows = shard.num_rows();
+  snapshot.value_counts = std::move(value_counts);
+  snapshot.blocks_read = io.blocks_read;
+  snapshot.bytes_read = io.bytes_read;
+  snapshot.read_retries = io.read_retries;
+  snapshot.faults_injected = io.faults_injected;
+  std::string payload;
+  EncodeShardSnapshot(snapshot, &payload);
+  return SendFrame(fd, static_cast<uint32_t>(DistMessageType::kPass1Reply),
+                   payload);
+}
+
+Status HandleCount(int fd, const DistWorkerConfig& config,
+                   const RecordSource& shard, const ItemCatalog* catalog,
+                   const std::string& payload) {
+  if (catalog == nullptr) {
+    return Status::Internal("count request arrived before the catalog");
+  }
+  QARM_ASSIGN_OR_RETURN(DistCountRequest request,
+                        ParseCountRequest(
+                            reinterpret_cast<const uint8_t*>(payload.data()),
+                            payload.size()));
+  // Both stream shapes below must enumerate candidates in exactly the
+  // coordinator's order: the reply's counts are matched back by position.
+  ItemsetSet materialized(request.k);
+  std::unique_ptr<CandidateStream> candidates;
+  if (request.implicit_pairs) {
+    if (request.k != 2) {
+      return Status::Internal("implicit candidate stream requires k == 2");
+    }
+    candidates = std::make_unique<ImplicitPairStream>(*catalog);
+  } else {
+    materialized.Reserve(static_cast<size_t>(request.num_candidates));
+    for (size_t c = 0; c < request.num_candidates; ++c) {
+      materialized.Append(&request.ids[c * request.k]);
+    }
+    candidates = std::make_unique<ItemsetStreamView>(materialized);
+  }
+  if (candidates->size() != request.num_candidates) {
+    return Status::Internal(
+        "worker candidate count disagrees with the coordinator (catalog "
+        "mismatch?)");
+  }
+  DistCountReply reply;
+  reply.worker_id = config.worker_id;
+  QARM_ASSIGN_OR_RETURN(reply.counts,
+                        CountSupports(shard, *catalog, *candidates,
+                                      config.options, &reply.stats));
+  std::string out;
+  EncodeCountReply(reply, &out);
+  return SendFrame(fd, static_cast<uint32_t>(DistMessageType::kCountReply),
+                   out);
+}
+
+}  // namespace
+
+int RunDistWorker(int fd, const DistWorkerConfig& config) {
+  Result<std::unique_ptr<QbtFileSource>> opened =
+      QbtFileSource::Open(config.qbt_path);
+  if (!opened.ok()) {
+    SendError(fd, opened.status());
+    return 1;
+  }
+  const QbtFileSource& file = **opened;
+
+  // Fault injection wraps the *full* source so block ids in the fault
+  // schedule stay global — the same spec faults the same blocks whether the
+  // run is single-process or sharded across any worker count.
+  std::unique_ptr<FaultInjectingRecordSource> faulty;
+  const RecordSource* full = &file;
+  if (!config.options.inject_faults_spec.empty()) {
+    Result<FaultInjectionConfig> fault_config =
+        ParseFaultSpec(config.options.inject_faults_spec);
+    if (!fault_config.ok()) {
+      SendError(fd, fault_config.status());
+      return 1;
+    }
+    fault_config->generation = config.generation;
+    faulty = std::make_unique<FaultInjectingRecordSource>(file, *fault_config);
+    full = faulty.get();
+  }
+  const BlockRangeSource shard(*full, config.block_begin, config.block_end);
+
+  std::optional<ItemCatalog> catalog;
+  for (;;) {
+    Result<DistFrame> frame = RecvFrame(fd);
+    if (!frame.ok()) {
+      // Coordinator gone (or the channel corrupted) — nothing to report to.
+      return 1;
+    }
+    switch (static_cast<DistMessageType>(frame->type)) {
+      case DistMessageType::kShutdown:
+        return 0;
+      case DistMessageType::kPass1Request: {
+        const Status handled = HandlePass1(fd, config, shard);
+        if (!handled.ok()) SendError(fd, handled);
+        break;
+      }
+      case DistMessageType::kCatalog: {
+        Result<CheckpointCatalog> parsed = ParseCheckpointCatalog(
+            reinterpret_cast<const uint8_t*>(frame->payload.data()),
+            frame->payload.size());
+        Result<ItemCatalog> restored =
+            parsed.ok() ? ItemCatalog::Restore(*full, *parsed)
+                        : parsed.status();
+        if (!restored.ok()) {
+          SendError(fd, restored.status());
+          break;
+        }
+        // No reply: the coordinator pipelines the catalog broadcast with
+        // the first count request.
+        catalog.emplace(std::move(restored).value());
+        break;
+      }
+      case DistMessageType::kCountRequest: {
+        const Status handled =
+            HandleCount(fd, config, shard,
+                        catalog.has_value() ? &*catalog : nullptr,
+                        frame->payload);
+        if (!handled.ok()) SendError(fd, handled);
+        break;
+      }
+      default:
+        SendError(fd, Status::Internal("unexpected message type"));
+        break;
+    }
+  }
+}
+
+}  // namespace qarm

@@ -1,0 +1,43 @@
+// The forked worker side of distributed mining: a request loop that scans
+// its assigned QBT block range and answers the coordinator's framed
+// messages. Workers are deliberately dumb — they hold no pass state beyond
+// the published item catalog, so a respawned worker only needs the catalog
+// and the current request replayed to continue.
+#ifndef QARM_DIST_WORKER_H_
+#define QARM_DIST_WORKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/options.h"
+
+namespace qarm {
+
+struct DistWorkerConfig {
+  std::string qbt_path;
+  MinerOptions options;  // num_threads and inject_faults_spec apply here
+  uint32_t worker_id = 0;
+  // Incarnation number: 0 for the first fork, +1 per respawn. Gates the
+  // fault injector's kill faults (FaultInjectionConfig::generation) so a
+  // scheduled kill fires once and the respawned worker survives the replay.
+  uint64_t generation = 0;
+  // Contiguous range of the QBT's blocks this worker counts.
+  size_t block_begin = 0;
+  size_t block_end = 0;
+  // The run fingerprint, stamped into pass-1 shard snapshots so the
+  // coordinator can cross-check that a worker is serving the same run.
+  uint64_t fingerprint = 0;
+};
+
+// Runs the worker request loop on `fd` until a kShutdown frame or EOF.
+// Called in the forked child, which must pass the return value to _Exit —
+// never return into the coordinator's stack. Opens its own view of the QBT
+// file; all replies (including clean per-request failures, sent as kError
+// frames) go back over `fd`. Returns 0 on a clean shutdown, 1 when the
+// channel broke.
+int RunDistWorker(int fd, const DistWorkerConfig& config);
+
+}  // namespace qarm
+
+#endif  // QARM_DIST_WORKER_H_

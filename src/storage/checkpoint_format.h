@@ -110,6 +110,49 @@ Result<CheckpointState> ParseCheckpoint(const uint8_t* data, size_t size);
 // Reads and validates the checkpoint at `path`.
 Result<CheckpointState> ReadCheckpoint(const std::string& path);
 
+// --- Shard snapshots (distributed mining, src/dist) -----------------------
+//
+// A shard snapshot is the QCP format's message variant: one worker's pass-1
+// marginals (per-attribute value counts) over its contiguous block range,
+// exchanged over the coordinator transport instead of written to disk. It
+// reuses the checkpoint catalog's value-count encoding so the merge format
+// and the durable format stay one format. The outer transport frames and
+// CRC-protects the bytes; the snapshot carries its own magic and version so
+// a stray or stale message is rejected with a clean Status.
+//
+// Layout: u8[4] magic "QCPS", u32 version, u64 fingerprint, u32 worker_id,
+// u64 block_begin, u64 block_end, u64 num_rows, then the value-count
+// vectors (u32 vector count, per attribute u64 size + u64 per value) and
+// the shard's I/O counters (4 × u64).
+
+inline constexpr char kShardSnapshotMagic[4] = {'Q', 'C', 'P', 'S'};
+inline constexpr uint32_t kShardSnapshotVersion = 1;
+
+struct ShardSnapshot {
+  uint64_t fingerprint = 0;  // same run fingerprint as the checkpoint
+  uint32_t worker_id = 0;
+  uint64_t block_begin = 0;  // the shard: blocks [block_begin, block_end)
+  uint64_t block_end = 0;
+  uint64_t num_rows = 0;  // rows scanned in the shard
+  std::vector<std::vector<uint64_t>> value_counts;  // per attribute
+  // Shard-local I/O counters, merged into the coordinator's pass-1 stats.
+  uint64_t blocks_read = 0;
+  uint64_t bytes_read = 0;
+  uint64_t read_retries = 0;
+  uint64_t faults_injected = 0;
+};
+
+void EncodeShardSnapshot(const ShardSnapshot& snapshot, std::string* out);
+Result<ShardSnapshot> ParseShardSnapshot(const uint8_t* data, size_t size);
+
+// The catalog section of the checkpoint payload as a standalone buffer —
+// the coordinator broadcasts the merged catalog to workers in exactly the
+// bytes a checkpoint would persist.
+void EncodeCheckpointCatalog(const CheckpointCatalog& catalog,
+                             std::string* out);
+Result<CheckpointCatalog> ParseCheckpointCatalog(const uint8_t* data,
+                                                 size_t size);
+
 }  // namespace qarm
 
 #endif  // QARM_STORAGE_CHECKPOINT_FORMAT_H_

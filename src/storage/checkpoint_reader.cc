@@ -76,6 +76,35 @@ class PayloadCursor {
   size_t pos_ = 0;
 };
 
+Status ParseValueCounts(PayloadCursor* cursor,
+                        std::vector<std::vector<uint64_t>>* value_counts) {
+  uint32_t num_value_vectors = 0;
+  QARM_RETURN_NOT_OK(cursor->ReadU32(&num_value_vectors));
+  QARM_RETURN_NOT_OK(cursor->NeedCount(num_value_vectors, 8));
+  value_counts->resize(num_value_vectors);
+  for (std::vector<uint64_t>& counts : *value_counts) {
+    uint64_t num_values = 0;
+    QARM_RETURN_NOT_OK(cursor->ReadU64(&num_values));
+    QARM_RETURN_NOT_OK(
+        cursor->ReadU64Array(static_cast<size_t>(num_values), &counts));
+  }
+  return Status::OK();
+}
+
+Status ParseCatalogSection(PayloadCursor* cursor, CheckpointCatalog* catalog) {
+  QARM_RETURN_NOT_OK(cursor->ReadU64(&catalog->num_records));
+  QARM_RETURN_NOT_OK(cursor->ReadU64(&catalog->items_pruned_by_interest));
+  uint64_t num_items = 0;
+  QARM_RETURN_NOT_OK(cursor->ReadU64(&num_items));
+  QARM_RETURN_NOT_OK(cursor->NeedCount(num_items, 3 * 4 + 8));
+  QARM_RETURN_NOT_OK(
+      cursor->ReadI32Array(static_cast<size_t>(num_items) * 3,
+                           &catalog->item_words));
+  QARM_RETURN_NOT_OK(cursor->ReadU64Array(static_cast<size_t>(num_items),
+                                          &catalog->item_counts));
+  return ParseValueCounts(cursor, &catalog->value_counts);
+}
+
 Status ParsePayload(const uint8_t* data, size_t size, CheckpointState* state) {
   PayloadCursor cursor(data, size);
   QARM_RETURN_NOT_OK(cursor.ReadU64(&state->fingerprint));
@@ -83,30 +112,11 @@ Status ParsePayload(const uint8_t* data, size_t size, CheckpointState* state) {
   QARM_RETURN_NOT_OK(cursor.ReadU32(&state->num_attributes));
 
   CheckpointCatalog& catalog = state->catalog;
-  QARM_RETURN_NOT_OK(cursor.ReadU64(&catalog.num_records));
-  QARM_RETURN_NOT_OK(cursor.ReadU64(&catalog.items_pruned_by_interest));
-  uint64_t num_items = 0;
-  QARM_RETURN_NOT_OK(cursor.ReadU64(&num_items));
-  QARM_RETURN_NOT_OK(cursor.NeedCount(num_items, 3 * 4 + 8));
-  QARM_RETURN_NOT_OK(
-      cursor.ReadI32Array(static_cast<size_t>(num_items) * 3,
-                          &catalog.item_words));
-  QARM_RETURN_NOT_OK(cursor.ReadU64Array(static_cast<size_t>(num_items),
-                                         &catalog.item_counts));
-  uint32_t num_value_vectors = 0;
-  QARM_RETURN_NOT_OK(cursor.ReadU32(&num_value_vectors));
-  if (num_value_vectors != state->num_attributes) {
+  QARM_RETURN_NOT_OK(ParseCatalogSection(&cursor, &catalog));
+  if (catalog.value_counts.size() != state->num_attributes) {
     return Status::InvalidArgument(StrFormat(
-        "checkpoint has %u value-count vectors for %u attributes",
-        num_value_vectors, state->num_attributes));
-  }
-  QARM_RETURN_NOT_OK(cursor.NeedCount(num_value_vectors, 8));
-  catalog.value_counts.resize(num_value_vectors);
-  for (std::vector<uint64_t>& counts : catalog.value_counts) {
-    uint64_t num_values = 0;
-    QARM_RETURN_NOT_OK(cursor.ReadU64(&num_values));
-    QARM_RETURN_NOT_OK(
-        cursor.ReadU64Array(static_cast<size_t>(num_values), &counts));
+        "checkpoint has %zu value-count vectors for %u attributes",
+        catalog.value_counts.size(), state->num_attributes));
   }
 
   uint32_t num_passes = 0;
@@ -139,6 +149,53 @@ Status ParsePayload(const uint8_t* data, size_t size, CheckpointState* state) {
 }
 
 }  // namespace
+
+Result<CheckpointCatalog> ParseCheckpointCatalog(const uint8_t* data,
+                                                 size_t size) {
+  PayloadCursor cursor(data, size);
+  CheckpointCatalog catalog;
+  QARM_RETURN_NOT_OK(ParseCatalogSection(&cursor, &catalog));
+  if (cursor.remaining() != 0) {
+    return Status::InvalidArgument(
+        StrFormat("catalog section has %zu trailing bytes",
+                  cursor.remaining()));
+  }
+  return catalog;
+}
+
+Result<ShardSnapshot> ParseShardSnapshot(const uint8_t* data, size_t size) {
+  if (size < sizeof(kShardSnapshotMagic) + 4 ||
+      std::memcmp(data, kShardSnapshotMagic, sizeof(kShardSnapshotMagic)) !=
+          0) {
+    return Status::InvalidArgument("not a QCP shard snapshot (bad magic)");
+  }
+  PayloadCursor cursor(data + sizeof(kShardSnapshotMagic),
+                       size - sizeof(kShardSnapshotMagic));
+  uint32_t version = 0;
+  QARM_RETURN_NOT_OK(cursor.ReadU32(&version));
+  if (version != kShardSnapshotVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "unsupported shard snapshot version %u (expected %u)", version,
+        kShardSnapshotVersion));
+  }
+  ShardSnapshot snapshot;
+  QARM_RETURN_NOT_OK(cursor.ReadU64(&snapshot.fingerprint));
+  QARM_RETURN_NOT_OK(cursor.ReadU32(&snapshot.worker_id));
+  QARM_RETURN_NOT_OK(cursor.ReadU64(&snapshot.block_begin));
+  QARM_RETURN_NOT_OK(cursor.ReadU64(&snapshot.block_end));
+  QARM_RETURN_NOT_OK(cursor.ReadU64(&snapshot.num_rows));
+  QARM_RETURN_NOT_OK(ParseValueCounts(&cursor, &snapshot.value_counts));
+  QARM_RETURN_NOT_OK(cursor.ReadU64(&snapshot.blocks_read));
+  QARM_RETURN_NOT_OK(cursor.ReadU64(&snapshot.bytes_read));
+  QARM_RETURN_NOT_OK(cursor.ReadU64(&snapshot.read_retries));
+  QARM_RETURN_NOT_OK(cursor.ReadU64(&snapshot.faults_injected));
+  if (cursor.remaining() != 0) {
+    return Status::InvalidArgument(
+        StrFormat("shard snapshot has %zu trailing bytes",
+                  cursor.remaining()));
+  }
+  return snapshot;
+}
 
 Result<CheckpointState> ParseCheckpoint(const uint8_t* data, size_t size) {
   if (size < kCheckpointHeaderSize + kCheckpointTailSize) {

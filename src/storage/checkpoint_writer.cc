@@ -12,23 +12,22 @@
 namespace qarm {
 namespace {
 
+void AppendValueCounts(const std::vector<std::vector<uint64_t>>& value_counts,
+                       std::string* out) {
+  QbtAppendU32(out, static_cast<uint32_t>(value_counts.size()));
+  for (const std::vector<uint64_t>& counts : value_counts) {
+    QbtAppendU64(out, counts.size());
+    for (uint64_t count : counts) QbtAppendU64(out, count);
+  }
+}
+
 std::string EncodePayload(const CheckpointState& state) {
   std::string out;
   QbtAppendU64(&out, state.fingerprint);
   QbtAppendU64(&out, state.num_rows);
   QbtAppendU32(&out, state.num_attributes);
 
-  const CheckpointCatalog& catalog = state.catalog;
-  QbtAppendU64(&out, catalog.num_records);
-  QbtAppendU64(&out, catalog.items_pruned_by_interest);
-  QbtAppendU64(&out, catalog.item_counts.size());
-  for (int32_t word : catalog.item_words) QbtAppendI32(&out, word);
-  for (uint64_t count : catalog.item_counts) QbtAppendU64(&out, count);
-  QbtAppendU32(&out, static_cast<uint32_t>(catalog.value_counts.size()));
-  for (const std::vector<uint64_t>& counts : catalog.value_counts) {
-    QbtAppendU64(&out, counts.size());
-    for (uint64_t count : counts) QbtAppendU64(&out, count);
-  }
+  EncodeCheckpointCatalog(state.catalog, &out);
 
   QbtAppendU32(&out, static_cast<uint32_t>(state.passes.size()));
   for (const CheckpointPass& pass : state.passes) {
@@ -64,6 +63,31 @@ Status WriteFile(const std::string& path, const std::string& bytes) {
 }
 
 }  // namespace
+
+void EncodeCheckpointCatalog(const CheckpointCatalog& catalog,
+                             std::string* out) {
+  QbtAppendU64(out, catalog.num_records);
+  QbtAppendU64(out, catalog.items_pruned_by_interest);
+  QbtAppendU64(out, catalog.item_counts.size());
+  for (int32_t word : catalog.item_words) QbtAppendI32(out, word);
+  for (uint64_t count : catalog.item_counts) QbtAppendU64(out, count);
+  AppendValueCounts(catalog.value_counts, out);
+}
+
+void EncodeShardSnapshot(const ShardSnapshot& snapshot, std::string* out) {
+  out->append(kShardSnapshotMagic, sizeof(kShardSnapshotMagic));
+  QbtAppendU32(out, kShardSnapshotVersion);
+  QbtAppendU64(out, snapshot.fingerprint);
+  QbtAppendU32(out, snapshot.worker_id);
+  QbtAppendU64(out, snapshot.block_begin);
+  QbtAppendU64(out, snapshot.block_end);
+  QbtAppendU64(out, snapshot.num_rows);
+  AppendValueCounts(snapshot.value_counts, out);
+  QbtAppendU64(out, snapshot.blocks_read);
+  QbtAppendU64(out, snapshot.bytes_read);
+  QbtAppendU64(out, snapshot.read_retries);
+  QbtAppendU64(out, snapshot.faults_injected);
+}
 
 Status WriteCheckpoint(const CheckpointState& state, const std::string& path,
                        uint64_t* bytes_written) {

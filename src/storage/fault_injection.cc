@@ -1,5 +1,6 @@
 #include "storage/fault_injection.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "common/hash.h"
@@ -36,10 +37,12 @@ Result<uint32_t> ParseKinds(std::string_view text) {
       kinds |= static_cast<uint32_t>(FaultKind::kShortRead);
     } else if (name == "crc") {
       kinds |= static_cast<uint32_t>(FaultKind::kCrc);
+    } else if (name == "kill") {
+      kinds |= static_cast<uint32_t>(FaultKind::kKill);
     } else {
       return Status::InvalidArgument(
           "fault spec: unknown kind '" + name +
-          "' (expected eio, short, or crc, joined with '+')");
+          "' (expected eio, short, crc, or kill, joined with '+')");
     }
   }
   if (kinds == 0) {
@@ -120,10 +123,10 @@ bool FaultInjectingRecordSource::BlockIsFaulted(size_t b) const {
 }
 
 FaultKind FaultInjectingRecordSource::BlockFaultKind(size_t b) const {
-  FaultKind enabled[3];
+  FaultKind enabled[4];
   size_t n = 0;
-  for (FaultKind kind :
-       {FaultKind::kEio, FaultKind::kShortRead, FaultKind::kCrc}) {
+  for (FaultKind kind : {FaultKind::kEio, FaultKind::kShortRead,
+                         FaultKind::kCrc, FaultKind::kKill}) {
     if (config_.kinds & static_cast<uint32_t>(kind)) enabled[n++] = kind;
   }
   QARM_CHECK_GT(n, 0u);
@@ -138,6 +141,16 @@ Status FaultInjectingRecordSource::InjectOrRead(size_t b,
   const uint64_t read_ordinal =
       total_reads_.fetch_add(1, std::memory_order_relaxed);
   if (BlockIsFaulted(b) && read_ordinal >= config_.after_reads) {
+    // Process death is not a retryable read error: the first `fails`
+    // incarnations die outright; a respawned reader (generation bumped)
+    // survives the block. The budget is the generation, not a per-block
+    // counter, because the counter dies with the process.
+    if (BlockFaultKind(b) == FaultKind::kKill) {
+      if (config_.generation < config_.fails_per_block) {
+        std::_Exit(137);  // mimic SIGKILL's 128+9 exit status
+      }
+      return inner_->ReadBlock(b, view);
+    }
     const uint64_t prior =
         block_failures_[b].fetch_add(1, std::memory_order_relaxed);
     if (prior < config_.fails_per_block) {
@@ -152,6 +165,8 @@ Status FaultInjectingRecordSource::InjectOrRead(size_t b,
         case FaultKind::kCrc:
           return Status::IOError(
               StrFormat("injected checksum mismatch in block %zu", b));
+        case FaultKind::kKill:
+          break;  // handled before the per-block budget above
       }
     }
     // Budget exhausted for this block: the "device" recovered.

@@ -23,7 +23,7 @@
 //   fails=N       failed attempts per faulted block, >= 1 (default 1)
 //   after=N       suppress injection for the first N block reads, letting a
 //                 fault target a later pass (default 0)
-//   kinds=K+K     subset of eio, short, crc (default all three)
+//   kinds=K+K     subset of eio, short, crc, kill (default eio+short+crc)
 //   attempts=N    decorator retry budget, >= 1 (default 4)
 //   backoff=F     initial retry backoff in ms, >= 0 (default 0.01)
 #ifndef QARM_STORAGE_FAULT_INJECTION_H_
@@ -48,6 +48,12 @@ enum class FaultKind : uint32_t {
   kEio = 1u << 0,        // device read error (EIO)
   kShortRead = 1u << 1,  // block truncated mid-read
   kCrc = 1u << 2,        // block checksum mismatch
+  // Process death: the reading process _Exit()s mid-scan, modeling a
+  // SIGKILL'd distributed worker. `fails` counts the incarnations that die
+  // (a respawned worker sets `generation`; it survives once generation >=
+  // fails), so the default fails=1 kills a worker exactly once and its
+  // replacement replays the shard cleanly.
+  kKill = 1u << 3,
 };
 
 struct FaultInjectionConfig {
@@ -60,6 +66,9 @@ struct FaultInjectionConfig {
                    static_cast<uint32_t>(FaultKind::kCrc);
   RetryPolicy retry{/*max_attempts=*/4, /*initial_backoff_ms=*/0.01,
                     /*backoff_multiplier=*/2.0, /*max_backoff_ms=*/1.0};
+  // Not part of the spec grammar: set programmatically by a respawned
+  // distributed worker (0 = first incarnation). Gates kKill faults only.
+  uint64_t generation = 0;
 };
 
 // Parses the `--inject-faults` spec grammar above.

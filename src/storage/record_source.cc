@@ -72,6 +72,17 @@ Status QbtFileSource::ReadBlock(size_t b, BlockView* view) const {
   return Status::OK();
 }
 
+BlockRangeSource::BlockRangeSource(const RecordSource& inner,
+                                   size_t block_begin, size_t block_end)
+    : inner_(inner), block_begin_(block_begin), block_end_(block_end) {
+  QARM_CHECK_LE(block_begin_, block_end_);
+  QARM_CHECK_LE(block_end_, inner_.num_blocks());
+  num_rows_ = 0;
+  for (size_t b = block_begin_; b < block_end_; ++b) {
+    num_rows_ += inner_.block_rows(b);
+  }
+}
+
 ScanIoStats QbtFileSource::io_stats() const {
   ScanIoStats stats;
   stats.blocks_read = blocks_read_.load(std::memory_order_relaxed);

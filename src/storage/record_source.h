@@ -194,6 +194,41 @@ class QbtFileSource : public RecordSource {
   mutable std::atomic<uint64_t> read_retries_{0};
 };
 
+// A contiguous sub-range of another source's blocks, presented as a
+// standalone source. Distributed workers scan their shard through one of
+// these: block b here is block `block_begin + b` of the inner source, so
+// any fault-injection schedule keyed by block index (and any I/O counters)
+// sees the same global block ids as a single-process scan. Row positions
+// reported by ReadBlock stay global too — counting never interprets them
+// as indexes into this source. The inner source must outlive the range.
+class BlockRangeSource : public RecordSource {
+ public:
+  BlockRangeSource(const RecordSource& inner, size_t block_begin,
+                   size_t block_end);
+
+  const std::vector<MappedAttribute>& attributes() const override {
+    return inner_.attributes();
+  }
+  size_t num_rows() const override { return num_rows_; }
+  size_t num_blocks() const override { return block_end_ - block_begin_; }
+  size_t block_rows(size_t b) const override {
+    return inner_.block_rows(block_begin_ + b);
+  }
+  size_t block_row_begin(size_t b) const override {
+    return inner_.block_row_begin(block_begin_ + b);
+  }
+  Status ReadBlock(size_t b, BlockView* view) const override {
+    return inner_.ReadBlock(block_begin_ + b, view);
+  }
+  ScanIoStats io_stats() const override { return inner_.io_stats(); }
+
+ private:
+  const RecordSource& inner_;
+  size_t block_begin_;
+  size_t block_end_;
+  size_t num_rows_;
+};
+
 }  // namespace qarm
 
 #endif  // QARM_STORAGE_RECORD_SOURCE_H_

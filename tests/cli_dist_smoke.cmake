@@ -1,0 +1,73 @@
+# Distributed mining smoke: gen -> convert -> mine the same QBT with
+# --workers=1 and --workers=4 (plus threads inside each worker) and require
+# bit-identical rule output. Also checks the --stats report carries the
+# distributed exchange section and that --workers without --input-qbt is
+# rejected.
+set(SCHEMA "monthly_income:quant,credit_limit:quant,current_balance:quant,ytd_balance:quant,ytd_interest:quant:double,employee_category:cat,marital_status:cat")
+set(MINE_FLAGS --minsup=0.3 --minconf=0.6 --k=3.0 --format=csv)
+
+execute_process(
+  COMMAND ${QARM} gen --output=${WORK_DIR}/dist_fin.csv --records=2000 --seed=11
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "qarm gen exited with ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${QARM} convert --input=${WORK_DIR}/dist_fin.csv --schema=${SCHEMA}
+          --output=${WORK_DIR}/dist_fin.qbt --block-rows=128
+          --minsup=0.3 --k=3.0
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "qarm convert exited with ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${QARM} --input-qbt=${WORK_DIR}/dist_fin.qbt ${MINE_FLAGS}
+          --workers=1 --threads=1
+  OUTPUT_VARIABLE single
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "qarm --workers=1 exited with ${rc}")
+endif()
+if(single STREQUAL "")
+  message(FATAL_ERROR "smoke mining produced no rules")
+endif()
+
+execute_process(
+  COMMAND ${QARM} --input-qbt=${WORK_DIR}/dist_fin.qbt ${MINE_FLAGS}
+          --workers=4 --threads=2 --stats
+  OUTPUT_VARIABLE sharded
+  ERROR_VARIABLE sharded_stats
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "qarm --workers=4 exited with ${rc}")
+endif()
+if(NOT sharded STREQUAL single)
+  message(FATAL_ERROR "--workers=4 rules differ from --workers=1 rules")
+endif()
+if(NOT sharded_stats MATCHES "workers=4")
+  message(FATAL_ERROR "expected distributed stats in --workers=4 --stats output")
+endif()
+
+# A SIGKILL'd worker (fault-injected) is respawned and the rules still match.
+execute_process(
+  COMMAND ${QARM} --input-qbt=${WORK_DIR}/dist_fin.qbt ${MINE_FLAGS}
+          --workers=4 --inject-faults=seed=9,rate=1,kinds=kill,fails=1
+  OUTPUT_VARIABLE respawned
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "qarm --workers=4 with kill faults exited with ${rc}")
+endif()
+if(NOT respawned STREQUAL single)
+  message(FATAL_ERROR "rules after worker respawn differ from --workers=1")
+endif()
+
+# --workers needs a sharded input to distribute.
+execute_process(
+  COMMAND ${QARM} --input=${WORK_DIR}/dist_fin.csv --schema=${SCHEMA}
+          ${MINE_FLAGS} --workers=4
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--workers without --input-qbt should be rejected")
+endif()

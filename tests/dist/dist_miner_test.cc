@@ -1,0 +1,251 @@
+// The distributed acceptance gate: MineDistributedQbt must emit rules
+// byte-identical to the single-process streamed miner at every worker and
+// thread count — on the financial corpus, with taxonomies, and with
+// missing values. Worker processes fork from the test binary, so any
+// divergence in the shard/merge path fails here as a rule diff, not a
+// statistical anomaly.
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "core/miner.h"
+#include "core/report.h"
+#include "dist/dist_miner.h"
+#include "partition/mapper.h"
+#include "partition/taxonomy.h"
+#include "storage/qbt_writer.h"
+#include "storage/record_source.h"
+#include "table/datagen.h"
+#include "table/table.h"
+
+namespace qarm {
+namespace {
+
+std::vector<std::string> RulesAsJson(const MiningResult& result) {
+  std::vector<std::string> out;
+  out.reserve(result.rules.size());
+  for (const QuantRule& rule : result.rules) {
+    out.push_back(RuleToJson(rule, result.mapped));
+  }
+  return out;
+}
+
+// A mined corpus on disk plus the options that partitioned it. Each is
+// built once (static) and shared by the whole worker x thread matrix.
+struct DistCorpus {
+  std::string qbt_path;
+  MinerOptions options;
+  size_t num_blocks = 0;
+};
+
+DistCorpus BuildCorpus(const Table& table, const MinerOptions& options,
+                       size_t rows_per_block, const std::string& tag) {
+  MapOptions map_options;
+  map_options.partial_completeness = options.partial_completeness;
+  map_options.minsup = options.minsup;
+  map_options.num_intervals_override = options.num_intervals_override;
+  map_options.taxonomies = options.taxonomies;
+  auto mapped = MapTable(table, map_options);
+  QARM_CHECK(mapped.ok());
+  DistCorpus corpus;
+  corpus.qbt_path = ::testing::TempDir() + "/dist_" + tag + ".qbt";
+  corpus.options = options;
+  QbtWriteOptions write_options;
+  write_options.rows_per_block = rows_per_block;
+  QARM_CHECK(WriteQbt(*mapped, corpus.qbt_path, write_options).ok());
+  auto source = QbtFileSource::Open(corpus.qbt_path);
+  QARM_CHECK(source.ok());
+  corpus.num_blocks = (*source)->num_blocks();
+  return corpus;
+}
+
+const DistCorpus& FinancialCorpus() {
+  static const DistCorpus* corpus = []() {
+    MinerOptions options;
+    options.minsup = 0.20;
+    options.minconf = 0.40;
+    options.max_support = 0.40;
+    options.partial_completeness = 3.0;
+    options.interest_level = 1.2;
+    return new DistCorpus(BuildCorpus(MakeFinancialDataset(1500, 91), options,
+                                      /*rows_per_block=*/128, "financial"));
+  }();
+  return *corpus;
+}
+
+const DistCorpus& TaxonomyCorpus() {
+  static const DistCorpus* corpus = []() {
+    Schema schema =
+        Schema::Make(
+            {{"drink", AttributeKind::kCategorical, ValueType::kString},
+             {"pastry", AttributeKind::kCategorical, ValueType::kString}})
+            .value();
+    Table table(schema);
+    Rng rng(99);
+    for (size_t i = 0; i < 3000; ++i) {
+      double u = rng.UniformDouble();
+      std::string drink;
+      std::string pastry;
+      if (u < 0.10) {
+        drink = "coffee";
+        pastry = "yes";
+      } else if (u < 0.20) {
+        drink = "tea";
+        pastry = "yes";
+      } else if (u < 0.60) {
+        drink = "soda";
+        pastry = rng.Bernoulli(0.1) ? "yes" : "no";
+      } else {
+        drink = "juice";
+        pastry = rng.Bernoulli(0.1) ? "yes" : "no";
+      }
+      table.AppendRowUnchecked(
+          {Value(std::move(drink)), Value(std::move(pastry))});
+    }
+    MinerOptions options;
+    options.minsup = 0.15;
+    options.minconf = 0.60;
+    options.taxonomies.emplace_back(
+        "drink", Taxonomy::Make({{"hot", "drinks"},
+                                 {"cold", "drinks"},
+                                 {"coffee", "hot"},
+                                 {"tea", "hot"},
+                                 {"soda", "cold"},
+                                 {"juice", "cold"}})
+                     .value());
+    return new DistCorpus(
+        BuildCorpus(table, options, /*rows_per_block=*/256, "taxonomy"));
+  }();
+  return *corpus;
+}
+
+const DistCorpus& MissingValuesCorpus() {
+  static const DistCorpus* corpus = []() {
+    Schema schema =
+        Schema::Make({{"x", AttributeKind::kQuantitative, ValueType::kInt64},
+                      {"c", AttributeKind::kCategorical, ValueType::kString}})
+            .value();
+    Table table(schema);
+    Rng rng(7);
+    for (size_t i = 0; i < 1200; ++i) {
+      int64_t x = rng.UniformInt(0, 9);
+      std::vector<Value> row(2);
+      row[0] = rng.Bernoulli(0.2) ? Value::Null() : Value(x);
+      row[1] = rng.Bernoulli(0.2)
+                   ? Value::Null()
+                   : Value(x < 5 ? std::string("lo") : std::string("hi"));
+      table.AppendRowUnchecked(row);
+    }
+    MinerOptions options;
+    options.minsup = 0.10;
+    options.minconf = 0.40;
+    options.num_intervals_override = 5;
+    return new DistCorpus(
+        BuildCorpus(table, options, /*rows_per_block=*/128, "missing"));
+  }();
+  return *corpus;
+}
+
+MiningResult MustMineStreamed(const DistCorpus& corpus, size_t threads) {
+  MinerOptions options = corpus.options;
+  options.num_threads = threads;
+  auto source = QbtFileSource::Open(corpus.qbt_path);
+  QARM_CHECK(source.ok());
+  auto result = QuantitativeRuleMiner(options).MineStreamed(**source);
+  QARM_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+MiningResult MustMineDistributed(const DistCorpus& corpus, size_t workers,
+                                 size_t threads) {
+  MinerOptions options = corpus.options;
+  options.num_workers = workers;
+  options.num_threads = threads;
+  auto result = MineDistributedQbt(corpus.qbt_path, options);
+  QARM_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+// The full matrix for one corpus: every worker x thread combination must
+// reproduce the single-process rules bit for bit, without respawns.
+void ExpectMatrixMatchesBaseline(const DistCorpus& corpus) {
+  ASSERT_GE(corpus.num_blocks, 4u) << "fixture too small to shard";
+  const MiningResult baseline = MustMineStreamed(corpus, /*threads=*/1);
+  const std::vector<std::string> want = RulesAsJson(baseline);
+  ASSERT_FALSE(want.empty());
+
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " threads=" + std::to_string(threads));
+      const MiningResult got = MustMineDistributed(corpus, workers, threads);
+      EXPECT_EQ(RulesAsJson(got), want);
+      ASSERT_EQ(got.frequent_itemsets.size(),
+                baseline.frequent_itemsets.size());
+      for (size_t i = 0; i < baseline.frequent_itemsets.size(); ++i) {
+        EXPECT_EQ(got.frequent_itemsets[i].count,
+                  baseline.frequent_itemsets[i].count)
+            << "itemset " << i;
+      }
+      if (workers > 1) {
+        EXPECT_EQ(got.stats.dist.num_workers, workers);
+        EXPECT_EQ(got.stats.dist.workers_respawned, 0u);
+        // Every mined pass exchanged real bytes with the shards.
+        ASSERT_FALSE(got.stats.dist.passes.empty());
+        for (const DistPassStats& pass : got.stats.dist.passes) {
+          EXPECT_GT(pass.bytes_sent, 0u) << "pass k=" << pass.k;
+          EXPECT_GT(pass.bytes_received, 0u) << "pass k=" << pass.k;
+        }
+      } else {
+        // workers=1 short-circuits to the in-process path.
+        EXPECT_EQ(got.stats.dist.num_workers, 0u);
+      }
+    }
+  }
+}
+
+TEST(DistMinerTest, FinancialMatrixByteIdentical) {
+  ExpectMatrixMatchesBaseline(FinancialCorpus());
+}
+
+TEST(DistMinerTest, TaxonomyMatrixByteIdentical) {
+  ExpectMatrixMatchesBaseline(TaxonomyCorpus());
+}
+
+TEST(DistMinerTest, MissingValuesMatrixByteIdentical) {
+  ExpectMatrixMatchesBaseline(MissingValuesCorpus());
+}
+
+// More workers than blocks: the pool clamps to one worker per block rather
+// than forking idle processes, and the rules still match.
+TEST(DistMinerTest, WorkerCountClampsToBlockCount) {
+  const DistCorpus& corpus = MissingValuesCorpus();
+  const MiningResult baseline = MustMineStreamed(corpus, 1);
+  const MiningResult got =
+      MustMineDistributed(corpus, /*workers=*/64, /*threads=*/1);
+  EXPECT_EQ(RulesAsJson(got), RulesAsJson(baseline));
+  EXPECT_EQ(got.stats.dist.num_workers, corpus.num_blocks);
+}
+
+// The pass-2 exchange ships the implicit-C2 flag, not materialized pairs:
+// the request for k=2 must be orders of magnitude smaller than the counts
+// coming back.
+TEST(DistMinerTest, ImplicitPairRequestsStaySmall) {
+  const MiningResult got =
+      MustMineDistributed(FinancialCorpus(), /*workers=*/2, /*threads=*/1);
+  const DistPassStats* pass2 = nullptr;
+  for (const DistPassStats& pass : got.stats.dist.passes) {
+    if (pass.k == 2) pass2 = &pass;
+  }
+  ASSERT_NE(pass2, nullptr);
+  EXPECT_LT(pass2->bytes_sent, 1024u);
+  EXPECT_GT(pass2->bytes_received, pass2->bytes_sent * 10);
+}
+
+}  // namespace
+}  // namespace qarm

@@ -22,6 +22,10 @@ const char kUsage[] =
     "  --interest=F          interest level R; 0 = off       (default 0)\n"
     "  --intervals=N         override Eq.2 interval count    (default auto)\n"
     "  --threads=N           scan threads; 0 = all cores     (default 1)\n"
+    "  --workers=N           worker processes for --input-qbt mining; each\n"
+    "                        counts a contiguous block range, the merged\n"
+    "                        rules are bit-identical to --workers=1\n"
+    "                                                        (default 1)\n"
     "  --block-rows=N        rows per in-memory scan block   (default 65536)\n"
     "  --method=depth|width|kmeans  partitioning method      (default depth)\n"
     "  --format=text|json|csv  output format                 (default text)\n"
@@ -159,6 +163,8 @@ Result<CliFlags> ParseCliArgs(int argc, char* const* argv, int first_arg) {
                             ParseSizeFlag("intervals", value));
     } else if (MatchFlag(argv[i], "threads", &value)) {
       QARM_ASSIGN_OR_RETURN(flags.threads, ParseSizeFlag("threads", value));
+    } else if (MatchFlag(argv[i], "workers", &value)) {
+      QARM_ASSIGN_OR_RETURN(flags.workers, ParseSizeFlag("workers", value));
     } else if (MatchFlag(argv[i], "method", &value)) {
       if (value != "depth" && value != "width" && value != "kmeans") {
         return Status::InvalidArgument("unknown --method: " + value);
@@ -215,6 +221,7 @@ Result<MinerOptions> MinerOptionsFromFlags(const CliFlags& flags) {
   options.interest_level = flags.interest;
   options.num_intervals_override = flags.intervals;
   options.num_threads = flags.threads;
+  options.num_workers = flags.workers;
   if (flags.block_rows > 0) options.stream_block_rows = flags.block_rows;
   if (flags.method == "width") {
     options.partition_method = PartitionMethod::kEquiWidth;

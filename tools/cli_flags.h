@@ -41,6 +41,7 @@ struct CliFlags {
   double interest = 0.0;
   size_t intervals = 0;
   size_t threads = 1;
+  size_t workers = 1;  // mine --input-qbt: worker processes (1 = in-process)
   size_t block_rows = 0;  // 0 = default (writer: 64K; miner: option default)
   size_t records = 0;
   uint64_t seed = 42;

@@ -41,6 +41,7 @@
 #include "core/report.h"
 #include "core/rules.h"
 #include "core/rules_export.h"
+#include "dist/dist_miner.h"
 #include "partition/mapper.h"
 #include "serve/http_server.h"
 #include "serve/rule_catalog.h"
@@ -367,6 +368,11 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "%s", CliUsage());
     return 2;
   }
+  if (flags.workers > 1 && !qbt_mode) {
+    std::fprintf(stderr,
+                 "--workers needs --input-qbt (workers shard QBT blocks)\n");
+    return 2;
+  }
 
   auto options = MinerOptionsFromFlags(flags);
   if (!options.ok()) return UsageError(options.status());
@@ -378,6 +384,12 @@ int Run(int argc, char** argv) {
 
   Result<MiningResult> result = [&]() -> Result<MiningResult> {
     if (qbt_mode) {
+      if (flags.workers > 1) {
+        // MineDistributedQbt opens the file itself (coordinator + each
+        // forked worker map their own views) and falls back to the plain
+        // path when the file has fewer blocks than workers.
+        return MineDistributedQbt(flags.input_qbt, *options);
+      }
       QARM_ASSIGN_OR_RETURN(std::unique_ptr<QbtFileSource> source,
                             QbtFileSource::Open(flags.input_qbt));
       return miner.MineStreamed(*source);
@@ -477,6 +489,25 @@ int Run(int argc, char** argv) {
       std::fprintf(stderr, "# io-faults: injected=%llu retries=%llu\n",
                    static_cast<unsigned long long>(io.faults_injected),
                    static_cast<unsigned long long>(io.read_retries));
+    }
+    if (stats.dist.num_workers > 0) {
+      uint64_t sent = 0;
+      uint64_t received = 0;
+      double exchange = 0;
+      double merge = 0;
+      for (const DistPassStats& pass : stats.dist.passes) {
+        sent += pass.bytes_sent;
+        received += pass.bytes_received;
+        exchange += pass.exchange_seconds;
+        merge += pass.merge_seconds;
+      }
+      std::fprintf(stderr,
+                   "# distributed: workers=%zu respawned=%zu sent=%llu "
+                   "received=%llu exchange=%.3fs merge=%.3fs\n",
+                   stats.dist.num_workers, stats.dist.workers_respawned,
+                   static_cast<unsigned long long>(sent),
+                   static_cast<unsigned long long>(received), exchange,
+                   merge);
     }
     if (stats.checkpoint.enabled) {
       std::fprintf(stderr,
