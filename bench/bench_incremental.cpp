@@ -1,0 +1,267 @@
+// Incremental mining over appended QBT blocks: the same grown file mined
+// from scratch vs incrementally against the prior run's complete
+// checkpoint, swept over delta fractions (1% / 5% / 25% of the base).
+// Every incremental run is checked byte-identical to the from-scratch
+// rules before its timing counts — a wrong fast answer fails the bench.
+// On the full-size corpus (>= 100K records) the 1% point must also clear
+// the >= 5x speedup acceptance bar, hard-fail otherwise.
+//
+//   $ ./bench_incremental [--records=N] [--seed=S] [--reps=R]
+//                         [--block-rows=N] [--threads=N] [--minsup=F]
+//                         [--maxsup=F] [--intervals=N] [--out=FILE]
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/incremental_miner.h"
+#include "core/miner.h"
+#include "core/report.h"
+#include "partition/mapper.h"
+#include "storage/qbt_writer.h"
+#include "storage/record_source.h"
+#include "table/datagen.h"
+
+namespace {
+
+using namespace qarm;
+
+std::vector<std::string> RulesAsJson(const MiningResult& result) {
+  std::vector<std::string> out;
+  out.reserve(result.rules.size());
+  for (const QuantRule& rule : result.rules) {
+    out.push_back(RuleToJson(rule, result.mapped));
+  }
+  return out;
+}
+
+void CopyFile(const std::string& from, const std::string& to) {
+  std::ifstream in(from, std::ios::binary);
+  std::ofstream out(to, std::ios::binary | std::ios::trunc);
+  out << in.rdbuf();
+  QARM_CHECK(in.good() && out.good());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t records = bench::FlagU64(argc, argv, "records", 500000);
+  const uint64_t seed = bench::FlagU64(argc, argv, "seed", 17);
+  const size_t reps = bench::FlagU64(argc, argv, "reps", 3);
+  const size_t block_rows = bench::FlagU64(argc, argv, "block-rows", 8192);
+  const size_t threads = bench::FlagU64(argc, argv, "threads", 1);
+  // Interval override + coarse minsup: the equi-depth ranges sit far from
+  // the support thresholds, so a same-distribution delta keeps the item
+  // catalog stable and the delta passes merge instead of rescanning (see
+  // DESIGN.md "Incremental mining" on catalog sensitivity).
+  const double minsup = bench::FlagDouble(argc, argv, "minsup", 0.25);
+  const double maxsup = bench::FlagDouble(argc, argv, "maxsup", 0.45);
+  const size_t intervals = bench::FlagU64(argc, argv, "intervals", 9);
+  std::string out = "BENCH_incremental.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+  }
+
+  MinerOptions options;
+  options.minsup = minsup;
+  options.minconf = 0.40;
+  options.max_support = maxsup;
+  options.partial_completeness = 3.0;
+  options.interest_level = 1.2;
+  options.num_intervals_override = intervals;
+  options.num_threads = threads;
+
+  // Base corpus, partitioned from the base rows only; deltas are fresh
+  // same-distribution samples mapped under the frozen attributes, exactly
+  // like `qarm append` maps new CSV rows.
+  const Table base_data = MakeFinancialDataset(records, seed);
+  MapOptions map_options;
+  map_options.partial_completeness = options.partial_completeness;
+  map_options.minsup = minsup;
+  map_options.num_intervals_override = intervals;
+  Result<MappedTable> base_mapped = MapTable(base_data, map_options);
+  QARM_CHECK(base_mapped.ok());
+
+  const std::string base_qbt = out + ".base.qbt";
+  const std::string base_qcp = out + ".base.qcp";
+  QbtWriteOptions write_options;
+  write_options.rows_per_block = block_rows;
+  QARM_CHECK(WriteQbt(*base_mapped, base_qbt, write_options).ok());
+
+  // Seed the base checkpoint with one (untimed) append-mode full mine.
+  {
+    MinerOptions seed_options = options;
+    seed_options.checkpoint_path = base_qcp;
+    IncrementalDecision decision;
+    Result<MiningResult> seeded =
+        MineIncremental(base_qbt, seed_options, &decision);
+    QARM_CHECK(seeded.ok());
+    QARM_CHECK(!decision.incremental);  // first run: no checkpoint yet
+  }
+
+  // Deltas replay a prefix of the same generator stream, so every item
+  // keeps (almost exactly) its base support ratio after the append and the
+  // frequent frontier survives at full corpus size.
+  const Table delta_pool = MakeFinancialDataset(records / 4 + 18, seed);
+
+  std::printf(
+      "Incremental mining: financial dataset, %zu base records, blocks of "
+      "%zu rows, minsup=%.2f intervals=%zu, best of %zu reps\n\n",
+      records, block_rows, minsup, intervals, reps);
+  std::vector<int> widths = {9, 11, 11, 12, 9, 8, 10};
+  bench::PrintRow({"delta", "full (s)", "incr (s)", "speedup", "merged",
+                   "rescan", "rules"},
+                  widths);
+  bench::PrintSeparator(widths);
+
+  struct Point {
+    double fraction = 0;
+    uint64_t delta_rows = 0;
+    double full_seconds = 0;
+    double incremental_seconds = 0;
+    size_t passes_merged = 0;
+    size_t passes_rescanned = 0;
+    size_t rules = 0;
+  };
+  std::vector<Point> points;
+  bool failed = false;
+
+  for (const double fraction : {0.01, 0.05, 0.25}) {
+    Point p;
+    p.fraction = fraction;
+    p.delta_rows = static_cast<uint64_t>(records * fraction);
+    QARM_CHECK(p.delta_rows > 0 && p.delta_rows <= delta_pool.num_rows());
+
+    // Grow a copy of the base file by this fraction.
+    const std::string qbt = out + StrFormat(".f%02.0f.qbt", fraction * 100);
+    const std::string qcp = qbt + ".qcp";
+    CopyFile(base_qbt, qbt);
+    Result<MappedTable> delta_mapped = MapTableWithAttributes(
+        delta_pool.Head(p.delta_rows), base_mapped->attributes());
+    QARM_CHECK(delta_mapped.ok());
+    QARM_CHECK(AppendQbt(*delta_mapped, qbt).ok());
+
+    // From-scratch baseline over the grown file.
+    std::vector<std::string> baseline_rules;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      Result<std::unique_ptr<QbtFileSource>> source =
+          QbtFileSource::Open(qbt);
+      QARM_CHECK(source.ok());
+      Timer timer;
+      Result<MiningResult> result =
+          QuantitativeRuleMiner(options).MineStreamed(**source);
+      const double seconds = timer.ElapsedSeconds();
+      QARM_CHECK(result.ok());
+      if (rep == 0) {
+        baseline_rules = RulesAsJson(*result);
+        p.full_seconds = seconds;
+        p.rules = baseline_rules.size();
+      } else {
+        p.full_seconds = std::min(p.full_seconds, seconds);
+      }
+    }
+
+    // Incremental runs against a fresh copy of the base checkpoint each
+    // rep (a completed run replaces the checkpoint with one covering the
+    // grown file, which would turn rep 2 into a zero-delta merge).
+    IncrementalDecision decision;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      CopyFile(base_qcp, qcp);
+      MinerOptions inc_options = options;
+      inc_options.checkpoint_path = qcp;
+      Timer timer;
+      Result<MiningResult> result =
+          MineIncremental(qbt, inc_options, &decision);
+      const double seconds = timer.ElapsedSeconds();
+      QARM_CHECK(result.ok());
+      if (!decision.incremental) {
+        std::fprintf(stderr,
+                     "FATAL: delta %.0f%% did not take the incremental "
+                     "path: %s\n",
+                     fraction * 100, decision.reason.c_str());
+        failed = true;
+      }
+      if (RulesAsJson(*result) != baseline_rules) {
+        std::fprintf(
+            stderr,
+            "FATAL: delta %.0f%% incremental rules diverge from the "
+            "from-scratch mine\n",
+            fraction * 100);
+        failed = true;
+      }
+      if (rep == 0 || seconds < p.incremental_seconds) {
+        p.incremental_seconds = seconds;
+      }
+    }
+    p.passes_merged = decision.passes_merged;
+    p.passes_rescanned = decision.passes_rescanned;
+    std::remove(qbt.c_str());
+    std::remove(qcp.c_str());
+    if (failed) break;
+
+    bench::PrintRow(
+        {StrFormat("%.0f%%", fraction * 100),
+         StrFormat("%.4f", p.full_seconds),
+         StrFormat("%.4f", p.incremental_seconds),
+         StrFormat("%.2fx", p.full_seconds / p.incremental_seconds),
+         StrFormat("%zu", p.passes_merged),
+         StrFormat("%zu", p.passes_rescanned), StrFormat("%zu", p.rules)},
+        widths);
+    points.push_back(p);
+  }
+  std::remove(base_qbt.c_str());
+  std::remove(base_qcp.c_str());
+  if (failed) return 1;
+
+  // Acceptance bar, enforced only at full size: tiny smoke corpora spend
+  // their whole runtime in fixed pass overhead, which says nothing about
+  // the delta-scan win.
+  if (records >= 100000 && !points.empty()) {
+    const Point& p1 = points.front();
+    const double speedup = p1.full_seconds / p1.incremental_seconds;
+    if (speedup < 5.0) {
+      std::fprintf(stderr,
+                   "FATAL: 1%% delta speedup %.2fx is below the 5x "
+                   "acceptance bar\n",
+                   speedup);
+      return 1;
+    }
+  }
+
+  std::string json = "{\n";
+  json += StrFormat(
+      "  \"bench\": \"incremental\",\n  \"records\": %zu,\n"
+      "  \"seed\": %llu,\n  \"reps\": %zu,\n  \"block_rows\": %zu,\n"
+      "  \"threads\": %zu,\n  \"minsup\": %.3f,\n  \"maxsup\": %.3f,\n"
+      "  \"intervals\": %zu,\n  \"byte_identical\": true,\n"
+      "  \"points\": [",
+      records, static_cast<unsigned long long>(seed), reps, block_rows,
+      threads, minsup, maxsup, intervals);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    json += StrFormat(
+        "%s\n    {\"delta_fraction\": %.2f, \"delta_rows\": %llu,"
+        " \"full_seconds\": %.6f, \"incremental_seconds\": %.6f,"
+        " \"speedup\": %.4f, \"passes_merged\": %zu,"
+        " \"passes_rescanned\": %zu, \"rules\": %zu}",
+        i > 0 ? "," : "", p.fraction,
+        static_cast<unsigned long long>(p.delta_rows), p.full_seconds,
+        p.incremental_seconds, p.full_seconds / p.incremental_seconds,
+        p.passes_merged, p.passes_rescanned, p.rules);
+  }
+  json += "\n  ]\n}\n";
+  std::ofstream json_out(out, std::ios::trunc);
+  json_out << json;
+  QARM_CHECK(json_out.good());
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

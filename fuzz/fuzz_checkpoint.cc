@@ -25,7 +25,11 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   for (const auto& pass : state->passes) {
     for (int32_t id : pass.itemsets) checksum += static_cast<uint32_t>(id);
     for (uint64_t c : pass.counts) checksum += c;
+    // v2: the full per-candidate counts an incremental run merges into.
+    for (uint32_t c : pass.candidate_counts) checksum += c;
   }
+  checksum += state->flags + state->options_fingerprint +
+              state->base_num_blocks + state->base_index_crc;
   (void)checksum;
   return 0;
 }

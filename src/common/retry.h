@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <thread>
@@ -30,16 +31,28 @@ struct RetryPolicy {
   uint64_t jitter_seed = 0x7261746c72796aULL;
 };
 
+// The capped pre-jitter delay for retry `retry` (1-based): exactly
+//   min(initial_backoff_ms * backoff_multiplier^(retry-1), max_backoff_ms).
+// Closed form rather than a multiply loop: the loop's `delay < max` guard
+// stopped compounding one step early in edge configurations (a multiplier
+// below 1 decaying from above the cap, an initial delay at the cap), so the
+// retry after the cap was first hit could sit one multiplier-step off the
+// documented schedule. pow() also cannot overflow-accumulate: an infinite
+// intermediate still caps at max_backoff_ms through std::min.
+inline double RetryBaseDelayMs(const RetryPolicy& policy, size_t retry) {
+  const double steps = retry > 0 ? static_cast<double>(retry - 1) : 0.0;
+  double delay =
+      policy.initial_backoff_ms * std::pow(policy.backoff_multiplier, steps);
+  if (!(delay >= 0.0)) delay = 0.0;  // NaN or negative inputs -> no sleep
+  return std::min(delay, policy.max_backoff_ms);
+}
+
 // Backoff (milliseconds) to sleep before retry `retry` (1-based) of the
 // operation identified by `key` (e.g. a block index). Deterministic in
-// (policy, retry, key).
+// (policy, retry, key): RetryBaseDelayMs scaled by jitter in [0.5, 1.0).
 inline double RetryBackoffMs(const RetryPolicy& policy, size_t retry,
                              uint64_t key) {
-  double delay = policy.initial_backoff_ms;
-  for (size_t i = 1; i < retry && delay < policy.max_backoff_ms; ++i) {
-    delay *= policy.backoff_multiplier;
-  }
-  delay = std::min(delay, policy.max_backoff_ms);
+  const double delay = RetryBaseDelayMs(policy, retry);
   const uint64_t h =
       SplitMix64(policy.jitter_seed ^ (key * 0x9e3779b97f4a7c15ULL) ^ retry);
   // 53 mantissa bits -> uniform [0, 1); jitter scales into [0.5, 1.0) so

@@ -60,6 +60,11 @@ Result<FrequentItemsetResult> MineFrequentItemsets(
     // one; its itemsets were checkpointed in generation (lexicographic)
     // order, which GenerateCandidates requires.
     result = *resume_from;
+    if (options.collect_candidate_counts) {
+      // A base restored from an older checkpoint may lack some passes'
+      // counts; keep the vector parallel to `passes` regardless.
+      result.candidate_counts.resize(result.passes.size());
+    }
     const size_t last_k = result.passes.back().k;
     frequent = ItemsetSet(last_k);
     for (const FrequentItemset& itemset : result.itemsets) {
@@ -84,6 +89,11 @@ Result<FrequentItemsetResult> MineFrequentItemsets(
     pass.num_frequent = frequent.size();
     pass.seconds = timer.ElapsedSeconds();
     result.passes.push_back(pass);
+    // Pass 1 counts nothing (L1 supports live in the catalog), so its
+    // candidate-count slot stays empty.
+    if (options.collect_candidate_counts) {
+      result.candidate_counts.emplace_back();
+    }
     if (after_pass) QARM_RETURN_NOT_OK(after_pass(result));
     k = 2;
   }
@@ -116,6 +126,9 @@ Result<FrequentItemsetResult> MineFrequentItemsets(
     if (candidates->size() == 0) {
       pass.seconds = timer.ElapsedSeconds();
       result.passes.push_back(pass);
+      if (options.collect_candidate_counts) {
+        result.candidate_counts.emplace_back();
+      }
       if (after_pass) QARM_RETURN_NOT_OK(after_pass(result));
       break;
     }
@@ -143,6 +156,9 @@ Result<FrequentItemsetResult> MineFrequentItemsets(
     pass.num_frequent = next.size();
     pass.seconds = timer.ElapsedSeconds();
     result.passes.push_back(pass);
+    if (options.collect_candidate_counts) {
+      result.candidate_counts.push_back(std::move(counts));
+    }
     if (after_pass) QARM_RETURN_NOT_OK(after_pass(result));
     frequent = std::move(next);
     ++k;

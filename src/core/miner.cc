@@ -27,7 +27,11 @@ std::vector<QuantRule> MiningResult::InterestingRules() const {
 }
 
 QuantitativeRuleMiner::QuantitativeRuleMiner(const MinerOptions& options)
-    : options_(options) {}
+    : options_(options) {
+  // A checkpoint without full candidate counts cannot seed an incremental
+  // run, which is the whole point of append mode.
+  if (options_.append_mode) options_.collect_candidate_counts = true;
+}
 
 Status QuantitativeRuleMiner::ValidateOptions() const {
   return options_.Validate();
@@ -112,6 +116,17 @@ Status QuantitativeRuleMiner::MineWithSource(const RecordSource& base_source,
   stats.checkpoint.enabled = checkpointing;
   const uint64_t fingerprint =
       checkpointing ? ComputeMiningFingerprint(options_, source) : 0;
+  const uint64_t options_fp =
+      checkpointing ? ComputeMiningOptionsFingerprint(options_, source) : 0;
+  // Every checkpoint this run writes carries the incremental-base identity
+  // (zero for non-QBT runs) so a later `mine --append` can validate it.
+  auto stamp_base = [&](CheckpointState* state) {
+    state->options_fingerprint = options_fp;
+    if (hooks != nullptr) {
+      state->base_num_blocks = hooks->checkpoint_base.num_blocks;
+      state->base_index_crc = hooks->checkpoint_base.index_crc;
+    }
+  };
 
   // Step 3a: frequent items — restored from a valid checkpoint of this
   // exact run when one exists, otherwise built by the pass-1 scan. Any
@@ -125,10 +140,30 @@ Status QuantitativeRuleMiner::MineWithSource(const RecordSource& base_source,
         ReadCheckpoint(options_.checkpoint_path);
     if (loaded.ok()) {
       if (loaded->fingerprint != fingerprint) {
-        QARM_LOG(Warning)
-            << "ignoring checkpoint '" << options_.checkpoint_path
-            << "': it belongs to a different run (options or data "
-               "changed); restarting from scratch";
+        if (options_.append_mode &&
+            (loaded->flags & kCheckpointFlagComplete) != 0) {
+          // Expected in append mode: the complete checkpoint of the
+          // pre-append run is the incremental *base* (consumed by
+          // MineIncremental's hooks), not a resume point for this run.
+          QARM_LOG(Info) << "append mode: checkpoint '"
+                         << options_.checkpoint_path
+                         << "' is a completed prior run; mining the grown "
+                            "file fresh";
+        } else {
+          QARM_LOG(Warning)
+              << "ignoring checkpoint '" << options_.checkpoint_path
+              << "': it belongs to a different run (options or data "
+                 "changed); restarting from scratch";
+        }
+      } else if (options_.append_mode &&
+                 (loaded->flags & kCheckpointFlagComplete) != 0) {
+        // Same fingerprint AND complete: nothing was appended since the
+        // checkpointed run. Re-mine rather than "resume" into a no-op —
+        // the caller asked for a mine, and the result must not depend on
+        // stale terminal state.
+        QARM_LOG(Info) << "append mode: checkpoint '"
+                       << options_.checkpoint_path
+                       << "' already covers this data; re-mining";
       } else {
         Result<ItemCatalog> restored =
             ItemCatalog::Restore(source, loaded->catalog);
@@ -225,8 +260,9 @@ Status QuantitativeRuleMiner::MineWithSource(const RecordSource& base_source,
           (cancelled || stop_here ||
            k % options_.checkpoint_every_pass == 0)) {
         Timer write_timer;
-        const CheckpointState state =
+        CheckpointState state =
             BuildCheckpointState(fingerprint, source, *catalog, progress);
+        stamp_base(&state);
         uint64_t bytes = 0;
         const Status written =
             WriteCheckpoint(state, options_.checkpoint_path, &bytes);
@@ -320,11 +356,35 @@ Status QuantitativeRuleMiner::MineWithSource(const RecordSource& base_source,
     });
   }
 
-  // The run completed: the checkpoint has served its purpose, and leaving
-  // it behind would make a future run with the same flags "resume" into an
-  // instant no-op instead of mining fresh data.
+  // The run completed. Ordinarily the checkpoint has served its purpose,
+  // and leaving it behind would make a future run with the same flags
+  // "resume" into an instant no-op instead of mining fresh data. In append
+  // mode the opposite holds: the final state — flagged complete, with full
+  // per-candidate counts — IS the product that lets the next run mine only
+  // the appended blocks, so it is written out instead of deleted.
   if (checkpointing) {
-    std::remove(options_.checkpoint_path.c_str());
+    if (options_.append_mode) {
+      Timer write_timer;
+      CheckpointState state =
+          BuildCheckpointState(fingerprint, source, *catalog, frequent);
+      state.flags |= kCheckpointFlagComplete;
+      stamp_base(&state);
+      uint64_t bytes = 0;
+      const Status written =
+          WriteCheckpoint(state, options_.checkpoint_path, &bytes);
+      if (written.ok()) {
+        ++stats.checkpoint.checkpoints_written;
+        stats.checkpoint.last_checkpoint_bytes = bytes;
+      } else {
+        QARM_LOG(Warning)
+            << "final checkpoint write to '" << options_.checkpoint_path
+            << "' failed: " << written.ToString()
+            << "; the next run cannot mine incrementally";
+      }
+      stats.checkpoint.write_seconds += write_timer.ElapsedSeconds();
+    } else {
+      std::remove(options_.checkpoint_path.c_str());
+    }
   }
 
   stats.total_seconds = total_timer.ElapsedSeconds();

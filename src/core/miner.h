@@ -107,10 +107,20 @@ struct MiningResult {
   std::vector<QuantRule> InterestingRules() const;
 };
 
-// Delegates that let a driver (the distributed coordinator) substitute its
-// own implementations for the phases that scan records, while the miner
-// keeps running everything else — checkpointing, rule generation, interest,
-// decode — unchanged. Any member may be left empty to keep the default.
+// Identity of the QBT file backing a run, stamped into every checkpoint
+// the run writes so a later `mine --append` can verify that the file it
+// sees is the checkpointed file plus appended blocks (appends never
+// rewrite existing bytes, so the index prefix CRC is stable).
+struct CheckpointBaseInfo {
+  uint64_t num_blocks = 0;  // 0 = not a QBT-backed run; fields stay unset
+  uint32_t index_crc = 0;   // QbtReader::IndexPrefixCrc(num_blocks)
+};
+
+// Delegates that let a driver (the distributed coordinator, the
+// incremental miner) substitute its own implementations for the phases
+// that scan records, while the miner keeps running everything else —
+// checkpointing, rule generation, interest, decode — unchanged. Any
+// member may be left empty to keep the default.
 struct MiningHooks {
   // Replaces the pass-1 value-count scan: must return one count vector per
   // attribute (indexed by mapped value) covering the *whole* source.
@@ -127,6 +137,11 @@ struct MiningHooks {
 
   // Replaces each pass's CountSupports call (see apriori_quant.h).
   CountSupportsFn count_supports;
+
+  // Base-file identity recorded in checkpoints (see CheckpointBaseInfo).
+  // Left zero for non-QBT runs; drivers that mine a QBT file in append
+  // mode fill it so the resulting checkpoints can seed incremental runs.
+  CheckpointBaseInfo checkpoint_base;
 };
 
 class QuantitativeRuleMiner {

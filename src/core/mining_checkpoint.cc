@@ -26,13 +26,15 @@ class FingerprintHasher {
 
 }  // namespace
 
-uint64_t ComputeMiningFingerprint(const MinerOptions& options,
-                                  const RecordSource& source) {
+uint64_t ComputeMiningOptionsFingerprint(const MinerOptions& options,
+                                         const RecordSource& source) {
   // Only output-affecting options are mixed in. Execution knobs —
   // num_threads, num_workers, memory budgets, fault specs — are excluded
   // on purpose: counts are exact and merges happen in a fixed order, so a
   // run checkpointed at one thread/worker count resumes at any other with
-  // bit-identical rules.
+  // bit-identical rules. The row count is also excluded here (it joins in
+  // ComputeMiningFingerprint below): append-mode runs must be able to
+  // match a checkpoint taken before rows were appended.
   FingerprintHasher h;
   h.MixDouble(options.minsup);
   h.MixDouble(options.minconf);
@@ -46,7 +48,6 @@ uint64_t ComputeMiningFingerprint(const MinerOptions& options,
   h.Mix(options.interest_item_prune ? 1 : 0);
   h.Mix(options.max_itemset_size);
 
-  h.Mix(source.num_rows());
   h.Mix(source.num_attributes());
   for (size_t a = 0; a < source.num_attributes(); ++a) {
     const MappedAttribute& attr = source.attribute(a);
@@ -61,6 +62,14 @@ uint64_t ComputeMiningFingerprint(const MinerOptions& options,
             static_cast<uint32_t>(node.hi));
     }
   }
+  return h.digest();
+}
+
+uint64_t ComputeMiningFingerprint(const MinerOptions& options,
+                                  const RecordSource& source) {
+  FingerprintHasher h;
+  h.Mix(ComputeMiningOptionsFingerprint(options, source));
+  h.Mix(source.num_rows());
   return h.digest();
 }
 
@@ -92,6 +101,18 @@ CheckpointState BuildCheckpointState(uint64_t fingerprint,
                           itemset.items.end());
     saved.counts.push_back(itemset.count);
   }
+  // Full per-candidate counts (collect_candidate_counts) travel with the
+  // pass they belong to; absent or mismatched vectors are simply not
+  // stored — the checkpoint stays valid for resume, just not as an
+  // incremental base for that pass.
+  if (progress.candidate_counts.size() == progress.passes.size()) {
+    for (size_t p = 0; p < progress.passes.size(); ++p) {
+      const std::vector<uint32_t>& counts = progress.candidate_counts[p];
+      if (!counts.empty() && counts.size() == progress.passes[p].num_candidates) {
+        state.passes[p].candidate_counts = counts;
+      }
+    }
+  }
   return state;
 }
 
@@ -100,6 +121,7 @@ Status RestoreCheckpointProgress(const CheckpointState& state,
                                  FrequentItemsetResult* progress) {
   progress->itemsets.clear();
   progress->passes.clear();
+  progress->candidate_counts.clear();
   if (state.passes.empty()) {
     return Status::InvalidArgument("checkpoint records no completed passes");
   }
@@ -126,6 +148,7 @@ Status RestoreCheckpointProgress(const CheckpointState& state,
     pass.num_candidates = static_cast<size_t>(saved.num_candidates);
     pass.num_frequent = saved.counts.size();
     progress->passes.push_back(pass);
+    progress->candidate_counts.push_back(saved.candidate_counts);
     for (size_t i = 0; i < saved.counts.size(); ++i) {
       FrequentItemset itemset;
       itemset.items.assign(saved.itemsets.begin() + i * saved.k,

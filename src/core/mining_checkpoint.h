@@ -40,6 +40,15 @@ struct CheckpointRunStats {
 uint64_t ComputeMiningFingerprint(const MinerOptions& options,
                                   const RecordSource& source);
 
+// The row-count-independent part of the fingerprint: the same
+// output-affecting options and attribute shapes, but NOT the number of
+// rows. An appended QBT file keeps this value while changing the full
+// fingerprint, so the incremental miner uses it to recognise a complete
+// checkpoint of an earlier (shorter) version of the same file mined with
+// the same settings.
+uint64_t ComputeMiningOptionsFingerprint(const MinerOptions& options,
+                                         const RecordSource& source);
+
 // Packages the catalog and the completed passes as a CheckpointState ready
 // for WriteCheckpoint.
 CheckpointState BuildCheckpointState(uint64_t fingerprint,

@@ -60,6 +60,10 @@ Status MinerOptions::Validate() const {
           "checkpoint path must name a file, not a directory: '" +
           checkpoint_path + "'");
     }
+  } else if (append_mode) {
+    return Status::InvalidArgument(
+        "append mode requires a checkpoint path (the completed run's "
+        "checkpoint is the incremental base)");
   }
   if (!inject_faults_spec.empty()) {
     // Surface a malformed spec here, at options time, rather than as a

@@ -113,7 +113,11 @@ Status DistWorkerPool::RespawnAndReplay(size_t w,
   uint64_t* sent = stats != nullptr ? &stats->bytes_sent : nullptr;
   // Replay: the catalog (when one was published) restores the worker's only
   // cross-request state, then the in-flight request re-runs its shard scan.
-  if (!catalog_payload_.empty()) {
+  // A worker that died during the catalog broadcast itself has the catalog
+  // AS its in-flight request — send it once, not as both the state replay
+  // and the request (the duplicate doubled the replay bytes for nothing).
+  if (!catalog_payload_.empty() &&
+      request_type != DistMessageType::kCatalog) {
     QARM_RETURN_NOT_OK(
         SendFrame(worker.fd, static_cast<uint32_t>(DistMessageType::kCatalog),
                   catalog_payload_, sent));

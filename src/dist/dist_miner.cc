@@ -54,8 +54,19 @@ Result<MiningResult> MineDistributedQbt(const std::string& qbt_path,
   const size_t requested = options.num_workers == 0 ? 1 : options.num_workers;
   const size_t effective = std::min(requested, source->num_blocks());
   const QuantitativeRuleMiner miner(options);
+  // Append-mode checkpoints must record which QBT blocks they cover so a
+  // later incremental run can validate the file grew without rewriting
+  // them. Harmless (all-zero) otherwise.
+  CheckpointBaseInfo base_info;
+  if (options.append_mode) {
+    base_info.num_blocks = source->num_blocks();
+    base_info.index_crc =
+        source->reader().IndexPrefixCrc(source->num_blocks());
+  }
   if (effective <= 1) {
-    return miner.MineStreamed(*source);
+    MiningHooks base_hooks;
+    base_hooks.checkpoint_base = base_info;
+    return miner.MineStreamed(*source, base_hooks);
   }
 
   DistWorkerConfig base;
@@ -73,6 +84,7 @@ Result<MiningResult> MineDistributedQbt(const std::string& qbt_path,
   const uint64_t num_rows = source->num_rows();
 
   MiningHooks hooks;
+  hooks.checkpoint_base = base_info;
   hooks.scan_value_counts =
       [&](ScanIoStats* io) -> Result<std::vector<std::vector<uint64_t>>> {
     DistPassStats pass;

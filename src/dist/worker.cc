@@ -1,5 +1,6 @@
 #include "dist/worker.h"
 
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -91,6 +92,17 @@ Status HandleCount(int fd, const DistWorkerConfig& config,
                    out);
 }
 
+// Deterministic crash hooks for the respawn tests. The block-read fault
+// injector can only kill a worker inside a shard scan; these environment
+// switches kill a generation-0 worker in the catalog-broadcast window
+// instead — either right after its pass-1 reply (so the coordinator's very
+// next catalog SendFrame hits EOF inside PublishCatalog) or on receipt of
+// the catalog frame before applying it (so the death surfaces at the first
+// count request). Respawned incarnations (generation >= 1) ignore both.
+bool TestExitHere(const DistWorkerConfig& config, const char* env) {
+  return config.generation == 0 && std::getenv(env) != nullptr;
+}
+
 }  // namespace
 
 int RunDistWorker(int fd, const DistWorkerConfig& config) {
@@ -133,9 +145,16 @@ int RunDistWorker(int fd, const DistWorkerConfig& config) {
       case DistMessageType::kPass1Request: {
         const Status handled = HandlePass1(fd, config, shard);
         if (!handled.ok()) SendError(fd, handled);
+        if (handled.ok() &&
+            TestExitHere(config, "QARM_DIST_TEST_EXIT_BEFORE_CATALOG")) {
+          std::_Exit(1);
+        }
         break;
       }
       case DistMessageType::kCatalog: {
+        if (TestExitHere(config, "QARM_DIST_TEST_EXIT_ON_CATALOG")) {
+          std::_Exit(1);
+        }
         Result<CheckpointCatalog> parsed = ParseCheckpointCatalog(
             reinterpret_cast<const uint8_t*>(frame->payload.data()),
             frame->payload.size());

@@ -251,4 +251,81 @@ Result<MappedTable> MapTable(const Table& table, const MapOptions& options) {
   return out;
 }
 
+Result<MappedTable> MapTableWithAttributes(
+    const Table& table, const std::vector<MappedAttribute>& attributes) {
+  const Schema& schema = table.schema();
+  if (schema.num_attributes() != attributes.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "table has %zu attributes, existing metadata has %zu",
+        schema.num_attributes(), attributes.size()));
+  }
+  for (size_t c = 0; c < attributes.size(); ++c) {
+    const AttributeDef& def = schema.attribute(c);
+    if (def.name != attributes[c].name || def.kind != attributes[c].kind) {
+      return Status::InvalidArgument(
+          "attribute " + std::to_string(c) + " ('" + def.name +
+          "') does not match the existing metadata ('" + attributes[c].name +
+          "')");
+    }
+  }
+
+  MappedTable out(attributes, table.num_rows());
+  for (size_t c = 0; c < attributes.size(); ++c) {
+    const MappedAttribute& attr = attributes[c];
+    const Column& column = table.column(c);
+    if (attr.kind == AttributeKind::kCategorical) {
+      std::map<std::string, int32_t> ids;
+      for (size_t i = 0; i < attr.labels.size(); ++i) {
+        ids.emplace(attr.labels[i], static_cast<int32_t>(i));
+      }
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        if (column.IsNull(r)) {
+          out.set_value(r, c, kMissingValue);
+          continue;
+        }
+        auto it = ids.find(column.Get(r).ToString());
+        if (it == ids.end()) {
+          return Status::InvalidArgument(
+              "value '" + column.Get(r).ToString() + "' of attribute '" +
+              attr.name + "' is not in the existing domain; re-convert the "
+              "file to admit new categorical values");
+        }
+        out.set_value(r, c, it->second);
+      }
+      continue;
+    }
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (column.IsNull(r)) {
+        out.set_value(r, c, kMissingValue);
+        continue;
+      }
+      const double v = column.GetNumeric(r);
+      if (attr.partitioned) {
+        const int64_t idx = AssignToInterval(attr.intervals, v);
+        if (idx < 0) {
+          return Status::InvalidArgument("attribute '" + attr.name +
+                                         "' has no intervals to assign to");
+        }
+        out.set_value(r, c, static_cast<int32_t>(idx));
+        continue;
+      }
+      // Unpartitioned: every existing integer is one exact raw value.
+      const auto it = std::lower_bound(
+          attr.intervals.begin(), attr.intervals.end(), v,
+          [](const Interval& interval, double value) {
+            return interval.lo < value;
+          });
+      if (it == attr.intervals.end() || it->lo != v) {
+        return Status::InvalidArgument(
+            "value " + FormatDouble(v) + " of attribute '" + attr.name +
+            "' is not in the existing domain; re-convert the file to admit "
+            "new quantitative values");
+      }
+      out.set_value(
+          r, c, static_cast<int32_t>(it - attr.intervals.begin()));
+    }
+  }
+  return out;
+}
+
 }  // namespace qarm

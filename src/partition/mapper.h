@@ -58,6 +58,20 @@ struct MapOptions {
 // integer, order preserved.
 Result<MappedTable> MapTable(const Table& table, const MapOptions& options);
 
+// Maps `table` under *existing* attribute metadata instead of deriving a
+// fresh partitioning — the append path: rows added to a QBT file must mean
+// the same thing as the rows already in it, so labels and intervals are
+// frozen. Categorical values are looked up in `attributes`' labels (a value
+// absent from the labels is an error: admitting it would change the
+// domain, which is exactly the case that forces a full re-convert).
+// Partitioned quantitative values are assigned to the existing intervals
+// (out-of-range values clip to the edge intervals, matching
+// AssignToInterval); unpartitioned quantitative values must match one of
+// the existing single-value intervals exactly. Schema names/kinds must
+// match `attributes` positionally.
+Result<MappedTable> MapTableWithAttributes(
+    const Table& table, const std::vector<MappedAttribute>& attributes);
+
 }  // namespace qarm
 
 #endif  // QARM_PARTITION_MAPPER_H_

@@ -9,6 +9,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/string_util.h"
@@ -40,14 +41,28 @@ const char* StatusText(int status) {
   }
 }
 
-// Sends the whole buffer; false on a broken connection.
-bool SendAll(int fd, const std::string& data) {
+// Sends the whole buffer; false on a broken connection or a reader that
+// stays stalled past `deadline_ms`. EAGAIN/EWOULDBLOCK here means the
+// SO_SNDTIMEO send timeout fired while the socket buffer was full — the
+// peer is slow, not gone — so the send is retried (the kernel resumes from
+// the unsent tail) until the wall-clock deadline expires. Treating the
+// first timeout as fatal used to abandon a half-written keep-alive
+// response mid-body; now only a genuinely stuck reader gets cut off, and
+// the caller closes the connection without reusing it (a partial response
+// makes the stream unframeable).
+bool SendAll(int fd, const std::string& data, int deadline_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
   size_t sent = 0;
   while (sent < data.size()) {
     ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
                        MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+          std::chrono::steady_clock::now() < deadline) {
+        continue;
+      }
       return false;
     }
     sent += static_cast<size_t>(n);
@@ -177,6 +192,18 @@ void HttpServer::AcceptLoop() {
     timeout.tv_sec = options_.recv_timeout_ms / 1000;
     timeout.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    // Bound each send() too: without SO_SNDTIMEO a reader that stops
+    // draining parks the thread in send() forever. SendAll retries timed-out
+    // sends until options_.send_deadline_ms of wall clock has passed.
+    timeval send_timeout{};
+    send_timeout.tv_sec = options_.send_timeout_ms / 1000;
+    send_timeout.tv_usec = (options_.send_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+    if (options_.send_buffer_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes,
+                   sizeof(options_.send_buffer_bytes));
+    }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     ServeConnection(fd);
@@ -199,7 +226,7 @@ void HttpServer::ServeConnection(int fd) {
             "\r\nContent-Type: application/json\r\nContent-Length: " +
             std::to_string(too_big.body.size()) +
             "\r\nConnection: close\r\n\r\n" + too_big.body;
-        SendAll(fd, payload);
+        SendAll(fd, payload, options_.send_deadline_ms);
         return;
       }
       char chunk[4096];
@@ -277,7 +304,9 @@ void HttpServer::ServeConnection(int fd) {
                                       : "\r\nConnection: close") +
                           "\r\n\r\n";
     if (request.method != "HEAD") payload += response.body;
-    if (!SendAll(fd, payload) || !keep_alive) return;
+    if (!SendAll(fd, payload, options_.send_deadline_ms) || !keep_alive) {
+      return;
+    }
   }
 }
 

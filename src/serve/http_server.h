@@ -49,6 +49,15 @@ struct HttpServerOptions {
   size_t num_threads = 4;
   size_t max_request_bytes = 64 * 1024;
   int recv_timeout_ms = 5000;  // per-connection read timeout (keep-alive)
+  // Per-send() timeout (SO_SNDTIMEO). A timed-out send means the reader is
+  // slow, not dead: SendAll keeps retrying from the unsent tail until
+  // send_deadline_ms of wall clock has elapsed for the response, then the
+  // connection is closed without reuse.
+  int send_timeout_ms = 1000;
+  int send_deadline_ms = 15000;
+  // SO_SNDBUF for accepted sockets; 0 keeps the OS default. Tests shrink
+  // this to force send() to block on a slow reader.
+  int send_buffer_bytes = 0;
 };
 
 class HttpServer {

@@ -10,7 +10,9 @@
 // core dependencies; src/core/mining_checkpoint.{h,cc} converts to and from
 // the miner's structures.
 //
-// Layout (version 1, all integers little-endian via the QBT helpers):
+// Layout (version 2, all integers little-endian via the QBT helpers;
+// version-1 files parse too — every version-2 field below marked [v2]
+// simply defaults to zero/absent):
 //
 //   Header (24 bytes)
 //     [0]  u8[4]  magic "QCP1"
@@ -25,6 +27,16 @@
 //                            a mismatch means the checkpoint is stale
 //     u64 num_rows
 //     u32 num_attributes
+//     u32 flags                  [v2] bit 0: the run COMPLETED (the file is
+//                                an incremental-mining base, not resume
+//                                progress)
+//     u64 options_fingerprint    [v2] fingerprint of the output-affecting
+//                                options + attribute schema, EXCLUDING the
+//                                row count — decides whether a completed
+//                                base is reusable after the file grew
+//     u64 base_num_blocks        [v2] QBT blocks covered by this state
+//     u32 base_index_crc         [v2] CRC-32 of those blocks' index entries
+//                                (QbtReader::IndexPrefixCrc)
 //     -- catalog --
 //     u64 num_records
 //     u64 items_pruned_by_interest
@@ -37,7 +49,12 @@
 //     u32 num_passes
 //       per pass: u32 k, u64 num_candidates, u64 num_frequent,
 //                 i32 * (k * num_frequent) item ids,
-//                 u64 * num_frequent supports
+//                 u64 * num_frequent supports,
+//                 [v2] u64 num_candidate_counts (0 = absent, else ==
+//                 num_candidates), u32 * num_candidate_counts — the FULL
+//                 per-candidate counts in generation order, which is what
+//                 lets an incremental run add delta counts positionally
+//                 instead of recounting the base
 //
 //   Tail (8 bytes)
 //     u32    CRC-32 of the payload bytes
@@ -64,7 +81,15 @@ namespace qarm {
 
 inline constexpr char kCheckpointMagic[4] = {'Q', 'C', 'P', '1'};
 inline constexpr char kCheckpointEndMagic[4] = {'Q', 'C', 'P', 'E'};
-inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr uint32_t kCheckpointVersion = 2;
+// Oldest version the parser still accepts (v1 files lack the incremental
+// base fields and candidate counts; they parse with those defaulted).
+inline constexpr uint32_t kCheckpointMinVersion = 1;
+
+// CheckpointState::flags bit: the run this state describes ran to
+// completion — the state is a reusable incremental-mining base rather than
+// mid-run resume progress.
+inline constexpr uint32_t kCheckpointFlagComplete = 1u;
 inline constexpr size_t kCheckpointHeaderSize = 4 + 4 + 4 + 4 + 8;
 inline constexpr size_t kCheckpointTailSize = 4 + 4;
 
@@ -85,12 +110,27 @@ struct CheckpointPass {
   uint64_t num_candidates = 0;
   std::vector<int32_t> itemsets;  // k ids per itemset
   std::vector<uint64_t> counts;   // one per itemset
+  // Full per-candidate support counts in generation order (empty = not
+  // recorded, or num_candidates entries). Incremental mining merges delta
+  // counts into these positionally.
+  std::vector<uint32_t> candidate_counts;
 };
 
 struct CheckpointState {
   uint64_t fingerprint = 0;
   uint64_t num_rows = 0;
   uint32_t num_attributes = 0;
+  // kCheckpointFlag* bits (version >= 2; zero in v1 files).
+  uint32_t flags = 0;
+  // Row-count-independent run identity (version >= 2): the same options
+  // and attribute schema over a grown file keep this fingerprint, while
+  // `fingerprint` (which mixes the row count) changes.
+  uint64_t options_fingerprint = 0;
+  // The QBT block range this state covers and the CRC of those blocks'
+  // index entries (version >= 2): an incremental run re-validates that the
+  // base blocks are byte-identical before adding delta counts on top.
+  uint64_t base_num_blocks = 0;
+  uint32_t base_index_crc = 0;
   CheckpointCatalog catalog;
   std::vector<CheckpointPass> passes;
 };

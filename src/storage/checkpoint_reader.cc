@@ -105,11 +105,18 @@ Status ParseCatalogSection(PayloadCursor* cursor, CheckpointCatalog* catalog) {
   return ParseValueCounts(cursor, &catalog->value_counts);
 }
 
-Status ParsePayload(const uint8_t* data, size_t size, CheckpointState* state) {
+Status ParsePayload(const uint8_t* data, size_t size, uint32_t version,
+                    CheckpointState* state) {
   PayloadCursor cursor(data, size);
   QARM_RETURN_NOT_OK(cursor.ReadU64(&state->fingerprint));
   QARM_RETURN_NOT_OK(cursor.ReadU64(&state->num_rows));
   QARM_RETURN_NOT_OK(cursor.ReadU32(&state->num_attributes));
+  if (version >= 2) {
+    QARM_RETURN_NOT_OK(cursor.ReadU32(&state->flags));
+    QARM_RETURN_NOT_OK(cursor.ReadU64(&state->options_fingerprint));
+    QARM_RETURN_NOT_OK(cursor.ReadU64(&state->base_num_blocks));
+    QARM_RETURN_NOT_OK(cursor.ReadU32(&state->base_index_crc));
+  }
 
   CheckpointCatalog& catalog = state->catalog;
   QARM_RETURN_NOT_OK(ParseCatalogSection(&cursor, &catalog));
@@ -139,6 +146,22 @@ Status ParsePayload(const uint8_t* data, size_t size, CheckpointState* state) {
                             &pass.itemsets));
     QARM_RETURN_NOT_OK(
         cursor.ReadU64Array(static_cast<size_t>(num_frequent), &pass.counts));
+    if (version >= 2) {
+      uint64_t num_candidate_counts = 0;
+      QARM_RETURN_NOT_OK(cursor.ReadU64(&num_candidate_counts));
+      if (num_candidate_counts != 0 &&
+          num_candidate_counts != pass.num_candidates) {
+        return Status::InvalidArgument(
+            "checkpoint pass candidate counts do not match the candidate "
+            "count");
+      }
+      QARM_RETURN_NOT_OK(cursor.NeedCount(num_candidate_counts, 4));
+      pass.candidate_counts.resize(
+          static_cast<size_t>(num_candidate_counts));
+      for (uint32_t& count : pass.candidate_counts) {
+        QARM_RETURN_NOT_OK(cursor.ReadU32(&count));
+      }
+    }
   }
   if (cursor.remaining() != 0) {
     return Status::InvalidArgument(
@@ -210,10 +233,10 @@ Result<CheckpointState> ParseCheckpoint(const uint8_t* data, size_t size) {
         "checkpoint endianness does not match this host");
   }
   const uint32_t version = QbtReadU32(data + 8);
-  if (version != kCheckpointVersion) {
+  if (version < kCheckpointMinVersion || version > kCheckpointVersion) {
     return Status::InvalidArgument(StrFormat(
-        "unsupported checkpoint version %u (expected %u)", version,
-        kCheckpointVersion));
+        "unsupported checkpoint version %u (reader supports %u through %u)",
+        version, kCheckpointMinVersion, kCheckpointVersion));
   }
   const uint64_t payload_size = QbtReadU64(data + 16);
   if (payload_size !=
@@ -237,8 +260,8 @@ Result<CheckpointState> ParseCheckpoint(const uint8_t* data, size_t size) {
   }
 
   CheckpointState state;
-  QARM_RETURN_NOT_OK(
-      ParsePayload(payload, static_cast<size_t>(payload_size), &state));
+  QARM_RETURN_NOT_OK(ParsePayload(payload, static_cast<size_t>(payload_size),
+                                  version, &state));
   return state;
 }
 

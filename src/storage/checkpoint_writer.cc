@@ -26,6 +26,10 @@ std::string EncodePayload(const CheckpointState& state) {
   QbtAppendU64(&out, state.fingerprint);
   QbtAppendU64(&out, state.num_rows);
   QbtAppendU32(&out, state.num_attributes);
+  QbtAppendU32(&out, state.flags);
+  QbtAppendU64(&out, state.options_fingerprint);
+  QbtAppendU64(&out, state.base_num_blocks);
+  QbtAppendU32(&out, state.base_index_crc);
 
   EncodeCheckpointCatalog(state.catalog, &out);
 
@@ -36,6 +40,8 @@ std::string EncodePayload(const CheckpointState& state) {
     QbtAppendU64(&out, pass.counts.size());
     for (int32_t id : pass.itemsets) QbtAppendI32(&out, id);
     for (uint64_t count : pass.counts) QbtAppendU64(&out, count);
+    QbtAppendU64(&out, pass.candidate_counts.size());
+    for (uint32_t count : pass.candidate_counts) QbtAppendU32(&out, count);
   }
   return out;
 }
@@ -100,6 +106,12 @@ Status WriteCheckpoint(const CheckpointState& state, const std::string& path,
     if (pass.k == 0 || pass.itemsets.size() != pass.counts.size() * pass.k) {
       return Status::InvalidArgument(
           "checkpoint pass itemsets/counts out of sync");
+    }
+    if (!pass.candidate_counts.empty() &&
+        pass.candidate_counts.size() != pass.num_candidates) {
+      return Status::InvalidArgument(
+          "checkpoint pass candidate counts do not match the candidate "
+          "count");
     }
   }
 

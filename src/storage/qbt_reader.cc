@@ -82,26 +82,25 @@ Result<std::unique_ptr<QbtReader>> QbtReader::Open(const std::string& path) {
   }
   const uint64_t footer_offset = QbtReadU64(tail);
   const uint32_t footer_crc = QbtReadU32(tail + 8);
-  const uint64_t num_blocks =
-      reader->num_rows_ == 0
-          ? 0
-          : (reader->num_rows_ + reader->rows_per_block_ - 1) /
-                reader->rows_per_block_;
-  // Guard the footer_size product: a header-declared row count near 2^64
-  // would otherwise wrap it around and alias a tiny (or empty) footer.
-  if (num_blocks > (size - kQbtTailSize) / kQbtBlockIndexEntrySize) {
-    return Corrupt(path, "block index does not match the row count");
-  }
-  const uint64_t footer_size = num_blocks * kQbtBlockIndexEntrySize;
+  // The block count comes from the index itself, not from the header row
+  // count: appends start a fresh block, so short blocks can sit anywhere in
+  // the file and ceil(num_rows / rows_per_block) no longer bounds anything.
+  // The per-block row sum below still has to reconcile with the header.
   if (footer_offset > size - kQbtTailSize ||
-      size - kQbtTailSize - footer_offset != footer_size) {
+      footer_offset < kQbtHeaderSize + metadata_size) {
+    return Corrupt(path, "block index offset out of bounds");
+  }
+  const uint64_t footer_size = size - kQbtTailSize - footer_offset;
+  if (footer_size % kQbtBlockIndexEntrySize != 0) {
     return Corrupt(path, "block index does not match the row count");
   }
+  const uint64_t num_blocks = footer_size / kQbtBlockIndexEntrySize;
   const uint8_t* footer = data + footer_offset;
   if (Crc32(footer, static_cast<size_t>(footer_size)) != footer_crc) {
     return Corrupt(path, "block index checksum mismatch");
   }
   reader->blocks_.resize(static_cast<size_t>(num_blocks));
+  reader->row_begins_.resize(static_cast<size_t>(num_blocks));
   uint64_t expected_rows = 0;
   for (size_t b = 0; b < reader->blocks_.size(); ++b) {
     const uint8_t* entry = footer + b * kQbtBlockIndexEntrySize;
@@ -121,6 +120,7 @@ Result<std::unique_ptr<QbtReader>> QbtReader::Open(const std::string& path) {
       return Corrupt(path, StrFormat("block %zu index entry out of bounds",
                                      b));
     }
+    reader->row_begins_[b] = expected_rows;
     expected_rows += block.num_rows;
   }
   if (expected_rows != reader->num_rows_) {
@@ -132,6 +132,18 @@ Result<std::unique_ptr<QbtReader>> QbtReader::Open(const std::string& path) {
   }
   reader->file_ = std::move(file);
   return reader;
+}
+
+uint32_t QbtReader::IndexPrefixCrc(size_t num_blocks) const {
+  QARM_CHECK_LE(num_blocks, blocks_.size());
+  std::string encoded;
+  encoded.reserve(num_blocks * kQbtBlockIndexEntrySize);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    QbtAppendU64(&encoded, blocks_[b].offset);
+    QbtAppendU32(&encoded, blocks_[b].num_rows);
+    QbtAppendU32(&encoded, blocks_[b].crc32);
+  }
+  return Crc32(encoded.data(), encoded.size());
 }
 
 Status QbtReader::ReadBlockColumns(

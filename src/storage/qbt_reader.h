@@ -32,14 +32,23 @@ class QbtReader {
   uint32_t rows_per_block() const { return rows_per_block_; }
   size_t num_blocks() const { return blocks_.size(); }
   size_t block_rows(size_t b) const { return blocks_[b].num_rows; }
-  // First global row of block `b`.
-  uint64_t block_row_begin(size_t b) const {
-    return static_cast<uint64_t>(b) * rows_per_block_;
-  }
+  // First global row of block `b`. Appends may leave short blocks in the
+  // middle of the file (each append starts a fresh block), so this is a
+  // prefix sum over the index, not b * rows_per_block.
+  uint64_t block_row_begin(size_t b) const { return row_begins_[b]; }
   // File offset of block `b`'s bytes (exposed for corruption tests and
   // tooling).
   uint64_t block_offset(size_t b) const { return blocks_[b].offset; }
+  // Stored CRC-32 of block `b` (append re-encodes existing index entries
+  // verbatim, so this is stable across appends).
+  uint32_t block_crc(size_t b) const { return blocks_[b].crc32; }
   uint64_t file_size() const { return file_->size(); }
+
+  // CRC-32 over the first `num_blocks` index entries as encoded on disk.
+  // Incremental mining fingerprints the base run's block range with this:
+  // an append only adds entries, so the prefix CRC of an untouched base
+  // range never changes, while any rewrite of a covered block changes it.
+  uint32_t IndexPrefixCrc(size_t num_blocks) const;
 
   // Validates block `b`'s checksum and fills `columns` (resized to the
   // attribute count) with pointers to its column slices, each
@@ -68,6 +77,7 @@ class QbtReader {
   uint64_t num_rows_ = 0;
   uint32_t rows_per_block_ = 0;
   std::vector<BlockEntry> blocks_;
+  std::vector<uint64_t> row_begins_;  // parallel to blocks_, prefix sums
 };
 
 }  // namespace qarm

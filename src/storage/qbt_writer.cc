@@ -2,13 +2,56 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/string_util.h"
 #include "storage/attr_metadata.h"
 #include "storage/crc32.h"
+#include "storage/mmap_file.h"
+#include "storage/qbt_reader.h"
 
 namespace qarm {
+namespace {
+
+// Transposes rows [row, row + block_rows) of `table` into `block`
+// (column-major slices) and appends the block's index entry to `footer`.
+void EncodeBlock(const MappedTable& table, uint64_t row, size_t block_rows,
+                 uint64_t offset, std::vector<int32_t>* block,
+                 std::string* footer) {
+  const size_t num_attrs = table.num_attributes();
+  block->resize(block_rows * num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    int32_t* slice = block->data() + a * block_rows;
+    for (size_t r = 0; r < block_rows; ++r) {
+      slice[r] = table.value(static_cast<size_t>(row) + r, a);
+    }
+  }
+  const size_t block_bytes = block->size() * sizeof(int32_t);
+  QbtAppendU64(footer, offset);
+  QbtAppendU32(footer, static_cast<uint32_t>(block_rows));
+  QbtAppendU32(footer, Crc32(block->data(), block_bytes));
+}
+
+Status FlushAndSync(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0) {
+    return Status::IOError("write to '" + path + "' failed");
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  if (fsync(fileno(file)) != 0) {
+    return Status::IOError("fsync of '" + path + "' failed");
+  }
+#endif
+  return Status::OK();
+}
+
+}  // namespace
 
 Status WriteQbt(const MappedTable& table, const std::string& path,
                 const QbtWriteOptions& options, QbtWriteInfo* info) {
@@ -55,19 +98,10 @@ Status WriteQbt(const MappedTable& table, const std::string& path,
   for (uint64_t row = 0; row < num_rows; row += rows_per_block) {
     const size_t block_rows = static_cast<size_t>(
         std::min<uint64_t>(rows_per_block, num_rows - row));
-    block.resize(block_rows * num_attrs);
-    for (size_t a = 0; a < num_attrs; ++a) {
-      int32_t* slice = block.data() + a * block_rows;
-      for (size_t r = 0; r < block_rows; ++r) {
-        slice[r] = table.value(static_cast<size_t>(row) + r, a);
-      }
-    }
+    EncodeBlock(table, row, block_rows, offset, &block, &footer);
     const size_t block_bytes = block.size() * sizeof(int32_t);
     out.write(reinterpret_cast<const char*>(block.data()),
               static_cast<std::streamsize>(block_bytes));
-    QbtAppendU64(&footer, offset);
-    QbtAppendU32(&footer, static_cast<uint32_t>(block_rows));
-    QbtAppendU32(&footer, Crc32(block.data(), block_bytes));
     offset += block_bytes;
     ++num_blocks;
   }
@@ -89,6 +123,190 @@ Status WriteQbt(const MappedTable& table, const std::string& path,
     info->num_rows = num_rows;
     info->num_blocks = num_blocks;
     info->file_bytes = footer_offset + footer.size() + kQbtTailSize;
+  }
+  return Status::OK();
+}
+
+Status RecoverQbt(const std::string& path, bool* recovered) {
+  if (recovered != nullptr) *recovered = false;
+  if (QbtReader::Open(path).ok()) return Status::OK();
+
+  QARM_ASSIGN_OR_RETURN(std::unique_ptr<MmapFile> file, MmapFile::Open(path));
+  const uint8_t* data = file->data();
+  const size_t size = file->size();
+  if (size < kQbtHeaderSize + kQbtTailSize ||
+      std::memcmp(data, kQbtMagic, sizeof(kQbtMagic)) != 0 ||
+      QbtReadU32(data + 4) != kQbtEndianMarker ||
+      QbtReadU32(data + 8) != kQbtVersion) {
+    return Status::IOError("'" + path +
+                           "' is not a recoverable QBT file (bad header)");
+  }
+  const uint32_t rows_per_block = QbtReadU32(data + 12);
+  const uint64_t num_rows = QbtReadU64(data + 16);
+  const uint64_t metadata_size = QbtReadU64(data + 32);
+  const uint64_t data_begin = kQbtHeaderSize + metadata_size;
+  if (rows_per_block == 0 || metadata_size > size - kQbtHeaderSize) {
+    return Status::IOError("'" + path +
+                           "' is not a recoverable QBT file (bad header)");
+  }
+
+  // An interrupted append left partial suffix bytes after the last
+  // committed tail (or a complete suffix whose row count was never
+  // committed to the header). Scan backwards for the most recent tail whose
+  // footer checksums and whose block rows sum to the committed header row
+  // count, and cut the file there.
+  for (size_t tail_end = size; tail_end >= data_begin + kQbtTailSize;
+       --tail_end) {
+    const uint8_t* tail = data + tail_end - kQbtTailSize;
+    if (std::memcmp(tail + 12, kQbtEndMagic, sizeof(kQbtEndMagic)) != 0) {
+      continue;
+    }
+    const uint64_t footer_offset = QbtReadU64(tail);
+    if (footer_offset < data_begin ||
+        footer_offset > tail_end - kQbtTailSize ||
+        (tail_end - kQbtTailSize - footer_offset) % kQbtBlockIndexEntrySize !=
+            0) {
+      continue;
+    }
+    const uint64_t footer_size = tail_end - kQbtTailSize - footer_offset;
+    const uint8_t* footer = data + footer_offset;
+    if (Crc32(footer, static_cast<size_t>(footer_size)) !=
+        QbtReadU32(tail + 8)) {
+      continue;
+    }
+    uint64_t rows = 0;
+    bool entries_ok = true;
+    for (uint64_t b = 0; b < footer_size / kQbtBlockIndexEntrySize; ++b) {
+      const uint8_t* entry = footer + b * kQbtBlockIndexEntrySize;
+      const uint64_t block_offset = QbtReadU64(entry);
+      const uint32_t block_rows = QbtReadU32(entry + 8);
+      if (block_rows == 0 || block_rows > rows_per_block ||
+          block_offset < data_begin || block_offset > footer_offset) {
+        entries_ok = false;
+        break;
+      }
+      rows += block_rows;
+    }
+    if (!entries_ok || rows != num_rows) continue;
+
+    file.reset();  // unmap before truncating
+#if defined(__unix__) || defined(__APPLE__)
+    if (truncate(path.c_str(), static_cast<off_t>(tail_end)) != 0) {
+      return Status::IOError("cannot truncate '" + path + "'");
+    }
+#else
+    return Status::Internal("QBT recovery requires POSIX truncate");
+#endif
+    QARM_RETURN_NOT_OK(QbtReader::Open(path).status());
+    if (recovered != nullptr) *recovered = true;
+    return Status::OK();
+  }
+  return Status::IOError(
+      "'" + path +
+      "' has no recoverable committed state (corrupt beyond an "
+      "interrupted append)");
+}
+
+Status AppendQbt(const MappedTable& delta, const std::string& path,
+                 QbtAppendInfo* info) {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::Internal("QBT writing requires a little-endian host");
+  }
+  if (delta.num_rows() == 0) {
+    return Status::InvalidArgument("append with no rows");
+  }
+  // Heal an interrupted previous append first; a file with no committed
+  // state at all surfaces that error instead.
+  QARM_RETURN_NOT_OK(RecoverQbt(path));
+  QARM_ASSIGN_OR_RETURN(std::unique_ptr<QbtReader> reader,
+                        QbtReader::Open(path));
+
+  // The stored values are only meaningful under the exact decode metadata
+  // they were written with; require byte-identical metadata rather than
+  // guessing at compatibility.
+  if (EncodeAttributeMetadata(delta.attributes()) !=
+      EncodeAttributeMetadata(reader->attributes())) {
+    return Status::InvalidArgument(
+        "appended rows were mapped with different attribute metadata than '" +
+        path + "' (labels, intervals, or taxonomy differ); re-map them "
+        "with the file's metadata or re-convert from scratch");
+  }
+
+  const uint32_t rows_per_block = reader->rows_per_block();
+  const uint64_t delta_rows = delta.num_rows();
+  const uint64_t old_size = reader->file_size();
+  const uint64_t old_rows = reader->num_rows();
+  const size_t old_blocks = reader->num_blocks();
+
+  // Stage the whole suffix: the delta's blocks, then a fresh footer (the
+  // existing index entries re-encoded verbatim plus the new ones), then a
+  // fresh tail. The old footer and tail stay in place as dead bytes — no
+  // committed byte is ever rewritten, so a crash at any point here leaves
+  // the old state intact.
+  std::string suffix;
+  std::string footer;
+  for (size_t b = 0; b < old_blocks; ++b) {
+    QbtAppendU64(&footer, reader->block_offset(b));
+    QbtAppendU32(&footer, static_cast<uint32_t>(reader->block_rows(b)));
+    QbtAppendU32(&footer, reader->block_crc(b));
+  }
+  uint64_t offset = old_size;
+  uint64_t new_blocks = 0;
+  std::vector<int32_t> block;
+  for (uint64_t row = 0; row < delta_rows; row += rows_per_block) {
+    const size_t block_rows = static_cast<size_t>(
+        std::min<uint64_t>(rows_per_block, delta_rows - row));
+    EncodeBlock(delta, row, block_rows, offset, &block, &footer);
+    suffix.append(reinterpret_cast<const char*>(block.data()),
+                  block.size() * sizeof(int32_t));
+    offset += block.size() * sizeof(int32_t);
+    ++new_blocks;
+  }
+  const uint64_t footer_offset = offset;
+  suffix.append(footer);
+  QbtAppendU64(&suffix, footer_offset);
+  QbtAppendU32(&suffix, Crc32(footer.data(), footer.size()));
+  suffix.append(kQbtEndMagic, sizeof(kQbtEndMagic));
+
+  reader.reset();  // unmap before writing
+
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for appending");
+  }
+  auto fail = [&](Status status) {
+    std::fclose(file);
+    return status;
+  };
+  // Phase 1: the suffix, durably, while the header still commits the old
+  // state.
+  if (std::fseek(file, static_cast<long>(old_size), SEEK_SET) != 0 ||
+      std::fwrite(suffix.data(), 1, suffix.size(), file) != suffix.size()) {
+    return fail(Status::IOError("write to '" + path + "' failed"));
+  }
+  Status synced = FlushAndSync(file, path);
+  if (!synced.ok()) return fail(synced);
+  // Phase 2: the commit point — the header row count now reconciles with
+  // the new index, and the new tail is the one closest to end of file.
+  std::string committed_rows;
+  QbtAppendU64(&committed_rows, old_rows + delta_rows);
+  if (std::fseek(file, 16, SEEK_SET) != 0 ||
+      std::fwrite(committed_rows.data(), 1, committed_rows.size(), file) !=
+          committed_rows.size()) {
+    return fail(Status::IOError("commit write to '" + path + "' failed"));
+  }
+  synced = FlushAndSync(file, path);
+  if (!synced.ok()) return fail(synced);
+  if (std::fclose(file) != 0) {
+    return Status::IOError("close of '" + path + "' failed");
+  }
+
+  if (info != nullptr) {
+    info->rows_appended = delta_rows;
+    info->blocks_appended = new_blocks;
+    info->total_rows = old_rows + delta_rows;
+    info->total_blocks = old_blocks + new_blocks;
+    info->file_bytes = old_size + suffix.size();
   }
   return Status::OK();
 }

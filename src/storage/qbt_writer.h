@@ -32,6 +32,43 @@ Status WriteQbt(const MappedTable& table, const std::string& path,
                 const QbtWriteOptions& options = {},
                 QbtWriteInfo* info = nullptr);
 
+// Statistics of one append, for CLI reporting.
+struct QbtAppendInfo {
+  uint64_t rows_appended = 0;
+  uint64_t blocks_appended = 0;
+  uint64_t total_rows = 0;
+  uint64_t total_blocks = 0;
+  uint64_t file_bytes = 0;
+};
+
+// Appends `delta`'s rows to the existing QBT file at `path` as additional
+// blocks. The delta's attribute metadata must encode byte-identically to
+// the file's (same labels, intervals, taxonomy ranges — map the raw rows
+// with MapTableWithAttributes to guarantee this); a mismatch is rejected
+// because it would silently change what every stored value means.
+//
+// No existing byte is rewritten: the new blocks, a new footer (old entries
+// re-encoded verbatim plus the new ones), and a new tail are written after
+// the current end of file — the old footer and tail become dead bytes —
+// and the append commits by updating the header row count last, with an
+// fsync on either side. A crash before the commit leaves a file whose tail
+// is missing or whose index disagrees with the header; RecoverQbt (called
+// here automatically before appending) truncates such a file back to its
+// last committed state. Appends always start a fresh block, so a file that
+// grew by appends may contain short blocks mid-file; the reader handles
+// that.
+Status AppendQbt(const MappedTable& delta, const std::string& path,
+                 QbtAppendInfo* info = nullptr);
+
+// Restores the QBT file at `path` to its last committed state after an
+// interrupted append: if the file does not open cleanly, scans backwards
+// for the most recent tail whose footer checksums and whose block rows sum
+// to the header row count, and truncates the bytes after it. Returns
+// whether the file was truncated in `*recovered` (optional). Fails when no
+// committed state can be found (the file is corrupt beyond an interrupted
+// append).
+Status RecoverQbt(const std::string& path, bool* recovered = nullptr);
+
 }  // namespace qarm
 
 #endif  // QARM_STORAGE_QBT_WRITER_H_

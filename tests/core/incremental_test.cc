@@ -1,0 +1,222 @@
+// MineIncremental: append-mode runs leave a complete v2 checkpoint behind
+// (full per-candidate counts, base block range + index CRC, options
+// fingerprint); a later run over the appended file merges exact delta
+// counts into it and must produce rules byte-identical to a from-scratch
+// mine of the grown file. The corpus cycles values with fixed periods, so
+// base and delta have identical item proportions and the catalog (and the
+// frequent frontier) provably survive the append — the merge path really
+// runs, instead of silently falling back to full rescans.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "core/incremental_miner.h"
+#include "core/miner.h"
+#include "core/mining_checkpoint.h"
+#include "core/report.h"
+#include "partition/mapped_table.h"
+#include "storage/checkpoint_format.h"
+#include "storage/qbt_writer.h"
+#include "storage/record_source.h"
+#include "testutil.h"
+
+namespace qarm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Three attributes cycling with periods 3, 2, and 9 (income == (r/3)%3 is
+// independent of cars == r%3 over a period of 9). Any row count that is a
+// multiple of 18 yields exactly proportional single/pair/triple supports,
+// so appending another multiple of 18 rows preserves every item and every
+// frequent itemset.
+MappedTable MakeCyclingTable(size_t num_rows) {
+  MappedAttribute income;
+  income.name = "income";
+  income.kind = AttributeKind::kQuantitative;
+  income.source_type = ValueType::kInt64;
+  income.partitioned = true;
+  income.intervals = {{0, 999}, {1000, 4999}, {5000, 9999}};
+  MappedAttribute married = testutil::CatAttr("married", {"no", "yes"});
+  MappedAttribute cars = testutil::CatAttr("cars", {"zero", "one", "two"});
+
+  MappedTable table({income, married, cars}, num_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    table.set_value(r, 0, static_cast<int32_t>((r / 3) % 3));
+    table.set_value(r, 1, static_cast<int32_t>(r % 2));
+    table.set_value(r, 2, static_cast<int32_t>(r % 3));
+  }
+  return table;
+}
+
+MinerOptions BaseOptions() {
+  MinerOptions options;
+  // Every single ~1/3..1/2, pair ~1/6..1/9, triple ~1/18: all far above
+  // minsup, far below max_support — no itemset sits near a threshold.
+  options.minsup = 0.03;
+  options.minconf = 0.30;
+  options.max_support = 0.95;
+  options.interest_level = 0.0;
+  return options;
+}
+
+std::vector<std::string> RulesAsJson(const MiningResult& result) {
+  std::vector<std::string> out;
+  out.reserve(result.rules.size());
+  for (const QuantRule& rule : result.rules) {
+    out.push_back(RuleToJson(rule, result.mapped));
+  }
+  return out;
+}
+
+std::vector<std::string> FullMineRules(const std::string& qbt_path,
+                                       const MinerOptions& base) {
+  MinerOptions options = base;
+  options.checkpoint_path.clear();
+  options.append_mode = false;
+  auto source = QbtFileSource::Open(qbt_path);
+  QARM_CHECK(source.ok());
+  auto result = QuantitativeRuleMiner(options).MineStreamed(**source);
+  QARM_CHECK(result.ok());
+  return RulesAsJson(*result);
+}
+
+struct IncrementalRun {
+  std::vector<std::string> rules;
+  IncrementalDecision decision;
+};
+
+IncrementalRun RunIncremental(const std::string& qbt_path,
+                              const MinerOptions& options) {
+  IncrementalRun run;
+  auto result = MineIncremental(qbt_path, options, &run.decision);
+  QARM_CHECK(result.ok());
+  run.rules = RulesAsJson(*result);
+  return run;
+}
+
+TEST(IncrementalMinerTest, MergesAppendedBlocksByteIdentically) {
+  const std::string qbt = TempPath("incremental_merge.qbt");
+  const std::string qcp = TempPath("incremental_merge.qcp");
+  std::remove(qcp.c_str());
+  ASSERT_TRUE(WriteQbt(MakeCyclingTable(18 * 40), qbt,
+                       {/*rows_per_block=*/64})
+                  .ok());
+  MinerOptions options = BaseOptions();
+  options.checkpoint_path = qcp;
+
+  // First run: no checkpoint yet — a logged full mine that seeds the base.
+  IncrementalRun first = RunIncremental(qbt, options);
+  EXPECT_FALSE(first.decision.incremental);
+  EXPECT_NE(first.decision.reason.find("no checkpoint"), std::string::npos)
+      << first.decision.reason;
+  EXPECT_EQ(first.rules, FullMineRules(qbt, options));
+
+  // Append ~10% more rows with the same proportions.
+  ASSERT_TRUE(AppendQbt(MakeCyclingTable(18 * 4), qbt).ok());
+
+  // Second run: the checkpoint serves as the incremental base and every
+  // counting pass merges base + delta instead of rescanning.
+  IncrementalRun second = RunIncremental(qbt, options);
+  EXPECT_TRUE(second.decision.incremental) << second.decision.reason;
+  EXPECT_EQ(second.decision.base_rows, 18u * 40);
+  EXPECT_EQ(second.decision.delta_rows, 18u * 4);
+  EXPECT_GT(second.decision.delta_blocks, 0u);
+  EXPECT_GT(second.decision.passes_merged, 0u);
+  EXPECT_EQ(second.decision.passes_rescanned, 0u);
+  // The signature guarantee: byte-identical to mining the grown file flat.
+  EXPECT_EQ(second.rules, FullMineRules(qbt, options));
+
+  // Third run, nothing appended: a zero-delta merge, still byte-identical.
+  IncrementalRun third = RunIncremental(qbt, options);
+  EXPECT_TRUE(third.decision.incremental) << third.decision.reason;
+  EXPECT_EQ(third.decision.delta_rows, 0u);
+  EXPECT_EQ(third.rules, second.rules);
+}
+
+TEST(IncrementalMinerTest, ChangedOptionsFallBackToFullMineWithReason) {
+  const std::string qbt = TempPath("incremental_fallback.qbt");
+  const std::string qcp = TempPath("incremental_fallback.qcp");
+  std::remove(qcp.c_str());
+  ASSERT_TRUE(WriteQbt(MakeCyclingTable(18 * 20), qbt,
+                       {/*rows_per_block=*/64})
+                  .ok());
+  MinerOptions options = BaseOptions();
+  options.checkpoint_path = qcp;
+  RunIncremental(qbt, options);
+  ASSERT_TRUE(AppendQbt(MakeCyclingTable(18 * 2), qbt).ok());
+
+  // A different minsup changes the run identity: the checkpoint must not
+  // be merged (its counts gate a different frontier), and the fallback
+  // must still match a from-scratch mine under the new options.
+  MinerOptions changed = options;
+  changed.minsup = 0.10;
+  IncrementalRun run = RunIncremental(qbt, changed);
+  EXPECT_FALSE(run.decision.incremental);
+  EXPECT_FALSE(run.decision.reason.empty());
+  EXPECT_EQ(run.rules, FullMineRules(qbt, changed));
+
+  // The fallback rewrote the checkpoint for the new options: the next run
+  // under them is incremental again (zero delta here).
+  IncrementalRun again = RunIncremental(qbt, changed);
+  EXPECT_TRUE(again.decision.incremental) << again.decision.reason;
+  EXPECT_EQ(again.rules, run.rules);
+}
+
+TEST(IncrementalMinerTest, CompleteCheckpointCarriesV2BaseIdentity) {
+  const std::string qbt = TempPath("incremental_v2.qbt");
+  const std::string qcp = TempPath("incremental_v2.qcp");
+  std::remove(qcp.c_str());
+  ASSERT_TRUE(WriteQbt(MakeCyclingTable(18 * 10), qbt,
+                       {/*rows_per_block=*/32})
+                  .ok());
+  MinerOptions options = BaseOptions();
+  options.checkpoint_path = qcp;
+  options.append_mode = true;
+  RunIncremental(qbt, options);
+
+  std::ifstream in(qcp, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "append-mode run left no checkpoint";
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  auto state = ParseCheckpoint(
+      reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+
+  EXPECT_TRUE(state->flags & kCheckpointFlagComplete);
+  auto source = QbtFileSource::Open(qbt);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(state->num_rows, (*source)->num_rows());
+  EXPECT_EQ(state->base_num_blocks, (*source)->num_blocks());
+  EXPECT_EQ(state->base_index_crc,
+            (*source)->reader().IndexPrefixCrc((*source)->num_blocks()));
+  EXPECT_EQ(state->options_fingerprint,
+            ComputeMiningOptionsFingerprint(options, **source));
+  EXPECT_EQ(state->fingerprint, ComputeMiningFingerprint(options, **source));
+
+  // Every counting pass (k >= 2) carries its FULL per-candidate counts —
+  // that is what a later incremental run adds delta counts into. Pass 1
+  // stores none: its merge rides the catalog's per-value counts instead.
+  ASSERT_FALSE(state->passes.empty());
+  size_t counting_passes = 0;
+  for (const CheckpointPass& pass : state->passes) {
+    if (pass.k < 2) {
+      EXPECT_TRUE(pass.candidate_counts.empty()) << "pass k=" << pass.k;
+      continue;
+    }
+    ++counting_passes;
+    EXPECT_EQ(pass.candidate_counts.size(), pass.num_candidates)
+        << "pass k=" << pass.k;
+  }
+  EXPECT_GT(counting_passes, 0u);
+}
+
+}  // namespace
+}  // namespace qarm

@@ -4,8 +4,10 @@
 // exhausts its respawn budget and fails the run cleanly. Faults come from
 // the storage fault injector with kinds=kill at rate=1, so every worker's
 // first faulted read is deterministic — no seed hunting, no flakes.
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -109,6 +111,44 @@ TEST(DistRespawnTest, KillEveryWorkerMidCountingPass) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(RulesAsJson(*result), FaultFreeBaseline());
   EXPECT_EQ(result->stats.dist.workers_respawned, kWorkers);
+}
+
+// Flips a worker-side crash hook on for the duration of one distributed
+// run. The hooks only fire at generation 0, so the respawned incarnations
+// always survive.
+MiningResult MineWithWorkerCrashHook(const char* env) {
+  MinerOptions options = Corpus().options;
+  options.num_workers = kWorkers;
+  ::setenv(env, "1", 1);
+  Result<MiningResult> result =
+      MineDistributedQbt(Corpus().qbt_path, options);
+  ::unsetenv(env);
+  QARM_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+// Every worker dies immediately after its pass-1 reply, so the EOF lands on
+// the coordinator's very next SendFrame — inside PublishCatalog itself.
+// RespawnAndReplay must treat the catalog as the in-flight request (sent
+// exactly once, not doubled as replay-state + request) and the merged rules
+// must match the fault-free run.
+TEST(DistRespawnTest, KillEveryWorkerDuringCatalogBroadcast) {
+  const MiningResult result =
+      MineWithWorkerCrashHook("QARM_DIST_TEST_EXIT_BEFORE_CATALOG");
+  EXPECT_EQ(RulesAsJson(result), FaultFreeBaseline());
+  EXPECT_EQ(result.stats.dist.num_workers, kWorkers);
+  EXPECT_EQ(result.stats.dist.workers_respawned, kWorkers);
+}
+
+// Every worker dies on *receipt* of the catalog frame, before applying it:
+// the broadcast send itself succeeds, and the death surfaces at the first
+// count request. The replay must re-deliver the catalog before that request
+// or the fresh worker answers "count request arrived before the catalog".
+TEST(DistRespawnTest, KillEveryWorkerOnCatalogReceipt) {
+  const MiningResult result =
+      MineWithWorkerCrashHook("QARM_DIST_TEST_EXIT_ON_CATALOG");
+  EXPECT_EQ(RulesAsJson(result), FaultFreeBaseline());
+  EXPECT_EQ(result.stats.dist.workers_respawned, kWorkers);
 }
 
 // A worker that dies on every incarnation (fails far above any generation)

@@ -2,7 +2,14 @@
 // server and client, cache byte-identity (enabled vs disabled), counters
 // in /statz, and the concurrent mixed-query workload (>= 8 threads, a
 // TSan target) with the cache under a tiny byte budget.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
+#include <cstring>
 #include <memory>
 #include <random>
 #include <string>
@@ -224,6 +231,115 @@ TEST(ServeHttpTest, ConcurrentMixedQueriesWithTinyCache) {
       << "cache exceeded its byte budget";
   EXPECT_GT(stats.evictions, 0u)
       << "tiny budget saw no evictions — budget not enforced?";
+}
+
+// A raw client socket with a deliberately tiny receive buffer, so the
+// server's tiny SO_SNDBUF fills and its send() hits the SO_SNDTIMEO
+// timeout while the reader is merely slow.
+int ConnectRaw(uint16_t port, int rcvbuf_bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  if (rcvbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+// Regression for the half-written-response bug: the per-send SO_SNDTIMEO
+// timeout fires while a slow reader drains a large body, and the old
+// SendAll treated the resulting EAGAIN like a broken pipe and abandoned
+// the response mid-body. A slow-but-alive reader must receive every byte.
+TEST(ServeHttpTest, SlowReaderStillGetsTheWholeResponse) {
+  const std::string big_body(512 * 1024, 'x');
+  HttpServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  options.send_buffer_bytes = 4096;  // kernel-clamped, still tiny
+  options.send_timeout_ms = 30;      // stalls below exceed this several-fold
+  options.send_deadline_ms = 30000;
+  auto server = HttpServer::Start(options, [&](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain";
+    response.body = big_body;
+    return response;
+  });
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  const int fd = ConnectRaw((*server)->port(), 2048);
+  const std::string request =
+      "GET /big HTTP/1.1\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+
+  // Trickle-read the response. The periodic stall is several multiples of
+  // the server's send timeout, so with both socket buffers tiny its send()
+  // definitely times out (EAGAIN) mid-body, repeatedly.
+  std::string received;
+  char chunk[8 * 1024];
+  size_t reads = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    received.append(chunk, static_cast<size_t>(n));
+    if (++reads % 8 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    }
+  }
+  ::close(fd);
+
+  const size_t head_end = received.find("\r\n\r\n");
+  ASSERT_NE(head_end, std::string::npos) << "no response head";
+  EXPECT_NE(received.find("200 OK"), std::string::npos);
+  EXPECT_EQ(received.substr(head_end + 4), big_body)
+      << "body truncated at " << (received.size() - head_end - 4) << " of "
+      << big_body.size() << " bytes";
+}
+
+// The flip side: a reader that stops draining entirely must be cut off at
+// the wall-clock deadline (not retried forever), freeing the server thread
+// for the next connection.
+TEST(ServeHttpTest, StalledReaderIsCutOffAtDeadline) {
+  const std::string big_body(4 * 1024 * 1024, 'y');
+  HttpServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  options.send_buffer_bytes = 4096;
+  options.send_timeout_ms = 20;
+  options.send_deadline_ms = 300;
+  auto server = HttpServer::Start(options, [&](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = request.path == "/big" ? big_body : "pong";
+    return response;
+  });
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  // Send a request and then never read the response.
+  const int stalled = ConnectRaw((*server)->port(), 2048);
+  const std::string request = "GET /big HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(::send(stalled, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+
+  // Once the deadline passes, the single server thread must be free again:
+  // a fresh well-behaved request gets served promptly. (The follow-up body
+  // is small on purpose — a multi-megabyte response through this test's
+  // deliberately tiny SO_SNDBUF could itself outlast the short deadline.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  auto after = HttpGet("127.0.0.1", (*server)->port(), "/ping", 5000);
+  ASSERT_TRUE(after.ok())
+      << "server thread still stuck on the stalled connection: "
+      << after.status().ToString();
+  EXPECT_EQ(after->body, "pong");
+  ::close(stalled);
+  // Stop() joins the accept threads — it would hang if the stalled
+  // connection were still being retried.
+  (*server)->Stop();
 }
 
 TEST(ServeHttpTest, StopIsIdempotentAndPromptly) {

@@ -33,6 +33,12 @@ const char kUsage[] =
     "                        boundary; a rerun with the same flags resumes\n"
     "                        from it (SIGINT also checkpoints before exit)\n"
     "  --checkpoint-every=N  checkpoint every Nth pass       (default 1)\n"
+    "  --append              incremental mine: reuse the completed run's\n"
+    "                        checkpoint as a base and scan only the QBT\n"
+    "                        blocks appended since (needs --input-qbt and\n"
+    "                        --checkpoint; rules are bit-identical to a\n"
+    "                        full mine, and a fresh base checkpoint is\n"
+    "                        left behind for the next append)\n"
     "  --interesting-only    print only interesting rules\n"
     "  --itemsets            also print frequent itemsets\n"
     "  --stats               print run statistics (incl. per-pass I/O)\n"
@@ -42,6 +48,12 @@ const char kUsage[] =
     "  [--minsup --k --intervals --method]   partitioning (fixed at convert)\n"
     "  [--block-rows=N]                      rows per QBT block (default "
     "65536)\n"
+    "\n"
+    "qarm append — map new CSV rows under an existing QBT file's metadata\n"
+    "and append them as new blocks (existing bytes are never rewritten):\n"
+    "  --input=FILE.csv --schema=SPEC --output=FILE.qbt\n"
+    "  (labels/intervals are frozen at convert time; a value outside the\n"
+    "  existing domain is an error — re-convert to admit it)\n"
     "\n"
     "qarm gen — stream the synthetic financial dataset to CSV:\n"
     "  --output=FILE.csv --records=N [--seed=N]\n"
@@ -189,6 +201,8 @@ Result<CliFlags> ParseCliArgs(int argc, char* const* argv, int first_arg) {
         return Status::InvalidArgument("unknown --format: " + value);
       }
       flags.format = value;
+    } else if (std::strcmp(argv[i], "--append") == 0) {
+      flags.append = true;
     } else if (std::strcmp(argv[i], "--interesting-only") == 0) {
       flags.interesting_only = true;
     } else if (std::strcmp(argv[i], "--itemsets") == 0) {
@@ -230,6 +244,7 @@ Result<MinerOptions> MinerOptionsFromFlags(const CliFlags& flags) {
   }
   options.checkpoint_path = flags.checkpoint;
   options.checkpoint_every_pass = flags.checkpoint_every;
+  options.append_mode = flags.append;
   options.inject_faults_spec = flags.inject_faults;
   // --kill-after-pass stops mining cleanly after pass N (the checkpoint is
   // written first); the CLI then turns the stop into a real SIGKILL.

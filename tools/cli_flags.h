@@ -51,6 +51,7 @@ struct CliFlags {
   size_t checkpoint_every = 1;   // checkpoint every Nth completed pass
   std::string inject_faults;     // hidden: deterministic I/O fault spec
   size_t kill_after_pass = 0;    // hidden: raise SIGKILL after pass N
+  bool append = false;  // mine --input-qbt incrementally vs the checkpoint
   bool interesting_only = false;
   bool show_itemsets = false;
   bool show_stats = false;
