@@ -1,9 +1,12 @@
-// Distributed mining scale-up: the same QBT mined at 1/2/4/8 worker
-// processes. Every sharded run is checked byte-identical to the
-// single-process rules before its timing counts — a wrong fast answer
-// fails the bench. Reports per-pass exchange volume (the QCP-style shard
-// snapshots and count merges crossing the socketpairs) and coordinator
-// merge time, the two costs the single-process miner does not pay.
+// Distributed mining scale-up: the same QBT mined at 1/2/4/8 forked
+// worker processes, then at 1/2/4 TCP worker servers on localhost. Every
+// sharded run is checked byte-identical to the single-process rules
+// before its timing counts — a wrong fast answer fails the bench. Reports
+// per-pass exchange volume (the QCP-style shard snapshots and count
+// merges crossing the socketpairs or the loopback) and coordinator merge
+// time, the two costs the single-process miner does not pay. The TCP rows
+// price the transport itself: same shards, same merges, but framed
+// through the full handshake/heartbeat/deadline machinery.
 //
 //   $ ./bench_distributed [--records=N] [--seed=S] [--reps=R]
 //                         [--block-rows=N] [--threads=N]
@@ -12,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +26,7 @@
 #include "core/miner.h"
 #include "core/report.h"
 #include "dist/dist_miner.h"
+#include "dist/worker_server.h"
 #include "partition/mapper.h"
 #include "storage/qbt_writer.h"
 #include "storage/record_source.h"
@@ -97,13 +102,14 @@ int main(int argc, char** argv) {
         "scale-up.\n");
   }
   std::printf("\n");
-  std::vector<int> widths = {8, 10, 9, 11, 11, 11, 10, 9};
-  bench::PrintRow({"workers", "wall (s)", "speedup", "sent (KB)",
+  std::vector<int> widths = {6, 8, 10, 9, 11, 11, 11, 10, 9};
+  bench::PrintRow({"mode", "workers", "wall (s)", "speedup", "sent (KB)",
                    "recv (KB)", "exch (s)", "merge (s)", "respawns"},
                   widths);
   bench::PrintSeparator(widths);
 
   struct Point {
+    std::string transport;
     size_t workers = 0;
     double wall_seconds = 0;
     uint64_t bytes_sent = 0;
@@ -116,26 +122,29 @@ int main(int argc, char** argv) {
   std::vector<Point> points;
   std::vector<std::string> baseline_rules;
 
-  for (size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
-    if (workers > num_blocks) {
-      std::printf("(skipping workers=%zu: only %zu blocks)\n", workers,
-                  num_blocks);
-      continue;
-    }
+  // One sweep point: `reps` runs, best wall time kept, rules byte-compared
+  // against the first run of the whole sweep (fork, workers=1).
+  auto run_point = [&](const std::string& transport, size_t workers,
+                       const std::vector<std::string>& endpoints) -> bool {
     Point p;
+    p.transport = transport;
     p.workers = workers;
     for (size_t rep = 0; rep < reps; ++rep) {
       MinerOptions options = BaseOptions(threads, minsup, maxsup);
-      options.num_workers = workers;
+      if (endpoints.empty()) {
+        options.num_workers = workers;
+      } else {
+        options.worker_endpoints = endpoints;
+      }
       Result<MiningResult> result = MineDistributedQbt(qbt, options);
       QARM_CHECK(result.ok());
       if (baseline_rules.empty()) {
         baseline_rules = RulesAsJson(*result);
         QARM_CHECK(!baseline_rules.empty());
       } else if (RulesAsJson(*result) != baseline_rules) {
-        std::fprintf(stderr,
-                     "FATAL: workers=%zu changed the mined rules\n", workers);
-        return 1;
+        std::fprintf(stderr, "FATAL: %s workers=%zu changed the mined rules\n",
+                     transport.c_str(), workers);
+        return false;
       }
       if (rep == 0 || result->stats.total_seconds < p.wall_seconds) {
         p.wall_seconds = result->stats.total_seconds;
@@ -156,14 +165,48 @@ int main(int argc, char** argv) {
     const double speedup =
         points.empty() ? 1.0 : points.front().wall_seconds / p.wall_seconds;
     bench::PrintRow(
-        {StrFormat("%zu", p.workers), StrFormat("%.4f", p.wall_seconds),
-         StrFormat("%.2fx", speedup),
+        {p.transport, StrFormat("%zu", p.workers),
+         StrFormat("%.4f", p.wall_seconds), StrFormat("%.2fx", speedup),
          StrFormat("%.1f", p.bytes_sent / 1024.0),
          StrFormat("%.1f", p.bytes_received / 1024.0),
          StrFormat("%.4f", p.exchange_seconds),
          StrFormat("%.4f", p.merge_seconds), StrFormat("%zu", p.respawned)},
         widths);
-    points.push_back(p);
+    points.push_back(std::move(p));
+    return true;
+  };
+
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    if (workers > num_blocks) {
+      std::printf("(skipping fork workers=%zu: only %zu blocks)\n", workers,
+                  num_blocks);
+      continue;
+    }
+    if (!run_point("fork", workers, {})) return 1;
+  }
+
+  // The same sweep over localhost TCP: one worker server per endpoint, all
+  // in this process (the wire and the protocol are the production path;
+  // only the process boundary is elided, which is what makes fork-vs-tcp
+  // rows a clean measure of transport cost).
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
+    if (workers > num_blocks) {
+      std::printf("(skipping tcp workers=%zu: only %zu blocks)\n", workers,
+                  num_blocks);
+      continue;
+    }
+    std::vector<std::unique_ptr<WorkerServer>> servers;
+    std::vector<std::string> endpoints;
+    for (size_t i = 0; i < workers; ++i) {
+      WorkerServerOptions server_options;
+      server_options.qbt_path = qbt;
+      Result<std::unique_ptr<WorkerServer>> server =
+          WorkerServer::Start(server_options);
+      QARM_CHECK(server.ok());
+      endpoints.push_back("127.0.0.1:" + std::to_string((*server)->port()));
+      servers.push_back(std::move(server).value());
+    }
+    if (!run_point("tcp", workers, endpoints)) return 1;
   }
   std::remove(qbt.c_str());
 
@@ -179,12 +222,13 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
     json += StrFormat(
-        "%s\n    {\"workers\": %zu, \"wall_seconds\": %.6f,"
+        "%s\n    {\"transport\": \"%s\", \"workers\": %zu,"
+        " \"wall_seconds\": %.6f,"
         " \"speedup\": %.4f, \"bytes_sent\": %llu,"
         " \"bytes_received\": %llu, \"exchange_seconds\": %.6f,"
         " \"merge_seconds\": %.6f, \"workers_respawned\": %zu,"
         " \"passes\": [",
-        i > 0 ? "," : "", p.workers, p.wall_seconds,
+        i > 0 ? "," : "", p.transport.c_str(), p.workers, p.wall_seconds,
         points.front().wall_seconds / p.wall_seconds,
         static_cast<unsigned long long>(p.bytes_sent),
         static_cast<unsigned long long>(p.bytes_received),

@@ -48,11 +48,29 @@ struct DistPassStats {
   double merge_seconds = 0.0;     // fixed-order merge of shard counts
 };
 
+// Per-worker robustness accounting for one distributed run. Fork-mode
+// workers have an empty endpoint and count respawns; TCP workers count
+// reconnects (and how many of those redistributed the shard to a
+// different endpoint) plus the liveness traffic seen on their channel.
+struct DistWorkerStats {
+  uint32_t worker_id = 0;
+  std::string endpoint;           // "" in fork mode, HOST:PORT over TCP
+  size_t respawns = 0;            // fork-mode re-forks of this worker
+  size_t reconnects = 0;          // TCP sessions re-established
+  size_t redistributed = 0;       // reconnects that moved endpoints
+  size_t heartbeats = 0;          // liveness frames seen awaiting replies
+  size_t heartbeat_timeouts = 0;  // read deadlines that declared it dead
+  size_t frames_retried = 0;      // request/catalog frames resent in replay
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+};
+
 // Distributed-run statistics (num_workers == 0 for ordinary runs).
 struct DistRunStats {
   size_t num_workers = 0;
   size_t workers_respawned = 0;
   std::vector<DistPassStats> passes;
+  std::vector<DistWorkerStats> workers;
 };
 
 // Aggregate run statistics.

@@ -49,6 +49,40 @@ Status MinerOptions::Validate() const {
         StrFormat("num_workers must be at most %zu, got %zu", kMaxWorkers,
                   num_workers));
   }
+  if (!worker_endpoints.empty()) {
+    if (worker_endpoints.size() > kMaxWorkers) {
+      return Status::InvalidArgument(StrFormat(
+          "at most %zu worker endpoints are supported, got %zu", kMaxWorkers,
+          worker_endpoints.size()));
+    }
+    if (num_workers > 1) {
+      return Status::InvalidArgument(
+          "--workers (forked) and --worker=HOST:PORT (TCP) are mutually "
+          "exclusive; the endpoint list already fixes the worker count");
+    }
+    if (dist_io_timeout_ms == 0) {
+      return Status::InvalidArgument(
+          "dist_io_timeout_ms must be positive for TCP mining — an "
+          "unbounded read can hang on a partitioned worker");
+    }
+    if (dist_heartbeat_ms >= dist_io_timeout_ms) {
+      return Status::InvalidArgument(StrFormat(
+          "dist_heartbeat_ms (%llu) must be below dist_io_timeout_ms "
+          "(%llu), or a healthy worker trips the read deadline mid-pass",
+          static_cast<unsigned long long>(dist_heartbeat_ms),
+          static_cast<unsigned long long>(dist_io_timeout_ms)));
+    }
+    if (dist_connect_attempts == 0) {
+      return Status::InvalidArgument(
+          "dist_connect_attempts must be >= 1");
+    }
+    if (!std::isfinite(dist_connect_backoff_ms) ||
+        dist_connect_backoff_ms < 0.0) {
+      return Status::InvalidArgument(StrFormat(
+          "dist_connect_backoff_ms must be finite and >= 0, got %g",
+          dist_connect_backoff_ms));
+    }
+  }
   if (!checkpoint_path.empty()) {
     if (checkpoint_every_pass == 0) {
       return Status::InvalidArgument(

@@ -91,6 +91,33 @@ struct MinerOptions {
   // a run checkpointed at one worker count resumes at any other.
   size_t num_workers = 1;
 
+  // Remote worker endpoints ("HOST:PORT", repeatable --worker= on the CLI)
+  // for multi-host TCP mining. Non-empty switches the distributed entry
+  // point from forked workers to TCP sessions against `qarm worker`
+  // servers; num_workers is ignored in that mode (one worker per endpoint,
+  // capped by the block count — spare endpoints stay idle as
+  // redistribution targets when a worker dies). Execution knob: the mined
+  // rules are byte-identical across in-process, forked, and TCP runs.
+  std::vector<std::string> worker_endpoints;
+
+  // Per-frame read/write deadline for TCP mining, in milliseconds. Bounds
+  // every coordinator-side transport operation so a vanished or
+  // partitioned worker surfaces as an IOError (and a reconnect) instead of
+  // a hang. Must be positive when worker_endpoints is non-empty.
+  uint64_t dist_io_timeout_ms = 30000;
+
+  // Interval between worker liveness heartbeats while a long counting
+  // pass runs, in milliseconds; must stay below dist_io_timeout_ms so a
+  // healthy-but-slow worker never trips the read deadline. 0 disables
+  // heartbeats (not recommended outside tests).
+  uint64_t dist_heartbeat_ms = 1000;
+
+  // Connect retry budget per endpoint (attempts, with exponential
+  // backoff starting at dist_connect_backoff_ms) for discovery and
+  // reconnect after a worker death.
+  size_t dist_connect_attempts = 10;
+  double dist_connect_backoff_ms = 50.0;
+
   // Budget for the *extra* per-thread replicas of dense counting grids that
   // a parallel scan allocates (one replica per worker beyond the first).
   // Grids whose replicas do not fit — accounted cumulatively in group

@@ -196,7 +196,26 @@ std::string StatsToJson(const MiningStats& stats) {
           static_cast<unsigned long long>(pass.bytes_received),
           pass.exchange_seconds, pass.merge_seconds);
     }
-    out += "]}";
+    out += "]";
+    if (!stats.dist.workers.empty()) {
+      out += ",\"workers\":[";
+      for (size_t i = 0; i < stats.dist.workers.size(); ++i) {
+        const DistWorkerStats& worker = stats.dist.workers[i];
+        if (i > 0) out += ',';
+        out += StrFormat(
+            "{\"worker_id\":%u,\"endpoint\":\"%s\",\"respawns\":%zu,"
+            "\"reconnects\":%zu,\"redistributed\":%zu,\"heartbeats\":%zu,"
+            "\"heartbeat_timeouts\":%zu,\"frames_retried\":%zu,"
+            "\"bytes_sent\":%llu,\"bytes_received\":%llu}",
+            worker.worker_id, worker.endpoint.c_str(), worker.respawns,
+            worker.reconnects, worker.redistributed, worker.heartbeats,
+            worker.heartbeat_timeouts, worker.frames_retried,
+            static_cast<unsigned long long>(worker.bytes_sent),
+            static_cast<unsigned long long>(worker.bytes_received));
+      }
+      out += "]";
+    }
+    out += "}";
   }
   out += "}";
   return out;

@@ -4,15 +4,27 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/retry.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "dist/framing.h"
+#include "dist/handshake.h"
 
 namespace qarm {
+namespace {
+
+Status SendOn(Transport& transport, DistMessageType type,
+              const std::string& payload, uint64_t* bytes_sent) {
+  return SendFrame(transport, static_cast<uint32_t>(type), payload,
+                   bytes_sent);
+}
+
+}  // namespace
 
 Result<std::unique_ptr<DistWorkerPool>> DistWorkerPool::Start(
     const DistWorkerConfig& base, const std::vector<IndexRange>& shards) {
@@ -29,22 +41,53 @@ Result<std::unique_ptr<DistWorkerPool>> DistWorkerPool::Start(
     worker.config.generation = 0;
     worker.config.block_begin = shards[w].begin;
     worker.config.block_end = shards[w].end;
+    worker.stats.worker_id = worker.config.worker_id;
     QARM_RETURN_NOT_OK(pool->Fork(w));
+  }
+  return pool;
+}
+
+Result<std::unique_ptr<DistWorkerPool>> DistWorkerPool::Connect(
+    const DistWorkerConfig& base, const std::vector<IndexRange>& shards,
+    const DistTcpOptions& tcp) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("worker pool needs at least one shard");
+  }
+  if (shards.size() > tcp.endpoints.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "%zu shards need at least as many worker endpoints, got %zu",
+        shards.size(), tcp.endpoints.size()));
+  }
+  std::unique_ptr<DistWorkerPool> pool(new DistWorkerPool());
+  pool->tcp_mode_ = true;
+  pool->tcp_ = tcp;
+  pool->workers_.resize(shards.size());
+  for (size_t w = 0; w < shards.size(); ++w) {
+    Worker& worker = pool->workers_[w];
+    worker.config = base;
+    worker.config.worker_id = static_cast<uint32_t>(w);
+    worker.config.generation = 0;
+    worker.config.block_begin = shards[w].begin;
+    worker.config.block_end = shards[w].end;
+    worker.config.heartbeat_ms = tcp.heartbeat_ms;
+    worker.endpoint = w;
+    worker.stats.worker_id = worker.config.worker_id;
+    QARM_RETURN_NOT_OK(pool->ConnectWorker(w));
   }
   return pool;
 }
 
 DistWorkerPool::~DistWorkerPool() {
   for (Worker& worker : workers_) {
-    if (worker.fd >= 0) {
+    if (worker.transport != nullptr) {
       // Best-effort clean shutdown; the close right after guarantees the
-      // worker sees EOF and exits even if the frame never lands.
+      // worker sees EOF and ends the session even if the frame never
+      // lands.
       const Status sent =
-          SendFrame(worker.fd,
-                    static_cast<uint32_t>(DistMessageType::kShutdown), "");
+          SendOn(*worker.transport, DistMessageType::kShutdown, "", nullptr);
       (void)sent;
-      ::close(worker.fd);
-      worker.fd = -1;
+      worker.transport->Close();
+      worker.transport.reset();
     }
   }
   for (Worker& worker : workers_) {
@@ -54,6 +97,15 @@ DistWorkerPool::~DistWorkerPool() {
       worker.pid = -1;
     }
   }
+}
+
+std::vector<DistWorkerStats> DistWorkerPool::WorkerStats() const {
+  std::vector<DistWorkerStats> stats;
+  stats.reserve(workers_.size());
+  for (const Worker& worker : workers_) {
+    stats.push_back(worker.stats);
+  }
+  return stats;
 }
 
 Status DistWorkerPool::Fork(size_t w) {
@@ -73,14 +125,122 @@ Status DistWorkerPool::Fork(size_t w) {
     // this process must never run coordinator teardown.
     ::close(fds[0]);
     for (const Worker& other : workers_) {
-      if (other.fd >= 0) ::close(other.fd);
+      if (other.transport != nullptr) other.transport->Close();
     }
     std::_Exit(RunDistWorker(fds[1], workers_[w].config));
   }
   ::close(fds[1]);
-  workers_[w].fd = fds[0];
+  workers_[w].transport = std::make_unique<FdTransport>(fds[0]);
   workers_[w].pid = pid;
   return Status::OK();
+}
+
+Status DistWorkerPool::ConnectWorker(size_t w) {
+  Worker& worker = workers_[w];
+  worker.transport.reset();
+  RetryPolicy policy;
+  policy.max_attempts = std::max<size_t>(1, tcp_.connect_attempts);
+  policy.initial_backoff_ms = tcp_.connect_backoff_ms;
+  policy.max_backoff_ms = std::max(tcp_.connect_backoff_ms * 16.0, 1000.0);
+
+  DistHello hello;
+  hello.worker_id = worker.config.worker_id;
+  hello.generation = worker.config.generation;
+  hello.block_begin = worker.config.block_begin;
+  hello.block_end = worker.config.block_end;
+  hello.fingerprint = worker.config.fingerprint;
+  hello.num_threads = worker.config.options.num_threads;
+  hello.counter_memory_budget_bytes =
+      worker.config.options.counter_memory_budget_bytes;
+  hello.parallel_replication_budget_bytes =
+      worker.config.options.parallel_replication_budget_bytes;
+  hello.stream_block_rows = worker.config.options.stream_block_rows;
+  hello.heartbeat_ms = worker.config.heartbeat_ms;
+  hello.io_timeout_ms = tcp_.io_timeout_ms;
+  hello.inject_faults_spec = worker.config.options.inject_faults_spec;
+  std::string hello_payload;
+  EncodeHello(hello, &hello_payload);
+
+  // Walk the endpoint ring from the worker's pin: the same endpoint first
+  // (a restarted server replays), then the survivors (redistribution).
+  // Channel-level failures move to the next endpoint; a *deterministic*
+  // rejection (version mismatch, wrong shard file, a kError reply) fails
+  // the run — every endpoint of a misconfigured cluster would say the same.
+  Status last = Status::IOError("no worker endpoints configured");
+  for (size_t i = 0; i < tcp_.endpoints.size(); ++i) {
+    const size_t e = (worker.endpoint + i) % tcp_.endpoints.size();
+    const WorkerEndpoint& endpoint = tcp_.endpoints[e];
+    int fd = -1;
+    const Status connected =
+        RetryWithBackoff(policy, e, nullptr, [&]() -> Status {
+          Result<int> r =
+              TcpConnect(endpoint.host, endpoint.port, tcp_.io_timeout_ms);
+          if (!r.ok()) return r.status();
+          fd = *r;
+          return Status::OK();
+        });
+    if (!connected.ok()) {
+      last = connected;
+      continue;
+    }
+    auto transport = std::make_unique<TcpTransport>(fd, tcp_.io_timeout_ms,
+                                                    tcp_.io_timeout_ms);
+    const Status shook = SendOn(*transport, DistMessageType::kHello,
+                                hello_payload, &worker.stats.bytes_sent);
+    if (!shook.ok()) {
+      last = shook;
+      continue;
+    }
+    Result<DistFrame> reply =
+        RecvFrame(*transport, &worker.stats.bytes_received);
+    if (!reply.ok()) {
+      last = reply.status();
+      continue;
+    }
+    if (reply->type == static_cast<uint32_t>(DistMessageType::kError)) {
+      return Status::IOError(StrFormat(
+          "worker endpoint %s rejected the handshake: %s",
+          endpoint.text.c_str(), reply->payload.c_str()));
+    }
+    if (reply->type != static_cast<uint32_t>(DistMessageType::kHelloAck)) {
+      return Status::Internal(StrFormat(
+          "worker endpoint %s answered the Hello with frame type %u",
+          endpoint.text.c_str(), reply->type));
+    }
+    Result<DistHelloAck> ack = ParseHelloAck(
+        reinterpret_cast<const uint8_t*>(reply->payload.data()),
+        reply->payload.size());
+    if (!ack.ok()) return ack.status();
+    if (ack->worker_id != worker.config.worker_id ||
+        ack->generation != worker.config.generation ||
+        ack->fingerprint != worker.config.fingerprint) {
+      return Status::Internal(StrFormat(
+          "worker endpoint %s acked a different assignment",
+          endpoint.text.c_str()));
+    }
+    if (ack->num_rows != tcp_.expected_num_rows ||
+        ack->num_blocks != tcp_.expected_num_blocks ||
+        ack->index_crc != tcp_.expected_index_crc) {
+      return Status::InvalidArgument(StrFormat(
+          "worker endpoint %s serves a different QBT (rows %llu vs %llu, "
+          "blocks %llu vs %llu, index crc %08x vs %08x) — every worker "
+          "must serve the same table file as the coordinator",
+          endpoint.text.c_str(),
+          static_cast<unsigned long long>(ack->num_rows),
+          static_cast<unsigned long long>(tcp_.expected_num_rows),
+          static_cast<unsigned long long>(ack->num_blocks),
+          static_cast<unsigned long long>(tcp_.expected_num_blocks),
+          ack->index_crc, tcp_.expected_index_crc));
+    }
+    worker.endpoint = e;
+    worker.stats.endpoint = endpoint.text;
+    worker.transport = std::move(transport);
+    return Status::OK();
+  }
+  return Status::IOError(StrFormat(
+      "worker %u cannot reach any of the %zu endpoints; last error: %s",
+      worker.config.worker_id, tcp_.endpoints.size(),
+      last.ToString().c_str()));
 }
 
 Status DistWorkerPool::RespawnAndReplay(size_t w,
@@ -88,9 +248,9 @@ Status DistWorkerPool::RespawnAndReplay(size_t w,
                                         const std::string& request_payload,
                                         DistPassStats* stats) {
   Worker& worker = workers_[w];
-  if (worker.fd >= 0) {
-    ::close(worker.fd);
-    worker.fd = -1;
+  if (worker.transport != nullptr) {
+    worker.transport->Close();
+    worker.transport.reset();
   }
   if (worker.pid > 0) {
     int wstatus = 0;
@@ -109,8 +269,22 @@ Status DistWorkerPool::RespawnAndReplay(size_t w,
                     << worker.config.generation << ") and replaying blocks ["
                     << worker.config.block_begin << ", "
                     << worker.config.block_end << ")";
-  QARM_RETURN_NOT_OK(Fork(w));
-  uint64_t* sent = stats != nullptr ? &stats->bytes_sent : nullptr;
+  if (tcp_mode_) {
+    const size_t previous_endpoint = worker.endpoint;
+    QARM_RETURN_NOT_OK(ConnectWorker(w));
+    ++worker.stats.reconnects;
+    if (worker.endpoint != previous_endpoint) {
+      ++worker.stats.redistributed;
+      QARM_LOG(Warning) << "worker " << worker.config.worker_id
+                        << " redistributed from endpoint "
+                        << tcp_.endpoints[previous_endpoint].text << " to "
+                        << tcp_.endpoints[worker.endpoint].text;
+    }
+  } else {
+    QARM_RETURN_NOT_OK(Fork(w));
+    ++worker.stats.respawns;
+  }
+  uint64_t sent_bytes = 0;
   // Replay: the catalog (when one was published) restores the worker's only
   // cross-request state, then the in-flight request re-runs its shard scan.
   // A worker that died during the catalog broadcast itself has the catalog
@@ -118,20 +292,26 @@ Status DistWorkerPool::RespawnAndReplay(size_t w,
   // and the request (the duplicate doubled the replay bytes for nothing).
   if (!catalog_payload_.empty() &&
       request_type != DistMessageType::kCatalog) {
-    QARM_RETURN_NOT_OK(
-        SendFrame(worker.fd, static_cast<uint32_t>(DistMessageType::kCatalog),
-                  catalog_payload_, sent));
+    QARM_RETURN_NOT_OK(SendOn(*worker.transport, DistMessageType::kCatalog,
+                              catalog_payload_, &sent_bytes));
+    ++worker.stats.frames_retried;
   }
-  return SendFrame(worker.fd, static_cast<uint32_t>(request_type),
-                   request_payload, sent);
+  const Status resent = SendOn(*worker.transport, request_type,
+                               request_payload, &sent_bytes);
+  ++worker.stats.frames_retried;
+  worker.stats.bytes_sent += sent_bytes;
+  if (stats != nullptr) stats->bytes_sent += sent_bytes;
+  return resent;
 }
 
 Status DistWorkerPool::SendToWorker(size_t w, DistMessageType type,
                                     const std::string& payload,
                                     DistPassStats* stats) {
-  uint64_t* sent = stats != nullptr ? &stats->bytes_sent : nullptr;
-  const Status status = SendFrame(workers_[w].fd,
-                                  static_cast<uint32_t>(type), payload, sent);
+  uint64_t sent_bytes = 0;
+  const Status status =
+      SendOn(*workers_[w].transport, type, payload, &sent_bytes);
+  workers_[w].stats.bytes_sent += sent_bytes;
+  if (stats != nullptr) stats->bytes_sent += sent_bytes;
   if (status.ok()) return status;
   // The worker died between requests; the replay resends this request.
   return RespawnAndReplay(w, type, payload, stats);
@@ -143,9 +323,19 @@ Status DistWorkerPool::ReceiveReply(size_t w, DistMessageType request_type,
                                     DistPassStats* stats,
                                     std::string* reply_payload) {
   for (;;) {
-    uint64_t* received = stats != nullptr ? &stats->bytes_received : nullptr;
-    Result<DistFrame> frame = RecvFrame(workers_[w].fd, received);
+    uint64_t received_bytes = 0;
+    Result<DistFrame> frame =
+        RecvFrame(*workers_[w].transport, &received_bytes);
+    workers_[w].stats.bytes_received += received_bytes;
+    if (stats != nullptr) stats->bytes_received += received_bytes;
     if (frame.ok()) {
+      if (frame->type ==
+          static_cast<uint32_t>(DistMessageType::kHeartbeat)) {
+        // Liveness, not a reply: the worker is mid-pass. Each heartbeat
+        // re-arms the read deadline (RecvFrame bounds per frame).
+        ++workers_[w].stats.heartbeats;
+        continue;
+      }
       if (frame->type == static_cast<uint32_t>(reply_type)) {
         *reply_payload = std::move(frame->payload);
         return Status::OK();
@@ -160,8 +350,14 @@ Status DistWorkerPool::ReceiveReply(size_t w, DistMessageType request_type,
           StrFormat("unexpected reply type %u from worker %u", frame->type,
                     workers_[w].config.worker_id));
     }
-    // Transport failure: the worker process is gone. Respawn, replay, and
-    // wait for the fresh incarnation's reply (budget enforced inside).
+    if (frame.status().ToString().find("timed out") != std::string::npos) {
+      // The per-frame deadline expired with no reply and no heartbeat:
+      // the peer is wedged or partitioned, not merely slow.
+      ++workers_[w].stats.heartbeat_timeouts;
+    }
+    // Transport failure: the worker (or its link) is gone. Respawn,
+    // replay, and wait for the fresh incarnation's reply (budget enforced
+    // inside).
     QARM_RETURN_NOT_OK(
         RespawnAndReplay(w, request_type, request_payload, stats));
   }

@@ -1,12 +1,16 @@
-// Coordinator side of distributed mining: owns the forked worker
-// processes, their socketpair channels, and the lockstep request/reply
-// exchanges. Failure model: a worker that vanishes (EOF/EPIPE on its
-// channel) is respawned with generation + 1 and replayed — the catalog (if
-// already published) plus the in-flight request — under a per-worker
-// respawn budget; a worker that *answers* with a kError frame fails the
+// Coordinator side of distributed mining: owns the worker channels (forked
+// child processes over socketpairs, or TCP sessions to `qarm worker`
+// servers) and the lockstep request/reply exchanges. Failure model: a
+// worker that vanishes (EOF, reset, or a missed read deadline) is given a
+// fresh incarnation at generation + 1 — re-forked in fork mode,
+// reconnected in TCP mode, redistributing its shard to the next reachable
+// endpoint when its own refuses to come back — and replayed: the catalog
+// (if already published) plus the in-flight request, under a per-worker
+// respawn budget. A worker that *answers* with a kError frame fails the
 // run instead, because a respawned worker would deterministically hit the
 // same error. Replies are always collected in worker order, so merged
-// counts never depend on worker scheduling.
+// counts never depend on worker scheduling or which endpoint served a
+// shard.
 #ifndef QARM_DIST_COORDINATOR_H_
 #define QARM_DIST_COORDINATOR_H_
 
@@ -22,17 +26,33 @@
 #include "common/thread_pool.h"
 #include "core/miner.h"
 #include "dist/messages.h"
+#include "dist/transport.h"
 #include "dist/worker.h"
+#include "dist/worker_registry.h"
 #include "storage/checkpoint_format.h"
 
 namespace qarm {
 
+// TCP-mode connection parameters plus the coordinator's view of the QBT,
+// cross-checked against every HelloAck so a worker serving a stale or
+// different shard copy is rejected at handshake time.
+struct DistTcpOptions {
+  std::vector<WorkerEndpoint> endpoints;
+  uint64_t io_timeout_ms = 30000;   // per-frame read/write deadline
+  uint64_t heartbeat_ms = 1000;     // worker liveness interval (< timeout)
+  size_t connect_attempts = 10;     // per endpoint, with backoff
+  double connect_backoff_ms = 50.0;
+  uint64_t expected_num_rows = 0;
+  uint64_t expected_num_blocks = 0;
+  uint32_t expected_index_crc = 0;
+};
+
 class DistWorkerPool {
  public:
-  // One worker survives this many respawns before the pool declares it
-  // permanently dead and fails the run. Each respawn raises the worker's
-  // generation, so any kill-fault schedule with fails_per_block <= this
-  // bound is ridden out.
+  // One worker survives this many respawns (or reconnects) before the pool
+  // declares it permanently dead and fails the run. Each respawn raises
+  // the worker's generation, so any kill-fault schedule with
+  // fails_per_block <= this bound is ridden out.
   static constexpr size_t kMaxRespawnsPerWorker = 5;
 
   // Forks one worker per shard (worker w counts blocks
@@ -43,7 +63,16 @@ class DistWorkerPool {
   static Result<std::unique_ptr<DistWorkerPool>> Start(
       const DistWorkerConfig& base, const std::vector<IndexRange>& shards);
 
-  // Shuts down and reaps every worker (close -> EOF -> worker exits).
+  // TCP mode: connects one session per shard, worker w pinned to
+  // tcp.endpoints[w] (shards.size() <= endpoints.size(); spare endpoints
+  // stay idle as redistribution targets). Each session opens with the
+  // versioned Hello/HelloAck handshake (dist/handshake.h).
+  static Result<std::unique_ptr<DistWorkerPool>> Connect(
+      const DistWorkerConfig& base, const std::vector<IndexRange>& shards,
+      const DistTcpOptions& tcp);
+
+  // Shuts down every worker (fork mode reaps the children; TCP mode just
+  // closes the sessions — the servers keep serving other runs).
   ~DistWorkerPool();
 
   DistWorkerPool(const DistWorkerPool&) = delete;
@@ -51,6 +80,8 @@ class DistWorkerPool {
 
   size_t num_workers() const { return workers_.size(); }
   size_t workers_respawned() const { return workers_respawned_; }
+  // Per-worker robustness counters, endpoint attribution included.
+  std::vector<DistWorkerStats> WorkerStats() const;
 
   // Pass 1: every worker scans its shard's value counts; returns the shard
   // snapshots in worker order, cross-checked against the expected
@@ -69,22 +100,30 @@ class DistWorkerPool {
  private:
   struct Worker {
     DistWorkerConfig config;
-    int fd = -1;
-    pid_t pid = -1;
+    std::unique_ptr<Transport> transport;
+    pid_t pid = -1;       // fork mode only
+    size_t endpoint = 0;  // TCP mode: index into tcp_.endpoints
+    DistWorkerStats stats;
   };
 
   DistWorkerPool() = default;
 
   Status Fork(size_t w);
-  // Kills the bookkeeping for a vanished worker, forks generation + 1, and
-  // replays the catalog plus the in-flight request.
+  // TCP: connect + handshake, walking the endpoint ring from the worker's
+  // current pin — so a reconnect tries the same endpoint first (replay)
+  // and falls over to survivors (redistribution) when it stays down.
+  Status ConnectWorker(size_t w);
+  // Kills the bookkeeping for a vanished worker, brings up generation + 1
+  // (refork or reconnect), and replays the catalog plus the in-flight
+  // request.
   Status RespawnAndReplay(size_t w, DistMessageType request_type,
                           const std::string& request_payload,
                           DistPassStats* stats);
   Status SendToWorker(size_t w, DistMessageType type,
                       const std::string& payload, DistPassStats* stats);
-  // Reads worker w's reply to the in-flight request, respawning and
-  // replaying through transport failures until the budget runs out.
+  // Reads worker w's reply to the in-flight request, skipping heartbeat
+  // frames and respawning/replaying through transport failures until the
+  // budget runs out.
   Status ReceiveReply(size_t w, DistMessageType request_type,
                       const std::string& request_payload,
                       DistMessageType reply_type, DistPassStats* stats,
@@ -94,6 +133,8 @@ class DistWorkerPool {
                                             DistMessageType reply_type,
                                             DistPassStats* stats);
 
+  bool tcp_mode_ = false;
+  DistTcpOptions tcp_;
   std::vector<Worker> workers_;
   std::string catalog_payload_;  // retained for respawn replay
   size_t workers_respawned_ = 0;

@@ -11,6 +11,7 @@
 #include "core/candidate_gen.h"
 #include "core/mining_checkpoint.h"
 #include "dist/coordinator.h"
+#include "dist/worker_registry.h"
 #include "storage/checkpoint_format.h"
 #include "storage/record_source.h"
 
@@ -49,10 +50,23 @@ Result<MiningResult> MineDistributedQbt(const std::string& qbt_path,
   QARM_ASSIGN_OR_RETURN(std::unique_ptr<QbtFileSource> source,
                         QbtFileSource::Open(qbt_path));
 
-  // A worker needs at least one block; a one-worker "pool" would only add
-  // transport overhead to an identical computation, so run it in-process.
-  const size_t requested = options.num_workers == 0 ? 1 : options.num_workers;
-  const size_t effective = std::min(requested, source->num_blocks());
+  // TCP mode (endpoints listed) runs one worker per endpoint; fork mode
+  // runs --workers processes. Either way a worker needs at least one
+  // block. A one-worker forked "pool" would only add transport overhead to
+  // an identical computation, so it runs in-process instead — but a single
+  // TCP endpoint still mines remotely: that is the point of the flag.
+  const bool tcp_mode = !options.worker_endpoints.empty();
+  std::vector<WorkerEndpoint> endpoints;
+  size_t effective = 0;
+  if (tcp_mode) {
+    QARM_ASSIGN_OR_RETURN(endpoints,
+                          ParseWorkerEndpoints(options.worker_endpoints));
+    effective = std::min(endpoints.size(), source->num_blocks());
+  } else {
+    const size_t requested =
+        options.num_workers == 0 ? 1 : options.num_workers;
+    effective = std::min(requested, source->num_blocks());
+  }
   const QuantitativeRuleMiner miner(options);
   // Append-mode checkpoints must record which QBT blocks they cover so a
   // later incremental run can validate the file grew without rewriting
@@ -63,7 +77,7 @@ Result<MiningResult> MineDistributedQbt(const std::string& qbt_path,
     base_info.index_crc =
         source->reader().IndexPrefixCrc(source->num_blocks());
   }
-  if (effective <= 1) {
+  if (effective == 0 || (effective == 1 && !tcp_mode)) {
     MiningHooks base_hooks;
     base_hooks.checkpoint_base = base_info;
     return miner.MineStreamed(*source, base_hooks);
@@ -75,8 +89,22 @@ Result<MiningResult> MineDistributedQbt(const std::string& qbt_path,
   base.fingerprint = ComputeMiningFingerprint(options, *source);
   const std::vector<IndexRange> shards =
       SplitRange(source->num_blocks(), effective);
-  QARM_ASSIGN_OR_RETURN(std::unique_ptr<DistWorkerPool> pool,
-                        DistWorkerPool::Start(base, shards));
+  std::unique_ptr<DistWorkerPool> pool;
+  if (tcp_mode) {
+    DistTcpOptions tcp;
+    tcp.endpoints = std::move(endpoints);
+    tcp.io_timeout_ms = options.dist_io_timeout_ms;
+    tcp.heartbeat_ms = options.dist_heartbeat_ms;
+    tcp.connect_attempts = options.dist_connect_attempts;
+    tcp.connect_backoff_ms = options.dist_connect_backoff_ms;
+    tcp.expected_num_rows = source->num_rows();
+    tcp.expected_num_blocks = source->num_blocks();
+    tcp.expected_index_crc =
+        source->reader().IndexPrefixCrc(source->num_blocks());
+    QARM_ASSIGN_OR_RETURN(pool, DistWorkerPool::Connect(base, shards, tcp));
+  } else {
+    QARM_ASSIGN_OR_RETURN(pool, DistWorkerPool::Start(base, shards));
+  }
 
   DistRunStats dist;
   dist.num_workers = pool->num_workers();
@@ -200,6 +228,7 @@ Result<MiningResult> MineDistributedQbt(const std::string& qbt_path,
   Result<MiningResult> result = miner.MineStreamed(*source, hooks);
   if (result.ok()) {
     dist.workers_respawned = pool->workers_respawned();
+    dist.workers = pool->WorkerStats();
     result->stats.dist = std::move(dist);
   }
   return result;

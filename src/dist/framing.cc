@@ -1,9 +1,6 @@
 #include "dist/framing.h"
 
-#include <cerrno>
 #include <cstring>
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include "common/string_util.h"
 #include "storage/crc32.h"
@@ -12,73 +9,47 @@
 namespace qarm {
 namespace {
 
-// Writes all of [data, data+size), retrying EINTR and short writes.
-// MSG_NOSIGNAL turns a dead peer into EPIPE instead of SIGPIPE; fds that
-// are not sockets (tests over plain pipes) fall back to write().
-Status WriteFull(int fd, const void* data, size_t size) {
-  const char* p = static_cast<const char*>(data);
-  size_t remaining = size;
-  while (remaining > 0) {
-    ssize_t n = ::send(fd, p, remaining, MSG_NOSIGNAL);
-    if (n < 0 && errno == ENOTSOCK) {
-      n = ::write(fd, p, remaining);
-    }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(
-          StrFormat("frame write failed: %s", std::strerror(errno)));
-    }
-    p += n;
-    remaining -= static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-// Reads exactly `size` bytes; EOF partway through is an error. `any_read`
-// distinguishes "peer closed between frames" from "peer died mid-frame" in
-// the message, though callers treat both as a dead worker.
-Status ReadFull(int fd, void* data, size_t size) {
+// Reads exactly `size` bytes, looping over the transport's partial reads.
+// EOF partway through is an error: the peer died mid-frame.
+Status ReadFull(Transport& transport, void* data, size_t size) {
   char* p = static_cast<char*>(data);
   size_t remaining = size;
   while (remaining > 0) {
-    const ssize_t n = ::read(fd, p, remaining);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(
-          StrFormat("frame read failed: %s", std::strerror(errno)));
-    }
+    size_t n = 0;
+    QARM_RETURN_NOT_OK(transport.Read(p, remaining, &n));
     if (n == 0) {
       return Status::IOError("peer closed the channel (EOF)");
     }
     p += n;
-    remaining -= static_cast<size_t>(n);
+    remaining -= n;
   }
   return Status::OK();
 }
 
 }  // namespace
 
-Status SendFrame(int fd, uint32_t type, const std::string& payload,
-                 uint64_t* bytes_sent) {
-  std::string header;
-  header.reserve(kDistFrameHeaderSize);
-  header.append(kDistFrameMagic, 4);
-  QbtAppendU32(&header, type);
-  QbtAppendU64(&header, payload.size());
-  QARM_RETURN_NOT_OK(WriteFull(fd, header.data(), header.size()));
-  QARM_RETURN_NOT_OK(WriteFull(fd, payload.data(), payload.size()));
-  std::string tail;
-  QbtAppendU32(&tail, Crc32(payload.data(), payload.size()));
-  QARM_RETURN_NOT_OK(WriteFull(fd, tail.data(), tail.size()));
+Status SendFrame(Transport& transport, uint32_t type,
+                 const std::string& payload, uint64_t* bytes_sent) {
+  // One buffer, one write: the frame either lands whole or the transport
+  // reports the failure for this frame — and the injected partial-write
+  // fault can tear it mid-frame the way a real crash would.
+  std::string frame;
+  frame.reserve(kDistFrameHeaderSize + payload.size() + 4);
+  frame.append(kDistFrameMagic, 4);
+  QbtAppendU32(&frame, type);
+  QbtAppendU64(&frame, payload.size());
+  frame.append(payload);
+  QbtAppendU32(&frame, Crc32(payload.data(), payload.size()));
+  QARM_RETURN_NOT_OK(transport.Write(frame.data(), frame.size()));
   if (bytes_sent != nullptr) {
-    *bytes_sent += kDistFrameHeaderSize + payload.size() + 4;
+    *bytes_sent += frame.size();
   }
   return Status::OK();
 }
 
-Result<DistFrame> RecvFrame(int fd, uint64_t* bytes_received) {
+Result<DistFrame> RecvFrame(Transport& transport, uint64_t* bytes_received) {
   uint8_t header[kDistFrameHeaderSize];
-  QARM_RETURN_NOT_OK(ReadFull(fd, header, sizeof(header)));
+  QARM_RETURN_NOT_OK(ReadFull(transport, header, sizeof(header)));
   if (std::memcmp(header, kDistFrameMagic, 4) != 0) {
     return Status::IOError("bad frame magic");
   }
@@ -92,10 +63,11 @@ Result<DistFrame> RecvFrame(int fd, uint64_t* bytes_received) {
   }
   frame.payload.resize(payload_size);
   if (payload_size > 0) {
-    QARM_RETURN_NOT_OK(ReadFull(fd, frame.payload.data(), payload_size));
+    QARM_RETURN_NOT_OK(
+        ReadFull(transport, frame.payload.data(), payload_size));
   }
   uint8_t crc_bytes[4];
-  QARM_RETURN_NOT_OK(ReadFull(fd, crc_bytes, sizeof(crc_bytes)));
+  QARM_RETURN_NOT_OK(ReadFull(transport, crc_bytes, sizeof(crc_bytes)));
   const uint32_t expected = QbtReadU32(crc_bytes);
   const uint32_t actual = Crc32(frame.payload.data(), frame.payload.size());
   if (expected != actual) {

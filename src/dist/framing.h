@@ -1,6 +1,6 @@
-// Length-prefixed, CRC-framed messages over a local byte stream (the
-// socketpair between the distributed-mining coordinator and a forked
-// worker). One frame:
+// Length-prefixed, CRC-framed messages over a dist/transport.h byte
+// stream (the socketpair between the distributed-mining coordinator and a
+// forked worker, or the TCP connection to a remote one). One frame:
 //
 //   [0]  u8[4]  magic "QDF1"
 //   [4]  u32    message type (DistMessageType)
@@ -8,11 +8,13 @@
 //   [16] ...    payload bytes
 //   [..] u32    CRC-32 of the payload
 //
-// All integers little-endian (the QBT helpers). The transport is a kernel
-// pipe between processes on one host, so a CRC mismatch means a program
-// bug, not line noise — the coordinator treats it like a dead worker and
-// respawns. Reads and writes retry EINTR and handle short transfers; a
-// clean EOF mid-frame surfaces as IOError (the peer died).
+// All integers little-endian (the QBT helpers). Over a local socketpair a
+// CRC mismatch means a program bug; over TCP it additionally covers a
+// connection that died mid-frame and got glued to garbage — either way the
+// coordinator treats it like a dead worker. A clean EOF mid-frame surfaces
+// as IOError (the peer died). SendFrame assembles the whole frame into one
+// buffer and issues a single Transport::Write, so the fault injector's
+// partial-write sabotage tears real frame boundaries.
 #ifndef QARM_DIST_FRAMING_H_
 #define QARM_DIST_FRAMING_H_
 
@@ -20,6 +22,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "dist/transport.h"
 
 namespace qarm {
 
@@ -35,15 +38,16 @@ struct DistFrame {
   std::string payload;
 };
 
-// Writes one frame to `fd`. `bytes_sent`, when non-null, is incremented by
-// the framed size (header + payload + CRC).
-Status SendFrame(int fd, uint32_t type, const std::string& payload,
-                 uint64_t* bytes_sent = nullptr);
+// Writes one frame. `bytes_sent`, when non-null, is incremented by the
+// framed size (header + payload + CRC).
+Status SendFrame(Transport& transport, uint32_t type,
+                 const std::string& payload, uint64_t* bytes_sent = nullptr);
 
-// Reads one frame from `fd`, validating magic and CRC. EOF before any
-// byte, EOF mid-frame, and CRC mismatch all return IOError — to the
+// Reads one frame, validating magic and CRC. EOF before any byte, EOF
+// mid-frame, a read deadline, and CRC mismatch all return IOError — to the
 // coordinator they mean the same thing (the worker is gone).
-Result<DistFrame> RecvFrame(int fd, uint64_t* bytes_received = nullptr);
+Result<DistFrame> RecvFrame(Transport& transport,
+                            uint64_t* bytes_received = nullptr);
 
 }  // namespace qarm
 

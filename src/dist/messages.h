@@ -37,6 +37,14 @@ enum class DistMessageType : uint32_t {
   kCountReply = 5,
   kShutdown = 6,
   kError = 7,
+  // TCP sessions only (dist/handshake.h). A fork-mode worker inherits its
+  // config through fork and never sees these.
+  kHello = 8,     // coordinator -> worker: versioned DistWorkerConfig
+  kHelloAck = 9,  // worker -> coordinator: identity echo + shard identity
+  // Liveness while a long counting pass runs: the worker emits these
+  // between request and reply so the coordinator's per-frame read deadline
+  // measures peer health, not pass length. Never a reply; receivers skip.
+  kHeartbeat = 10,
 };
 
 // One pass's candidates, coordinator -> worker. Pass 2 over a full L1

@@ -1,11 +1,16 @@
 #include "dist/worker.h"
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/string_util.h"
 #include "core/candidate_gen.h"
 #include "core/frequent_items.h"
 #include "core/support_counting.h"
@@ -13,22 +18,70 @@
 #include "dist/messages.h"
 #include "storage/checkpoint_format.h"
 #include "storage/fault_injection.h"
-#include "storage/record_source.h"
 
 namespace qarm {
 namespace {
 
-// Answers the current request with a kError frame carrying the status
-// message. A failed send means the coordinator is gone; the caller's next
-// RecvFrame will see the same and exit.
-void SendError(int fd, const Status& status) {
-  const Status sent = SendFrame(
-      fd, static_cast<uint32_t>(DistMessageType::kError), status.ToString());
-  (void)sent;
-}
+// Serializes every frame the session writes: replies from the request
+// handler and kHeartbeat frames from the liveness thread share one
+// transport, and frames must never interleave mid-frame.
+class SessionWriter {
+ public:
+  explicit SessionWriter(Transport& transport) : transport_(transport) {}
 
-Status HandlePass1(int fd, const DistWorkerConfig& config,
-                   const RecordSource& shard) {
+  Status Send(DistMessageType type, const std::string& payload) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return SendFrame(transport_, static_cast<uint32_t>(type), payload);
+  }
+
+ private:
+  Transport& transport_;
+  std::mutex mu_;
+};
+
+// Scoped liveness: while a long scan runs, a helper thread emits a
+// kHeartbeat frame every `interval_ms` so the coordinator's per-frame read
+// deadline measures peer health rather than pass length. Destroyed (and
+// joined) before the reply is sent. A failed heartbeat write just stops
+// the thread — the handler's own reply send will surface the dead channel.
+class HeartbeatGuard {
+ public:
+  HeartbeatGuard(SessionWriter& writer, uint64_t interval_ms) {
+    if (interval_ms == 0) return;
+    thread_ = std::thread([this, &writer, interval_ms] {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                         [this] { return stop_; })) {
+          return;
+        }
+        lock.unlock();
+        const Status sent = writer.Send(DistMessageType::kHeartbeat, "");
+        lock.lock();
+        if (!sent.ok()) return;
+      }
+    });
+  }
+
+  ~HeartbeatGuard() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+Result<std::string> HandlePass1(const DistWorkerConfig& config,
+                                const RecordSource& shard) {
   ScanIoStats io;
   QARM_ASSIGN_OR_RETURN(
       std::vector<std::vector<uint64_t>> value_counts,
@@ -46,13 +99,13 @@ Status HandlePass1(int fd, const DistWorkerConfig& config,
   snapshot.faults_injected = io.faults_injected;
   std::string payload;
   EncodeShardSnapshot(snapshot, &payload);
-  return SendFrame(fd, static_cast<uint32_t>(DistMessageType::kPass1Reply),
-                   payload);
+  return payload;
 }
 
-Status HandleCount(int fd, const DistWorkerConfig& config,
-                   const RecordSource& shard, const ItemCatalog* catalog,
-                   const std::string& payload) {
+Result<std::string> HandleCount(const DistWorkerConfig& config,
+                                const RecordSource& shard,
+                                const ItemCatalog* catalog,
+                                const std::string& payload) {
   if (catalog == nullptr) {
     return Status::Internal("count request arrived before the catalog");
   }
@@ -88,8 +141,7 @@ Status HandleCount(int fd, const DistWorkerConfig& config,
                                       config.options, &reply.stats));
   std::string out;
   EncodeCountReply(reply, &out);
-  return SendFrame(fd, static_cast<uint32_t>(DistMessageType::kCountReply),
-                   out);
+  return out;
 }
 
 // Deterministic crash hooks for the respawn tests. The block-read fault
@@ -103,49 +155,67 @@ bool TestExitHere(const DistWorkerConfig& config, const char* env) {
   return config.generation == 0 && std::getenv(env) != nullptr;
 }
 
+// A third hook for the TCP tests and the dist-tcp-smoke CI job: kill the
+// worker *process* after handling N frames of a generation-0 session, the
+// moral equivalent of `kill -9` landing mid-pass at a deterministic spot.
+uint64_t TestExitAfterFrames() {
+  const char* env = std::getenv("QARM_DIST_TEST_EXIT_AFTER_FRAMES");
+  if (env == nullptr) return 0;
+  return std::strtoull(env, nullptr, 10);
+}
+
 }  // namespace
 
-int RunDistWorker(int fd, const DistWorkerConfig& config) {
-  Result<std::unique_ptr<QbtFileSource>> opened =
-      QbtFileSource::Open(config.qbt_path);
-  if (!opened.ok()) {
-    SendError(fd, opened.status());
-    return 1;
-  }
-  const QbtFileSource& file = **opened;
-
+Status RunWorkerSession(Transport& transport, const DistWorkerConfig& config,
+                        const RecordSource& file) {
   // Fault injection wraps the *full* source so block ids in the fault
   // schedule stay global — the same spec faults the same blocks whether the
-  // run is single-process or sharded across any worker count.
+  // run is single-process or sharded across any worker count. Only the
+  // storage kinds apply here; network kinds live in the TCP transport.
   std::unique_ptr<FaultInjectingRecordSource> faulty;
   const RecordSource* full = &file;
   if (!config.options.inject_faults_spec.empty()) {
-    Result<FaultInjectionConfig> fault_config =
-        ParseFaultSpec(config.options.inject_faults_spec);
-    if (!fault_config.ok()) {
-      SendError(fd, fault_config.status());
-      return 1;
+    QARM_ASSIGN_OR_RETURN(FaultInjectionConfig fault_config,
+                          ParseFaultSpec(config.options.inject_faults_spec));
+    if (StorageFaultKinds(fault_config.kinds) != 0) {
+      fault_config.generation = config.generation;
+      faulty =
+          std::make_unique<FaultInjectingRecordSource>(file, fault_config);
+      full = faulty.get();
     }
-    fault_config->generation = config.generation;
-    faulty = std::make_unique<FaultInjectingRecordSource>(file, *fault_config);
-    full = faulty.get();
   }
   const BlockRangeSource shard(*full, config.block_begin, config.block_end);
 
+  SessionWriter writer(transport);
+  const uint64_t exit_after_frames = TestExitAfterFrames();
+  uint64_t frames_handled = 0;
   std::optional<ItemCatalog> catalog;
   for (;;) {
-    Result<DistFrame> frame = RecvFrame(fd);
+    Result<DistFrame> frame = RecvFrame(transport);
     if (!frame.ok()) {
       // Coordinator gone (or the channel corrupted) — nothing to report to.
-      return 1;
+      return frame.status();
+    }
+    ++frames_handled;
+    if (exit_after_frames > 0 && config.generation == 0 &&
+        frames_handled >= exit_after_frames) {
+      std::_Exit(137);  // mimic SIGKILL's 128+9 exit status
     }
     switch (static_cast<DistMessageType>(frame->type)) {
       case DistMessageType::kShutdown:
-        return 0;
+        return Status::OK();
       case DistMessageType::kPass1Request: {
-        const Status handled = HandlePass1(fd, config, shard);
-        if (!handled.ok()) SendError(fd, handled);
-        if (handled.ok() &&
+        Result<std::string> reply{std::string()};
+        {
+          HeartbeatGuard liveness(writer, config.heartbeat_ms);
+          reply = HandlePass1(config, shard);
+        }
+        const Status sent =
+            reply.ok() ? writer.Send(DistMessageType::kPass1Reply, *reply)
+                       : writer.Send(DistMessageType::kError,
+                                     reply.status().ToString());
+        (void)sent;
+        if (reply.ok() &&
             TestExitHere(config, "QARM_DIST_TEST_EXIT_BEFORE_CATALOG")) {
           std::_Exit(1);
         }
@@ -162,7 +232,9 @@ int RunDistWorker(int fd, const DistWorkerConfig& config) {
             parsed.ok() ? ItemCatalog::Restore(*full, *parsed)
                         : parsed.status();
         if (!restored.ok()) {
-          SendError(fd, restored.status());
+          const Status sent = writer.Send(DistMessageType::kError,
+                                          restored.status().ToString());
+          (void)sent;
           break;
         }
         // No reply: the coordinator pipelines the catalog broadcast with
@@ -171,18 +243,44 @@ int RunDistWorker(int fd, const DistWorkerConfig& config) {
         break;
       }
       case DistMessageType::kCountRequest: {
-        const Status handled =
-            HandleCount(fd, config, shard,
-                        catalog.has_value() ? &*catalog : nullptr,
-                        frame->payload);
-        if (!handled.ok()) SendError(fd, handled);
+        Result<std::string> reply{std::string()};
+        {
+          HeartbeatGuard liveness(writer, config.heartbeat_ms);
+          reply = HandleCount(config, shard,
+                              catalog.has_value() ? &*catalog : nullptr,
+                              frame->payload);
+        }
+        const Status sent =
+            reply.ok() ? writer.Send(DistMessageType::kCountReply, *reply)
+                       : writer.Send(DistMessageType::kError,
+                                     reply.status().ToString());
+        (void)sent;
         break;
       }
-      default:
-        SendError(fd, Status::Internal("unexpected message type"));
+      default: {
+        const Status sent = writer.Send(
+            DistMessageType::kError,
+            Status::Internal("unexpected message type").ToString());
+        (void)sent;
         break;
+      }
     }
   }
+}
+
+int RunDistWorker(int fd, const DistWorkerConfig& config) {
+  FdTransport transport(fd);
+  Result<std::unique_ptr<QbtFileSource>> opened =
+      QbtFileSource::Open(config.qbt_path);
+  if (!opened.ok()) {
+    const Status sent =
+        SendFrame(transport, static_cast<uint32_t>(DistMessageType::kError),
+                  opened.status().ToString());
+    (void)sent;
+    return 1;
+  }
+  const Status served = RunWorkerSession(transport, config, **opened);
+  return served.ok() ? 0 : 1;
 }
 
 }  // namespace qarm

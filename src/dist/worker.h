@@ -1,8 +1,13 @@
-// The forked worker side of distributed mining: a request loop that scans
-// its assigned QBT block range and answers the coordinator's framed
-// messages. Workers are deliberately dumb — they hold no pass state beyond
-// the published item catalog, so a respawned worker only needs the catalog
-// and the current request replayed to continue.
+// The worker side of distributed mining: a request loop that scans its
+// assigned QBT block range and answers the coordinator's framed messages.
+// Workers are deliberately dumb — they hold no pass state beyond the
+// published item catalog, so a respawned (or reconnected) worker only
+// needs the catalog and the current request replayed to continue.
+//
+// The loop itself (RunWorkerSession) is transport-generic: fork mode runs
+// it over the inherited socketpair (RunDistWorker), and the TCP worker
+// server (dist/worker_server.h) runs one session per accepted connection
+// after the Hello/HelloAck handshake supplies the config.
 #ifndef QARM_DIST_WORKER_H_
 #define QARM_DIST_WORKER_H_
 
@@ -10,7 +15,10 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
 #include "core/options.h"
+#include "dist/transport.h"
+#include "storage/record_source.h"
 
 namespace qarm {
 
@@ -18,9 +26,10 @@ struct DistWorkerConfig {
   std::string qbt_path;
   MinerOptions options;  // num_threads and inject_faults_spec apply here
   uint32_t worker_id = 0;
-  // Incarnation number: 0 for the first fork, +1 per respawn. Gates the
-  // fault injector's kill faults (FaultInjectionConfig::generation) so a
-  // scheduled kill fires once and the respawned worker survives the replay.
+  // Incarnation number: 0 for the first fork/connect, +1 per respawn or
+  // reconnect. Gates the fault injector's kill faults and the transport's
+  // network faults (FaultInjectionConfig::generation) so a scheduled fault
+  // fires once and the respawned incarnation survives the replay.
   uint64_t generation = 0;
   // Contiguous range of the QBT's blocks this worker counts.
   size_t block_begin = 0;
@@ -28,14 +37,24 @@ struct DistWorkerConfig {
   // The run fingerprint, stamped into pass-1 shard snapshots so the
   // coordinator can cross-check that a worker is serving the same run.
   uint64_t fingerprint = 0;
+  // Liveness heartbeats while a request is being served (ms between
+  // kHeartbeat frames); 0 — the fork-mode setting — disables them.
+  uint64_t heartbeat_ms = 0;
 };
 
-// Runs the worker request loop on `fd` until a kShutdown frame or EOF.
+// Serves requests from `transport` against `file` (the worker's full view
+// of the QBT; the session scopes it to the config's block range) until a
+// kShutdown frame (OK) or a transport failure (the error). Clean
+// per-request failures are answered with kError frames and the loop
+// continues. When the config's fault spec carries storage kinds, the scan
+// runs through a FaultInjectingRecordSource at the config's generation.
+Status RunWorkerSession(Transport& transport, const DistWorkerConfig& config,
+                        const RecordSource& file);
+
+// Fork-mode entry: opens the QBT itself and runs the session over `fd`.
 // Called in the forked child, which must pass the return value to _Exit —
-// never return into the coordinator's stack. Opens its own view of the QBT
-// file; all replies (including clean per-request failures, sent as kError
-// frames) go back over `fd`. Returns 0 on a clean shutdown, 1 when the
-// channel broke.
+// never return into the coordinator's stack. Returns 0 on a clean
+// shutdown, 1 when the channel broke.
 int RunDistWorker(int fd, const DistWorkerConfig& config);
 
 }  // namespace qarm

@@ -1,0 +1,56 @@
+#include "dist/worker_registry.h"
+
+#include "common/string_util.h"
+
+namespace qarm {
+
+Result<WorkerEndpoint> ParseWorkerEndpoint(const std::string& text) {
+  WorkerEndpoint endpoint;
+  endpoint.text = text;
+  std::string host;
+  std::string port_text;
+  if (!text.empty() && text[0] == '[') {
+    // Bracketed IPv6 literal: [::1]:7401.
+    const size_t close = text.find(']');
+    if (close == std::string::npos || close + 1 >= text.size() ||
+        text[close + 1] != ':') {
+      return Status::InvalidArgument(StrFormat(
+          "worker endpoint '%s' is not [IPV6]:PORT", text.c_str()));
+    }
+    host = text.substr(1, close - 1);
+    port_text = text.substr(close + 2);
+  } else {
+    const size_t colon = text.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(StrFormat(
+          "worker endpoint '%s' is not HOST:PORT", text.c_str()));
+    }
+    host = text.substr(0, colon);
+    port_text = text.substr(colon + 1);
+  }
+  if (host.empty()) {
+    return Status::InvalidArgument(StrFormat(
+        "worker endpoint '%s' has an empty host", text.c_str()));
+  }
+  Result<uint64_t> port = ParseUint64(port_text);
+  if (!port.ok() || *port == 0 || *port > 65535) {
+    return Status::InvalidArgument(StrFormat(
+        "worker endpoint '%s' needs a port in [1, 65535]", text.c_str()));
+  }
+  endpoint.host = std::move(host);
+  endpoint.port = static_cast<uint16_t>(*port);
+  return endpoint;
+}
+
+Result<std::vector<WorkerEndpoint>> ParseWorkerEndpoints(
+    const std::vector<std::string>& texts) {
+  std::vector<WorkerEndpoint> endpoints;
+  endpoints.reserve(texts.size());
+  for (const std::string& text : texts) {
+    QARM_ASSIGN_OR_RETURN(WorkerEndpoint endpoint, ParseWorkerEndpoint(text));
+    endpoints.push_back(std::move(endpoint));
+  }
+  return endpoints;
+}
+
+}  // namespace qarm

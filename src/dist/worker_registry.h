@@ -1,0 +1,38 @@
+// Parsing and bookkeeping for remote-worker endpoints (`--worker=HOST:PORT`,
+// repeatable). The registry is deliberately static — the endpoint list the
+// coordinator starts with is the universe of workers for the whole run —
+// but assignment within it is dynamic: when a worker dies and cannot be
+// reconnected within the connect budget, its shard is redistributed to the
+// next reachable endpoint in fixed order, which keeps recovery
+// deterministic (the same failure always lands on the same survivor).
+#ifndef QARM_DIST_WORKER_REGISTRY_H_
+#define QARM_DIST_WORKER_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qarm {
+
+struct WorkerEndpoint {
+  std::string host;
+  uint16_t port = 0;
+  // The user's original HOST:PORT spelling, for stats and diagnostics.
+  std::string text;
+};
+
+// Parses "HOST:PORT". HOST may be a name, an IPv4 literal, or a bracketed
+// IPv6 literal ("[::1]:7401" — the last ':' outside brackets splits).
+// InvalidArgument on a missing/empty host, a missing ':', or a port that
+// is not an integer in [1, 65535].
+Result<WorkerEndpoint> ParseWorkerEndpoint(const std::string& text);
+
+// Parses every endpoint or fails on the first bad one.
+Result<std::vector<WorkerEndpoint>> ParseWorkerEndpoints(
+    const std::vector<std::string>& texts);
+
+}  // namespace qarm
+
+#endif  // QARM_DIST_WORKER_REGISTRY_H_

@@ -1,0 +1,84 @@
+// The `qarm worker` process: listens on a TCP port, and serves one mining
+// session (dist/worker.h request loop) per accepted connection. The server
+// opens its QBT once at startup and shares the mmap across sessions —
+// concurrent sessions are how shard redistribution works: when another
+// worker dies, the coordinator connects a second session to a survivor
+// carrying the dead worker's shard assignment in the Hello.
+//
+// Connection lifecycle:
+//   accept -> RecvFrame (must be kHello) -> ParseHello -> arm faults and
+//   the write deadline from the Hello -> send kHelloAck (shard identity:
+//   rows, blocks, index CRC) -> RunWorkerSession until shutdown/EOF.
+//
+// A connection that opens with garbage (bad magic, truncated Hello, a
+// version mismatch) gets a best-effort kError frame and is closed; the
+// server itself keeps serving. The server trusts the coordinator for shard
+// assignment but never for memory safety: every Hello field is bounds-
+// checked by the handshake codec before use.
+#ifndef QARM_DIST_WORKER_SERVER_H_
+#define QARM_DIST_WORKER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/transport.h"
+#include "storage/record_source.h"
+
+namespace qarm {
+
+struct WorkerServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; read the bound port back via port()
+  std::string qbt_path;
+  // Write deadline used until a session's Hello supplies its own.
+  uint64_t handshake_timeout_ms = 30000;
+};
+
+class WorkerServer {
+ public:
+  // Opens the QBT, binds the listener, and starts the accept thread.
+  static Result<std::unique_ptr<WorkerServer>> Start(
+      const WorkerServerOptions& options);
+
+  ~WorkerServer();
+
+  // Stops accepting, tears down in-flight sessions (their reads fail with
+  // a shutdown error), and joins every thread. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  uint64_t sessions_served() const {
+    return sessions_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  WorkerServer() = default;
+
+  void AcceptLoop();
+  void ServeConnection(const std::shared_ptr<TcpTransport>& transport);
+
+  WorkerServerOptions options_;
+  std::unique_ptr<QbtFileSource> file_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  bool stopping_ = false;
+  struct Session {
+    std::thread thread;
+    std::shared_ptr<TcpTransport> transport;
+  };
+  std::vector<Session> sessions_;
+  std::atomic<uint64_t> sessions_served_{0};
+};
+
+}  // namespace qarm
+
+#endif  // QARM_DIST_WORKER_SERVER_H_

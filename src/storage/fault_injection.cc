@@ -39,10 +39,17 @@ Result<uint32_t> ParseKinds(std::string_view text) {
       kinds |= static_cast<uint32_t>(FaultKind::kCrc);
     } else if (name == "kill") {
       kinds |= static_cast<uint32_t>(FaultKind::kKill);
+    } else if (name == "conn_reset") {
+      kinds |= static_cast<uint32_t>(FaultKind::kConnReset);
+    } else if (name == "stall") {
+      kinds |= static_cast<uint32_t>(FaultKind::kStall);
+    } else if (name == "partial_write") {
+      kinds |= static_cast<uint32_t>(FaultKind::kPartialWrite);
     } else {
       return Status::InvalidArgument(
           "fault spec: unknown kind '" + name +
-          "' (expected eio, short, crc, or kill, joined with '+')");
+          "' (expected eio, short, crc, kill, conn_reset, stall, or "
+          "partial_write, joined with '+')");
     }
   }
   if (kinds == 0) {
@@ -93,10 +100,16 @@ Result<FaultInjectionConfig> ParseFaultSpec(std::string_view spec) {
         return Status::InvalidArgument(
             "fault spec: 'backoff' must be >= 0");
       }
+    } else if (key == "stall") {
+      QARM_ASSIGN_OR_RETURN(config.stall_ms, ParseDouble(value));
+      if (config.stall_ms < 0.0) {
+        return Status::InvalidArgument("fault spec: 'stall' must be >= 0");
+      }
     } else {
       return Status::InvalidArgument(
           "fault spec: unknown key '" + std::string(key) +
-          "' (expected seed, rate, fails, after, kinds, attempts, backoff)");
+          "' (expected seed, rate, fails, after, kinds, attempts, backoff, "
+          "stall)");
     }
   }
   return config;
@@ -106,14 +119,20 @@ FaultInjectingRecordSource::FaultInjectingRecordSource(
     const RecordSource& inner, const FaultInjectionConfig& config)
     : inner_(&inner),
       config_(config),
-      block_failures_(new std::atomic<uint64_t>[inner.num_blocks()]()) {}
+      block_failures_(new std::atomic<uint64_t>[inner.num_blocks()]()) {
+  // A record source can only inject storage faults; the network kinds
+  // belong to the TCP transport. Mask them so a mixed spec works here.
+  config_.kinds = StorageFaultKinds(config_.kinds);
+}
 
 FaultInjectingRecordSource::FaultInjectingRecordSource(
     std::unique_ptr<RecordSource> inner, const FaultInjectionConfig& config)
     : inner_(inner.get()),
       owned_(std::move(inner)),
       config_(config),
-      block_failures_(new std::atomic<uint64_t>[inner_->num_blocks()]()) {}
+      block_failures_(new std::atomic<uint64_t>[inner_->num_blocks()]()) {
+  config_.kinds = StorageFaultKinds(config_.kinds);
+}
 
 bool FaultInjectingRecordSource::BlockIsFaulted(size_t b) const {
   const uint64_t bits =
@@ -140,7 +159,8 @@ Status FaultInjectingRecordSource::InjectOrRead(size_t b,
                                                 BlockView* view) const {
   const uint64_t read_ordinal =
       total_reads_.fetch_add(1, std::memory_order_relaxed);
-  if (BlockIsFaulted(b) && read_ordinal >= config_.after_reads) {
+  if (config_.kinds != 0 && BlockIsFaulted(b) &&
+      read_ordinal >= config_.after_reads) {
     // Process death is not a retryable read error: the first `fails`
     // incarnations die outright; a respawned reader (generation bumped)
     // survives the block. The budget is the generation, not a per-block
@@ -166,7 +186,13 @@ Status FaultInjectingRecordSource::InjectOrRead(size_t b,
           return Status::IOError(
               StrFormat("injected checksum mismatch in block %zu", b));
         case FaultKind::kKill:
-          break;  // handled before the per-block budget above
+        case FaultKind::kConnReset:
+        case FaultKind::kStall:
+        case FaultKind::kPartialWrite:
+          // kKill is handled before the per-block budget above; the
+          // network kinds never reach a record source (the constructor
+          // masks them off — they live in the TCP transport).
+          break;
       }
     }
     // Budget exhausted for this block: the "device" recovered.

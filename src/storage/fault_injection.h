@@ -23,9 +23,19 @@
 //   fails=N       failed attempts per faulted block, >= 1 (default 1)
 //   after=N       suppress injection for the first N block reads, letting a
 //                 fault target a later pass (default 0)
-//   kinds=K+K     subset of eio, short, crc, kill (default eio+short+crc)
+//   kinds=K+K     subset of eio, short, crc, kill, conn_reset, stall,
+//                 partial_write (default eio+short+crc)
 //   attempts=N    decorator retry budget, >= 1 (default 4)
 //   backoff=F     initial retry backoff in ms, >= 0 (default 0.01)
+//   stall=F       how long a stall fault plays dead, ms (default 1000)
+//
+// The kinds split into two families. Storage kinds (eio, short, crc, kill)
+// fault block reads through FaultInjectingRecordSource. Network kinds
+// (conn_reset, stall, partial_write) fault a TCP worker's frame *writes*
+// through dist/transport.h's TcpTransport; they share this grammar and the
+// seed/rate/after/fails scheduling so one spec can exercise both layers.
+// FaultInjectingRecordSource must only ever see a config whose kinds
+// include at least one storage kind (StorageFaultKinds below).
 #ifndef QARM_STORAGE_FAULT_INJECTION_H_
 #define QARM_STORAGE_FAULT_INJECTION_H_
 
@@ -54,7 +64,27 @@ enum class FaultKind : uint32_t {
   // fails), so the default fails=1 kills a worker exactly once and its
   // replacement replays the shard cleanly.
   kKill = 1u << 3,
+  // Network kinds (TCP worker transport, dist/transport.h). Like kKill they
+  // gate on generation < fails, so a reconnected session replays clean.
+  kConnReset = 1u << 4,     // RST the connection instead of the write
+  kStall = 1u << 5,         // play dead until the peer's deadline fires
+  kPartialWrite = 1u << 6,  // half the frame lands, then the RST
 };
+
+// The storage (block-read) subset of a kinds mask.
+inline uint32_t StorageFaultKinds(uint32_t kinds) {
+  return kinds & (static_cast<uint32_t>(FaultKind::kEio) |
+                  static_cast<uint32_t>(FaultKind::kShortRead) |
+                  static_cast<uint32_t>(FaultKind::kCrc) |
+                  static_cast<uint32_t>(FaultKind::kKill));
+}
+
+// The network (frame-write) subset of a kinds mask.
+inline uint32_t NetFaultKinds(uint32_t kinds) {
+  return kinds & (static_cast<uint32_t>(FaultKind::kConnReset) |
+                  static_cast<uint32_t>(FaultKind::kStall) |
+                  static_cast<uint32_t>(FaultKind::kPartialWrite));
+}
 
 struct FaultInjectionConfig {
   uint64_t seed = 1;
@@ -66,8 +96,12 @@ struct FaultInjectionConfig {
                    static_cast<uint32_t>(FaultKind::kCrc);
   RetryPolicy retry{/*max_attempts=*/4, /*initial_backoff_ms=*/0.01,
                     /*backoff_multiplier=*/2.0, /*max_backoff_ms=*/1.0};
+  // How long a network stall fault plays dead (spec key `stall`, ms). Must
+  // exceed the peer's read deadline to actually look like a partition.
+  double stall_ms = 1000.0;
   // Not part of the spec grammar: set programmatically by a respawned
-  // distributed worker (0 = first incarnation). Gates kKill faults only.
+  // distributed worker (0 = first incarnation). Gates kKill and the
+  // network kinds only.
   uint64_t generation = 0;
 };
 

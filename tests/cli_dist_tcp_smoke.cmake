@@ -1,0 +1,187 @@
+# Multi-host TCP mining smoke: gen -> convert -> start two `qarm worker`
+# servers on localhost -> mine over --worker=HOST:PORT and require rules
+# bit-identical to the single-process run. Then a crash drill: a third
+# worker armed with the deterministic kill switch dies with SIGKILL's exit
+# status mid-pass, the coordinator redistributes its shard to the healthy
+# survivor, and the rules still match byte for byte.
+set(SCHEMA "monthly_income:quant,credit_limit:quant,current_balance:quant,ytd_balance:quant,ytd_interest:quant:double,employee_category:cat,marital_status:cat")
+set(MINE_FLAGS --minsup=0.3 --minconf=0.6 --k=3.0 --format=csv)
+set(QBT ${WORK_DIR}/dist_tcp_fin.qbt)
+
+foreach(name a b dying)
+  file(REMOVE ${WORK_DIR}/tcp_worker_${name}.port
+              ${WORK_DIR}/tcp_worker_${name}.pid
+              ${WORK_DIR}/tcp_worker_${name}.log)
+endforeach()
+
+execute_process(
+  COMMAND ${QARM} gen --output=${WORK_DIR}/dist_tcp_fin.csv --records=2000
+          --seed=11
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "qarm gen exited with ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${QARM} convert --input=${WORK_DIR}/dist_tcp_fin.csv
+          --schema=${SCHEMA} --output=${QBT} --block-rows=128
+          --minsup=0.3 --k=3.0
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "qarm convert exited with ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${QARM} --input-qbt=${QBT} ${MINE_FLAGS} --workers=1 --threads=1
+  OUTPUT_VARIABLE single
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "qarm --workers=1 exited with ${rc}")
+endif()
+if(single STREQUAL "")
+  message(FATAL_ERROR "smoke mining produced no rules")
+endif()
+
+# Launches a worker server in the background; EXTRA_ENV (may be empty)
+# is prepended as VAR=VALUE. Each self-stops after 120s as a backstop.
+function(start_worker name extra_env)
+  execute_process(
+    COMMAND sh -c "${extra_env} '${QARM}' worker --listen=127.0.0.1:0 \
+--input-qbt='${QBT}' --port-file='${WORK_DIR}/tcp_worker_${name}.port' \
+--serve-seconds=120 > '${WORK_DIR}/tcp_worker_${name}.log' 2>&1 & \
+echo $! > '${WORK_DIR}/tcp_worker_${name}.pid'"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "failed to launch worker ${name} (rc ${rc})")
+  endif()
+endfunction()
+
+function(wait_for_port name out_var)
+  set(port "")
+  foreach(i RANGE 100)
+    if(EXISTS ${WORK_DIR}/tcp_worker_${name}.port)
+      file(READ ${WORK_DIR}/tcp_worker_${name}.port port)
+      string(STRIP "${port}" port)
+      break()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+  endforeach()
+  if(port STREQUAL "")
+    file(READ ${WORK_DIR}/tcp_worker_${name}.log worker_log)
+    message(FATAL_ERROR
+      "worker ${name} never wrote its port file; log:\n${worker_log}")
+  endif()
+  set(${out_var} "${port}" PARENT_SCOPE)
+endfunction()
+
+function(stop_worker name)
+  execute_process(
+    COMMAND sh -c "kill -TERM $(cat '${WORK_DIR}/tcp_worker_${name}.pid') \
+2>/dev/null; true")
+endfunction()
+
+start_worker(a "")
+start_worker(b "")
+wait_for_port(a port_a)
+wait_for_port(b port_b)
+
+# Healthy path: two TCP workers, rules identical to the single process.
+execute_process(
+  COMMAND ${QARM} --input-qbt=${QBT} ${MINE_FLAGS}
+          --worker=127.0.0.1:${port_a} --worker=127.0.0.1:${port_b}
+          --threads=2 --stats
+  OUTPUT_VARIABLE tcp_rules
+  ERROR_VARIABLE tcp_stats
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "TCP mine exited with ${rc}: ${tcp_stats}")
+endif()
+if(NOT tcp_rules STREQUAL single)
+  message(FATAL_ERROR "TCP-mined rules differ from the single-process rules")
+endif()
+if(NOT tcp_stats MATCHES "# distributed: workers=2")
+  message(FATAL_ERROR "--stats stderr missing the distributed line:\n${tcp_stats}")
+endif()
+
+# The JSON report carries the per-worker robustness counters with endpoint
+# attribution (timings make JSON unfit for the byte-compare above).
+execute_process(
+  COMMAND ${QARM} --input-qbt=${QBT} --minsup=0.3 --minconf=0.6 --k=3.0
+          --format=json --worker=127.0.0.1:${port_a}
+          --worker=127.0.0.1:${port_b} --threads=2
+  OUTPUT_VARIABLE tcp_json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "TCP mine --format=json exited with ${rc}")
+endif()
+if(NOT tcp_json MATCHES "\"workers\":\\[")
+  message(FATAL_ERROR "JSON stats missing the per-worker array:\n${tcp_json}")
+endif()
+if(NOT tcp_json MATCHES "\"endpoint\":\"127.0.0.1:${port_a}\"")
+  message(FATAL_ERROR "JSON stats do not attribute endpoints:\n${tcp_json}")
+endif()
+
+# Crash drill: the dying worker's first session exits with status 137
+# (SIGKILL's) after two frames — mid-pass, before the catalog lands. Its
+# endpoint then refuses to come back, so the coordinator must redistribute
+# the shard to worker b and still reproduce the baseline bytes.
+start_worker(dying "QARM_DIST_TEST_EXIT_AFTER_FRAMES=2")
+wait_for_port(dying port_dying)
+
+execute_process(
+  COMMAND ${QARM} --input-qbt=${QBT} ${MINE_FLAGS}
+          --worker=127.0.0.1:${port_dying} --worker=127.0.0.1:${port_b}
+          --dist-connect-attempts=3 --dist-connect-backoff-ms=20 --stats
+  OUTPUT_VARIABLE recovered
+  ERROR_VARIABLE recovered_stats
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "TCP mine with a dying worker exited with ${rc}: ${recovered_stats}")
+endif()
+if(NOT recovered STREQUAL single)
+  message(FATAL_ERROR "rules after worker death differ from single-process")
+endif()
+if(NOT recovered_stats MATCHES "redistributed=1")
+  message(FATAL_ERROR
+    "expected a redistributed shard in stderr:\n${recovered_stats}")
+endif()
+
+# The dying worker really is gone (exit 137 took the process with it). It
+# was orphaned to init, which may not reap — a zombie (state Z) counts as
+# dead.
+execute_process(
+  COMMAND sh -c "state=$(awk '{print $3}' \
+/proc/$(cat '${WORK_DIR}/tcp_worker_dying.pid')/stat 2>/dev/null); \
+[ -z \"$state\" ] || [ \"$state\" = Z ]"
+  RESULT_VARIABLE dying_dead)
+if(NOT dying_dead EQUAL 0)
+  stop_worker(dying)
+  message(FATAL_ERROR "the dying worker survived its kill switch")
+endif()
+
+# The survivors shut down cleanly on SIGTERM.
+stop_worker(a)
+stop_worker(b)
+foreach(name a b)
+  set(stopped FALSE)
+  foreach(i RANGE 100)
+    execute_process(
+      COMMAND sh -c "kill -0 $(cat '${WORK_DIR}/tcp_worker_${name}.pid') \
+2>/dev/null"
+      RESULT_VARIABLE alive)
+    if(NOT alive EQUAL 0)
+      set(stopped TRUE)
+      break()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+  endforeach()
+  if(NOT stopped)
+    message(FATAL_ERROR "worker ${name} did not exit within 10s of SIGTERM")
+  endif()
+  file(READ ${WORK_DIR}/tcp_worker_${name}.log worker_log)
+  if(NOT worker_log MATCHES "shut down cleanly")
+    message(FATAL_ERROR
+      "worker ${name} log missing clean-shutdown line:\n${worker_log}")
+  endif()
+endforeach()

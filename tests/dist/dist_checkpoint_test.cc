@@ -2,6 +2,8 @@
 // excludes num_workers (an execution knob, like num_threads), so a run
 // interrupted at --workers=4 resumes at --workers=1 and vice versa, with
 // rules byte-identical to an uninterrupted single-process run.
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -52,7 +54,10 @@ struct CheckpointCorpus {
     map_options.minsup = options.minsup;
     auto mapped = MapTable(raw, map_options);
     QARM_CHECK(mapped.ok());
-    qbt_path = ::testing::TempDir() + "/dist_checkpoint.qbt";
+    // pid-unique: each gtest TEST runs as its own concurrent ctest
+    // process, and WriteQbt rewrites in place under a peer's mmap.
+    qbt_path = ::testing::TempDir() + "/dist_checkpoint_" +
+               std::to_string(::getpid()) + ".qbt";
     QbtWriteOptions write_options;
     write_options.rows_per_block = 128;
     QARM_CHECK(WriteQbt(*mapped, qbt_path, write_options).ok());

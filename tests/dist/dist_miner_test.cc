@@ -3,163 +3,28 @@
 // thread count — on the financial corpus, with taxonomies, and with
 // missing values. Worker processes fork from the test binary, so any
 // divergence in the shard/merge path fails here as a rule diff, not a
-// statistical anomaly.
-#include <algorithm>
-#include <memory>
+// statistical anomaly. (The TCP transport runs the same matrix in
+// tcp_miner_test.cc; the corpora live in dist_corpora.h.)
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/macros.h"
-#include "common/random.h"
 #include "core/miner.h"
-#include "core/report.h"
 #include "dist/dist_miner.h"
-#include "partition/mapper.h"
-#include "partition/taxonomy.h"
-#include "storage/qbt_writer.h"
-#include "storage/record_source.h"
-#include "table/datagen.h"
-#include "table/table.h"
+#include "dist/dist_corpora.h"
 
 namespace qarm {
 namespace {
 
-std::vector<std::string> RulesAsJson(const MiningResult& result) {
-  std::vector<std::string> out;
-  out.reserve(result.rules.size());
-  for (const QuantRule& rule : result.rules) {
-    out.push_back(RuleToJson(rule, result.mapped));
-  }
-  return out;
-}
-
-// A mined corpus on disk plus the options that partitioned it. Each is
-// built once (static) and shared by the whole worker x thread matrix.
-struct DistCorpus {
-  std::string qbt_path;
-  MinerOptions options;
-  size_t num_blocks = 0;
-};
-
-DistCorpus BuildCorpus(const Table& table, const MinerOptions& options,
-                       size_t rows_per_block, const std::string& tag) {
-  MapOptions map_options;
-  map_options.partial_completeness = options.partial_completeness;
-  map_options.minsup = options.minsup;
-  map_options.num_intervals_override = options.num_intervals_override;
-  map_options.taxonomies = options.taxonomies;
-  auto mapped = MapTable(table, map_options);
-  QARM_CHECK(mapped.ok());
-  DistCorpus corpus;
-  corpus.qbt_path = ::testing::TempDir() + "/dist_" + tag + ".qbt";
-  corpus.options = options;
-  QbtWriteOptions write_options;
-  write_options.rows_per_block = rows_per_block;
-  QARM_CHECK(WriteQbt(*mapped, corpus.qbt_path, write_options).ok());
-  auto source = QbtFileSource::Open(corpus.qbt_path);
-  QARM_CHECK(source.ok());
-  corpus.num_blocks = (*source)->num_blocks();
-  return corpus;
-}
-
-const DistCorpus& FinancialCorpus() {
-  static const DistCorpus* corpus = []() {
-    MinerOptions options;
-    options.minsup = 0.20;
-    options.minconf = 0.40;
-    options.max_support = 0.40;
-    options.partial_completeness = 3.0;
-    options.interest_level = 1.2;
-    return new DistCorpus(BuildCorpus(MakeFinancialDataset(1500, 91), options,
-                                      /*rows_per_block=*/128, "financial"));
-  }();
-  return *corpus;
-}
-
-const DistCorpus& TaxonomyCorpus() {
-  static const DistCorpus* corpus = []() {
-    Schema schema =
-        Schema::Make(
-            {{"drink", AttributeKind::kCategorical, ValueType::kString},
-             {"pastry", AttributeKind::kCategorical, ValueType::kString}})
-            .value();
-    Table table(schema);
-    Rng rng(99);
-    for (size_t i = 0; i < 3000; ++i) {
-      double u = rng.UniformDouble();
-      std::string drink;
-      std::string pastry;
-      if (u < 0.10) {
-        drink = "coffee";
-        pastry = "yes";
-      } else if (u < 0.20) {
-        drink = "tea";
-        pastry = "yes";
-      } else if (u < 0.60) {
-        drink = "soda";
-        pastry = rng.Bernoulli(0.1) ? "yes" : "no";
-      } else {
-        drink = "juice";
-        pastry = rng.Bernoulli(0.1) ? "yes" : "no";
-      }
-      table.AppendRowUnchecked(
-          {Value(std::move(drink)), Value(std::move(pastry))});
-    }
-    MinerOptions options;
-    options.minsup = 0.15;
-    options.minconf = 0.60;
-    options.taxonomies.emplace_back(
-        "drink", Taxonomy::Make({{"hot", "drinks"},
-                                 {"cold", "drinks"},
-                                 {"coffee", "hot"},
-                                 {"tea", "hot"},
-                                 {"soda", "cold"},
-                                 {"juice", "cold"}})
-                     .value());
-    return new DistCorpus(
-        BuildCorpus(table, options, /*rows_per_block=*/256, "taxonomy"));
-  }();
-  return *corpus;
-}
-
-const DistCorpus& MissingValuesCorpus() {
-  static const DistCorpus* corpus = []() {
-    Schema schema =
-        Schema::Make({{"x", AttributeKind::kQuantitative, ValueType::kInt64},
-                      {"c", AttributeKind::kCategorical, ValueType::kString}})
-            .value();
-    Table table(schema);
-    Rng rng(7);
-    for (size_t i = 0; i < 1200; ++i) {
-      int64_t x = rng.UniformInt(0, 9);
-      std::vector<Value> row(2);
-      row[0] = rng.Bernoulli(0.2) ? Value::Null() : Value(x);
-      row[1] = rng.Bernoulli(0.2)
-                   ? Value::Null()
-                   : Value(x < 5 ? std::string("lo") : std::string("hi"));
-      table.AppendRowUnchecked(row);
-    }
-    MinerOptions options;
-    options.minsup = 0.10;
-    options.minconf = 0.40;
-    options.num_intervals_override = 5;
-    return new DistCorpus(
-        BuildCorpus(table, options, /*rows_per_block=*/128, "missing"));
-  }();
-  return *corpus;
-}
-
-MiningResult MustMineStreamed(const DistCorpus& corpus, size_t threads) {
-  MinerOptions options = corpus.options;
-  options.num_threads = threads;
-  auto source = QbtFileSource::Open(corpus.qbt_path);
-  QARM_CHECK(source.ok());
-  auto result = QuantitativeRuleMiner(options).MineStreamed(**source);
-  QARM_CHECK(result.ok());
-  return std::move(result).value();
-}
+using disttest::DistCorpus;
+using disttest::FinancialCorpus;
+using disttest::MissingValuesCorpus;
+using disttest::MustMineStreamed;
+using disttest::RulesAsJson;
+using disttest::TaxonomyCorpus;
 
 MiningResult MustMineDistributed(const DistCorpus& corpus, size_t workers,
                                  size_t threads) {

@@ -4,6 +4,8 @@
 // exhausts its respawn budget and fails the run cleanly. Faults come from
 // the storage fault injector with kinds=kill at rate=1, so every worker's
 // first faulted read is deterministic — no seed hunting, no flakes.
+#include <unistd.h>
+
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -54,7 +56,10 @@ struct RespawnCorpus {
     map_options.minsup = options.minsup;
     auto mapped = MapTable(raw, map_options);
     QARM_CHECK(mapped.ok());
-    qbt_path = ::testing::TempDir() + "/dist_respawn.qbt";
+    // pid-unique: each gtest TEST runs as its own concurrent ctest
+    // process, and WriteQbt rewrites in place under a peer's mmap.
+    qbt_path = ::testing::TempDir() + "/dist_respawn_" +
+               std::to_string(::getpid()) + ".qbt";
     QbtWriteOptions write_options;
     write_options.rows_per_block = 64;
     QARM_CHECK(WriteQbt(*mapped, qbt_path, write_options).ok());

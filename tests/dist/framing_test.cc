@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +15,7 @@
 
 #include "dist/framing.h"
 #include "dist/messages.h"
+#include "dist/transport.h"
 #include "storage/checkpoint_format.h"
 #include "storage/crc32.h"
 #include "storage/qbt_format.h"
@@ -24,24 +26,19 @@ namespace {
 class DistFramingTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    writer_ = std::make_unique<FdTransport>(fds[0]);
+    reader_ = std::make_unique<FdTransport>(fds[1]);
   }
-  void TearDown() override {
-    for (int fd : fds_) {
-      if (fd >= 0) ::close(fd);
-    }
-  }
-  void CloseWriter() {
-    ::close(fds_[0]);
-    fds_[0] = -1;
-  }
+  void CloseWriter() { writer_->Close(); }
   // Raw bytes straight onto the wire, bypassing SendFrame.
   void WriteRaw(const std::string& bytes) {
-    ASSERT_EQ(::write(fds_[0], bytes.data(), bytes.size()),
-              static_cast<ssize_t>(bytes.size()));
+    ASSERT_TRUE(writer_->Write(bytes.data(), bytes.size()).ok());
   }
 
-  int fds_[2] = {-1, -1};
+  std::unique_ptr<FdTransport> writer_;
+  std::unique_ptr<FdTransport> reader_;
 };
 
 TEST_F(DistFramingTest, RoundTripsPayloadsOfEverySize) {
@@ -54,11 +51,11 @@ TEST_F(DistFramingTest, RoundTripsPayloadsOfEverySize) {
     uint64_t sent = 0;
     Status send_status;
     std::thread sender([&]() {
-      send_status = SendFrame(fds_[0], static_cast<uint32_t>(i + 1),
+      send_status = SendFrame(*writer_, static_cast<uint32_t>(i + 1),
                               payloads[i], &sent);
     });
     uint64_t received = 0;
-    Result<DistFrame> frame = RecvFrame(fds_[1], &received);
+    Result<DistFrame> frame = RecvFrame(*reader_, &received);
     sender.join();
     ASSERT_TRUE(send_status.ok()) << send_status.ToString();
     EXPECT_EQ(sent, kDistFrameHeaderSize + payloads[i].size() + 4);
@@ -71,7 +68,7 @@ TEST_F(DistFramingTest, RoundTripsPayloadsOfEverySize) {
 
 TEST_F(DistFramingTest, EofBeforeAnyByteIsIoError) {
   CloseWriter();
-  Result<DistFrame> frame = RecvFrame(fds_[1]);
+  Result<DistFrame> frame = RecvFrame(*reader_);
   ASSERT_FALSE(frame.ok());
   EXPECT_EQ(frame.status().code(), StatusCode::kIOError);
 }
@@ -79,7 +76,7 @@ TEST_F(DistFramingTest, EofBeforeAnyByteIsIoError) {
 TEST_F(DistFramingTest, EofMidFrameIsIoError) {
   WriteRaw(std::string(kDistFrameMagic, 4));  // header cut short
   CloseWriter();
-  Result<DistFrame> frame = RecvFrame(fds_[1]);
+  Result<DistFrame> frame = RecvFrame(*reader_);
   ASSERT_FALSE(frame.ok());
   EXPECT_EQ(frame.status().code(), StatusCode::kIOError);
 }
@@ -90,7 +87,7 @@ TEST_F(DistFramingTest, BadMagicIsIoError) {
   QbtAppendU64(&bytes, 0);
   QbtAppendU32(&bytes, Crc32("", 0));
   WriteRaw(bytes);
-  Result<DistFrame> frame = RecvFrame(fds_[1]);
+  Result<DistFrame> frame = RecvFrame(*reader_);
   ASSERT_FALSE(frame.ok());
   EXPECT_NE(frame.status().ToString().find("magic"), std::string::npos);
 }
@@ -100,7 +97,7 @@ TEST_F(DistFramingTest, OversizeLengthIsRejectedWithoutAllocating) {
   QbtAppendU32(&bytes, 1);
   QbtAppendU64(&bytes, kDistMaxPayload + 1);
   WriteRaw(bytes);
-  Result<DistFrame> frame = RecvFrame(fds_[1]);
+  Result<DistFrame> frame = RecvFrame(*reader_);
   ASSERT_FALSE(frame.ok());
   EXPECT_NE(frame.status().ToString().find("exceeds limit"),
             std::string::npos);
@@ -116,7 +113,7 @@ TEST_F(DistFramingTest, CorruptPayloadFailsTheCrc) {
   QbtAppendU32(&bytes, Crc32(payload.data(), payload.size()));
   bytes[kDistFrameHeaderSize + 2] ^= 0x40;
   WriteRaw(bytes);
-  Result<DistFrame> frame = RecvFrame(fds_[1]);
+  Result<DistFrame> frame = RecvFrame(*reader_);
   ASSERT_FALSE(frame.ok());
   EXPECT_NE(frame.status().ToString().find("CRC"), std::string::npos);
 }

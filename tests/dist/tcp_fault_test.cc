@@ -1,0 +1,238 @@
+// Fault tolerance over the TCP transport, end to end: a worker process
+// SIGKILL-dead mid-pass is redistributed to a survivor; an injected
+// connection reset reconnects and replays on the same endpoint; a stalled
+// reply trips the read deadline (never hangs); and an unkillable fault
+// schedule exhausts the respawn budget with a clean IOError. Every
+// recovered run must be byte-identical to the single-process baseline —
+// recovery that changes the answer is just a slower bug.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "core/miner.h"
+#include "dist/dist_miner.h"
+#include "dist/worker_server.h"
+#include "dist/dist_corpora.h"
+
+namespace qarm {
+namespace {
+
+using disttest::DistCorpus;
+using disttest::FinancialCorpus;
+using disttest::MustMineStreamed;
+using disttest::RulesAsJson;
+
+// A real worker-server process, forked with a kill-switch env var so its
+// first session dies like `kill -9` partway through the pass sequence.
+// Forked before any in-process server spawns threads.
+struct ChildWorker {
+  pid_t pid = -1;
+  uint16_t port = 0;
+
+  ~ChildWorker() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+  }
+};
+
+ChildWorker SpawnDyingWorker(const std::string& qbt_path,
+                             const char* frames) {
+  int pipe_fds[2];
+  QARM_CHECK(::pipe(pipe_fds) == 0);
+  const pid_t pid = ::fork();
+  QARM_CHECK(pid >= 0);
+  if (pid == 0) {
+    ::close(pipe_fds[0]);
+    ::setenv("QARM_DIST_TEST_EXIT_AFTER_FRAMES", frames, 1);
+    WorkerServerOptions options;
+    options.qbt_path = qbt_path;
+    auto server = WorkerServer::Start(options);
+    if (!server.ok()) std::_Exit(3);
+    const uint16_t port = (*server)->port();
+    if (::write(pipe_fds[1], &port, sizeof(port)) != sizeof(port)) {
+      std::_Exit(3);
+    }
+    ::close(pipe_fds[1]);
+    for (;;) ::pause();  // the kill switch ends the process
+  }
+  ::close(pipe_fds[1]);
+  ChildWorker child;
+  child.pid = pid;
+  QARM_CHECK(::read(pipe_fds[0], &child.port, sizeof(child.port)) ==
+             static_cast<ssize_t>(sizeof(child.port)));
+  ::close(pipe_fds[0]);
+  return child;
+}
+
+MinerOptions TcpOptions(const DistCorpus& corpus,
+                        std::vector<std::string> endpoints) {
+  MinerOptions options = corpus.options;
+  options.worker_endpoints = std::move(endpoints);
+  options.dist_connect_attempts = 3;
+  options.dist_connect_backoff_ms = 10.0;
+  return options;
+}
+
+const DistWorkerStats& WorkerStats(const MiningResult& result, size_t w) {
+  QARM_CHECK(w < result.stats.dist.workers.size());
+  return result.stats.dist.workers[w];
+}
+
+// A worker-server process dies (exit 137, the SIGKILL status) while its
+// session is mid-run. Its endpoint refuses to come back, so the
+// coordinator must redistribute the shard to the surviving server and
+// still produce byte-identical rules.
+TEST(TcpFaultTest, DeadWorkerProcessRedistributesToSurvivor) {
+  const DistCorpus& corpus = FinancialCorpus();
+  // Fork first: the child must not inherit server threads.
+  const ChildWorker child = SpawnDyingWorker(corpus.qbt_path, "2");
+  WorkerServerOptions server_options;
+  server_options.qbt_path = corpus.qbt_path;
+  auto survivor = WorkerServer::Start(server_options);
+  ASSERT_TRUE(survivor.ok()) << survivor.status().ToString();
+
+  const std::string child_endpoint =
+      "127.0.0.1:" + std::to_string(child.port);
+  const std::string survivor_endpoint =
+      "127.0.0.1:" + std::to_string((*survivor)->port());
+  auto result = MineDistributedQbt(
+      corpus.qbt_path, TcpOptions(corpus, {child_endpoint,
+                                           survivor_endpoint}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(RulesAsJson(*result),
+            RulesAsJson(MustMineStreamed(corpus, 1)));
+
+  // Worker 0's shard ended up on the survivor.
+  const DistWorkerStats& stats = WorkerStats(*result, 0);
+  EXPECT_GE(stats.reconnects, 1u);
+  EXPECT_GE(stats.redistributed, 1u);
+  EXPECT_GE(stats.frames_retried, 1u);
+  EXPECT_EQ(stats.endpoint, survivor_endpoint);
+  EXPECT_GE(result->stats.dist.workers_respawned, 1u);
+  // The survivor carried its own session plus the redistributed one.
+  EXPECT_GE((*survivor)->sessions_served(), 2u);
+}
+
+// An injected connection reset mid-pass: the endpoint itself stays up, so
+// the reconnect lands on the same server (replay, not redistribution) at
+// generation 1, where the deterministic schedule no longer faults.
+TEST(TcpFaultTest, InjectedConnResetReplaysOnSameEndpoint) {
+  const DistCorpus& corpus = FinancialCorpus();
+  WorkerServerOptions server_options;
+  server_options.qbt_path = corpus.qbt_path;
+  auto server = WorkerServer::Start(server_options);
+  ASSERT_TRUE(server.ok());
+  const std::string endpoint =
+      "127.0.0.1:" + std::to_string((*server)->port());
+
+  MinerOptions options = TcpOptions(corpus, {endpoint, endpoint});
+  // Write ordinal 2 is the first reply after HelloAck + pass-1: the reset
+  // lands mid-pass on both workers' generation-0 sessions.
+  options.inject_faults_spec =
+      "seed=3,rate=1,fails=1,after=2,kinds=conn_reset";
+  auto result = MineDistributedQbt(corpus.qbt_path, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(RulesAsJson(*result),
+            RulesAsJson(MustMineStreamed(corpus, 1)));
+
+  size_t reconnects = 0;
+  for (size_t w = 0; w < result->stats.dist.workers.size(); ++w) {
+    const DistWorkerStats& stats = WorkerStats(*result, w);
+    reconnects += stats.reconnects;
+    EXPECT_EQ(stats.redistributed, 0u) << "worker " << w;
+    EXPECT_EQ(stats.endpoint, endpoint);
+  }
+  EXPECT_GE(reconnects, 1u);
+}
+
+// A stalled reply write: the coordinator's per-frame read deadline fires
+// (counted as a heartbeat timeout) instead of hanging, and the replayed
+// generation completes byte-identically.
+TEST(TcpFaultTest, StalledWorkerTripsDeadlineAndRecovers) {
+  const DistCorpus& corpus = FinancialCorpus();
+  WorkerServerOptions server_options;
+  server_options.qbt_path = corpus.qbt_path;
+  auto server = WorkerServer::Start(server_options);
+  ASSERT_TRUE(server.ok());
+  const std::string endpoint =
+      "127.0.0.1:" + std::to_string((*server)->port());
+
+  MinerOptions options = TcpOptions(corpus, {endpoint});
+  options.dist_io_timeout_ms = 400;
+  options.dist_heartbeat_ms = 100;
+  options.inject_faults_spec =
+      "seed=9,rate=1,fails=1,after=1,kinds=stall,stall=1500";
+  auto result = MineDistributedQbt(corpus.qbt_path, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(RulesAsJson(*result),
+            RulesAsJson(MustMineStreamed(corpus, 1)));
+  const DistWorkerStats& stats = WorkerStats(*result, 0);
+  EXPECT_GE(stats.heartbeat_timeouts, 1u);
+  EXPECT_GE(stats.reconnects, 1u);
+}
+
+// Every generation faults at the same write: after kMaxRespawnsPerWorker
+// reconnects the pool gives up with a clean IOError naming the worker —
+// bounded, never a hang, and never a wrong answer.
+TEST(TcpFaultTest, UnkillableFaultScheduleExhaustsTheBudget) {
+  const DistCorpus& corpus = FinancialCorpus();
+  WorkerServerOptions server_options;
+  server_options.qbt_path = corpus.qbt_path;
+  auto server = WorkerServer::Start(server_options);
+  ASSERT_TRUE(server.ok());
+  const std::string endpoint =
+      "127.0.0.1:" + std::to_string((*server)->port());
+
+  MinerOptions options = TcpOptions(corpus, {endpoint});
+  // fails=100 far exceeds the budget: generation N faults for every N the
+  // pool can afford, always at the first post-handshake reply.
+  options.inject_faults_spec =
+      "seed=3,rate=1,fails=100,after=1,kinds=conn_reset";
+  auto result = MineDistributedQbt(corpus.qbt_path, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_NE(result.status().ToString().find("giving up"), std::string::npos)
+      << result.status().ToString();
+}
+
+// The liveness channel itself: a healthy but slow pass emits heartbeats
+// that the coordinator counts and skips without declaring death.
+TEST(TcpFaultTest, HeartbeatsFlowDuringSlowPasses) {
+  const DistCorpus& corpus = FinancialCorpus();
+  WorkerServerOptions server_options;
+  server_options.qbt_path = corpus.qbt_path;
+  auto server = WorkerServer::Start(server_options);
+  ASSERT_TRUE(server.ok());
+  const std::string endpoint =
+      "127.0.0.1:" + std::to_string((*server)->port());
+
+  MinerOptions options = TcpOptions(corpus, {endpoint});
+  // A stall shorter than the deadline: the reply is late but alive, and
+  // the 50 ms heartbeats keep arriving while the coordinator waits.
+  options.dist_io_timeout_ms = 10000;
+  options.dist_heartbeat_ms = 50;
+  options.inject_faults_spec =
+      "seed=9,rate=1,fails=1,after=1,kinds=stall,stall=400";
+  auto result = MineDistributedQbt(corpus.qbt_path, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(RulesAsJson(*result),
+            RulesAsJson(MustMineStreamed(corpus, 1)));
+  const DistWorkerStats& stats = WorkerStats(*result, 0);
+  EXPECT_EQ(stats.reconnects, 0u);
+  EXPECT_EQ(stats.heartbeat_timeouts, 0u);
+}
+
+}  // namespace
+}  // namespace qarm

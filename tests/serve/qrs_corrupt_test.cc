@@ -2,6 +2,8 @@
 // file — truncation at any length, flipped magic/CRC, lying counts and
 // sizes, semantic invariant violations — must come back as a clean
 // Status, never a crash or an allocation bomb.
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstring>
 #include <limits>
@@ -17,9 +19,16 @@
 namespace qarm {
 namespace {
 
-// A valid serialized rule set, via the real writer and a temp file.
+// A valid serialized rule set, via the real writer and a temp file. The
+// path carries the pid plus the running test's name: ctest runs each
+// TEST_F as its own (concurrent) invocation of this binary, and a shared
+// name races — one instance unlinks the file another is still writing.
 std::vector<uint8_t> ValidBytes() {
-  const std::string path = ::testing::TempDir() + "/corrupt_base.qrs";
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string path = ::testing::TempDir() + "/corrupt_base_" +
+                           std::to_string(::getpid()) + "_" +
+                           (info != nullptr ? info->name() : "anon") + ".qrs";
   const StoredRuleSet set = servetest::MakeRuleSet();
   if (!WriteRuleSet(set, path).ok()) return {};
   std::FILE* f = std::fopen(path.c_str(), "rb");

@@ -26,6 +26,11 @@ const char kUsage[] =
     "                        counts a contiguous block range, the merged\n"
     "                        rules are bit-identical to --workers=1\n"
     "                                                        (default 1)\n"
+    "  --worker=HOST:PORT    repeatable: mine over TCP against running\n"
+    "                        `qarm worker` servers instead of forking; one\n"
+    "                        worker per endpoint, rules bit-identical to\n"
+    "                        --workers=1 (each server needs the same QBT\n"
+    "                        file; excludes --workers)\n"
     "  --block-rows=N        rows per in-memory scan block   (default 65536)\n"
     "  --method=depth|width|kmeans  partitioning method      (default depth)\n"
     "  --format=text|json|csv  output format                 (default text)\n"
@@ -61,6 +66,15 @@ const char kUsage[] =
     "mine extras:\n"
     "  --output-rules=FILE.qrs  also write the mined rule set as a binary\n"
     "                        QRS file for `qarm serve` / `qarm rules dump`\n"
+    "\n"
+    "qarm worker — serve QBT shards to a remote `qarm mine --worker=...`\n"
+    "coordinator over TCP (fault-tolerant protocol: versioned handshake,\n"
+    "per-frame CRCs and deadlines, liveness heartbeats):\n"
+    "  --listen=HOST:PORT    bind address (port 0 = ephemeral; required)\n"
+    "  --input-qbt=FILE      the QBT file to serve (must byte-match the\n"
+    "                        coordinator's — checked at handshake)\n"
+    "  [--port-file=FILE]    write the bound port here once listening\n"
+    "  [--serve-seconds=F]   stop after F seconds; 0 = run until SIGINT\n"
     "\n"
     "qarm serve — serve a mined rule set over HTTP:\n"
     "  --rules=FILE.qrs      rule set to load (required)\n"
@@ -177,6 +191,30 @@ Result<CliFlags> ParseCliArgs(int argc, char* const* argv, int first_arg) {
       QARM_ASSIGN_OR_RETURN(flags.threads, ParseSizeFlag("threads", value));
     } else if (MatchFlag(argv[i], "workers", &value)) {
       QARM_ASSIGN_OR_RETURN(flags.workers, ParseSizeFlag("workers", value));
+    } else if (MatchFlag(argv[i], "worker", &value)) {
+      if (value.empty()) {
+        return Status::InvalidArgument("bad --worker: empty endpoint");
+      }
+      flags.worker_endpoints.push_back(value);
+    } else if (MatchFlag(argv[i], "listen", &value)) {
+      flags.listen = value;
+    } else if (MatchFlag(argv[i], "dist-timeout-ms", &value)) {
+      // Hidden: per-frame TCP read/write deadline (tests shrink it).
+      QARM_ASSIGN_OR_RETURN(flags.dist_timeout_ms,
+                            ParseSizeFlag("dist-timeout-ms", value));
+    } else if (MatchFlag(argv[i], "dist-heartbeat-ms", &value)) {
+      // Hidden: worker liveness interval during long passes.
+      QARM_ASSIGN_OR_RETURN(flags.dist_heartbeat_ms,
+                            ParseSizeFlag("dist-heartbeat-ms", value));
+    } else if (MatchFlag(argv[i], "dist-connect-attempts", &value)) {
+      // Hidden: connect retry budget per endpoint.
+      QARM_ASSIGN_OR_RETURN(flags.dist_connect_attempts,
+                            ParseSizeFlag("dist-connect-attempts", value));
+    } else if (MatchFlag(argv[i], "dist-connect-backoff-ms", &value)) {
+      // Hidden: initial connect retry backoff.
+      QARM_ASSIGN_OR_RETURN(
+          flags.dist_connect_backoff_ms,
+          ParseDoubleFlag("dist-connect-backoff-ms", value));
     } else if (MatchFlag(argv[i], "method", &value)) {
       if (value != "depth" && value != "width" && value != "kmeans") {
         return Status::InvalidArgument("unknown --method: " + value);
@@ -236,6 +274,11 @@ Result<MinerOptions> MinerOptionsFromFlags(const CliFlags& flags) {
   options.num_intervals_override = flags.intervals;
   options.num_threads = flags.threads;
   options.num_workers = flags.workers;
+  options.worker_endpoints = flags.worker_endpoints;
+  options.dist_io_timeout_ms = flags.dist_timeout_ms;
+  options.dist_heartbeat_ms = flags.dist_heartbeat_ms;
+  options.dist_connect_attempts = flags.dist_connect_attempts;
+  options.dist_connect_backoff_ms = flags.dist_connect_backoff_ms;
   if (flags.block_rows > 0) options.stream_block_rows = flags.block_rows;
   if (flags.method == "width") {
     options.partition_method = PartitionMethod::kEquiWidth;

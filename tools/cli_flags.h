@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/options.h"
@@ -42,6 +43,15 @@ struct CliFlags {
   size_t intervals = 0;
   size_t threads = 1;
   size_t workers = 1;  // mine --input-qbt: worker processes (1 = in-process)
+  // mine --input-qbt over TCP: remote `qarm worker` endpoints, one
+  // --worker=HOST:PORT per endpoint (repeatable, order = worker ids).
+  std::vector<std::string> worker_endpoints;
+  std::string listen;  // qarm worker: HOST:PORT to listen on (port 0 ok)
+  // Hidden TCP-mining tuning knobs (sane defaults; tests shrink them).
+  size_t dist_timeout_ms = 30000;
+  size_t dist_heartbeat_ms = 1000;
+  size_t dist_connect_attempts = 10;
+  double dist_connect_backoff_ms = 50.0;
   size_t block_rows = 0;  // 0 = default (writer: 64K; miner: option default)
   size_t records = 0;
   uint64_t seed = 42;

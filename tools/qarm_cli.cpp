@@ -43,6 +43,8 @@
 #include "core/rules.h"
 #include "core/rules_export.h"
 #include "dist/dist_miner.h"
+#include "dist/worker_registry.h"
+#include "dist/worker_server.h"
 #include "partition/mapper.h"
 #include "serve/http_server.h"
 #include "serve/rule_catalog.h"
@@ -313,6 +315,66 @@ int RunRulesDump(const CliFlags& flags) {
   return 0;
 }
 
+// `qarm worker`: serve QBT shards to a remote mining coordinator until
+// SIGINT (or --serve-seconds elapses).
+int RunWorker(const CliFlags& flags) {
+  if (flags.listen.empty() || flags.input_qbt.empty()) {
+    std::fprintf(stderr, "worker needs --listen=HOST:PORT and --input-qbt\n%s",
+                 CliUsage());
+    return 2;
+  }
+  auto endpoint = ParseWorkerEndpoint(flags.listen);
+  if (!endpoint.ok() && flags.listen.rfind(':') != std::string::npos &&
+      flags.listen.substr(flags.listen.rfind(':') + 1) == "0") {
+    // ParseWorkerEndpoint rejects port 0 (a *target* needs a real port),
+    // but a listener may bind ephemerally.
+    WorkerEndpoint e;
+    e.host = flags.listen.substr(0, flags.listen.rfind(':'));
+    e.port = 0;
+    e.text = flags.listen;
+    endpoint = e;
+  }
+  if (!endpoint.ok()) return UsageError(endpoint.status());
+
+  WorkerServerOptions options;
+  options.host = endpoint->host;
+  options.port = endpoint->port;
+  options.qbt_path = flags.input_qbt;
+  auto server = WorkerServer::Start(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "cannot start worker: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "# worker serving %s on %s:%u\n",
+               flags.input_qbt.c_str(), endpoint->host.c_str(),
+               (*server)->port());
+  if (!flags.port_file.empty()) {
+    Status status = WritePortFile(flags.port_file, (*server)->port());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGTERM, HandleSigint);
+  Timer uptime;
+  while (!g_interrupted.load()) {
+    if (flags.serve_seconds > 0 &&
+        uptime.ElapsedSeconds() >= flags.serve_seconds) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  (*server)->Stop();
+  std::fprintf(stderr,
+               "# worker served %llu sessions in %.1fs; shut down cleanly\n",
+               static_cast<unsigned long long>((*server)->sessions_served()),
+               uptime.ElapsedSeconds());
+  return 0;
+}
+
 // `qarm serve`: load a QRS file and serve it over HTTP until SIGINT (or
 // --serve-seconds elapses).
 int RunServe(const CliFlags& flags) {
@@ -416,6 +478,7 @@ int Run(int argc, char** argv) {
   if (command == "convert") return RunConvert(flags);
   if (command == "append") return RunAppend(flags);
   if (command == "gen") return RunGen(flags);
+  if (command == "worker") return RunWorker(flags);
   if (command == "serve") return RunServe(flags);
   if (command == "rules dump") return RunRulesDump(flags);
   if (!command.empty()) {
@@ -432,6 +495,18 @@ int Run(int argc, char** argv) {
   if (flags.workers > 1 && !qbt_mode) {
     std::fprintf(stderr,
                  "--workers needs --input-qbt (workers shard QBT blocks)\n");
+    return 2;
+  }
+  if (!flags.worker_endpoints.empty() && !qbt_mode) {
+    std::fprintf(stderr,
+                 "--worker=HOST:PORT needs --input-qbt (remote workers "
+                 "shard QBT blocks)\n");
+    return 2;
+  }
+  if (!flags.worker_endpoints.empty() && flags.append) {
+    std::fprintf(stderr,
+                 "--worker=HOST:PORT does not combine with --append yet; "
+                 "use forked --workers for incremental runs\n");
     return 2;
   }
   if (flags.append && !qbt_mode) {
@@ -468,10 +543,11 @@ int Run(int argc, char** argv) {
         return MineIncremental(flags.input_qbt, *options, &incremental,
                                flags.workers > 1 ? full_mine : FullMineFn());
       }
-      if (flags.workers > 1) {
+      if (flags.workers > 1 || !flags.worker_endpoints.empty()) {
         // MineDistributedQbt opens the file itself (coordinator + each
-        // forked worker map their own views) and falls back to the plain
-        // path when the file has fewer blocks than workers.
+        // forked worker map their own views; TCP workers serve their own
+        // copies) and falls back to the plain path when the file has
+        // fewer blocks than workers.
         return MineDistributedQbt(flags.input_qbt, *options);
       }
       QARM_ASSIGN_OR_RETURN(std::unique_ptr<QbtFileSource> source,
@@ -613,6 +689,22 @@ int Run(int argc, char** argv) {
                    static_cast<unsigned long long>(sent),
                    static_cast<unsigned long long>(received), exchange,
                    merge);
+      for (const DistWorkerStats& worker : stats.dist.workers) {
+        // One line per worker only when something noteworthy happened —
+        // a clean run stays quiet.
+        if (worker.respawns == 0 && worker.reconnects == 0 &&
+            worker.heartbeat_timeouts == 0) {
+          continue;
+        }
+        std::fprintf(stderr,
+                     "# worker %u%s%s: respawns=%zu reconnects=%zu "
+                     "redistributed=%zu heartbeat_timeouts=%zu "
+                     "frames_retried=%zu\n",
+                     worker.worker_id, worker.endpoint.empty() ? "" : " @ ",
+                     worker.endpoint.c_str(), worker.respawns,
+                     worker.reconnects, worker.redistributed,
+                     worker.heartbeat_timeouts, worker.frames_retried);
+      }
     }
     if (stats.checkpoint.enabled) {
       std::fprintf(stderr,
